@@ -1,0 +1,99 @@
+// VERIFY — schedule-space model checking coverage. The §2 model allows
+// any delivery order; this binary reports how much of that
+// nondeterminism the explorer certifies on small instances (every
+// explored path checks values 0..m-1 + protocol invariants; a single
+// violation aborts the run — so completing the table IS the result).
+//
+// Flags: --max_paths=200000
+#include <iostream>
+#include <memory>
+
+#include "analysis/explore.hpp"
+#include "baselines/central.hpp"
+#include "baselines/counting_network.hpp"
+#include "core/tree_counter.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+using namespace dcnt;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  ExploreOptions options;
+  options.max_paths = flags.get_int("max_paths", 200000);
+
+  Table table({"scenario", "paths", "exhaustive", "max depth",
+               "distinct outcomes"});
+  auto add_row = [&](const std::string& label, const ExploreResult& result) {
+    table.row()
+        .add(label)
+        .add(result.paths)
+        .add(result.truncated ? "no (cap)" : "YES")
+        .add(result.max_depth)
+        .add(result.distinct_outcomes);
+  };
+
+  {
+    Simulator base(std::make_unique<CentralCounter>(5), {});
+    add_row("central, 3 concurrent incs",
+            explore_schedules(base, {1, 2, 3}, options));
+  }
+  {
+    Simulator base(std::make_unique<CentralCounter>(6), {});
+    add_row("central, 4 concurrent incs",
+            explore_schedules(base, {1, 2, 3, 4}, options));
+  }
+  {
+    TreeCounterParams params;
+    params.k = 2;
+    Simulator base(std::make_unique<TreeCounter>(params), {});
+    add_row("tree k=2, 2 concurrent incs",
+            explore_schedules(base, {0, 7}, options));
+  }
+  {
+    TreeCounterParams params;
+    params.k = 2;
+    Simulator base(std::make_unique<TreeCounter>(params), {});
+    add_row("tree k=2, 3 concurrent incs",
+            explore_schedules(base, {0, 3, 6}, options));
+  }
+  {
+    // Retirement cascade: warm so the explored inc crosses the age
+    // threshold mid-flight.
+    TreeCounterParams params;
+    params.k = 2;
+    params.age_threshold = 6;
+    Simulator base(std::make_unique<TreeCounter>(params), {});
+    run_sequential(base, {0, 1});
+    add_row("tree k=2, inc triggering retirement cascade",
+            explore_schedules(base, {2}, options));
+  }
+  {
+    CountingNetworkParams params;
+    params.n = 4;
+    params.width = 4;
+    Simulator base(std::make_unique<CountingNetworkCounter>(params), {});
+    add_row("bitonic w=4, 3 concurrent tokens",
+            explore_schedules(base, {0, 1, 2}, options));
+  }
+  {
+    CountingNetworkParams params;
+    params.n = 4;
+    params.width = 2;
+    params.kind = NetworkKind::kPeriodic;
+    Simulator base(std::make_unique<CountingNetworkCounter>(params), {});
+    add_row("periodic w=2, 3 concurrent tokens",
+            explore_schedules(base, {0, 1, 2}, options));
+  }
+
+  table.print(std::cout,
+              "VERIFY: exhaustive (or cap-bounded) delivery-schedule "
+              "exploration; every path checked values 0..m-1 and protocol "
+              "invariants");
+  std::cout << "\nno violations on any explored path — asynchrony (§2) "
+               "handled for every enumerated order.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// FIG1-FIG4 — regenerates the paper's illustrative figures from real
+// executions:
+//
+//   Figure 1: the process DAG of one inc (Graphviz DOT on stdout);
+//   Figure 2: the same process as a topologically sorted communication
+//             list;
+//   Figure 3: the adversary's situation before an inc — the remaining
+//             processors' candidate list lengths, longest first;
+//   Figure 4: the communication tree structure with the initial
+//             identifier scheme of §4.
+//
+// Flags: --k=2 --seed=2 --origin=5
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/adversary.hpp"
+#include "analysis/dag.hpp"
+#include "core/bound.hpp"
+#include "core/tree_counter.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+using namespace dcnt;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int k = static_cast<int>(flags.get_int("k", 2));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+  const auto origin = static_cast<ProcessorId>(flags.get_int("origin", 5));
+
+  TreeCounterParams params;
+  params.k = k;
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.enable_trace = true;
+  cfg.delay = DelayModel::uniform(1, 6);
+
+  // Warm the system so the traced inc shows retirements (branching),
+  // like the paper's Figure 1.
+  Simulator sim(std::make_unique<TreeCounter>(params), cfg);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  std::vector<ProcessorId> warmup;
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (p != origin) warmup.push_back(p);
+  }
+  run_sequential(sim, warmup);
+
+  const OpId op = sim.begin_inc(origin);
+  sim.run_until_quiescent();
+  const IncDag dag = build_inc_dag(sim.trace(), op, origin);
+
+  std::printf("== FIG1: process DAG of processor %d's inc (DOT) ==\n",
+              origin);
+  std::cout << to_dot(dag);
+
+  std::printf("\n== FIG2: the same process as a communication list ==\n");
+  const auto list = communication_list(dag);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    std::printf("%s%d", i == 0 ? "" : " -> ", list[i]);
+  }
+  std::printf("\nlist length (arcs) = %zu messages\n", list.size() - 1);
+
+  std::printf(
+      "\n== FIG3: adversary's view before an inc — candidate list lengths "
+      "==\n");
+  {
+    SimConfig fig3_cfg = cfg;
+    Simulator base(std::make_unique<TreeCounter>(params), fig3_cfg);
+    // Half the sequence has run; probe every remaining candidate.
+    std::vector<ProcessorId> first_half;
+    for (ProcessorId p = 0; p < n / 2; ++p) first_half.push_back(p);
+    run_sequential(base, first_half);
+    Table table({"candidate", "list length (msgs of its inc)"});
+    for (ProcessorId p = static_cast<ProcessorId>(n / 2); p < n; ++p) {
+      Simulator probe(base);
+      const std::int64_t before = probe.metrics().total_messages();
+      const OpId probe_op = probe.begin_inc(p);
+      probe.run_until_quiescent();
+      (void)probe_op;
+      table.row().add(static_cast<std::int64_t>(p)).add(
+          probe.metrics().total_messages() - before);
+    }
+    std::cout << table.to_text();
+    std::printf("(the §3 adversary picks a longest one)\n");
+  }
+
+  std::printf("\n== FIG4: communication tree structure and id scheme ==\n");
+  {
+    const TreeLayout layout(k);
+    for (int level = 0; level <= k; ++level) {
+      std::printf("level %d: ", level);
+      const std::int64_t width = ipow(k, level);
+      for (std::int64_t j = 0; j < width; ++j) {
+        const NodeId node = layout.node_at(level, j);
+        std::printf("[n%lld pid%d pool%lld]%s", static_cast<long long>(node),
+                    layout.initial_pid(node),
+                    static_cast<long long>(layout.pool_size(node)),
+                    j + 1 == width ? "" : " ");
+      }
+      std::printf("\n");
+    }
+    std::printf("level %d (leaves): processors 0..%lld\n", k + 1,
+                static_cast<long long>(layout.n() - 1));
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// LEM-RET — the §4 lemma ledger, measured: Retirement Lemma, Number of
+// Retirements Lemma (per-level retirement maxima vs the paper's pool
+// budget k^(k-i) - 1), the per-operation message budget that follows
+// from the Grow Old Lemma, and the Bottleneck Theorem, for k = 2..5.
+//
+// Flags: --kmax=5 --seed=7 --order=random|seq
+#include <iostream>
+
+#include "analysis/audit.hpp"
+#include "analysis/tree_profile.hpp"
+#include "core/tree_counter.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+using namespace dcnt;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int kmax = static_cast<int>(flags.get_int("kmax", 5));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const bool random_order = flags.get_string("order", "random") == "random";
+
+  Table table({"k", "n", "retire/node/op<=1", "pools ok", "max op msgs",
+               "op budget", "max_load", "load/k"});
+  for (int k = 2; k <= kmax; ++k) {
+    TreeCounterParams params;
+    params.k = k;
+    SimConfig cfg;
+    cfg.seed = seed;
+    cfg.delay = DelayModel::uniform(1, 8);
+    Simulator sim(std::make_unique<TreeCounter>(params), cfg);
+    const auto n = static_cast<std::int64_t>(sim.num_processors());
+    Rng rng(seed + static_cast<std::uint64_t>(k));
+    run_sequential(sim, random_order ? schedule_permutation(n, rng)
+                                     : schedule_sequential(n));
+    const TreeAuditReport report = audit_tree_run(sim);
+    table.row()
+        .add(k)
+        .add(n)
+        .add(report.retirement_lemma_ok ? "yes" : "NO")
+        .add(report.pools_ok ? "yes" : "NO")
+        .add(report.max_op_messages)
+        .add(report.op_message_budget)
+        .add(report.max_load)
+        .add(report.load_per_k, 2);
+  }
+  table.print(std::cout, "LEM-RET: §4 lemma audit (all columns must hold)");
+
+  // Per-level retirements against the paper's pool budget for one size.
+  {
+    const int k = std::min(kmax, 4);
+    TreeCounterParams params;
+    params.k = k;
+    SimConfig cfg;
+    cfg.seed = seed;
+    Simulator sim(std::make_unique<TreeCounter>(params), cfg);
+    const auto n = static_cast<std::int64_t>(sim.num_processors());
+    run_sequential(sim, schedule_sequential(n));
+    const TreeAuditReport report = audit_tree_run(sim);
+    Table levels({"level", "max retirements per node", "pool budget k^(k-i)-1"});
+    for (std::size_t level = 0; level < report.max_retirements_by_level.size();
+         ++level) {
+      levels.row()
+          .add(static_cast<std::int64_t>(level))
+          .add(report.max_retirements_by_level[level])
+          .add(report.pool_budget_by_level[level]);
+    }
+    levels.print(std::cout,
+                 "Number of Retirements Lemma, per level (k=" +
+                     std::to_string(k) + ")");
+
+    std::cout << "\n== per-level work profile (k=" << k
+              << "): where the machinery's load lands ==\n"
+              << to_string(tree_level_profile(sim));
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// LIN — the [HSW96] separation (paper, Related Work): under overlapping
+// operations, which counters respect real-time order? A history is
+// linearizable for counting iff no operation that finished before
+// another started received a larger value.
+//
+// Driver: staggered invocations with heavy-tailed delays (a few
+// deliveries between invocations keep several ops in flight). Expected
+// shape: tree / central / combining — zero inversions (a single root
+// serializes); counting network and diffracting tree — inversions found
+// (they are only quiescently consistent).
+//
+// Flags: --ops=200 --seeds=30 --seed0=1
+#include <iostream>
+#include <memory>
+#include <functional>
+
+#include "analysis/linearizability.hpp"
+#include "baselines/central.hpp"
+#include "baselines/combining_tree.hpp"
+#include "baselines/counting_network.hpp"
+#include "baselines/diffracting_tree.hpp"
+#include "core/tree_counter.hpp"
+#include "sim/simulator.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+using namespace dcnt;
+
+namespace {
+
+LinearizabilityReport staggered_run(std::unique_ptr<CounterProtocol> counter,
+                                    std::uint64_t seed, std::int64_t ops) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.delay = DelayModel::heavy_tail(1, 400);
+  Simulator sim(std::move(counter), cfg);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  Rng rng(seed * 31 + 7);
+  for (std::int64_t i = 0; i < ops; ++i) {
+    sim.begin_inc(static_cast<ProcessorId>(i % n));
+    const auto steps = rng.next_below(12);
+    for (std::uint64_t s = 0; s < steps; ++s) {
+      if (!sim.step()) break;
+    }
+  }
+  sim.run_until_quiescent();
+  return check_linearizable(counter_history(sim));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::int64_t ops = flags.get_int("ops", 200);
+  const std::int64_t seeds = flags.get_int("seeds", 30);
+  const auto seed0 = static_cast<std::uint64_t>(flags.get_int("seed0", 1));
+
+  // Narrow balancer structures (width 4): wide ones dilute contention
+  // at the output cells so inversions become vanishingly rare — the
+  // separation is about the mechanism, not the width.
+  struct Entry {
+    std::string label;
+    std::function<std::unique_ptr<CounterProtocol>()> make;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"tree(k=3)", [] {
+                       TreeCounterParams p;
+                       p.k = 3;
+                       return std::make_unique<TreeCounter>(p);
+                     }});
+  entries.push_back(
+      {"central", [] { return std::make_unique<CentralCounter>(64); }});
+  entries.push_back({"combining(f=2)", [] {
+                       CombiningTreeParams p;
+                       p.n = 64;
+                       return std::make_unique<CombiningTreeCounter>(p);
+                     }});
+  entries.push_back({"counting-net(w=4)", [] {
+                       CountingNetworkParams p;
+                       p.n = 32;
+                       p.width = 4;
+                       return std::make_unique<CountingNetworkCounter>(p);
+                     }});
+  entries.push_back({"diffracting(w=4)", [] {
+                       DiffractingTreeParams p;
+                       p.n = 32;
+                       p.width = 4;
+                       return std::make_unique<DiffractingTreeCounter>(p);
+                     }});
+
+  Table table({"counter", "seeds with inversions", "total inversions",
+               "linearizable?"});
+  for (const Entry& entry : entries) {
+    std::int64_t bad_seeds = 0;
+    std::int64_t total = 0;
+    for (std::int64_t s = 0; s < seeds; ++s) {
+      const auto report = staggered_run(
+          entry.make(), seed0 + static_cast<std::uint64_t>(s), ops);
+      if (!report.linearizable) ++bad_seeds;
+      total += report.violations;
+    }
+    table.row()
+        .add(entry.label)
+        .add(std::to_string(bad_seeds) + "/" + std::to_string(seeds))
+        .add(total)
+        .add(total == 0 ? "yes (observed)" : "NO");
+  }
+  table.print(std::cout,
+              "LIN: real-time inversions under staggered concurrency "
+              "([HSW96] separation)");
+  std::cout << "\nshape: serializing designs (tree, static-tree, central, "
+               "combining) show zero inversions;\nbalancer-based designs "
+               "(counting network, diffracting tree) are only quiescently "
+               "consistent.\n";
+  return 0;
+}

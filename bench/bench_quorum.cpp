@@ -1,0 +1,187 @@
+// QRM — the related-work tie-in: the paper's Hot Spot Lemma is the
+// quorum intersection argument ([Mae85]), and the authors call their
+// construction a kind of "Dynamic Quorum System". This bench puts the
+// classic *static* quorum systems next to it:
+//
+//   table 1: structural properties — quorum size and the rotation-load
+//            (Naor-Wool style) of each construction;
+//   table 2: the quorum-based counter's measured bottleneck per system,
+//            with the paper's tree counter as the last row. Static
+//            systems pay Theta(quorum size) per op at the busiest
+//            element; the paper's dynamic construction pays O(k) total.
+//
+// Flags: --n=81 --seed=19
+#include <iostream>
+#include <memory>
+
+#include "analysis/report.hpp"
+#include "core/tree_counter.hpp"
+#include "core/bound.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "quorum/crumbling_wall.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/hierarchical.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/probe.hpp"
+#include "quorum/projective_plane.hpp"
+#include "quorum/quorum_analysis.hpp"
+#include "quorum/quorum_counter.hpp"
+#include "quorum/tree_quorum.hpp"
+#include "quorum/weighted.hpp"
+#include "sim/simulator.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+using namespace dcnt;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::int64_t n = flags.get_int("n", 81);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 19));
+
+  std::vector<std::shared_ptr<const QuorumSystem>> systems = {
+      std::make_shared<SingletonQuorum>(n, 0),
+      std::make_shared<MajorityQuorum>(n),
+      std::shared_ptr<const QuorumSystem>(
+          WeightedMajorityQuorum::weighted_leader(n, 0.4)),
+      std::make_shared<GridQuorum>(n),
+      std::make_shared<TreeQuorum>(n),
+      std::shared_ptr<const QuorumSystem>(CrumblingWall::triangle(n)),
+  };
+  {
+    // Hierarchical quorum consensus needs n = 3^levels; include it when
+    // the requested size qualifies (the default n=81 does).
+    std::int64_t p3 = 3;
+    while (p3 < n) p3 *= 3;
+    if (p3 == n) {
+      systems.push_back(std::make_shared<HierarchicalQuorum>(n, 3));
+    }
+  }
+
+  {
+    Table table({"system", "mean |Q|", "max |Q|", "rotation load",
+                 "intersections ok"});
+    Rng rng(seed);
+    for (const auto& system : systems) {
+      const auto load = rotation_load(*system, 4 * n);
+      const auto inter = check_pairwise_intersection(*system, 128, 4000, rng);
+      table.row()
+          .add(system->name())
+          .add(load.mean_quorum_size, 1)
+          .add(load.max_quorum_size)
+          .add(load.max_load, 3)
+          .add(inter.all_intersect ? "yes" : "NO");
+    }
+    table.print(std::cout,
+                "QRM: static quorum systems on n=" + std::to_string(n) +
+                    " (load = busiest element's share of ops)");
+  }
+
+  {
+    Table table(
+        {"counter", "n", "max_load", "mean_load", "total_msgs", "max/k(n)"});
+    for (const auto& system : systems) {
+      SimConfig cfg;
+      cfg.seed = seed;
+      cfg.delay = DelayModel::uniform(1, 8);
+      Simulator sim(std::make_unique<QuorumCounter>(system), cfg);
+      run_sequential(sim, schedule_sequential(n));
+      const LoadReport report = make_load_report(sim);
+      table.row()
+          .add("quorum(" + system->name() + ")")
+          .add(n)
+          .add(report.max_load)
+          .add(report.mean_load, 2)
+          .add(report.total_messages)
+          .add(report.load_per_k, 1);
+    }
+    {
+      TreeCounterParams params;
+      params.k = ceil_k_for(n);
+      SimConfig cfg;
+      cfg.seed = seed;
+      cfg.delay = DelayModel::uniform(1, 8);
+      Simulator sim(std::make_unique<TreeCounter>(params), cfg);
+      const auto tree_n = static_cast<std::int64_t>(sim.num_processors());
+      run_sequential(sim, schedule_sequential(tree_n));
+      const LoadReport report = make_load_report(sim);
+      table.row()
+          .add("tree (paper, dynamic)")
+          .add(tree_n)
+          .add(report.max_load)
+          .add(report.mean_load, 2)
+          .add(report.total_messages)
+          .add(report.load_per_k, 1);
+    }
+    table.print(std::cout,
+                "QRM: counters built on static quorums vs the paper's "
+                "dynamic construction (one inc per processor, sequential)");
+  }
+
+  // Probe complexity [PW96]: how many probes to find a live quorum (or
+  // certify none) as elements die.
+  {
+    Table table({"system", "probes (all alive)", "probes (all dead)",
+                 "mean probes p=0.1", "find rate p=0.1", "mean probes p=0.3",
+                 "find rate p=0.3"});
+    Rng rng(seed + 1);
+    for (const auto& system : systems) {
+      const auto p10 = probe_complexity(*system, 0.1, 200, rng);
+      const auto p30 = probe_complexity(*system, 0.3, 200, rng);
+      table.row()
+          .add(system->name())
+          .add(p10.all_alive)
+          .add(p10.all_dead)
+          .add(p10.random_probes.mean(), 1)
+          .add(p10.find_rate, 2)
+          .add(p30.random_probes.mean(), 1)
+          .add(p30.find_rate, 2);
+    }
+    table.print(std::cout,
+                "QRM: probe complexity under random failures ([PW96]; "
+                "greedy prober)");
+  }
+
+  // The classical optimum among static systems: projective planes
+  // (available only at n = q^2+q+1 for prime q; compared at the largest
+  // such size <= n against a grid of the same size).
+  {
+    const int q = ProjectivePlaneQuorum::order_for(n);
+    if (q >= 2) {
+      const ProjectivePlaneQuorum fpp(q);
+      const std::int64_t fpp_n = fpp.universe_size();
+      // Two grids: the default near-square one (ragged — n = q^2+q+1 is
+      // never a nice rectangle, and a lonely last-row element ends up
+      // in *every* quorum: load 1, a real pitfall of ragged grids) and
+      // one using an exact divisor of n.
+      const GridQuorum ragged(fpp_n);
+      std::int64_t cols = 1;
+      for (std::int64_t d = 2; d * d <= fpp_n; ++d) {
+        if (fpp_n % d == 0) cols = d;
+      }
+      const GridQuorum exact(fpp_n, std::max<std::int64_t>(cols, 1));
+      Table table({"system", "n", "mean |Q|", "rotation load"});
+      struct Row {
+        const QuorumSystem* system;
+        const char* label;
+      };
+      for (const Row& row : std::initializer_list<Row>{
+               {&fpp, "projective plane"},
+               {&exact, "grid (exact factorization)"},
+               {&ragged, "grid (ragged, default)"}}) {
+        const auto load = rotation_load(*row.system, 10 * fpp_n);
+        table.row()
+            .add(row.label)
+            .add(fpp_n)
+            .add(load.mean_quorum_size, 2)
+            .add(load.max_load, 4);
+      }
+      table.print(std::cout,
+                  "QRM: projective plane (optimal static load ~1/sqrt(n)) "
+                  "vs grids at matched size — note the ragged grid's "
+                  "universal-element pathology");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// PERF — google-benchmark microbenchmarks of the simulation substrate:
+// raw message throughput, protocol-specific per-op cost, and the cost
+// of cloning (which gates the lower-bound adversary's step time).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/central.hpp"
+#include "core/tree_counter.hpp"
+#include "harness/factory.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+namespace {
+
+void BM_CentralCounterOps(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Simulator sim(std::make_unique<CentralCounter>(n), {});
+  ProcessorId p = 1;
+  for (auto _ : state) {
+    const OpId op = sim.begin_inc(p);
+    sim.run_until_quiescent();
+    benchmark::DoNotOptimize(sim.result(op));
+    p = static_cast<ProcessorId>(p % (n - 1) + 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CentralCounterOps)->Arg(64)->Arg(4096);
+
+void BM_TreeCounterOps(benchmark::State& state) {
+  TreeCounterParams params;
+  params.k = static_cast<int>(state.range(0));
+  Simulator sim(std::make_unique<TreeCounter>(params), {});
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  ProcessorId p = 0;
+  for (auto _ : state) {
+    const OpId op = sim.begin_inc(p);
+    sim.run_until_quiescent();
+    benchmark::DoNotOptimize(sim.result(op));
+    p = static_cast<ProcessorId>((p + 1) % n);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_TreeCounterOps)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_TreeCounterFullSequence(benchmark::State& state) {
+  TreeCounterParams params;
+  params.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim(std::make_unique<TreeCounter>(params), {});
+    const auto n = static_cast<std::int64_t>(sim.num_processors());
+    const RunResult result = run_sequential(sim, schedule_sequential(n));
+    benchmark::DoNotOptimize(result.max_load);
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+BENCHMARK(BM_TreeCounterFullSequence)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorClone(benchmark::State& state) {
+  TreeCounterParams params;
+  params.k = static_cast<int>(state.range(0));
+  Simulator sim(std::make_unique<TreeCounter>(params), {});
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  run_sequential(sim, schedule_sequential(n / 2));
+  for (auto _ : state) {
+    Simulator clone(sim);
+    benchmark::DoNotOptimize(clone.ops_started());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SimulatorClone)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_MessageThroughput(benchmark::State& state) {
+  // Raw event-loop throughput via a ping-pong counter with random
+  // delivery delays.
+  Simulator sim(std::make_unique<CentralCounter>(2, 0),
+                SimConfig{.seed = 1,
+                          .delay = DelayModel::uniform(1, 4),
+                          .fifo_channels = false,
+                          .enable_trace = false});
+  std::int64_t messages = 0;
+  for (auto _ : state) {
+    sim.begin_inc(1);
+    sim.run_until_quiescent();
+    messages += 2;
+  }
+  state.SetItemsProcessed(messages);
+}
+BENCHMARK(BM_MessageThroughput);
+
+}  // namespace
+}  // namespace dcnt
+
+BENCHMARK_MAIN();

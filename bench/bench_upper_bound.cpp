@@ -1,0 +1,78 @@
+// THM-UB — the Bottleneck Theorem (§4): "During the entire sequence of
+// n inc operations each processor receives and sends at most O(k)
+// messages, where k*k^k = n."
+//
+// We run the paper's exact workload (one inc per processor, sequential)
+// on the communication-tree counter for k = 2..6 (n = 8 .. 279,936) and
+// report the bottleneck load, its ratio to k, and a linear fit of
+// max-load against k. The paper predicts the ratio column converges to
+// a constant; a Theta(n) counter would blow it up by orders of
+// magnitude (see bench_baselines for that contrast).
+//
+// Flags: --kmax=6 --seed=1 --delay_max=8 --order=seq|random
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/audit.hpp"
+#include "analysis/report.hpp"
+#include "core/tree_counter.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+#include "support/flags.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace dcnt;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int kmax = static_cast<int>(flags.get_int("kmax", 6));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const SimTime delay_max = flags.get_int("delay_max", 8);
+  const std::string order_kind = flags.get_string("order", "seq");
+
+  Table table({"k", "n", "max_load", "max/k", "mean_load", "p99", "total_msgs",
+               "retirements", "pool_wraps"});
+  std::vector<double> ks;
+  std::vector<double> loads;
+
+  for (int k = 2; k <= kmax; ++k) {
+    TreeCounterParams params;
+    params.k = k;
+    SimConfig cfg;
+    cfg.seed = seed;
+    cfg.delay = DelayModel::uniform(1, delay_max);
+    Simulator sim(std::make_unique<TreeCounter>(params), cfg);
+    const auto n = static_cast<std::int64_t>(sim.num_processors());
+    Rng rng(seed + static_cast<std::uint64_t>(k));
+    const auto order = order_kind == "random" ? schedule_permutation(n, rng)
+                                              : schedule_sequential(n);
+    run_sequential(sim, order);
+    const LoadReport report = make_load_report(sim);
+    const auto& tc = dynamic_cast<const TreeCounter&>(sim.counter());
+    table.row()
+        .add(k)
+        .add(n)
+        .add(report.max_load)
+        .add(report.load_per_k, 2)
+        .add(report.mean_load, 2)
+        .add(report.p99)
+        .add(report.total_messages)
+        .add(tc.stats().retirements_total)
+        .add(tc.stats().pool_wraps);
+    ks.push_back(static_cast<double>(k));
+    loads.push_back(static_cast<double>(report.max_load));
+  }
+
+  table.print(std::cout,
+              "THM-UB: tree counter bottleneck vs k (paper: O(k), k^(k+1)=n)");
+  if (ks.size() >= 2) {
+    const LinearFit fit = fit_linear(ks, loads);
+    std::printf(
+        "\nlinear fit: max_load ~= %.1f + %.1f * k   (r^2 = %.4f)\n"
+        "paper predicts: linear in k with n growing %.0fx across rows\n",
+        fit.intercept, fit.slope, fit.r2, loads.empty() ? 0.0 : 279936.0 / 8);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Compare the bottleneck of every counter implementation on the same
+// workload — the experiment behind the paper's introduction: who is a
+// hot spot, and by how much.
+//
+//   $ ./examples/bottleneck_comparison [--n=256] [--seed=4] [--histogram]
+#include <iostream>
+#include <memory>
+
+#include "dcnt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcnt;
+  const Flags flags(argc, argv);
+  const std::int64_t n = flags.get_int("n", 256);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 4));
+  const bool histogram = flags.get_bool("histogram", false);
+
+  Table table({"counter", "n", "max_load", "mean_load", "p99", "total_msgs",
+               "max/k(n)"});
+  for (const CounterKind kind : all_counter_kinds()) {
+    SimConfig cfg;
+    cfg.seed = seed;
+    cfg.delay = DelayModel::uniform(1, 8);
+    Simulator sim(make_counter(kind, n), cfg);
+    const auto actual_n = static_cast<std::int64_t>(sim.num_processors());
+    run_sequential(sim, schedule_sequential(actual_n));
+    const LoadReport report = make_load_report(sim);
+    table.row()
+        .add(to_string(kind))
+        .add(actual_n)
+        .add(report.max_load)
+        .add(report.mean_load, 2)
+        .add(report.p99)
+        .add(report.total_messages)
+        .add(report.load_per_k, 1);
+
+    if (histogram) {
+      std::cout << "\n-- load histogram: " << to_string(kind) << " --\n";
+      const Summary loads = sim.metrics().load_summary();
+      Histogram h(std::max<std::int64_t>(1, loads.max() / 16 + 1), 16);
+      for (const auto l : loads.samples()) h.add(l);
+      std::cout << h.to_string();
+    }
+  }
+  table.print(std::cout,
+              "bottleneck comparison, one inc per processor (sequential)");
+  std::cout << "\npaper's shape: tree = Theta(k); central/static-tree = "
+               "Theta(n); the rest in between.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build the paper's distributed counter, run the paper's
+// workload (every processor increments once), and look at the numbers
+// the paper is about.
+//
+//   $ ./examples/quickstart [--k=3] [--seed=1]
+#include <cstdio>
+#include <memory>
+
+#include "dcnt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcnt;
+  const Flags flags(argc, argv);
+  const int k = static_cast<int>(flags.get_int("k", 3));
+
+  // 1. The counter: a communication tree with fan-out k serving
+  //    n = k^(k+1) processors, inner nodes retiring after O(k) messages.
+  TreeCounterParams params;
+  params.k = k;
+  auto counter = std::make_unique<TreeCounter>(params);
+
+  // 2. The world: an asynchronous message-passing network. Delays are
+  //    random but reproducible from the seed; correctness never depends
+  //    on them.
+  SimConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.delay = DelayModel::uniform(1, 10);
+  Simulator sim(std::move(counter), config);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  std::printf("tree counter with k=%d on n=%lld processors\n", k,
+              static_cast<long long>(n));
+
+  // 3. One inc, by hand.
+  const OpId op = sim.begin_inc(/*origin=*/7);
+  sim.run_until_quiescent();
+  std::printf("processor 7 incremented and got value %lld\n",
+              static_cast<long long>(*sim.result(op)));
+
+  // 4. The paper's full workload: every processor increments exactly
+  //    once (operations are sequential in the paper's model).
+  std::vector<ProcessorId> rest;
+  for (ProcessorId p = 0; p < n; ++p) {
+    if (p != 7) rest.push_back(p);
+  }
+  const RunResult result = run_sequential(sim, rest);
+  std::printf("ran %zu more incs; all values distinct and in order: %s\n",
+              result.values.size(), result.values_ok ? "yes" : "NO");
+
+  // 5. What the theorems talk about: the message load m_p of the
+  //    busiest processor.
+  const LoadReport report = make_load_report(sim);
+  std::printf(
+      "\nbottleneck processor %d handled %lld messages\n"
+      "paper's bound: Theta(k) with k = %.2f  ->  max_load / k = %.1f\n"
+      "mean load %.2f, p99 %lld, total messages %lld\n",
+      report.bottleneck, static_cast<long long>(report.max_load),
+      report.paper_k, report.load_per_k, report.mean_load,
+      static_cast<long long>(report.p99),
+      static_cast<long long>(report.total_messages));
+
+  // 6. For contrast: the centralized strawman from the introduction.
+  Simulator central(std::make_unique<CentralCounter>(n), config);
+  run_sequential(central, schedule_sequential(n));
+  std::printf(
+      "\ncentral counter on the same n: bottleneck load %lld (Theta(n))\n"
+      "tree beats it by %.0fx — and no counter can beat Omega(k).\n",
+      static_cast<long long>(central.metrics().max_load()),
+      static_cast<double>(central.metrics().max_load()) /
+          static_cast<double>(report.max_load));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Self-scheduling work distribution — the other classic "counting"
+// workload: a pool of tasks indexed 0..m-1 and workers that claim the
+// next index with inc() whenever they are free. Distinct counter values
+// mean every task runs exactly once; the counter's bottleneck decides
+// how far the scheme scales.
+//
+//   $ ./examples/task_dispenser [--tasks=500] [--n=81] [--skew=0.7]
+#include <cstdio>
+#include <iostream>
+#include <algorithm>
+#include <memory>
+
+#include "dcnt.hpp"
+
+using namespace dcnt;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::int64_t tasks = flags.get_int("tasks", 500);
+  const std::int64_t n = flags.get_int("n", 81);
+  const double skew = flags.get_double("skew", 0.7);
+
+  Table table({"dispenser", "max_load", "mean_load", "gini",
+               "busiest worker's tasks", "all tasks once"});
+  for (const CounterKind kind :
+       {CounterKind::kTree, CounterKind::kCentral, CounterKind::kQuorumGrid}) {
+    SimConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+    cfg.delay = DelayModel::uniform(1, 6);
+    Simulator sim(make_counter(kind, n), cfg);
+    const auto actual_n = static_cast<std::int64_t>(sim.num_processors());
+
+    // Workers claim tasks at zipf-skewed rates (fast workers claim
+    // more) until the pool is empty.
+    Rng rng(cfg.seed + 7);
+    const auto claims = schedule_zipf(actual_n, tasks, skew, rng);
+    std::vector<std::int64_t> tasks_of(static_cast<std::size_t>(actual_n), 0);
+    std::vector<bool> task_done(static_cast<std::size_t>(tasks), false);
+    bool exactly_once = true;
+    for (const ProcessorId worker : claims) {
+      const OpId op = sim.begin_inc(worker);
+      sim.run_until_quiescent();
+      const Value task = *sim.result(op);
+      if (task < tasks) {
+        if (task_done[static_cast<std::size_t>(task)]) exactly_once = false;
+        task_done[static_cast<std::size_t>(task)] = true;
+        ++tasks_of[static_cast<std::size_t>(worker)];
+      }
+    }
+    for (const bool done : task_done) {
+      if (!done) exactly_once = false;
+    }
+
+    const LoadReport report = make_load_report(sim);
+    const ConcentrationReport conc = concentration(sim.metrics());
+    std::int64_t busiest_tasks = 0;
+    for (const auto t : tasks_of) busiest_tasks = std::max(busiest_tasks, t);
+    table.row()
+        .add(to_string(kind))
+        .add(report.max_load)
+        .add(report.mean_load, 2)
+        .add(conc.gini, 3)
+        .add(busiest_tasks)
+        .add(exactly_once ? "yes" : "NO");
+  }
+  table.print(std::cout,
+              "self-scheduling " + std::to_string(tasks) + " tasks over " +
+                  std::to_string(n) + " workers (zipf " +
+                  format_double(skew, 2) + " claim rates)");
+  std::printf(
+      "\nevery dispenser assigns each task exactly once (that is what a\n"
+      "counter is); they differ in who pays: central concentrates the\n"
+      "message load, the paper's tree spreads it at O(k) per worker plus\n"
+      "the unavoidable 2 messages per claim at the claiming worker.\n");
+  return 0;
+}

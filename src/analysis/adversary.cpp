@@ -1,0 +1,138 @@
+#include "analysis/adversary.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "analysis/dag.hpp"
+#include "analysis/weights.hpp"
+#include "core/bound.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+namespace {
+
+struct ProbeResult {
+  std::int64_t messages{-1};
+  /// Schedule reseed that realized it (nullopt = the current stream).
+  std::optional<std::uint64_t> reseed;
+};
+
+/// Dry-run one inc of `candidate` over `samples` delivery schedules;
+/// returns the longest process found and how to reproduce it.
+ProbeResult probe_candidate(const Simulator& sim, ProcessorId candidate,
+                            std::size_t samples, Rng& rng) {
+  ProbeResult best;
+  for (std::size_t s = 0; s < std::max<std::size_t>(1, samples); ++s) {
+    Simulator clone(sim);
+    std::optional<std::uint64_t> reseed;
+    if (s > 0) {
+      reseed = rng.next();
+      clone.reseed(*reseed);
+    }
+    const std::int64_t before = clone.metrics().total_messages();
+    const OpId op = clone.begin_inc(candidate);
+    clone.run_until_quiescent();
+    DCNT_CHECK(clone.result(op).has_value());
+    const std::int64_t messages = clone.metrics().total_messages() - before;
+    if (messages > best.messages) {
+      best.messages = messages;
+      best.reseed = reseed;
+    }
+  }
+  return best;
+}
+
+std::vector<ProcessorId> pick_candidates(
+    const std::vector<ProcessorId>& remaining, std::size_t sample, Rng& rng) {
+  if (sample == 0 || sample >= remaining.size()) return remaining;
+  std::vector<ProcessorId> pool = remaining;
+  // Partial Fisher-Yates: the first `sample` entries become the sample.
+  for (std::size_t i = 0; i < sample; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(sample);
+  return pool;
+}
+
+}  // namespace
+
+AdversaryResult run_adversarial_sequence(const Simulator& base,
+                                         const AdversaryOptions& options) {
+  DCNT_CHECK_MSG(base.ops_started() == 0,
+                 "adversary requires a fresh simulator");
+  AdversaryResult result;
+  const auto n = static_cast<std::int64_t>(base.num_processors());
+  result.paper_k = bottleneck_k(static_cast<double>(n));
+  Rng rng(options.seed);
+
+  Simulator sim(base);
+  std::vector<ProcessorId> remaining;
+  remaining.reserve(static_cast<std::size_t>(n));
+  for (ProcessorId p = 0; p < n; ++p) remaining.push_back(p);
+
+  std::vector<ProcessorId> chosen_sequence;
+  while (!remaining.empty()) {
+    const auto candidates =
+        pick_candidates(remaining, options.sample_candidates, rng);
+    ProcessorId best = candidates.front();
+    std::int64_t best_messages = -1;
+    std::optional<std::uint64_t> best_reseed;
+    for (const ProcessorId c : candidates) {
+      const ProbeResult probe =
+          probe_candidate(sim, c, options.schedule_samples, rng);
+      if (probe.messages > best_messages) {
+        best_messages = probe.messages;
+        best = c;
+        best_reseed = probe.reseed;
+      }
+    }
+    // Replay the winning process: same candidate, same schedule stream.
+    if (best_reseed.has_value()) sim.reseed(*best_reseed);
+    const OpId op = sim.begin_inc(best);
+    sim.run_until_quiescent();
+    DCNT_CHECK(sim.result(op).has_value());
+    AdversaryStep step;
+    step.chosen = best;
+    step.messages = best_messages;
+    result.steps.push_back(step);
+    chosen_sequence.push_back(best);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best));
+  }
+
+  result.max_load = sim.metrics().max_load();
+  result.bottleneck = sim.metrics().bottleneck();
+  result.total_messages = sim.metrics().total_messages();
+  result.last_processor = chosen_sequence.back();
+  result.last_processor_load = sim.metrics().load(result.last_processor);
+
+  if (options.record_weights) {
+    DCNT_CHECK_MSG(base.config().enable_trace,
+                   "record_weights needs tracing in the base simulator");
+    const ProcessorId q = result.last_processor;
+    Simulator replay(base);
+    for (std::size_t i = 0; i < chosen_sequence.size(); ++i) {
+      // Before op i: dry-run q's inc to obtain its list l_i and w_i.
+      {
+        Simulator probe(replay);
+        const OpId probe_op = probe.begin_inc(q);
+        probe.run_until_quiescent();
+        const IncDag dag = build_inc_dag(probe.trace(), probe_op, q);
+        const auto list = communication_list(dag);
+        result.steps[i].last_list_len =
+            static_cast<std::int64_t>(list.size()) - 1;
+        // Weights use the loads *before* op i — replay's metrics.
+        result.steps[i].last_weight = list_weight(list, replay.metrics());
+      }
+      const OpId op = replay.begin_inc(chosen_sequence[i]);
+      replay.run_until_quiescent();
+      DCNT_CHECK(replay.result(op).has_value());
+    }
+  }
+  return result;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,69 @@
+// The lower-bound adversary of §3, made executable.
+//
+// The proof constructs a sequence of n incs, one per processor: "For
+// each operation in the sequence we choose a processor (among those
+// that have not been chosen yet) and a process such that the
+// processor's communication list is longest." We realize it by cloning
+// the whole simulation (Simulator's copy constructor), dry-running
+// every remaining candidate's inc, committing the one that generates
+// the most messages, and repeating. This is a *restriction* of the
+// proof's adversary (it optimizes over the scheduler's realizable
+// process rather than all nondeterministic ones), so the loads it
+// produces are legitimate witnesses for the Omega(k) claim — and the
+// benches show every implementation paying at least k(n) at its
+// bottleneck.
+//
+// Cost: O(n_candidates) clones per step; use `sample_candidates` for
+// larger n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+struct AdversaryOptions {
+  /// Dry-run at most this many randomly chosen remaining candidates per
+  /// step (0 = all remaining — the full greedy adversary).
+  std::size_t sample_candidates{0};
+  /// Delivery schedules sampled per candidate (>= 1). The proof's
+  /// adversary picks both a processor AND "a process such that the
+  /// communication list is longest"; sampling several reseeded clones
+  /// explores that nondeterminism (the chosen schedule is replayed).
+  std::size_t schedule_samples{1};
+  std::uint64_t seed{0xADU};
+  /// Also record the proof's potential w_i along the run: after the
+  /// main pass identifies the last processor q, a second pass replays
+  /// the sequence and, before each op, dry-runs q's inc to obtain its
+  /// communication list and weight. Requires tracing enabled in the
+  /// base simulator. Quadratic-ish; keep n small.
+  bool record_weights{false};
+};
+
+struct AdversaryStep {
+  ProcessorId chosen{kNoProcessor};
+  std::int64_t messages{0};  ///< messages of the chosen (longest) process
+  // Filled when record_weights is set:
+  std::int64_t last_list_len{0};  ///< l_i: q's list length before op i
+  double last_weight{0.0};        ///< w_i
+};
+
+struct AdversaryResult {
+  std::vector<AdversaryStep> steps;
+  std::int64_t max_load{0};
+  ProcessorId bottleneck{kNoProcessor};
+  std::int64_t total_messages{0};
+  ProcessorId last_processor{kNoProcessor};  ///< the proof's q
+  std::int64_t last_processor_load{0};       ///< m_q — the proof's witness
+  double paper_k{0.0};  ///< k with k^(k+1) = n, the predicted lower bound
+};
+
+/// Runs the adversarial one-inc-per-processor sequence on a copy of
+/// `base` (which must be freshly constructed: no operations yet).
+AdversaryResult run_adversarial_sequence(const Simulator& base,
+                                         const AdversaryOptions& options = {});
+
+}  // namespace dcnt

@@ -1,0 +1,53 @@
+// Executable audits of the paper's §4 lemmas, applied to a completed
+// tree-counter run:
+//
+//   * Retirement Lemma      — "No node retires more than once during
+//                              any single inc operation."
+//   * Number of Retirements — "each node on level i retires at most
+//     Lemma                    k^(k-i) - 1 times" (equivalently: no
+//                              replacement pool is ever exhausted).
+//   * Grow Old Lemma        — non-retiring inner nodes handle O(1)
+//                              messages per inc; audited at the
+//                              per-operation message-count level.
+//   * Bottleneck Theorem    — every processor's total load is O(k).
+//
+// The audits consume the retirement log and the metrics; the
+// trace-level Grow Old audit additionally needs tracing enabled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tree_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+
+struct TreeAuditReport {
+  // Retirement Lemma.
+  bool retirement_lemma_ok{true};
+  std::int64_t max_retirements_per_node_per_op{0};
+
+  // Number of Retirements Lemma.
+  bool pools_ok{true};  ///< no pool wrap = within the paper's budget
+  std::int64_t max_retirements_per_node{0};
+  std::vector<std::int64_t> max_retirements_by_level;
+  std::vector<std::int64_t> pool_budget_by_level;  ///< k^(k-i) - 1
+
+  // Per-operation message bound (Grow Old + Retirement consequences):
+  // an op's messages are at most the path cost k+2 plus O(k) per
+  // retirement it triggers.
+  std::int64_t max_op_messages{0};
+  std::int64_t op_message_budget{0};
+  bool op_messages_ok{true};
+
+  // Bottleneck Theorem.
+  std::int64_t max_load{0};
+  double load_per_k{0.0};
+};
+
+/// Audits a finished sequential run of any TreeService simulation
+/// (counter, flip bit, priority queue); aborts on other protocols.
+TreeAuditReport audit_tree_run(const Simulator& sim);
+
+}  // namespace dcnt

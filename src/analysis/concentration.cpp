@@ -1,0 +1,53 @@
+#include "analysis/concentration.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+ConcentrationReport concentration(const std::vector<std::int64_t>& loads) {
+  DCNT_CHECK(!loads.empty());
+  ConcentrationReport report;
+  const auto n = static_cast<double>(loads.size());
+  const std::int64_t total =
+      std::accumulate(loads.begin(), loads.end(), static_cast<std::int64_t>(0));
+  if (total == 0) return report;  // nothing moved; all zeros
+  const double mean = static_cast<double>(total) / n;
+  std::vector<std::int64_t> sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  report.max_over_mean = static_cast<double>(sorted.back()) / mean;
+
+  // Gini via the sorted-rank formula:
+  //   G = (2 * sum_i i*x_(i) ) / (n * sum x) - (n + 1) / n,  i = 1..n.
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+  }
+  report.gini =
+      2.0 * weighted / (n * static_cast<double>(total)) - (n + 1.0) / n;
+
+  auto top_share = [&](double fraction) {
+    const auto count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(fraction * n + 0.5));
+    std::int64_t top = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      top += sorted[sorted.size() - 1 - i];
+    }
+    return static_cast<double>(top) / static_cast<double>(total);
+  };
+  report.top1_share = top_share(0.01);
+  report.top10_share = top_share(0.10);
+  return report;
+}
+
+ConcentrationReport concentration(const Metrics& metrics) {
+  std::vector<std::int64_t> loads(metrics.num_processors());
+  for (std::size_t p = 0; p < loads.size(); ++p) {
+    loads[p] = metrics.load(static_cast<ProcessorId>(p));
+  }
+  return concentration(loads);
+}
+
+}  // namespace dcnt

@@ -1,0 +1,32 @@
+// Load-concentration metrics, in the spirit of Dwork, Herlihy & Waarts'
+// contention analysis [DHW93] (cited by the paper): the bottleneck
+// (max load) says who suffers most; these metrics say how unequally the
+// *whole* message volume is spread.
+//
+//   * max/mean ratio — 1.0 for perfectly balanced load, Theta(n) for a
+//     single hot spot handling everything;
+//   * Gini coefficient — 0 for equal loads, -> 1 for total
+//     concentration;
+//   * top-share(q) — fraction of all message handling performed by the
+//     busiest q-fraction of processors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace dcnt {
+
+struct ConcentrationReport {
+  double max_over_mean{0.0};
+  double gini{0.0};
+  /// Share of total load carried by the busiest 1% / 10% of processors.
+  double top1_share{0.0};
+  double top10_share{0.0};
+};
+
+ConcentrationReport concentration(const std::vector<std::int64_t>& loads);
+ConcentrationReport concentration(const Metrics& metrics);
+
+}  // namespace dcnt

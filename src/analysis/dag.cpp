@@ -1,0 +1,85 @@
+#include "analysis/dag.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+IncDag build_inc_dag(const Trace& trace, OpId op, ProcessorId origin) {
+  DCNT_CHECK_MSG(trace.enabled(), "tracing was not enabled for this run");
+  IncDag dag;
+  dag.op = op;
+  dag.nodes.push_back({origin, kNoRecord});
+  // The occurrence a record's children hang off: the node created by
+  // that record's delivery.
+  std::unordered_map<RecordId, int> occurrence_of_record;
+  for (const auto& rec : trace.records()) {
+    if (rec.op != op) continue;
+    int from = 0;  // default: initiated by the source
+    if (rec.parent != kNoRecord) {
+      const auto it = occurrence_of_record.find(rec.parent);
+      // The parent may belong to an earlier op (a handover message that
+      // a later op's message causally follows cannot happen within one
+      // sequential op, but be defensive): treat unknown parents as
+      // initiations.
+      if (it != occurrence_of_record.end()) from = it->second;
+    }
+    const int to = static_cast<int>(dag.nodes.size());
+    dag.nodes.push_back({rec.dst, rec.id});
+    occurrence_of_record.emplace(rec.id, to);
+    dag.arcs.push_back({from, to, rec.id});
+  }
+  return dag;
+}
+
+std::vector<ProcessorId> communication_list(const IncDag& dag) {
+  // Records were appended in send order, which topologically sorts the
+  // DAG (a message is always sent after the message that caused it was
+  // delivered... sent); nodes are already in that order.
+  std::vector<ProcessorId> list;
+  list.reserve(dag.nodes.size());
+  for (const auto& node : dag.nodes) list.push_back(node.processor);
+  return list;
+}
+
+std::vector<ProcessorId> participants(const Trace& trace, OpId op,
+                                      ProcessorId origin) {
+  std::vector<ProcessorId> set = {origin};
+  for (const auto& rec : trace.records()) {
+    if (rec.op != op) continue;
+    set.push_back(rec.src);
+    set.push_back(rec.dst);
+  }
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+std::int64_t op_message_count(const Trace& trace, OpId op) {
+  std::int64_t count = 0;
+  for (const auto& rec : trace.records()) {
+    if (rec.op == op) ++count;
+  }
+  return count;
+}
+
+std::string to_dot(const IncDag& dag) {
+  std::ostringstream os;
+  os << "digraph inc_" << dag.op << " {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i) {
+    os << "  n" << i << " [label=\"" << dag.nodes[i].processor << "\"";
+    if (i == 0) os << " style=bold";
+    os << "];\n";
+  }
+  for (const auto& arc : dag.arcs) {
+    os << "  n" << arc.from << " -> n" << arc.to << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dcnt

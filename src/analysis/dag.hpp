@@ -1,0 +1,59 @@
+// Reconstruction of the paper's §2 artifacts from a simulation trace:
+//
+//   * the *process DAG* of one inc operation (Figure 1): nodes are
+//     "processor q performing some communication", arcs are messages;
+//   * its *communication list* (Figure 2): the DAG's nodes in a
+//     topologically sorted line — the object the lower-bound proof
+//     manipulates (list length = number of messages);
+//   * the participant set I_p: "the set of all processors that send or
+//     receive a message during the observed inc process".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+struct IncDag {
+  OpId op{kNoOp};
+  /// One node per processor *occurrence*. Node 0 is the initiator (the
+  /// DAG's source).
+  struct Node {
+    ProcessorId processor{kNoProcessor};
+    RecordId via{kNoRecord};  ///< message that created this occurrence
+  };
+  struct Arc {
+    int from{0};
+    int to{0};
+    RecordId record{kNoRecord};
+  };
+  std::vector<Node> nodes;
+  std::vector<Arc> arcs;
+};
+
+/// Builds the DAG of operation `op` from a trace. `origin` is the
+/// initiating processor (the source node even when it sent no message).
+IncDag build_inc_dag(const Trace& trace, OpId op, ProcessorId origin);
+
+/// The paper's communication list: DAG node labels in topological order
+/// (send order is one such order). The list's "length" in the paper is
+/// its number of arcs = messages = size() - 1.
+std::vector<ProcessorId> communication_list(const IncDag& dag);
+
+/// I_p for operation `op`: all processors sending or receiving during
+/// the process, including the initiator.
+std::vector<ProcessorId> participants(const Trace& trace, OpId op,
+                                      ProcessorId origin);
+
+/// Number of (network) messages attributed to `op` in the trace.
+std::int64_t op_message_count(const Trace& trace, OpId op);
+
+/// Graphviz rendering of the DAG, with processors as node labels —
+/// reproduces Figure 1 for any traced run.
+std::string to_dot(const IncDag& dag);
+
+}  // namespace dcnt

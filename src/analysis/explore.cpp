@@ -1,0 +1,101 @@
+#include "analysis/explore.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+namespace {
+
+struct ExploreState {
+  const ExploreOptions* options;
+  std::int64_t ops_expected;
+  std::int64_t base_deliveries{0};
+  ExploreResult result;
+  std::set<std::vector<Value>> outcomes;
+};
+
+void check_path_end(const Simulator& sim, ExploreState& state) {
+  ++state.result.paths;
+  state.result.max_depth = std::max(
+      state.result.max_depth, sim.deliveries() - state.base_deliveries);
+  std::vector<Value> values;
+  for (OpId op = 0; op < static_cast<OpId>(sim.ops_started()); ++op) {
+    const auto result = sim.result(op);
+    DCNT_CHECK_MSG(result.has_value(),
+                   "schedule explorer: op incomplete at quiescence");
+    values.push_back(*result);
+  }
+  if (state.options->check_counter_semantics) {
+    std::vector<Value> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      DCNT_CHECK_MSG(sorted[i] == static_cast<Value>(i),
+                     "schedule explorer: values are not 0..m-1");
+    }
+    sim.counter().check_quiescent(sim.ops_completed());
+  }
+  if (state.options->on_path_end) state.options->on_path_end(sim);
+  state.outcomes.insert(std::move(values));
+}
+
+void dfs(const Simulator& sim, ExploreState& state) {
+  if (state.result.truncated) return;
+  if (sim.quiescent()) {
+    check_path_end(sim, state);
+    if (state.result.paths >= state.options->max_paths) {
+      state.result.truncated = true;
+    }
+    return;
+  }
+  const std::size_t pending = sim.pending_messages();
+  for (std::size_t i = 0; i < pending && !state.result.truncated; ++i) {
+    Simulator branch(sim);
+    branch.step_specific(i);
+    dfs(branch, state);
+  }
+}
+
+ExploreResult run(Simulator sim, ExploreState state) {
+  dfs(sim, state);
+  state.result.distinct_outcomes =
+      static_cast<std::int64_t>(state.outcomes.size());
+  return state.result;
+}
+
+}  // namespace
+
+ExploreResult explore_schedules(const Simulator& base,
+                                const std::vector<ProcessorId>& ops,
+                                const ExploreOptions& options) {
+  DCNT_CHECK_MSG(!base.config().fifo_channels,
+                 "exploration enumerates orders; disable fifo_channels");
+  DCNT_CHECK(options.max_paths > 0);
+  Simulator sim(base);
+  for (const ProcessorId origin : ops) sim.begin_inc(origin);
+  ExploreState state;
+  state.options = &options;
+  state.ops_expected = static_cast<std::int64_t>(ops.size());
+  state.base_deliveries = base.deliveries();
+  return run(std::move(sim), std::move(state));
+}
+
+ExploreResult explore_schedules_args(
+    const Simulator& base,
+    const std::vector<std::pair<ProcessorId, std::vector<std::int64_t>>>& ops,
+    const ExploreOptions& options) {
+  DCNT_CHECK_MSG(!base.config().fifo_channels,
+                 "exploration enumerates orders; disable fifo_channels");
+  DCNT_CHECK(options.max_paths > 0);
+  Simulator sim(base);
+  for (const auto& [origin, args] : ops) sim.begin_op(origin, args);
+  ExploreState state;
+  state.options = &options;
+  state.ops_expected = static_cast<std::int64_t>(ops.size());
+  state.base_deliveries = base.deliveries();
+  return run(std::move(sim), std::move(state));
+}
+
+}  // namespace dcnt

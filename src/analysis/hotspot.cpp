@@ -1,0 +1,58 @@
+#include "analysis/hotspot.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/dag.hpp"
+#include "support/check.hpp"
+
+namespace dcnt {
+
+namespace {
+std::int64_t intersection_size(const std::vector<ProcessorId>& a,
+                               const std::vector<ProcessorId>& b) {
+  std::int64_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+}  // namespace
+
+HotSpotReport check_hot_spot(const Trace& trace,
+                             const std::vector<ProcessorId>& origins) {
+  DCNT_CHECK(trace.enabled());
+  HotSpotReport report;
+  report.min_intersection = std::numeric_limits<std::int64_t>::max();
+  if (origins.size() < 2) {
+    report.min_intersection = 0;
+    return report;
+  }
+  std::vector<ProcessorId> prev =
+      participants(trace, 0, origins[0]);
+  for (std::size_t i = 1; i < origins.size(); ++i) {
+    const std::vector<ProcessorId> cur =
+        participants(trace, static_cast<OpId>(i), origins[i]);
+    const std::int64_t common = intersection_size(prev, cur);
+    ++report.pairs_checked;
+    report.min_intersection = std::min(report.min_intersection, common);
+    if (common == 0 && report.all_intersect) {
+      report.all_intersect = false;
+      report.first_violation = i - 1;
+    }
+    prev = cur;
+  }
+  return report;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,34 @@
+// The Hot Spot Lemma, checked on real executions: "Let p and q be two
+// processors that increment the counter in direct succession. Then
+// I_p ∩ I_q != ∅ must hold." (Paper, §2.)
+//
+// Any correct counter must satisfy this — it is the paper's necessary
+// condition for information about the new value to flow between
+// consecutive operations — so it doubles as a cross-implementation
+// sanity property in the tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+struct HotSpotReport {
+  bool all_intersect{true};
+  /// Index i of the first violating consecutive pair (ops i, i+1).
+  std::size_t first_violation{0};
+  std::int64_t pairs_checked{0};
+  /// Size of the smallest pairwise intersection seen (the "tightness"
+  /// of the information channel between consecutive operations).
+  std::int64_t min_intersection{0};
+};
+
+/// `origins[i]` must be the initiator of operation i (OpIds 0..m-1 in
+/// the trace). Requires tracing to have been enabled.
+HotSpotReport check_hot_spot(const Trace& trace,
+                             const std::vector<ProcessorId>& origins);
+
+}  // namespace dcnt

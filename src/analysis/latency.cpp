@@ -1,0 +1,27 @@
+#include "analysis/latency.hpp"
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+Summary latency_summary(const Simulator& sim) {
+  Summary summary;
+  for (OpId op = 0; op < static_cast<OpId>(sim.ops_started()); ++op) {
+    summary.add(sim.op_responded_at(op) - sim.op_invoked_at(op));
+  }
+  return summary;
+}
+
+LatencyReport latency_report(const Simulator& sim) {
+  LatencyReport report;
+  const Summary summary = latency_summary(sim);
+  report.ops = static_cast<std::int64_t>(summary.count());
+  if (report.ops == 0) return report;
+  report.mean = summary.mean();
+  report.p50 = summary.percentile(50);
+  report.p99 = summary.percentile(99);
+  report.max = summary.max();
+  return report;
+}
+
+}  // namespace dcnt

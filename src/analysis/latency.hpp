@@ -1,0 +1,32 @@
+// Operation latency (simulated response - invocation time).
+//
+// The paper deliberately bounds *messages per processor*, not time; its
+// introduction notes time complexity as the established measure these
+// bounds complement. Latency reports add that texture to the benches:
+// the tree counter pays Theta(k) hops per inc where the central counter
+// pays one round trip — the price of spreading load.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "support/stats.hpp"
+
+namespace dcnt {
+
+struct LatencyReport {
+  std::int64_t ops{0};
+  double mean{0.0};
+  std::int64_t p50{0};
+  std::int64_t p99{0};
+  std::int64_t max{0};
+};
+
+/// Latencies of all completed ops in `sim` (aborts if any op is still
+/// outstanding).
+LatencyReport latency_report(const Simulator& sim);
+
+/// Raw latency samples, for custom statistics.
+Summary latency_summary(const Simulator& sim);
+
+}  // namespace dcnt

@@ -1,0 +1,40 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+#include "core/bound.hpp"
+
+namespace dcnt {
+
+LoadReport make_load_report(const Simulator& sim) {
+  LoadReport report;
+  report.n = static_cast<std::int64_t>(sim.num_processors());
+  report.ops = static_cast<std::int64_t>(sim.ops_completed());
+  const Metrics& metrics = sim.metrics();
+  report.max_load = metrics.max_load();
+  report.bottleneck = metrics.bottleneck();
+  report.total_messages = metrics.total_messages();
+  report.total_words = metrics.total_words();
+  const Summary loads = metrics.load_summary();
+  report.mean_load = loads.mean();
+  report.p50 = loads.percentile(50);
+  report.p99 = loads.percentile(99);
+  report.paper_k = bottleneck_k(static_cast<double>(report.n));
+  report.load_per_k = report.paper_k > 0
+                          ? static_cast<double>(report.max_load) / report.paper_k
+                          : 0.0;
+  return report;
+}
+
+std::string to_string(const LoadReport& report) {
+  std::ostringstream os;
+  os << "n=" << report.n << " ops=" << report.ops
+     << " max_load=" << report.max_load << " (processor "
+     << report.bottleneck << ")"
+     << " mean=" << report.mean_load << " p50=" << report.p50
+     << " p99=" << report.p99 << " total_msgs=" << report.total_messages
+     << " k(n)=" << report.paper_k << " max/k=" << report.load_per_k;
+  return os.str();
+}
+
+}  // namespace dcnt

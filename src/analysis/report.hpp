@@ -1,0 +1,35 @@
+// Load reports: the per-processor message-load distribution of a run,
+// condensed to what the paper's theorems talk about (the bottleneck)
+// plus distributional context for the benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "support/stats.hpp"
+
+namespace dcnt {
+
+struct LoadReport {
+  std::int64_t n{0};
+  std::int64_t ops{0};
+  std::int64_t max_load{0};
+  ProcessorId bottleneck{kNoProcessor};
+  double mean_load{0.0};
+  std::int64_t p50{0};
+  std::int64_t p99{0};
+  std::int64_t total_messages{0};
+  std::int64_t total_words{0};
+  /// k with k^(k+1) = n — the paper's predicted bottleneck order.
+  double paper_k{0.0};
+  /// max_load / paper_k: constant-factor distance from the bound.
+  double load_per_k{0.0};
+};
+
+LoadReport make_load_report(const Simulator& sim);
+
+/// Multi-line human-readable rendering.
+std::string to_string(const LoadReport& report);
+
+}  // namespace dcnt

@@ -1,0 +1,77 @@
+#include "analysis/tree_profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/bound.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace dcnt {
+
+std::vector<LevelProfile> tree_level_profile(const Simulator& sim) {
+  const auto* service = dynamic_cast<const TreeService*>(&sim.counter());
+  DCNT_CHECK_MSG(service != nullptr, "tree_level_profile needs a TreeService");
+  const TreeLayout& layout = service->layout();
+  const int k = layout.k();
+
+  std::vector<LevelProfile> profile(static_cast<std::size_t>(k) + 1);
+  std::vector<std::set<ProcessorId>> incumbents(
+      static_cast<std::size_t>(k) + 1);
+  std::map<NodeId, std::int64_t> per_node;
+
+  for (NodeId node = 0; node < layout.num_inner(); ++node) {
+    const int level = layout.level_of(node);
+    auto& row = profile[static_cast<std::size_t>(level)];
+    ++row.nodes;
+    incumbents[static_cast<std::size_t>(level)].insert(
+        layout.initial_pid(node));
+  }
+  for (const auto& ev : service->retirement_log()) {
+    auto& row = profile[static_cast<std::size_t>(ev.level)];
+    ++row.retirements;
+    row.max_retirements_per_node =
+        std::max(row.max_retirements_per_node, ++per_node[ev.node]);
+    incumbents[static_cast<std::size_t>(ev.level)].insert(ev.new_pid);
+  }
+  for (int level = 0; level <= k; ++level) {
+    auto& row = profile[static_cast<std::size_t>(level)];
+    row.level = level;
+    row.pool_budget_per_node =
+        (level == 0 ? layout.n() : ipow(k, k - level)) - 1;
+    const auto& pids = incumbents[static_cast<std::size_t>(level)];
+    row.distinct_incumbents = static_cast<std::int64_t>(pids.size());
+    std::int64_t total = 0;
+    for (const ProcessorId p : pids) {
+      const std::int64_t load = sim.metrics().load(p);
+      total += load;
+      row.max_incumbent_load = std::max(row.max_incumbent_load, load);
+    }
+    row.mean_incumbent_load =
+        pids.empty() ? 0.0
+                     : static_cast<double>(total) /
+                           static_cast<double>(pids.size());
+  }
+  return profile;
+}
+
+std::string to_string(const std::vector<LevelProfile>& profile) {
+  Table table({"level", "nodes", "retirements", "max/node", "pool budget",
+               "distinct incumbents", "mean load", "max load"});
+  for (const LevelProfile& row : profile) {
+    table.row()
+        .add(row.level)
+        .add(row.nodes)
+        .add(row.retirements)
+        .add(row.max_retirements_per_node)
+        .add(row.pool_budget_per_node)
+        .add(row.distinct_incumbents)
+        .add(row.mean_incumbent_load, 2)
+        .add(row.max_incumbent_load);
+  }
+  return table.to_text();
+}
+
+}  // namespace dcnt

@@ -1,0 +1,41 @@
+// Per-level profile of a tree-service run: where the §4 machinery's
+// work actually lands. For each tree level it reports how many distinct
+// processors served a node there (initial incumbents + replacements),
+// the retirement traffic, and the pool budget headroom — the concrete
+// numbers behind the Number-of-Retirements Lemma and the Bottleneck
+// Theorem's "each processor works for at most one non-root inner node"
+// accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tree_service.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+
+struct LevelProfile {
+  int level{0};
+  std::int64_t nodes{0};
+  std::int64_t retirements{0};
+  std::int64_t max_retirements_per_node{0};
+  std::int64_t pool_budget_per_node{0};  ///< k^(k-i) - 1 (root: n - 1)
+  /// Distinct processors that ever served a node on this level
+  /// (initial incumbents + every successor).
+  std::int64_t distinct_incumbents{0};
+  /// Mean message load of those processors.
+  double mean_incumbent_load{0.0};
+  /// Max message load among them.
+  std::int64_t max_incumbent_load{0};
+};
+
+/// Profiles a finished tree-service simulation (aborts on other
+/// protocols).
+std::vector<LevelProfile> tree_level_profile(const Simulator& sim);
+
+/// Aligned text rendering (one row per level).
+std::string to_string(const std::vector<LevelProfile>& profile);
+
+}  // namespace dcnt

@@ -1,0 +1,30 @@
+#include "analysis/weights.hpp"
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+double list_weight(const std::vector<ProcessorId>& list,
+                   const std::vector<std::int64_t>& loads) {
+  double weight = 0.0;
+  double scale = 1.0;
+  for (const ProcessorId p : list) {
+    DCNT_CHECK(p >= 0 && static_cast<std::size_t>(p) < loads.size());
+    weight +=
+        (static_cast<double>(loads[static_cast<std::size_t>(p)]) + 1.0) *
+        scale;
+    scale *= 0.5;
+  }
+  return weight;
+}
+
+double list_weight(const std::vector<ProcessorId>& list,
+                   const Metrics& metrics) {
+  std::vector<std::int64_t> loads(metrics.num_processors());
+  for (std::size_t p = 0; p < loads.size(); ++p) {
+    loads[p] = metrics.load(static_cast<ProcessorId>(p));
+  }
+  return list_weight(list, loads);
+}
+
+}  // namespace dcnt

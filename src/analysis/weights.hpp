@@ -1,0 +1,33 @@
+// The lower-bound proof's potential function (§3).
+//
+// For the i-th operation the proof looks at the communication list
+// u_0, u_1, ..., u_L of the *last* processor's (hypothetical) inc and
+// assigns it the weight
+//
+//     w_i = sum_j (m(u_j) + 1) / 2^j
+//
+// where m(p) is p's message load before operation i. The proof shows
+// the weight can only grow, by at least 2^-l_i per step, which pumps up
+// the last processor's load to Omega(k). These helpers compute the
+// weight of concrete lists so the adversary can expose the potential's
+// trajectory on real runs (bench_lower_bound / Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+/// Weight of a communication list under the given per-processor loads.
+/// list[0] is the initiator (exponent 0).
+double list_weight(const std::vector<ProcessorId>& list,
+                   const Metrics& metrics);
+
+/// Same, with loads supplied directly (for unit tests).
+double list_weight(const std::vector<ProcessorId>& list,
+                   const std::vector<std::int64_t>& loads);
+
+}  // namespace dcnt

@@ -1,0 +1,60 @@
+#include "baselines/central.hpp"
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+CentralCounter::CentralCounter(std::int64_t n, ProcessorId holder)
+    : n_(n), holder_(holder) {
+  DCNT_CHECK(n > 0);
+  DCNT_CHECK(holder >= 0 && holder < n);
+}
+
+std::size_t CentralCounter::num_processors() const {
+  return static_cast<std::size_t>(n_);
+}
+
+void CentralCounter::start_inc(Context& ctx, ProcessorId origin, OpId op) {
+  if (origin == holder_) {
+    // The holder increments locally; no network traffic (the paper's
+    // model allows an inc process to involve no messages at all only in
+    // this degenerate case).
+    ctx.complete(op, value_++);
+    return;
+  }
+  Message m;
+  m.src = origin;
+  m.dst = holder_;
+  m.tag = kTagReq;
+  m.args = {origin};
+  ctx.send(std::move(m));
+}
+
+void CentralCounter::on_message(Context& ctx, const Message& msg) {
+  switch (msg.tag) {
+    case kTagReq: {
+      Message reply;
+      reply.src = holder_;
+      reply.dst = static_cast<ProcessorId>(msg.args.at(0));
+      reply.tag = kTagValue;
+      reply.args = {value_++};
+      ctx.send(std::move(reply));
+      return;
+    }
+    case kTagValue:
+      ctx.complete(msg.op, msg.args.at(0));
+      return;
+    default:
+      DCNT_CHECK_MSG(false, "unknown message tag");
+  }
+}
+
+std::unique_ptr<CounterProtocol> CentralCounter::clone_counter() const {
+  return std::make_unique<CentralCounter>(*this);
+}
+
+void CentralCounter::check_quiescent(std::size_t ops_completed) const {
+  DCNT_CHECK(value_ == static_cast<Value>(ops_completed));
+}
+
+}  // namespace dcnt

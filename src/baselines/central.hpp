@@ -1,0 +1,42 @@
+// The strawman the paper's introduction dismisses: "a data structure
+// implementing a distributed counter could be message optimal by just
+// storing the counter value with a single processor ... This solution
+// does not scale — the single processor handling the counter value will
+// be a bottleneck."
+//
+// Two messages per inc (request/reply) — message-optimal — but the
+// holder's load is Theta(n): the worst possible bottleneck, and the
+// baseline every experiment contrasts against.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/protocol.hpp"
+
+namespace dcnt {
+
+class CentralCounter final : public CounterProtocol {
+ public:
+  CentralCounter(std::int64_t n, ProcessorId holder = 0);
+
+  static constexpr std::int32_t kTagReq = 1;    ///< [origin]
+  static constexpr std::int32_t kTagValue = 2;  ///< [value]
+
+  std::size_t num_processors() const override;
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override;
+  void on_message(Context& ctx, const Message& msg) override;
+  std::unique_ptr<CounterProtocol> clone_counter() const override;
+  std::string name() const override { return "central"; }
+  void check_quiescent(std::size_t ops_completed) const override;
+
+  Value value() const { return value_; }
+  ProcessorId holder() const { return holder_; }
+
+ private:
+  std::int64_t n_;
+  ProcessorId holder_;
+  Value value_{0};
+};
+
+}  // namespace dcnt

@@ -1,0 +1,206 @@
+#include "baselines/combining_tree.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+CombiningTreeCounter::CombiningTreeCounter(CombiningTreeParams params)
+    : n_(params.n), fanout_(params.fanout), window_(params.window) {
+  DCNT_CHECK(n_ >= 2);
+  DCNT_CHECK(fanout_ >= 2);
+  DCNT_CHECK(window_ >= 0);
+  leaf_parent_.assign(static_cast<std::size_t>(n_), -1);
+  leaves_.resize(static_cast<std::size_t>(n_));
+
+  // Build the tree bottom-up: group the previous level into chunks of
+  // `fanout`, one new node per chunk, until a single root remains.
+  struct Member {
+    bool leaf;
+    std::int64_t id;
+  };
+  std::vector<Member> level;
+  level.reserve(static_cast<std::size_t>(n_));
+  for (std::int64_t p = 0; p < n_; ++p) level.push_back({true, p});
+  while (level.size() > 1) {
+    std::vector<Member> next;
+    for (std::size_t i = 0; i < level.size();
+         i += static_cast<std::size_t>(fanout_)) {
+      const auto node_idx = static_cast<std::int64_t>(nodes_.size());
+      Node node;
+      // Spread inner nodes over processors deterministically.
+      node.pid = static_cast<ProcessorId>(
+          mix64(0xC0FFEEULL ^ static_cast<std::uint64_t>(node_idx)) %
+          static_cast<std::uint64_t>(n_));
+      nodes_.push_back(node);
+      const std::size_t end =
+          std::min(i + static_cast<std::size_t>(fanout_), level.size());
+      for (std::size_t j = i; j < end; ++j) {
+        if (level[j].leaf) {
+          leaf_parent_[static_cast<std::size_t>(level[j].id)] = node_idx;
+        } else {
+          nodes_[static_cast<std::size_t>(level[j].id)].parent = node_idx;
+        }
+      }
+      next.push_back({false, node_idx});
+    }
+    level = std::move(next);
+    ++depth_;
+  }
+}
+
+std::size_t CombiningTreeCounter::num_processors() const {
+  return static_cast<std::size_t>(n_);
+}
+
+void CombiningTreeCounter::start_inc(Context& ctx, ProcessorId origin,
+                                     OpId op) {
+  leaves_[static_cast<std::size_t>(origin)].pending.push_back(op);
+  const std::int64_t parent = leaf_parent_[static_cast<std::size_t>(origin)];
+  Message m;
+  m.src = origin;
+  m.dst = nodes_[static_cast<std::size_t>(parent)].pid;
+  m.tag = kTagReq;
+  m.args = {parent, 1 /*from leaf*/, origin, 1 /*count*/};
+  ctx.send(std::move(m));
+}
+
+void CombiningTreeCounter::on_message(Context& ctx, const Message& msg) {
+  switch (msg.tag) {
+    case kTagReq: {
+      const auto node_idx = static_cast<std::size_t>(msg.args.at(0));
+      Node& node = nodes_[node_idx];
+      Share share{msg.args.at(1) != 0, msg.args.at(2), msg.args.at(3)};
+      if (node.parent < 0) {
+        // The root serves immediately: no combining needed at the source
+        // of values.
+        node.current = {share};
+        const Value base = value_;
+        value_ += share.count;
+        distribute(ctx, node_idx, base);
+        return;
+      }
+      if (node.in_flight) {
+        // Will be merged into the next flush.
+        node.queued.push_back(share);
+        ++combined_requests_;
+        return;
+      }
+      if (node.collecting) {
+        // Joins the window that is already open.
+        node.current.push_back(share);
+        ++combined_requests_;
+        return;
+      }
+      node.current = {share};
+      if (window_ == 0) {
+        forward_or_serve(ctx, node_idx);
+        return;
+      }
+      // Open a combining window; forward when the local timer fires.
+      node.collecting = true;
+      ctx.send_local(node.pid, kTagWindow,
+                     {static_cast<std::int64_t>(node_idx), node.epoch},
+                     window_);
+      return;
+    }
+    case kTagWindow: {
+      const auto node_idx = static_cast<std::size_t>(msg.args.at(0));
+      Node& node = nodes_[node_idx];
+      if (!node.collecting || node.epoch != msg.args.at(1)) {
+        return;  // stale timer
+      }
+      node.collecting = false;
+      ++node.epoch;
+      forward_or_serve(ctx, node_idx);
+      return;
+    }
+    case kTagGrant: {
+      const auto node_idx = static_cast<std::size_t>(msg.args.at(0));
+      distribute(ctx, node_idx, msg.args.at(1));
+      return;
+    }
+    case kTagLeafGrant: {
+      Leaf& leaf = leaves_[static_cast<std::size_t>(msg.dst)];
+      DCNT_CHECK_MSG(!leaf.pending.empty(), "grant for an idle leaf");
+      const OpId op = leaf.pending.front();
+      leaf.pending.pop_front();
+      ctx.complete(op, msg.args.at(0));
+      return;
+    }
+    default:
+      DCNT_CHECK_MSG(false, "unknown message tag");
+  }
+}
+
+void CombiningTreeCounter::forward_or_serve(Context& ctx, std::size_t node_idx) {
+  Node& node = nodes_[node_idx];
+  std::int64_t total = 0;
+  for (const auto& s : node.current) total += s.count;
+  DCNT_CHECK(node.parent >= 0);
+  node.in_flight = true;
+  Message m;
+  m.src = node.pid;
+  m.dst = nodes_[static_cast<std::size_t>(node.parent)].pid;
+  m.tag = kTagReq;
+  m.args = {node.parent, 0 /*from node*/, static_cast<std::int64_t>(node_idx),
+            total};
+  ctx.send(std::move(m));
+}
+
+void CombiningTreeCounter::distribute(Context& ctx, std::size_t node_idx,
+                                      Value base) {
+  Node& node = nodes_[node_idx];
+  for (const auto& share : node.current) {
+    if (share.from_leaf) {
+      Message m;
+      m.src = node.pid;
+      m.dst = static_cast<ProcessorId>(share.from_id);
+      m.tag = kTagLeafGrant;
+      m.args = {base};
+      ctx.send(std::move(m));
+    } else {
+      Message m;
+      m.src = node.pid;
+      m.dst = nodes_[static_cast<std::size_t>(share.from_id)].pid;
+      m.tag = kTagGrant;
+      m.args = {share.from_id, base};
+      ctx.send(std::move(m));
+    }
+    base += share.count;
+  }
+  node.current.clear();
+  node.in_flight = false;
+  if (!node.queued.empty()) {
+    // Everything that piled up while we were waiting goes upstream as
+    // one combined request — the mechanism that relieves contention.
+    // No new window: these requests have waited long enough.
+    node.current = std::move(node.queued);
+    node.queued.clear();
+    forward_or_serve(ctx, node_idx);
+  }
+}
+
+std::unique_ptr<CounterProtocol> CombiningTreeCounter::clone_counter() const {
+  return std::make_unique<CombiningTreeCounter>(*this);
+}
+
+std::string CombiningTreeCounter::name() const {
+  std::ostringstream os;
+  os << "combining(f=" << fanout_ << ")";
+  return os.str();
+}
+
+void CombiningTreeCounter::check_quiescent(std::size_t ops_completed) const {
+  DCNT_CHECK(value_ == static_cast<Value>(ops_completed));
+  for (const auto& node : nodes_) {
+    DCNT_CHECK(!node.in_flight);
+    DCNT_CHECK(!node.collecting);
+    DCNT_CHECK(node.queued.empty());
+  }
+  for (const auto& leaf : leaves_) DCNT_CHECK(leaf.pending.empty());
+}
+
+}  // namespace dcnt

@@ -1,0 +1,110 @@
+// Software combining tree, after Yew/Tzeng/Lawrie [YTL86] and
+// Goodman/Vernon/Woest [GVW89] — the first counters that "explicitly
+// aim at avoiding a bottleneck" (paper, Related Work) — adapted from
+// shared memory to the paper's message-passing model.
+//
+// Structure: a complete fan-out-f tree whose leaves are the n
+// processors; inner nodes are mapped onto processors. A leaf's inc
+// climbs the tree as a request; an inner node that already has a
+// request in flight *combines* later arrivals and forwards their sum in
+// one message once the outstanding response returns. The root hands out
+// the interval [value, value + count) which is split on the way down.
+//
+// Under the paper's sequential workload combining never fires (there is
+// never more than one outstanding request), so the root is a Theta(n)
+// bottleneck — exactly the observation that makes the paper's lower
+// bound interesting: combining attacks *contention in time*, not the
+// paper's *aggregate load per processor*. Under concurrent batches
+// (run_concurrent) combining does fire and the root handles O(1)
+// messages per batch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace dcnt {
+
+struct CombiningTreeParams {
+  std::int64_t n{2};
+  int fanout{2};
+  /// Combining window: on the first request, an idle node waits this
+  /// many ticks (a local timer, not a message) for siblings to show up
+  /// before forwarding the merged request. 0 = forward immediately
+  /// (requests then only merge behind an in-flight request, which with
+  /// a one-shot workload and small fan-in almost never happens).
+  SimTime window{8};
+};
+
+class CombiningTreeCounter final : public CounterProtocol {
+ public:
+  explicit CombiningTreeCounter(CombiningTreeParams params);
+
+  /// [target_node, from_is_leaf, from_id, count]
+  static constexpr std::int32_t kTagReq = 1;
+  /// [target_node, base] — response for the node's in-flight request
+  static constexpr std::int32_t kTagGrant = 2;
+  /// [base] — value for a leaf's oldest pending inc
+  static constexpr std::int32_t kTagLeafGrant = 3;
+  /// local timer: [target_node, epoch] — combining window expired
+  static constexpr std::int32_t kTagWindow = 4;
+
+  std::size_t num_processors() const override;
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override;
+  void on_message(Context& ctx, const Message& msg) override;
+  std::unique_ptr<CounterProtocol> clone_counter() const override;
+  std::string name() const override;
+  void check_quiescent(std::size_t ops_completed) const override;
+
+  Value value() const { return value_; }
+  int depth() const { return depth_; }
+  std::size_t num_inner_nodes() const { return nodes_.size(); }
+  /// Requests that piggybacked on another request (merged into a
+  /// collecting window or an in-flight flush) — i.e. upward messages
+  /// actually saved. Zero in the sequential model, positive under
+  /// concurrency.
+  std::int64_t combined_requests() const { return combined_requests_; }
+  /// Processor an inner node is mapped to (for load attribution tests).
+  ProcessorId node_pid(std::size_t node) const { return nodes_[node].pid; }
+  std::size_t root_node() const { return nodes_.size() - 1; }
+
+ private:
+  /// One upstream request component: who asked (leaf or child node) and
+  /// for how many values.
+  struct Share {
+    bool from_leaf{false};
+    std::int64_t from_id{0};
+    std::int64_t count{0};
+  };
+  struct Node {
+    ProcessorId pid{kNoProcessor};
+    std::int64_t parent{-1};  ///< inner node index; -1 = root
+    bool in_flight{false};
+    bool collecting{false};      ///< combining window open
+    std::int64_t epoch{0};       ///< invalidates stale window timers
+    std::vector<Share> current;  ///< breakdown of the in-flight request
+    std::vector<Share> queued;   ///< combining buffer
+  };
+  struct Leaf {
+    std::deque<OpId> pending;
+  };
+
+  void forward_or_serve(Context& ctx, std::size_t node);
+  void distribute(Context& ctx, std::size_t node, Value base);
+
+  std::int64_t n_;
+  int fanout_;
+  SimTime window_;
+  int depth_{0};
+  std::vector<Node> nodes_;  ///< bottom-up; root last
+  std::vector<std::int64_t> leaf_parent_;  ///< leaf -> inner node index
+  std::vector<Leaf> leaves_;
+  Value value_{0};
+  std::int64_t combined_requests_{0};
+};
+
+}  // namespace dcnt

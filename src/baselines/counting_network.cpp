@@ -1,0 +1,223 @@
+#include "baselines/counting_network.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+namespace {
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+CountingNetworkCounter::CountingNetworkCounter(CountingNetworkParams params)
+    : n_(params.n), width_(params.width), kind_(params.kind) {
+  DCNT_CHECK(n_ >= 2);
+  DCNT_CHECK_MSG(is_power_of_two(width_), "width must be a power of two");
+  DCNT_CHECK(width_ >= 2);
+  wire_seq_.resize(static_cast<std::size_t>(width_));
+  if (kind_ == NetworkKind::kBitonic) {
+    std::vector<int> wires(static_cast<std::size_t>(width_));
+    for (int i = 0; i < width_; ++i) wires[static_cast<std::size_t>(i)] = i;
+    output_order_ = build_bitonic(wires);
+  } else {
+    output_order_ = build_periodic();
+  }
+  DCNT_CHECK(static_cast<int>(output_order_.size()) == width_);
+  depth_ = static_cast<int>(wire_seq_[0].size());
+  for (const auto& seq : wire_seq_) {
+    DCNT_CHECK_MSG(static_cast<int>(seq.size()) == depth_,
+                   "bitonic network must be uniform-depth");
+  }
+  cells_.resize(static_cast<std::size_t>(width_));
+  for (int y = 0; y < width_; ++y) {
+    const int wire = output_order_[static_cast<std::size_t>(y)];
+    Cell& cell = cells_[static_cast<std::size_t>(wire)];
+    cell.out_index = y;
+    cell.pid = static_cast<ProcessorId>(
+        mix64(0xCE11ULL ^ static_cast<std::uint64_t>(wire)) %
+        static_cast<std::uint64_t>(n_));
+  }
+}
+
+std::vector<int> CountingNetworkCounter::build_bitonic(
+    const std::vector<int>& wires) {
+  if (wires.size() == 1) return wires;
+  const std::size_t half = wires.size() / 2;
+  const std::vector<int> upper(wires.begin(),
+                               wires.begin() + static_cast<std::ptrdiff_t>(half));
+  const std::vector<int> lower(wires.begin() + static_cast<std::ptrdiff_t>(half),
+                               wires.end());
+  const std::vector<int> upper_out = build_bitonic(upper);
+  const std::vector<int> lower_out = build_bitonic(lower);
+  return build_merger(upper_out, lower_out);
+}
+
+std::vector<int> CountingNetworkCounter::build_merger(
+    const std::vector<int>& upper, const std::vector<int>& lower) {
+  DCNT_CHECK(upper.size() == lower.size());
+  const std::size_t t = upper.size();
+  if (t == 1) {
+    add_balancer(upper[0], lower[0]);
+    return {upper[0], lower[0]};
+  }
+  std::vector<int> even_u, odd_u, even_l, odd_l;
+  for (std::size_t i = 0; i < t; ++i) {
+    ((i % 2 == 0) ? even_u : odd_u).push_back(upper[i]);
+    ((i % 2 == 0) ? even_l : odd_l).push_back(lower[i]);
+  }
+  const std::vector<int> m1 = build_merger(even_u, odd_l);
+  const std::vector<int> m2 = build_merger(odd_u, even_l);
+  std::vector<int> out;
+  out.reserve(2 * t);
+  for (std::size_t i = 0; i < t; ++i) {
+    add_balancer(m1[i], m2[i]);
+    out.push_back(m1[i]);
+    out.push_back(m2[i]);
+  }
+  return out;
+}
+
+std::vector<int> CountingNetworkCounter::build_periodic() {
+  int log_w = 0;
+  while ((1 << log_w) < width_) ++log_w;
+  // log w identical Dowd-Perl-Rudolph-Saks blocks. Block layer t splits
+  // the wires into groups of width w/2^t and pairs each group by
+  // *reflection* (first with last, second with second-to-last, ...).
+  // Note a plain butterfly does NOT count: it balances sequential
+  // streams but violates the step property under concurrent tokens —
+  // the offline checker in the tests demonstrates the difference.
+  for (int block = 0; block < log_w; ++block) {
+    for (int t = 0; t < log_w; ++t) {
+      const int group = width_ >> t;
+      for (int start = 0; start < width_; start += group) {
+        for (int j = 0; j < group / 2; ++j) {
+          add_balancer(start + j, start + group - 1 - j);
+        }
+      }
+    }
+  }
+  // The periodic network counts on the natural wire order.
+  std::vector<int> order(static_cast<std::size_t>(width_));
+  for (int i = 0; i < width_; ++i) order[static_cast<std::size_t>(i)] = i;
+  return order;
+}
+
+int CountingNetworkCounter::add_balancer(int top_wire, int bottom_wire) {
+  const int idx = static_cast<int>(balancers_.size());
+  Balancer b;
+  b.wire[0] = top_wire;
+  b.wire[1] = bottom_wire;
+  b.pos_in_wire[0] =
+      static_cast<int>(wire_seq_[static_cast<std::size_t>(top_wire)].size());
+  b.pos_in_wire[1] =
+      static_cast<int>(wire_seq_[static_cast<std::size_t>(bottom_wire)].size());
+  b.pid = static_cast<ProcessorId>(
+      mix64(0xBA1AULL ^ static_cast<std::uint64_t>(idx)) %
+      static_cast<std::uint64_t>(n_));
+  wire_seq_[static_cast<std::size_t>(top_wire)].push_back(idx);
+  wire_seq_[static_cast<std::size_t>(bottom_wire)].push_back(idx);
+  balancers_.push_back(b);
+  return idx;
+}
+
+std::size_t CountingNetworkCounter::num_processors() const {
+  return static_cast<std::size_t>(n_);
+}
+
+void CountingNetworkCounter::route_token(Context& ctx, ProcessorId via,
+                                         ProcessorId origin, int wire,
+                                         int pos) {
+  const auto& seq = wire_seq_[static_cast<std::size_t>(wire)];
+  if (pos < static_cast<int>(seq.size())) {
+    const int next = seq[static_cast<std::size_t>(pos)];
+    Message m;
+    m.src = via;
+    m.dst = balancers_[static_cast<std::size_t>(next)].pid;
+    m.tag = kTagToken;
+    m.args = {next, origin};
+    ctx.send(std::move(m));
+    return;
+  }
+  Message m;
+  m.src = via;
+  m.dst = cells_[static_cast<std::size_t>(wire)].pid;
+  m.tag = kTagCell;
+  m.args = {wire, origin};
+  ctx.send(std::move(m));
+}
+
+void CountingNetworkCounter::start_inc(Context& ctx, ProcessorId origin,
+                                       OpId /*op*/) {
+  const int wire = static_cast<int>(origin % width_);
+  route_token(ctx, origin, origin, wire, 0);
+}
+
+void CountingNetworkCounter::on_message(Context& ctx, const Message& msg) {
+  switch (msg.tag) {
+    case kTagToken: {
+      Balancer& b = balancers_[static_cast<std::size_t>(msg.args.at(0))];
+      const auto origin = static_cast<ProcessorId>(msg.args.at(1));
+      const int port = b.toggle ? 1 : 0;
+      b.toggle = !b.toggle;
+      ++b.visits;
+      const int wire = b.wire[port];
+      route_token(ctx, b.pid, origin, wire, b.pos_in_wire[port] + 1);
+      return;
+    }
+    case kTagCell: {
+      Cell& cell = cells_[static_cast<std::size_t>(msg.args.at(0))];
+      const auto origin = static_cast<ProcessorId>(msg.args.at(1));
+      const Value value =
+          cell.out_index + static_cast<Value>(width_) * cell.count;
+      ++cell.count;
+      Message m;
+      m.src = cell.pid;
+      m.dst = origin;
+      m.tag = kTagValue;
+      m.args = {value};
+      ctx.send(std::move(m));
+      return;
+    }
+    case kTagValue:
+      ctx.complete(msg.op, msg.args.at(0));
+      return;
+    default:
+      DCNT_CHECK_MSG(false, "unknown message tag");
+  }
+}
+
+std::unique_ptr<CounterProtocol> CountingNetworkCounter::clone_counter()
+    const {
+  return std::make_unique<CountingNetworkCounter>(*this);
+}
+
+std::string CountingNetworkCounter::name() const {
+  std::ostringstream os;
+  if (kind_ == NetworkKind::kBitonic) {
+    os << "counting-net(w=" << width_ << ")";
+  } else {
+    os << "periodic-net(w=" << width_ << ")";
+  }
+  return os.str();
+}
+
+void CountingNetworkCounter::check_quiescent(std::size_t ops_completed) const {
+  std::int64_t total = 0;
+  for (const auto& cell : cells_) total += cell.count;
+  DCNT_CHECK(total == static_cast<std::int64_t>(ops_completed));
+  // Exact step property on the designated output order: after m tokens,
+  // output y must have seen ceil((m - y) / w) of them.
+  const auto m = static_cast<std::int64_t>(ops_completed);
+  for (int y = 0; y < width_; ++y) {
+    const std::int64_t cy =
+        cells_[static_cast<std::size_t>(output_order_[static_cast<std::size_t>(y)])]
+            .count;
+    const std::int64_t expected = m > y ? (m - y - 1) / width_ + 1 : 0;
+    DCNT_CHECK_MSG(cy == expected,
+                   "bitonic output violates the step property");
+  }
+}
+
+}  // namespace dcnt

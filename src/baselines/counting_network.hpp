@@ -1,0 +1,115 @@
+// Bitonic counting network, after Aspnes, Herlihy & Shavit [AHS91]
+// (paper, Related Work), in the message-passing model.
+//
+// A width-w bitonic network is a layered wiring of 2-input/2-output
+// *balancers*; each balancer forwards arriving tokens alternately to its
+// top and bottom output wire. Tokens leave the network on output wires
+// satisfying the step property, so appending a local counter to output
+// wire y (handing out y, y+w, y+2w, ...) yields a correct concurrent
+// counter. Depth is (log2 w)(log2 w + 1)/2 and each balancer is placed
+// on a processor, spreading traffic: per-token work is Theta(log^2 w)
+// messages but no single processor sees more than an O(1/w) share of
+// the stream — a contention/throughput trade-off, which is orthogonal
+// to the paper's per-processor *total load* bound (the network still
+// cannot beat Omega(k) on the bottleneck).
+//
+// Construction (classic recursive bitonic merger):
+//   Bitonic[1]  = wire
+//   Bitonic[2t] = two Bitonic[t] halves followed by Merger[2t]
+//   Merger[2t]  = Merger[t] on (even upper, odd lower), Merger[t] on
+//                 (odd upper, even lower), then a final layer of t
+//                 balancers joining the i-th outputs of the two mergers.
+// Because tokens never change physical wire except inside a balancer,
+// the recursion is carried out on wire-index lists, and the network's
+// designated output order is the list the recursion returns.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace dcnt {
+
+enum class NetworkKind : std::uint8_t {
+  kBitonic,   ///< Bitonic[w], depth (log w)(log w + 1)/2
+  kPeriodic,  ///< Periodic[w] = log w butterfly blocks, depth (log w)^2
+};
+
+struct CountingNetworkParams {
+  std::int64_t n{2};  ///< processors
+  int width{2};       ///< network width; power of two, <= n
+  NetworkKind kind{NetworkKind::kBitonic};
+};
+
+class CountingNetworkCounter final : public CounterProtocol {
+ public:
+  explicit CountingNetworkCounter(CountingNetworkParams params);
+
+  /// [balancer] — token traversal
+  static constexpr std::int32_t kTagToken = 1;
+  /// [wire] — token reached an output cell
+  static constexpr std::int32_t kTagCell = 2;
+  /// [value] — back to the origin
+  static constexpr std::int32_t kTagValue = 3;
+
+  std::size_t num_processors() const override;
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override;
+  void on_message(Context& ctx, const Message& msg) override;
+  std::unique_ptr<CounterProtocol> clone_counter() const override;
+  std::string name() const override;
+  void check_quiescent(std::size_t ops_completed) const override;
+
+  int width() const { return width_; }
+  std::size_t num_balancers() const { return balancers_.size(); }
+  int depth() const { return depth_; }
+  /// The network's designated output order: output index y sits on
+  /// physical wire output_order()[y].
+  const std::vector<int>& output_order() const { return output_order_; }
+  /// Tokens that crossed balancer b so far (for step-property tests).
+  std::int64_t balancer_visits(std::size_t b) const {
+    return balancers_[b].visits;
+  }
+  ProcessorId balancer_pid(std::size_t b) const { return balancers_[b].pid; }
+  std::int64_t cell_count(int wire) const {
+    return cells_[static_cast<std::size_t>(wire)].count;
+  }
+
+ private:
+  struct Balancer {
+    int wire[2] = {0, 0};      ///< top, bottom physical wire
+    int pos_in_wire[2] = {0, 0};  ///< index within each wire's sequence
+    ProcessorId pid{kNoProcessor};
+    bool toggle{false};  ///< false = next token exits on top
+    std::int64_t visits{0};
+  };
+  struct Cell {
+    int out_index{0};  ///< position of this wire in the output order
+    ProcessorId pid{kNoProcessor};
+    std::int64_t count{0};
+  };
+
+  // Recursive constructors; return their output wire order.
+  std::vector<int> build_bitonic(const std::vector<int>& wires);
+  std::vector<int> build_merger(const std::vector<int>& upper,
+                                const std::vector<int>& lower);
+  /// AHS91's second construction: log w identical butterfly blocks
+  /// (after Dowd-Perl-Rudolph-Saks); outputs in natural wire order.
+  std::vector<int> build_periodic();
+  int add_balancer(int top_wire, int bottom_wire);
+  void route_token(Context& ctx, ProcessorId via, ProcessorId origin,
+                   int wire, int pos_hint);
+
+  std::int64_t n_;
+  int width_;
+  NetworkKind kind_;
+  int depth_{0};
+  std::vector<Balancer> balancers_;
+  std::vector<std::vector<int>> wire_seq_;  ///< balancers along each wire
+  std::vector<int> output_order_;
+  std::vector<Cell> cells_;  ///< indexed by physical wire
+};
+
+}  // namespace dcnt

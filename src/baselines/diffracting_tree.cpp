@@ -1,0 +1,218 @@
+#include "baselines/diffracting_tree.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+namespace {
+bool is_power_of_two(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+int bit_reverse(int x, int bits) {
+  int out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | ((x >> i) & 1);
+  }
+  return out;
+}
+}  // namespace
+
+DiffractingTreeCounter::DiffractingTreeCounter(DiffractingTreeParams params)
+    : n_(params.n),
+      width_(params.width),
+      patience_(params.patience) {
+  DCNT_CHECK(n_ >= 2);
+  DCNT_CHECK_MSG(is_power_of_two(width_), "width must be a power of two");
+  DCNT_CHECK(width_ >= 2);
+  DCNT_CHECK(params.prism_slots >= 1);
+  DCNT_CHECK(patience_ >= 1);
+  while ((1 << depth_) < width_) ++depth_;
+
+  const int num_internal = width_ - 1;
+  nodes_.resize(static_cast<std::size_t>(num_internal));
+  for (int i = 0; i < num_internal; ++i) {
+    TreeNode& node = nodes_[static_cast<std::size_t>(i)];
+    node.toggle_pid = static_cast<ProcessorId>(
+        mix64(0x70661EULL ^ static_cast<std::uint64_t>(i)) %
+        static_cast<std::uint64_t>(n_));
+    node.slots.resize(static_cast<std::size_t>(params.prism_slots));
+    for (int s = 0; s < params.prism_slots; ++s) {
+      node.slots[static_cast<std::size_t>(s)].pid = static_cast<ProcessorId>(
+          mix64(0x5107ULL ^ static_cast<std::uint64_t>(i * 1024 + s)) %
+          static_cast<std::uint64_t>(n_));
+    }
+  }
+  cells_.resize(static_cast<std::size_t>(width_));
+  for (int c = 0; c < width_; ++c) {
+    Cell& cell = cells_[static_cast<std::size_t>(c)];
+    cell.pid = static_cast<ProcessorId>(
+        mix64(0xD1FFULL ^ static_cast<std::uint64_t>(c)) %
+        static_cast<std::uint64_t>(n_));
+    cell.out_index = bit_reverse(c, depth_);
+  }
+}
+
+std::size_t DiffractingTreeCounter::num_processors() const {
+  return static_cast<std::size_t>(n_);
+}
+
+bool DiffractingTreeCounter::is_leaf_edge(std::size_t node, int bit,
+                                          int* leaf_index) const {
+  const std::size_t child = 2 * node + 1 + static_cast<std::size_t>(bit);
+  if (child >= nodes_.size()) {
+    *leaf_index = static_cast<int>(child - nodes_.size());
+    return true;
+  }
+  *leaf_index = static_cast<int>(child);
+  return false;
+}
+
+void DiffractingTreeCounter::dispatch_child(Context& ctx, ProcessorId via,
+                                            std::size_t node, int bit,
+                                            ProcessorId origin, OpId uid) {
+  int next = 0;
+  if (is_leaf_edge(node, bit, &next)) {
+    Message m;
+    m.src = via;
+    m.dst = cells_[static_cast<std::size_t>(next)].pid;
+    m.tag = kTagCell;
+    m.op = uid;
+    m.args = {next, origin};
+    ctx.send(std::move(m));
+    return;
+  }
+  const TreeNode& child = nodes_[static_cast<std::size_t>(next)];
+  const auto slot =
+      static_cast<std::int64_t>(ctx.rng().next_below(child.slots.size()));
+  Message m;
+  m.src = via;
+  m.dst = child.slots[static_cast<std::size_t>(slot)].pid;
+  m.tag = kTagPrism;
+  m.op = uid;
+  m.args = {next, slot, origin};
+  ctx.send(std::move(m));
+}
+
+void DiffractingTreeCounter::start_inc(Context& ctx, ProcessorId origin,
+                                       OpId op) {
+  const TreeNode& root = nodes_[0];
+  const auto slot =
+      static_cast<std::int64_t>(ctx.rng().next_below(root.slots.size()));
+  Message m;
+  m.src = origin;
+  m.dst = root.slots[static_cast<std::size_t>(slot)].pid;
+  m.tag = kTagPrism;
+  m.op = op;
+  m.args = {0, slot, origin};
+  ctx.send(std::move(m));
+}
+
+void DiffractingTreeCounter::on_message(Context& ctx, const Message& msg) {
+  switch (msg.tag) {
+    case kTagPrism: {
+      const auto node_idx = static_cast<std::size_t>(msg.args.at(0));
+      const auto slot_idx = static_cast<std::size_t>(msg.args.at(1));
+      const auto origin = static_cast<ProcessorId>(msg.args.at(2));
+      Slot& slot = nodes_[node_idx].slots[slot_idx];
+      if (slot.occupied) {
+        // Diffraction: the pair leaves on opposite outputs without
+        // touching the toggle — equivalent to two toggle crossings.
+        slot.occupied = false;
+        ++diffracted_pairs_;
+        dispatch_child(ctx, slot.pid, node_idx, 0, slot.waiting_origin,
+                       slot.waiting_uid);
+        dispatch_child(ctx, slot.pid, node_idx, 1, origin, msg.op);
+        return;
+      }
+      slot.occupied = true;
+      slot.waiting_uid = msg.op;
+      slot.waiting_origin = origin;
+      ctx.send_local(slot.pid, kTagTimeout,
+                     {msg.args.at(0), msg.args.at(1), msg.op}, patience_);
+      return;
+    }
+    case kTagTimeout: {
+      const auto node_idx = static_cast<std::size_t>(msg.args.at(0));
+      const auto slot_idx = static_cast<std::size_t>(msg.args.at(1));
+      const OpId uid = msg.args.at(2);
+      Slot& slot = nodes_[node_idx].slots[slot_idx];
+      if (!slot.occupied || slot.waiting_uid != uid) {
+        return;  // token already diffracted away
+      }
+      slot.occupied = false;
+      Message m;
+      m.src = slot.pid;
+      m.dst = nodes_[node_idx].toggle_pid;
+      m.tag = kTagToggle;
+      m.op = uid;
+      m.args = {msg.args.at(0), slot.waiting_origin};
+      ctx.send(std::move(m));
+      return;
+    }
+    case kTagToggle: {
+      const auto node_idx = static_cast<std::size_t>(msg.args.at(0));
+      const auto origin = static_cast<ProcessorId>(msg.args.at(1));
+      TreeNode& node = nodes_[node_idx];
+      const int bit = node.toggle ? 1 : 0;
+      node.toggle = !node.toggle;
+      ++toggle_passes_;
+      dispatch_child(ctx, node.toggle_pid, node_idx, bit, origin, msg.op);
+      return;
+    }
+    case kTagCell: {
+      Cell& cell = cells_[static_cast<std::size_t>(msg.args.at(0))];
+      const auto origin = static_cast<ProcessorId>(msg.args.at(1));
+      const Value value =
+          cell.out_index + static_cast<Value>(width_) * cell.count;
+      ++cell.count;
+      Message m;
+      m.src = cell.pid;
+      m.dst = origin;
+      m.tag = kTagValue;
+      m.op = msg.op;
+      m.args = {value};
+      ctx.send(std::move(m));
+      return;
+    }
+    case kTagValue:
+      ctx.complete(msg.op, msg.args.at(0));
+      return;
+    default:
+      DCNT_CHECK_MSG(false, "unknown message tag");
+  }
+}
+
+std::unique_ptr<CounterProtocol> DiffractingTreeCounter::clone_counter()
+    const {
+  return std::make_unique<DiffractingTreeCounter>(*this);
+}
+
+std::string DiffractingTreeCounter::name() const {
+  std::ostringstream os;
+  os << "diffracting(w=" << width_ << ")";
+  return os.str();
+}
+
+void DiffractingTreeCounter::check_quiescent(std::size_t ops_completed) const {
+  std::int64_t total = 0;
+  for (const auto& cell : cells_) total += cell.count;
+  DCNT_CHECK(total == static_cast<std::int64_t>(ops_completed));
+  for (const auto& node : nodes_) {
+    for (const auto& slot : node.slots) {
+      DCNT_CHECK_MSG(!slot.occupied, "token stuck in a prism at quiescence");
+    }
+  }
+  // Step property at quiescence (diffraction preserves balancer
+  // semantics: a pair is two consecutive crossings).
+  const auto m = static_cast<std::int64_t>(ops_completed);
+  for (const auto& cell : cells_) {
+    const std::int64_t expected =
+        m > cell.out_index ? (m - cell.out_index - 1) / width_ + 1 : 0;
+    DCNT_CHECK_MSG(cell.count == expected,
+                   "diffracting tree violates the step property");
+  }
+}
+
+}  // namespace dcnt

@@ -1,0 +1,98 @@
+// Diffracting tree, after Shavit & Zemach [SZ94] (paper, Related Work),
+// in the message-passing model.
+//
+// A binary tree of balancers with w leaves; tokens route through toggle
+// bits, leaf c hands out c + w*t. The twist is the *prism* in front of
+// each toggle: an arriving token first visits a random prism slot
+// (its own processor). If another token is already waiting there, the
+// pair "diffracts" — one goes to each child, exactly as if both had
+// crossed the toggle — without touching the toggle at all. A lone token
+// waits until a timeout fires, then takes the toggle path.
+//
+// Like combining, diffraction attacks contention under concurrency: in
+// the paper's strictly sequential model no two tokens ever coexist, so
+// every token times out and the root toggle is a Theta(n) bottleneck.
+// Concurrent batches show the intended behaviour (diffraction counts in
+// the stats, toggle traffic drops).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace dcnt {
+
+struct DiffractingTreeParams {
+  std::int64_t n{2};   ///< processors
+  int width{2};        ///< leaves; power of two
+  int prism_slots{4};  ///< prism slots per tree node
+  SimTime patience{8}; ///< ticks a token waits in a prism slot
+};
+
+class DiffractingTreeCounter final : public CounterProtocol {
+ public:
+  explicit DiffractingTreeCounter(DiffractingTreeParams params);
+
+  /// [node, slot, origin] — token arrives at a prism slot
+  static constexpr std::int32_t kTagPrism = 1;
+  /// local timeout: [node, slot, token_uid]
+  static constexpr std::int32_t kTagTimeout = 2;
+  /// [node, origin] — token takes the toggle path
+  static constexpr std::int32_t kTagToggle = 3;
+  /// [leaf_index, origin] — token reached an output counter
+  static constexpr std::int32_t kTagCell = 4;
+  /// [value]
+  static constexpr std::int32_t kTagValue = 5;
+
+  std::size_t num_processors() const override;
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override;
+  void on_message(Context& ctx, const Message& msg) override;
+  std::unique_ptr<CounterProtocol> clone_counter() const override;
+  std::string name() const override;
+  void check_quiescent(std::size_t ops_completed) const override;
+
+  int width() const { return width_; }
+  std::int64_t diffracted_pairs() const { return diffracted_pairs_; }
+  std::int64_t toggle_passes() const { return toggle_passes_; }
+  ProcessorId toggle_pid(std::size_t node) const {
+    return nodes_[node].toggle_pid;
+  }
+
+ private:
+  struct Slot {
+    ProcessorId pid{kNoProcessor};
+    bool occupied{false};
+    OpId waiting_uid{kNoOp};
+    ProcessorId waiting_origin{kNoProcessor};
+  };
+  struct TreeNode {
+    ProcessorId toggle_pid{kNoProcessor};
+    bool toggle{false};
+    std::vector<Slot> slots;
+  };
+  struct Cell {
+    ProcessorId pid{kNoProcessor};
+    int out_index{0};  ///< bit-reversed leaf position (root toggle = LSB)
+    std::int64_t count{0};
+  };
+
+  /// Tree nodes in heap order: node 0 is the root; children of i are
+  /// 2i+1 / 2i+2; nodes with index >= num_nodes are leaves.
+  bool is_leaf_edge(std::size_t node, int bit, int* leaf_index) const;
+  void dispatch_child(Context& ctx, ProcessorId via, std::size_t node,
+                      int bit, ProcessorId origin, OpId uid);
+
+  std::int64_t n_;
+  int width_;
+  int depth_{0};
+  SimTime patience_;
+  std::vector<TreeNode> nodes_;
+  std::vector<Cell> cells_;
+  std::int64_t diffracted_pairs_{0};
+  std::int64_t toggle_passes_{0};
+};
+
+}  // namespace dcnt

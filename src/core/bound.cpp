@@ -1,0 +1,62 @@
+#include "core/bound.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+std::int64_t ipow(std::int64_t base, int exp) {
+  DCNT_CHECK(base >= 0 && exp >= 0);
+  std::int64_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    DCNT_CHECK_MSG(base == 0 ||
+                       result <= std::numeric_limits<std::int64_t>::max() / base,
+                   "ipow overflow");
+    result *= base;
+  }
+  return result;
+}
+
+std::int64_t tree_size_for_k(int k) {
+  DCNT_CHECK(k >= 1);
+  return ipow(k, k + 1);
+}
+
+double bottleneck_k(double n) {
+  DCNT_CHECK(n >= 1.0);
+  if (n == 1.0) return 1.0;
+  // Solve (k+1) * ln k = ln n for k in [1, 64] by bisection; the left
+  // side is strictly increasing in k for k >= 1.
+  const double target = std::log(n);
+  double lo = 1.0;
+  double hi = 64.0;
+  auto f = [](double k) { return (k + 1.0) * std::log(k); };
+  DCNT_CHECK_MSG(f(hi) >= target, "n too large for bottleneck_k");
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+int floor_k_for(std::int64_t n) {
+  DCNT_CHECK(n >= 1);
+  int k = 1;
+  while (tree_size_for_k(k + 1) <= n) ++k;
+  return k;
+}
+
+int ceil_k_for(std::int64_t n) {
+  DCNT_CHECK(n >= 1);
+  int k = 1;
+  while (tree_size_for_k(k) < n) ++k;
+  return k;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,31 @@
+// The paper's bound arithmetic.
+//
+// Both theorems are stated in terms of the unique k >= 1 with
+// k * k^k = k^(k+1) = n: the Lower Bound Theorem guarantees a processor
+// with message load Omega(k), and the communication-tree counter of §4
+// achieves O(k). k grows as Theta(log n / log log n).
+#pragma once
+
+#include <cstdint>
+
+namespace dcnt {
+
+/// Integer power with overflow checking (aborts on overflow).
+std::int64_t ipow(std::int64_t base, int exp);
+
+/// n = k * k^k = k^(k+1): the number of processors served by the
+/// communication tree with fan-out k (paper §4).
+std::int64_t tree_size_for_k(int k);
+
+/// The real k >= 1 solving k^(k+1) = n (n >= 1). This is the paper's
+/// lower-bound parameter for arbitrary n.
+double bottleneck_k(double n);
+
+/// Largest integer k with k^(k+1) <= n (0 if n < 1... n>=1 gives >=1).
+int floor_k_for(std::int64_t n);
+
+/// Smallest integer k with k^(k+1) >= n — the paper's "simply increase n
+/// to the next higher value of the form k*k^k".
+int ceil_k_for(std::int64_t n);
+
+}  // namespace dcnt

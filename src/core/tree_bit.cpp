@@ -1,0 +1,21 @@
+#include "core/tree_bit.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+std::string TreeFlipBit::name() const {
+  std::ostringstream os;
+  os << "tree-bit(k=" << layout().k() << ")";
+  return os.str();
+}
+
+void TreeFlipBit::check_root_state(
+    std::size_t ops_completed, const std::vector<std::int64_t>& state) const {
+  DCNT_CHECK_MSG(state.at(0) == static_cast<Value>(ops_completed % 2),
+                 "bit != parity of completed flips");
+}
+
+}  // namespace dcnt

@@ -1,0 +1,33 @@
+#include "core/tree_counter.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+std::string TreeCounter::name() const {
+  std::ostringstream os;
+  if (age_threshold() == std::numeric_limits<std::int64_t>::max()) {
+    os << "static-tree(k=" << layout().k() << ")";
+  } else {
+    os << "tree(k=" << layout().k() << ",T=" << age_threshold() << ")";
+  }
+  return os.str();
+}
+
+void TreeCounter::check_root_state(
+    std::size_t ops_completed, const std::vector<std::int64_t>& state) const {
+  DCNT_CHECK_MSG(state.at(0) == static_cast<Value>(ops_completed),
+                 "counter value != completed operations");
+}
+
+std::unique_ptr<TreeCounter> make_static_tree_counter(int k) {
+  TreeCounterParams params;
+  params.k = k;
+  params.age_threshold = std::numeric_limits<std::int64_t>::max();
+  return std::make_unique<TreeCounter>(params);
+}
+
+}  // namespace dcnt

@@ -1,0 +1,442 @@
+#include "core/tree_service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+namespace {
+constexpr NodeId kLeafTarget = -1;  // kTagNewId addressed to a leaf
+}
+
+TreeService::TreeService(TreeServiceParams params)
+    : layout_(params.k),
+      threshold_(params.age_threshold == 0
+                     ? 4 * static_cast<std::int64_t>(params.k)
+                     : params.age_threshold),
+      count_handover_in_age_(params.count_handover_in_age) {
+  DCNT_CHECK(threshold_ > 0);
+  const std::int64_t n = layout_.n();
+  procs_.resize(static_cast<std::size_t>(n));
+  incumbent_.assign(static_cast<std::size_t>(layout_.num_inner()),
+                    kNoProcessor);
+  stats_.retirements_by_level.assign(static_cast<std::size_t>(layout_.k()) + 1,
+                                     0);
+
+  for (ProcessorId p = 0; p < n; ++p) {
+    procs_[static_cast<std::size_t>(p)].leaf_parent_pid =
+        layout_.initial_pid(layout_.leaf_parent(p));
+  }
+  for (NodeId node = 0; node < layout_.num_inner(); ++node) {
+    const ProcessorId pid = layout_.initial_pid(node);
+    Role role;
+    role.node = node;
+    const NodeId up = layout_.parent(node);
+    role.parent_pid = up == kNoNode ? kNoProcessor : layout_.initial_pid(up);
+    role.child_pids.resize(static_cast<std::size_t>(layout_.k()));
+    for (int c = 0; c < layout_.k(); ++c) {
+      role.child_pids[static_cast<std::size_t>(c)] =
+          layout_.children_are_leaves(node)
+              ? layout_.leaf_child(node, c)
+              : layout_.initial_pid(layout_.child(node, c));
+    }
+    procs_[static_cast<std::size_t>(pid)].roles.push_back(std::move(role));
+    incumbent_[static_cast<std::size_t>(node)] = pid;
+  }
+}
+
+void TreeService::finish_init() {
+  DCNT_CHECK(!initialized_);
+  ProcState& root_ps = procs_[static_cast<std::size_t>(incumbent_[0])];
+  Role* root = find_role(root_ps, 0);
+  DCNT_CHECK(root != nullptr);
+  root->state = initial_root_state();
+  initialized_ = true;
+}
+
+std::size_t TreeService::num_processors() const {
+  return static_cast<std::size_t>(layout_.n());
+}
+
+TreeService::Role* TreeService::find_role(ProcState& ps, NodeId node) {
+  for (auto& r : ps.roles) {
+    if (r.node == node) return &r;
+  }
+  return nullptr;
+}
+
+const TreeService::Role* TreeService::find_role(const ProcState& ps,
+                                                NodeId node) const {
+  for (const auto& r : ps.roles) {
+    if (r.node == node) return &r;
+  }
+  return nullptr;
+}
+
+TreeService::PendingTakeover* TreeService::find_pending(ProcState& ps,
+                                                        NodeId node) {
+  for (auto& pt : ps.pending) {
+    if (pt.node == node) return &pt;
+  }
+  return nullptr;
+}
+
+ProcessorId* TreeService::find_forward(ProcState& ps, NodeId node) {
+  for (auto& f : ps.forwards) {
+    if (f.first == node) return &f.second;
+  }
+  return nullptr;
+}
+
+void TreeService::start_inc(Context& ctx, ProcessorId origin, OpId op) {
+  start_op(ctx, origin, op, {});
+}
+
+void TreeService::start_op(Context& ctx, ProcessorId origin, OpId /*op*/,
+                           const std::vector<std::int64_t>& args) {
+  DCNT_CHECK_MSG(initialized_,
+                 "subclass constructor must call finish_init()");
+  auto& ps = procs_[static_cast<std::size_t>(origin)];
+  Message m;
+  m.src = origin;
+  m.dst = ps.leaf_parent_pid;
+  m.tag = kTagInc;
+  m.args = {origin, layout_.leaf_parent(origin)};
+  m.args.insert(m.args.end(), args.begin(), args.end());
+  ctx.send(std::move(m));
+}
+
+void TreeService::on_message(Context& ctx, const Message& msg) {
+  const ProcessorId self = msg.dst;
+  auto& ps = procs_[static_cast<std::size_t>(self)];
+  switch (msg.tag) {
+    case kTagValue:
+      ctx.complete(msg.op, msg.args.at(0));
+      return;
+
+    case kTagInc:
+      route_node_message(ctx, self, msg.args.at(1), msg);
+      return;
+
+    case kTagNewId: {
+      const NodeId target = msg.args.at(0);
+      if (target == kLeafTarget) {
+        // This processor, in its leaf capacity, learns its parent node's
+        // new incumbent.
+        DCNT_CHECK(layout_.leaf_parent(self) == msg.args.at(1));
+        ps.leaf_parent_pid = static_cast<ProcessorId>(msg.args.at(2));
+        return;
+      }
+      route_node_message(ctx, self, target, msg);
+      return;
+    }
+
+    case kTagTakeOver:
+    case kTagChildInfo: {
+      const NodeId node = msg.args.at(0);
+      PendingTakeover* pt = find_pending(ps, node);
+      if (pt == nullptr) {
+        PendingTakeover fresh;
+        fresh.node = node;
+        fresh.child_pids.assign(static_cast<std::size_t>(layout_.k()),
+                                kNoProcessor);
+        ps.pending.push_back(std::move(fresh));
+        ++live_pending_;
+        pt = &ps.pending.back();
+      }
+      if (msg.tag == kTagTakeOver) {
+        DCNT_CHECK(!pt->has_main);
+        pt->has_main = true;
+        pt->parent_pid = static_cast<ProcessorId>(msg.args.at(1));
+        pt->state.assign(msg.args.begin() + 2, msg.args.end());
+      } else {
+        const auto idx = static_cast<std::size_t>(msg.args.at(1));
+        DCNT_CHECK(pt->child_pids.at(idx) == kNoProcessor);
+        pt->child_pids[idx] = static_cast<ProcessorId>(msg.args.at(2));
+        ++pt->children_received;
+      }
+      if (pt->has_main && pt->children_received == layout_.k()) {
+        const PendingTakeover done = *pt;
+        ps.pending.erase(ps.pending.begin() + (pt - ps.pending.data()));
+        --live_pending_;
+        commit_takeover(ctx, self, done);
+      }
+      return;
+    }
+
+    default:
+      DCNT_CHECK_MSG(false, "unknown message tag");
+  }
+}
+
+void TreeService::route_node_message(Context& ctx, ProcessorId self,
+                                     NodeId target, const Message& msg) {
+  auto& ps = procs_[static_cast<std::size_t>(self)];
+  if (Role* role = find_role(ps, target)) {
+    handle_role_message(ctx, self, *role, msg);
+    return;
+  }
+  if (find_pending(ps, target) != nullptr) {
+    ps.stash.push_back(msg);
+    ++live_stash_;
+    return;
+  }
+  if (ProcessorId* succ = find_forward(ps, target)) {
+    // We retired from this role; pass the message along to the successor
+    // (the "constant number of extra messages" handshake of the paper).
+    Message fwd = msg;
+    fwd.src = self;
+    fwd.dst = *succ;
+    ++stats_.forwarded_messages;
+    ctx.send(std::move(fwd));
+    return;
+  }
+  // We are about to become this node's incumbent but the handover has
+  // not fully arrived yet; park the message until it does.
+  ps.stash.push_back(msg);
+  ++live_stash_;
+  ++stats_.orphan_stashes;
+}
+
+void TreeService::handle_role_message(Context& ctx, ProcessorId self,
+                                      Role& role, const Message& msg) {
+  if (msg.tag == kTagInc) {
+    const auto origin = static_cast<ProcessorId>(msg.args.at(0));
+    if (role.node == 0) {
+      const std::vector<std::int64_t> op_args(msg.args.begin() + 2,
+                                              msg.args.end());
+      const Value reply_value = root_apply(role.state, op_args);
+      Message reply;
+      reply.src = self;
+      reply.dst = origin;
+      reply.tag = kTagValue;
+      // Carry the op explicitly: when a stashed inc is drained during a
+      // handover commit, the ambient op is the handover's, not the
+      // inc's.
+      reply.op = msg.op;
+      reply.args = {reply_value};
+      ctx.send(std::move(reply));
+    } else {
+      Message up = msg;  // preserves op and op_args
+      up.src = self;
+      up.dst = role.parent_pid;
+      up.args[1] = layout_.parent(role.node);
+      ctx.send(std::move(up));
+    }
+    bump_age(ctx, self, role, 2, msg.op);
+    return;
+  }
+  DCNT_CHECK(msg.tag == kTagNewId);
+  const NodeId retiring = msg.args.at(1);
+  const auto new_pid = static_cast<ProcessorId>(msg.args.at(2));
+  if (layout_.parent(role.node) == retiring) {
+    role.parent_pid = new_pid;
+  } else {
+    DCNT_CHECK_MSG(!layout_.children_are_leaves(role.node),
+                   "leaves never retire");
+    bool found = false;
+    for (int c = 0; c < layout_.k(); ++c) {
+      if (layout_.child(role.node, c) == retiring) {
+        role.child_pids[static_cast<std::size_t>(c)] = new_pid;
+        found = true;
+        break;
+      }
+    }
+    DCNT_CHECK_MSG(found, "kTagNewId from a non-neighbour");
+  }
+  bump_age(ctx, self, role, 1, msg.op);
+}
+
+void TreeService::bump_age(Context& ctx, ProcessorId self, Role& role,
+                           std::int64_t amount, OpId op) {
+  role.age += amount;
+  if (role.age >= threshold_) {
+    // Copy: retire() erases the role from the vector we point into.
+    const Role copy = role;
+    retire(ctx, self, copy, op);
+  }
+}
+
+void TreeService::retire(Context& ctx, ProcessorId self, const Role& role,
+                         OpId op) {
+  auto& ps = procs_[static_cast<std::size_t>(self)];
+  const NodeId node = role.node;
+  const int level = layout_.level_of(node);
+  const int k = layout_.k();
+  const ProcessorId succ = layout_.successor(node, self);
+
+  RetirementEvent ev;
+  ev.op = op;
+  ev.node = node;
+  ev.level = level;
+  ev.old_pid = self;
+  ev.new_pid = succ;
+  retirement_log_.push_back(ev);
+  ++stats_.retirements_total;
+  ++stats_.retirements_by_level[static_cast<std::size_t>(level)];
+
+  if (succ == self) {
+    // Degenerate pool of size 1 (level-k nodes under aggressive
+    // thresholds): "retire" to ourselves — just reset the age.
+    ++stats_.self_handovers;
+    Role* live = find_role(ps, node);
+    DCNT_CHECK(live != nullptr);
+    live->age = count_handover_in_age_ ? k + 1 : 0;
+    return;
+  }
+  if (succ == layout_.pool_begin(node)) ++stats_.pool_wraps;
+
+  // Drop the role, remember where it went. (`role` is the caller's copy,
+  // not an element of ps.roles, so it survives the erase.)
+  ps.roles.erase(
+      std::find_if(ps.roles.begin(), ps.roles.end(),
+                   [node](const Role& r) { return r.node == node; }));
+  if (ProcessorId* fwd = find_forward(ps, node)) {
+    *fwd = succ;
+  } else {
+    ps.forwards.emplace_back(node, succ);
+  }
+  incumbent_[static_cast<std::size_t>(node)] = kNoProcessor;
+
+  // k+1 handover messages to the successor. For the paper's counter the
+  // root ships one value and every message stays O(log n) bits; richer
+  // root state (the priority queue) shows up in max_handover_words.
+  {
+    Message m;
+    m.src = self;
+    m.dst = succ;
+    m.tag = kTagTakeOver;
+    m.args = {node, role.parent_pid};
+    m.args.insert(m.args.end(), role.state.begin(), role.state.end());
+    stats_.max_handover_words =
+        std::max(stats_.max_handover_words,
+                 static_cast<std::int64_t>(m.size_words()));
+    ctx.send(std::move(m));
+  }
+  for (int c = 0; c < k; ++c) {
+    Message m;
+    m.src = self;
+    m.dst = succ;
+    m.tag = kTagChildInfo;
+    m.args = {node, c, role.child_pids[static_cast<std::size_t>(c)]};
+    ctx.send(std::move(m));
+  }
+  // New-id notifications: parent (unless root — the paper's root "saves
+  // the message that would inform the parent") and all children.
+  if (level > 0) {
+    Message m;
+    m.src = self;
+    m.dst = role.parent_pid;
+    m.tag = kTagNewId;
+    m.args = {layout_.parent(node), node, succ};
+    ctx.send(std::move(m));
+  }
+  for (int c = 0; c < k; ++c) {
+    Message m;
+    m.src = self;
+    m.dst = role.child_pids[static_cast<std::size_t>(c)];
+    m.tag = kTagNewId;
+    const NodeId child_target = layout_.children_are_leaves(node)
+                                    ? kLeafTarget
+                                    : layout_.child(node, c);
+    m.args = {child_target, node, succ};
+    ctx.send(std::move(m));
+  }
+}
+
+void TreeService::commit_takeover(Context& ctx, ProcessorId self,
+                                  const PendingTakeover& pt) {
+  auto& ps = procs_[static_cast<std::size_t>(self)];
+  DCNT_CHECK_MSG(find_role(ps, pt.node) == nullptr,
+                 "takeover for a role we already hold");
+  Role role;
+  role.node = pt.node;
+  role.parent_pid = pt.parent_pid;
+  role.child_pids = pt.child_pids;
+  role.state = pt.state;
+  role.age = count_handover_in_age_ ? layout_.k() + 1 : 0;
+  // If we once held this role (pool wrap-around), we are no longer a
+  // forwarder for it.
+  auto fwd = std::find_if(ps.forwards.begin(), ps.forwards.end(),
+                          [&](const auto& f) { return f.first == pt.node; });
+  if (fwd != ps.forwards.end()) ps.forwards.erase(fwd);
+  ps.roles.push_back(std::move(role));
+  incumbent_[static_cast<std::size_t>(pt.node)] = self;
+
+  // Drain messages that arrived for this role during the handover.
+  std::vector<Message> parked;
+  for (auto it = ps.stash.begin(); it != ps.stash.end();) {
+    const NodeId target = it->tag == kTagInc ? it->args.at(1) : it->args.at(0);
+    if (target == pt.node) {
+      parked.push_back(std::move(*it));
+      it = ps.stash.erase(it);
+      --live_stash_;
+    } else {
+      ++it;
+    }
+  }
+  for (auto& m : parked) {
+    // Re-route: if the freshly committed role retires mid-drain, the
+    // remaining messages will be forwarded to its successor.
+    route_node_message(ctx, self, pt.node, m);
+  }
+}
+
+void TreeService::check_quiescent(std::size_t ops_completed) const {
+  DCNT_CHECK_MSG(live_pending_ == 0, "handover still pending at quiescence");
+  DCNT_CHECK_MSG(live_stash_ == 0, "stashed messages at quiescence");
+  DCNT_CHECK_MSG(incumbent_[0] != kNoProcessor, "root in flight");
+  check_root_state(ops_completed, root_state());
+}
+
+const std::vector<std::int64_t>& TreeService::root_state() const {
+  const ProcessorId pid = incumbent_[0];
+  DCNT_CHECK_MSG(pid != kNoProcessor, "root handover in flight");
+  const Role* role = find_role(procs_[static_cast<std::size_t>(pid)], 0);
+  DCNT_CHECK(role != nullptr);
+  return role->state;
+}
+
+ProcessorId TreeService::incumbent(NodeId node) const {
+  DCNT_CHECK(node >= 0 && node < layout_.num_inner());
+  return incumbent_[static_cast<std::size_t>(node)];
+}
+
+void TreeService::deep_check() const {
+  for (const auto& ps : procs_) {
+    DCNT_CHECK(ps.pending.empty());
+    DCNT_CHECK(ps.stash.empty());
+  }
+  for (NodeId node = 0; node < layout_.num_inner(); ++node) {
+    const ProcessorId pid = incumbent_[static_cast<std::size_t>(node)];
+    DCNT_CHECK(pid != kNoProcessor);
+    const Role* role = find_role(procs_[static_cast<std::size_t>(pid)], node);
+    DCNT_CHECK(role != nullptr);
+    const NodeId up = layout_.parent(node);
+    if (up == kNoNode) {
+      DCNT_CHECK(role->parent_pid == kNoProcessor);
+    } else {
+      DCNT_CHECK(role->parent_pid == incumbent_[static_cast<std::size_t>(up)]);
+    }
+    for (int c = 0; c < layout_.k(); ++c) {
+      const ProcessorId believed =
+          role->child_pids[static_cast<std::size_t>(c)];
+      if (layout_.children_are_leaves(node)) {
+        DCNT_CHECK(believed == layout_.leaf_child(node, c));
+      } else {
+        const NodeId child = layout_.child(node, c);
+        DCNT_CHECK(believed == incumbent_[static_cast<std::size_t>(child)]);
+      }
+    }
+  }
+  for (ProcessorId p = 0; p < layout_.n(); ++p) {
+    const NodeId up = layout_.leaf_parent(p);
+    DCNT_CHECK(procs_[static_cast<std::size_t>(p)].leaf_parent_pid ==
+               incumbent_[static_cast<std::size_t>(up)]);
+  }
+}
+
+}  // namespace dcnt

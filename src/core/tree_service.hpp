@@ -1,0 +1,195 @@
+// The paper's §4 machinery, generalized.
+//
+// §2 notes that the Hot Spot Lemma — and with it the whole lower bound
+// — applies to "the family of all distributed data structures in which
+// an operation depends on the operation that immediately precedes it.
+// Examples for such data structures are a bit that can be accessed and
+// flipped, and a priority queue." Dually, the §4 *upper-bound*
+// construction only uses the counter in one place: the root applies an
+// operation to a small piece of state and replies. TreeService factors
+// the construction so that any such sequential object can ride the
+// communication tree and inherit the O(k) bottleneck:
+//
+//   * TreeCounter       — root state {value};           the paper's §4
+//   * TreeFlipBit       — root state {bit};             §2's example
+//   * TreePriorityQueue — root state = a binary heap;   §2's example,
+//     with a caveat the stats expose: handing the root role over ships
+//     the whole heap, so the paper's O(log n)-bits-per-message property
+//     survives only for constant-size root state
+//     (stats().max_handover_words makes the difference measurable).
+//
+// Protocol recap (see tree_counter.hpp for the counter-specific story):
+// leaves forward operations up a fan-out-k tree; the root incumbent
+// applies them; inner nodes age by two per forwarded message and one
+// per notification, retire at the (configurable, default 4k) threshold,
+// handing their role to the next processor of their disjoint id pool
+// with k+1 short messages and notifying parent and children with k+1
+// more. Misdirected messages are forwarded by ex-incumbents; messages
+// that beat their own handover are stashed until it commits. All extra
+// messages are counted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tree_layout.hpp"
+#include "sim/protocol.hpp"
+
+namespace dcnt {
+
+struct TreeServiceParams {
+  int k{2};
+  /// Age at which a node retires. 0 selects the default 4k. Use
+  /// std::numeric_limits<int64_t>::max() for the no-retirement ablation.
+  /// Thresholds <= k+1 are unstable: each retirement ages its k+1
+  /// neighbours by one message, so the cascade reproduces itself
+  /// (a "retirement storm") and the system never quiesces.
+  std::int64_t age_threshold{0};
+  /// If true, the k+1 handover messages count toward the new incumbent's
+  /// starting age (the paper's accounting excludes them; ablatable).
+  bool count_handover_in_age{false};
+};
+
+/// Housekeeping counters; exposed for lemma audits and benches.
+struct TreeServiceStats {
+  std::int64_t retirements_total{0};
+  std::vector<std::int64_t> retirements_by_level;
+  /// A pool ran out and wrapped around — never happens for the paper's
+  /// workload with the default threshold (asserted in tests).
+  std::int64_t pool_wraps{0};
+  /// Misdirected messages re-sent to a role's successor.
+  std::int64_t forwarded_messages{0};
+  /// Messages that arrived for a role before its handover did.
+  std::int64_t orphan_stashes{0};
+  /// Retirements whose pool has size 1 (successor == retiree).
+  std::int64_t self_handovers{0};
+  /// Largest payload (in words) of any handover message — O(1) for the
+  /// counter and the flip bit, Theta(queue size) for the priority queue.
+  std::int64_t max_handover_words{0};
+};
+
+/// One retirement, for the Retirement / Number-of-Retirements Lemma
+/// audits (analysis/audit.hpp).
+struct RetirementEvent {
+  OpId op{kNoOp};
+  NodeId node{kNoNode};
+  int level{0};
+  ProcessorId old_pid{kNoProcessor};
+  ProcessorId new_pid{kNoProcessor};
+};
+
+class TreeService : public CounterProtocol {
+ public:
+  explicit TreeService(TreeServiceParams params);
+
+  // Message tags (public so traces can be decoded by the analysis layer).
+  static constexpr std::int32_t kTagInc = 1;       ///< [origin, target_node, op_args...]
+  static constexpr std::int32_t kTagValue = 2;     ///< [value]
+  static constexpr std::int32_t kTagTakeOver = 3;  ///< [node, parent_pid, root_state...]
+  static constexpr std::int32_t kTagChildInfo = 4; ///< [node, child_idx, child_pid]
+  static constexpr std::int32_t kTagNewId = 5;     ///< [target_node, retiring_node, new_pid]; target -1 = "you as leaf"
+
+  // CounterProtocol:
+  std::size_t num_processors() const override;
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override;
+  void start_op(Context& ctx, ProcessorId origin, OpId op,
+                const std::vector<std::int64_t>& args) override;
+  void on_message(Context& ctx, const Message& msg) override;
+  void check_quiescent(std::size_t ops_completed) const override;
+
+  // Introspection.
+  const TreeLayout& layout() const { return layout_; }
+  std::int64_t age_threshold() const { return threshold_; }
+  const TreeServiceStats& stats() const { return stats_; }
+  const std::vector<RetirementEvent>& retirement_log() const {
+    return retirement_log_;
+  }
+  /// Current incumbent of an inner node (committed view).
+  ProcessorId incumbent(NodeId node) const;
+  /// Exhaustive structural invariants; O(n) — for tests, not the hot path.
+  void deep_check() const;
+
+ protected:
+  /// The sequential object living at the root. Called once per
+  /// operation, under the root incumbent; must return the reply value.
+  virtual Value root_apply(std::vector<std::int64_t>& state,
+                           const std::vector<std::int64_t>& op_args) = 0;
+  /// Root state before any operation.
+  virtual std::vector<std::int64_t> initial_root_state() const = 0;
+  /// Service-specific quiescent invariant on the root state (default:
+  /// none).
+  virtual void check_root_state(std::size_t ops_completed,
+                                const std::vector<std::int64_t>& state) const {
+    (void)ops_completed;
+    (void)state;
+  }
+
+  /// Committed root state; requires quiescence. For subclass accessors.
+  const std::vector<std::int64_t>& root_state() const;
+
+  /// Must be called at the end of every concrete subclass constructor:
+  /// installs initial_root_state() at the root incumbent (virtual
+  /// dispatch is not available in the base constructor).
+  void finish_init();
+
+ private:
+  /// State of one inner-node role held by a processor.
+  struct Role {
+    NodeId node{kNoNode};
+    ProcessorId parent_pid{kNoProcessor};  // kNoProcessor for the root
+    std::vector<ProcessorId> child_pids;   // inner incumbents or leaf ids
+    std::int64_t age{0};
+    std::vector<std::int64_t> state;  // root only
+  };
+  /// Handover being assembled at the successor.
+  struct PendingTakeover {
+    NodeId node{kNoNode};
+    bool has_main{false};  // kTagTakeOver arrived
+    int children_received{0};
+    ProcessorId parent_pid{kNoProcessor};
+    std::vector<ProcessorId> child_pids;
+    std::vector<std::int64_t> state;
+  };
+  struct ProcState {
+    /// Incumbent of this leaf's parent node, as this leaf believes.
+    ProcessorId leaf_parent_pid{kNoProcessor};
+    std::vector<Role> roles;
+    std::vector<PendingTakeover> pending;
+    /// node -> successor, for roles this processor gave up.
+    std::vector<std::pair<NodeId, ProcessorId>> forwards;
+    /// Messages for roles we do not (yet) hold.
+    std::vector<Message> stash;
+  };
+
+  Role* find_role(ProcState& ps, NodeId node);
+  const Role* find_role(const ProcState& ps, NodeId node) const;
+  PendingTakeover* find_pending(ProcState& ps, NodeId node);
+  ProcessorId* find_forward(ProcState& ps, NodeId node);
+
+  void handle_role_message(Context& ctx, ProcessorId self, Role& role,
+                           const Message& msg);
+  void route_node_message(Context& ctx, ProcessorId self, NodeId target,
+                          const Message& msg);
+  void bump_age(Context& ctx, ProcessorId self, Role& role,
+                std::int64_t amount, OpId op);
+  void retire(Context& ctx, ProcessorId self, const Role& role, OpId op);
+  void commit_takeover(Context& ctx, ProcessorId self,
+                       const PendingTakeover& pt);
+
+  TreeLayout layout_;
+  std::int64_t threshold_;
+  bool count_handover_in_age_;
+  std::vector<ProcState> procs_;
+  /// Committed incumbent per inner node (kNoProcessor while in handover).
+  std::vector<ProcessorId> incumbent_;
+  TreeServiceStats stats_;
+  std::vector<RetirementEvent> retirement_log_;
+  // O(1) quiescence counters.
+  std::int64_t live_pending_{0};
+  std::int64_t live_stash_{0};
+  bool initialized_{false};
+};
+
+}  // namespace dcnt

@@ -1,0 +1,58 @@
+// Drives operation schedules through a Simulator and verifies counter
+// semantics.
+//
+// Sequential mode is the paper's model: "enough time elapses in between
+// any two inc requests to make sure that the preceding inc operation is
+// finished before the next one starts" — the runner waits for
+// quiescence between initiations and asserts that the i-th operation
+// returned exactly i-1... i.e. value i for 0-based op i means returned
+// values are 0,1,2,... in initiation order.
+//
+// Concurrent mode (batches of simultaneous initiations) is an
+// out-of-model extension used to show what combining and diffracting
+// trees buy under contention; there the verifier only requires the
+// returned values to be a permutation of 0..m-1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+struct RunResult {
+  std::vector<Value> values;       ///< by operation id
+  std::int64_t max_load{0};
+  ProcessorId bottleneck{kNoProcessor};
+  std::int64_t total_messages{0};
+  double mean_load{0.0};
+  bool values_ok{false};
+};
+
+struct RunOptions {
+  /// Call protocol->check_quiescent() after every operation (sequential
+  /// mode only). Cheap; on by default.
+  bool check_each_op{true};
+  /// Abort the simulation if one op needs more than this many deliveries.
+  std::int64_t max_steps_per_op{10'000'000};
+};
+
+/// Sequential driver (the paper's model). Aborts on any semantic
+/// violation (values must come back 0,1,2,... in initiation order).
+RunResult run_sequential(Simulator& sim, const std::vector<ProcessorId>& order,
+                         const RunOptions& options = {});
+
+/// Concurrent driver: initiates each batch at once, then runs to
+/// quiescence. Values must form a permutation of 0..m-1 overall.
+RunResult run_concurrent(Simulator& sim,
+                         const std::vector<std::vector<ProcessorId>>& batches,
+                         const RunOptions& options = {});
+
+/// Splits `order` into batches of size `width` (last one may be short).
+std::vector<std::vector<ProcessorId>> make_batches(
+    const std::vector<ProcessorId>& order, std::size_t width);
+
+}  // namespace dcnt

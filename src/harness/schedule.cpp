@@ -1,0 +1,68 @@
+#include "harness/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+std::vector<ProcessorId> schedule_sequential(std::int64_t n) {
+  DCNT_CHECK(n > 0);
+  std::vector<ProcessorId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<ProcessorId> schedule_reverse(std::int64_t n) {
+  auto order = schedule_sequential(n);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<ProcessorId> schedule_permutation(std::int64_t n, Rng& rng) {
+  auto order = schedule_sequential(n);
+  std::shuffle(order.begin(), order.end(), rng);
+  return order;
+}
+
+std::vector<ProcessorId> schedule_uniform(std::int64_t n, std::int64_t ops,
+                                          Rng& rng) {
+  DCNT_CHECK(n > 0 && ops >= 0);
+  std::vector<ProcessorId> order;
+  order.reserve(static_cast<std::size_t>(ops));
+  for (std::int64_t i = 0; i < ops; ++i) {
+    order.push_back(
+        static_cast<ProcessorId>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  return order;
+}
+
+std::vector<ProcessorId> schedule_zipf(std::int64_t n, std::int64_t ops,
+                                       double s, Rng& rng) {
+  DCNT_CHECK(n > 0 && ops >= 0 && s >= 0.0);
+  // Build the CDF once; n is at most a few hundred thousand here.
+  std::vector<double> cdf(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf[static_cast<std::size_t>(i)] = acc;
+  }
+  std::vector<ProcessorId> order;
+  order.reserve(static_cast<std::size_t>(ops));
+  for (std::int64_t i = 0; i < ops; ++i) {
+    const double u = rng.next_double() * acc;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    order.push_back(static_cast<ProcessorId>(it - cdf.begin()));
+  }
+  return order;
+}
+
+std::vector<ProcessorId> schedule_single_origin(ProcessorId origin,
+                                                std::int64_t ops) {
+  DCNT_CHECK(origin >= 0 && ops >= 0);
+  return std::vector<ProcessorId>(static_cast<std::size_t>(ops), origin);
+}
+
+}  // namespace dcnt

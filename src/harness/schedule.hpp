@@ -1,0 +1,41 @@
+// Operation schedules: who initiates which inc, in what order.
+//
+// The paper's lower bound is proved for the strictest workload — every
+// processor initiates exactly one inc ("to be even more strict ... each
+// processor initiates exactly one inc operation") — and remarks that
+// skewed workloads inherently limit distribution. The schedule
+// generators cover both regimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+/// 0, 1, ..., n-1: each processor incs once, in id order.
+std::vector<ProcessorId> schedule_sequential(std::int64_t n);
+
+/// n-1, ..., 1, 0.
+std::vector<ProcessorId> schedule_reverse(std::int64_t n);
+
+/// A uniformly random permutation of [0, n) — one inc per processor.
+std::vector<ProcessorId> schedule_permutation(std::int64_t n, Rng& rng);
+
+/// `ops` initiators drawn uniformly at random with repetition.
+std::vector<ProcessorId> schedule_uniform(std::int64_t n, std::int64_t ops,
+                                          Rng& rng);
+
+/// `ops` initiators from a Zipf(s) distribution over processors
+/// (processor 0 hottest). s = 0 is uniform; s ~ 1 is heavily skewed.
+std::vector<ProcessorId> schedule_zipf(std::int64_t n, std::int64_t ops,
+                                       double s, Rng& rng);
+
+/// All `ops` operations from one processor — the paper's "many
+/// operations initiated by a single processor" degenerate case.
+std::vector<ProcessorId> schedule_single_origin(ProcessorId origin,
+                                                std::int64_t ops);
+
+}  // namespace dcnt

@@ -1,0 +1,81 @@
+#include "quorum/crumbling_wall.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+CrumblingWall::CrumblingWall(std::int64_t n, std::vector<std::int64_t> widths)
+    : n_(n), widths_(std::move(widths)) {
+  DCNT_CHECK(n >= 1);
+  DCNT_CHECK(!widths_.empty());
+  std::int64_t total = 0;
+  row_start_.reserve(widths_.size());
+  for (const auto w : widths_) {
+    DCNT_CHECK(w >= 1);
+    row_start_.push_back(total);
+    total += w;
+  }
+  DCNT_CHECK_MSG(total == n, "row widths must sum to n");
+}
+
+std::unique_ptr<CrumblingWall> CrumblingWall::triangle(std::int64_t n) {
+  std::vector<std::int64_t> widths;
+  std::int64_t remaining = n;
+  std::int64_t w = 1;
+  while (remaining > 0) {
+    const std::int64_t take = std::min(w, remaining);
+    widths.push_back(take);
+    remaining -= take;
+    ++w;
+  }
+  return std::make_unique<CrumblingWall>(n, std::move(widths));
+}
+
+std::unique_ptr<CrumblingWall> CrumblingWall::uniform(std::int64_t n,
+                                                      std::int64_t width) {
+  DCNT_CHECK(width >= 1);
+  std::vector<std::int64_t> widths;
+  std::int64_t remaining = n;
+  while (remaining > 0) {
+    const std::int64_t take = std::min(width, remaining);
+    widths.push_back(take);
+    remaining -= take;
+  }
+  return std::make_unique<CrumblingWall>(n, std::move(widths));
+}
+
+std::size_t CrumblingWall::num_quorums() const {
+  return static_cast<std::size_t>(n_);
+}
+
+std::vector<ProcessorId> CrumblingWall::quorum(std::size_t index) const {
+  DCNT_CHECK(index < num_quorums());
+  const auto d = static_cast<std::int64_t>(widths_.size());
+  const std::int64_t row = static_cast<std::int64_t>(index) % d;
+  std::vector<ProcessorId> q;
+  for (std::int64_t c = 0; c < widths_[static_cast<std::size_t>(row)]; ++c) {
+    q.push_back(static_cast<ProcessorId>(
+        row_start_[static_cast<std::size_t>(row)] + c));
+  }
+  for (std::int64_t r = row + 1; r < d; ++r) {
+    const std::int64_t c =
+        static_cast<std::int64_t>(
+            mix64(static_cast<std::uint64_t>(index) * 0x5851ULL +
+                  static_cast<std::uint64_t>(r)) %
+            static_cast<std::uint64_t>(widths_[static_cast<std::size_t>(r)]));
+    q.push_back(static_cast<ProcessorId>(
+        row_start_[static_cast<std::size_t>(r)] + c));
+  }
+  std::sort(q.begin(), q.end());
+  return q;
+}
+
+std::unique_ptr<QuorumSystem> CrumblingWall::clone() const {
+  return std::make_unique<CrumblingWall>(*this);
+}
+
+}  // namespace dcnt

@@ -1,0 +1,46 @@
+// Crumbling walls, after Peleg & Wool [PW95] (cited by the paper):
+// "a class of practical and efficient quorum systems".
+//
+// The universe is laid out in rows of (possibly different) widths. A
+// quorum is one *full* row plus one representative from every row below
+// it. Two quorums intersect: if they use the same full row they share
+// it; otherwise the higher full row is hit by the lower quorum's
+// representative in that row... precisely, the quorum whose full row is
+// higher (smaller index) owns a representative in the other's full row.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+
+namespace dcnt {
+
+class CrumblingWall final : public QuorumSystem {
+ public:
+  /// Explicit row widths (must sum to n, each >= 1).
+  CrumblingWall(std::int64_t n, std::vector<std::int64_t> widths);
+
+  /// The "CW(triangle)" instance: widths 1, 2, 3, ... (last row ragged).
+  static std::unique_ptr<CrumblingWall> triangle(std::int64_t n);
+  /// Uniform width rows.
+  static std::unique_ptr<CrumblingWall> uniform(std::int64_t n,
+                                                std::int64_t width);
+
+  std::int64_t universe_size() const override { return n_; }
+  std::size_t num_quorums() const override;
+  std::vector<ProcessorId> quorum(std::size_t index) const override;
+  std::string name() const override { return "crumbling-wall"; }
+  std::unique_ptr<QuorumSystem> clone() const override;
+
+  std::size_t num_rows() const { return widths_.size(); }
+
+ private:
+  std::int64_t n_;
+  std::vector<std::int64_t> widths_;
+  std::vector<std::int64_t> row_start_;
+};
+
+}  // namespace dcnt

@@ -1,0 +1,50 @@
+#include "quorum/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+GridQuorum::GridQuorum(std::int64_t n, std::int64_t cols) : n_(n) {
+  DCNT_CHECK(n >= 1);
+  cols_ = cols > 0 ? cols
+                   : static_cast<std::int64_t>(
+                         std::ceil(std::sqrt(static_cast<double>(n))));
+  DCNT_CHECK(cols_ >= 1);
+  rows_ = (n_ + cols_ - 1) / cols_;
+}
+
+std::int64_t GridQuorum::row_size(std::int64_t row) const {
+  const std::int64_t start = row * cols_;
+  return std::min(cols_, n_ - start);
+}
+
+std::vector<ProcessorId> GridQuorum::quorum(std::size_t index) const {
+  DCNT_CHECK(index < num_quorums());
+  const auto e = static_cast<std::int64_t>(index);
+  const std::int64_t my_row = e / cols_;
+  const std::int64_t my_col = e % cols_;
+  std::vector<ProcessorId> q;
+  // Full own row...
+  for (std::int64_t c = 0; c < row_size(my_row); ++c) {
+    q.push_back(static_cast<ProcessorId>(my_row * cols_ + c));
+  }
+  // ...plus a representative in every other row (own column, wrapped
+  // into short rows).
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    if (r == my_row) continue;
+    const std::int64_t c = my_col % row_size(r);
+    q.push_back(static_cast<ProcessorId>(r * cols_ + c));
+  }
+  std::sort(q.begin(), q.end());
+  q.erase(std::unique(q.begin(), q.end()), q.end());
+  return q;
+}
+
+std::unique_ptr<QuorumSystem> GridQuorum::clone() const {
+  return std::make_unique<GridQuorum>(*this);
+}
+
+}  // namespace dcnt

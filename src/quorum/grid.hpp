@@ -1,0 +1,46 @@
+// Grid quorums in the style of Maekawa's sqrt(N) algorithm [Mae85],
+// which the paper cites as the source of the intersection argument
+// behind its Hot Spot Lemma.
+//
+// Processors are arranged in an r x c grid (row-major; a ragged last
+// row is allowed). The quorum of element e is e's full row plus one
+// element from every row (its column, wrapping within short rows) —
+// any two such quorums intersect: the one with the lower (or equal) row
+// contributes a full row that the other one's column-crossing hits.
+// Quorum size is Theta(sqrt n).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+
+namespace dcnt {
+
+class GridQuorum final : public QuorumSystem {
+ public:
+  /// cols == 0 picks ceil(sqrt(n)).
+  explicit GridQuorum(std::int64_t n, std::int64_t cols = 0);
+
+  std::int64_t universe_size() const override { return n_; }
+  std::size_t num_quorums() const override {
+    return static_cast<std::size_t>(n_);
+  }
+  std::vector<ProcessorId> quorum(std::size_t index) const override;
+  std::string name() const override { return "grid"; }
+  std::unique_ptr<QuorumSystem> clone() const override;
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+ private:
+  std::int64_t row_size(std::int64_t row) const;
+
+  std::int64_t n_;
+  std::int64_t cols_;
+  std::int64_t rows_;
+};
+
+}  // namespace dcnt

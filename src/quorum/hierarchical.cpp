@@ -1,0 +1,76 @@
+#include "quorum/hierarchical.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+HierarchicalQuorum::HierarchicalQuorum(std::int64_t n, int branching)
+    : n_(n), branching_(branching) {
+  DCNT_CHECK(branching >= 2);
+  std::int64_t size = 1;
+  while (size < n_) {
+    size *= branching_;
+    ++levels_;
+  }
+  DCNT_CHECK_MSG(size == n_, "hierarchical quorum needs n == branching^levels");
+}
+
+std::int64_t HierarchicalQuorum::quorum_size() const {
+  const std::int64_t majority = branching_ / 2 + 1;
+  std::int64_t size = 1;
+  for (int l = 0; l < levels_; ++l) size *= majority;
+  return size;
+}
+
+void HierarchicalQuorum::build(std::uint64_t seed, int level,
+                               std::int64_t first_leaf,
+                               std::vector<ProcessorId>* out) const {
+  if (level == levels_) {
+    out->push_back(static_cast<ProcessorId>(first_leaf));
+    return;
+  }
+  // Subtree width at this level.
+  std::int64_t width = 1;
+  for (int l = level + 1; l < levels_; ++l) width *= branching_;
+  // Pick a majority of subgroups, pseudo-randomly from the seed.
+  const int majority = branching_ / 2 + 1;
+  std::vector<int> order(static_cast<std::size_t>(branching_));
+  for (int b = 0; b < branching_; ++b) order[static_cast<std::size_t>(b)] = b;
+  // Deterministic shuffle driven by (seed, level, first_leaf).
+  std::uint64_t h = seed ^ (static_cast<std::uint64_t>(level) << 48) ^
+                    static_cast<std::uint64_t>(first_leaf) * 0x9E3779B97F4A7C15ULL;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(mix64(h + i) % i);
+    std::swap(order[i - 1], order[j]);
+  }
+  for (int pick = 0; pick < majority; ++pick) {
+    const int b = order[static_cast<std::size_t>(pick)];
+    build(seed, level + 1, first_leaf + b * width, out);
+  }
+}
+
+std::vector<ProcessorId> HierarchicalQuorum::quorum(std::size_t index) const {
+  DCNT_CHECK(index < num_quorums());
+  std::vector<ProcessorId> q;
+  q.reserve(static_cast<std::size_t>(quorum_size()));
+  build(mix64(static_cast<std::uint64_t>(index) + 0xFEEDULL), 0, 0, &q);
+  std::sort(q.begin(), q.end());
+  DCNT_CHECK(static_cast<std::int64_t>(q.size()) == quorum_size());
+  return q;
+}
+
+std::string HierarchicalQuorum::name() const {
+  std::ostringstream os;
+  os << "hierarchical(b=" << branching_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<QuorumSystem> HierarchicalQuorum::clone() const {
+  return std::make_unique<HierarchicalQuorum>(*this);
+}
+
+}  // namespace dcnt

@@ -1,0 +1,49 @@
+// Hierarchical quorum consensus, after Kumar & Malik [KM96] (cited by
+// the paper: "Optimizing the costs of hierarchical quorum consensus").
+//
+// Processors sit at the leaves of a uniform tree of logical groups with
+// branching factor b per level. A quorum is formed recursively: at each
+// group, pick any ceil((b+1)/2) of its b subgroups and recurse. Two
+// quorums intersect: at every level both pick majorities of subgroups,
+// so they share a subgroup, and induction pushes the shared choice down
+// to a common leaf. With b = 3 the quorum size is n^(log_3 2) ~ n^0.63
+// — between majority (n/2) and grid (sqrt n).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+
+namespace dcnt {
+
+class HierarchicalQuorum final : public QuorumSystem {
+ public:
+  /// n must be branching^levels for some integer levels >= 1.
+  HierarchicalQuorum(std::int64_t n, int branching = 3);
+
+  std::int64_t universe_size() const override { return n_; }
+  std::size_t num_quorums() const override {
+    return static_cast<std::size_t>(n_);
+  }
+  std::vector<ProcessorId> quorum(std::size_t index) const override;
+  std::string name() const override;
+  std::unique_ptr<QuorumSystem> clone() const override;
+
+  int branching() const { return branching_; }
+  int levels() const { return levels_; }
+  /// Quorum size: majority^levels.
+  std::int64_t quorum_size() const;
+
+ private:
+  void build(std::uint64_t seed, int level, std::int64_t first_leaf,
+             std::vector<ProcessorId>* out) const;
+
+  std::int64_t n_;
+  int branching_;
+  int levels_{0};
+};
+
+}  // namespace dcnt

@@ -1,0 +1,28 @@
+#include "quorum/majority.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+MajorityQuorum::MajorityQuorum(std::int64_t n) : n_(n) { DCNT_CHECK(n >= 1); }
+
+std::vector<ProcessorId> MajorityQuorum::quorum(std::size_t index) const {
+  DCNT_CHECK(index < num_quorums());
+  std::vector<ProcessorId> q;
+  const std::int64_t size = quorum_size();
+  q.reserve(static_cast<std::size_t>(size));
+  for (std::int64_t i = 0; i < size; ++i) {
+    q.push_back(static_cast<ProcessorId>(
+        (static_cast<std::int64_t>(index) + i) % n_));
+  }
+  std::sort(q.begin(), q.end());
+  return q;
+}
+
+std::unique_ptr<QuorumSystem> MajorityQuorum::clone() const {
+  return std::make_unique<MajorityQuorum>(*this);
+}
+
+}  // namespace dcnt

@@ -1,0 +1,34 @@
+// Majority quorums [GB85]: any floor(n/2)+1 processors. Two majorities
+// always intersect by counting. The indexed family rotates a contiguous
+// (mod n) window, which balances load perfectly: every processor is in
+// the same number of quorums.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+
+namespace dcnt {
+
+class MajorityQuorum final : public QuorumSystem {
+ public:
+  explicit MajorityQuorum(std::int64_t n);
+
+  std::int64_t universe_size() const override { return n_; }
+  std::size_t num_quorums() const override {
+    return static_cast<std::size_t>(n_);
+  }
+  std::vector<ProcessorId> quorum(std::size_t index) const override;
+  std::string name() const override { return "majority"; }
+  std::unique_ptr<QuorumSystem> clone() const override;
+
+  std::int64_t quorum_size() const { return n_ / 2 + 1; }
+
+ private:
+  std::int64_t n_;
+};
+
+}  // namespace dcnt

@@ -1,0 +1,76 @@
+#include "quorum/probe.hpp"
+
+#include <optional>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+ProbeRun greedy_probe(const QuorumSystem& system,
+                      const std::vector<bool>& dead) {
+  DCNT_CHECK(static_cast<std::int64_t>(dead.size()) ==
+             system.universe_size());
+  ProbeRun run;
+  // 0 = unknown, 1 = alive, 2 = dead — probes only charge for unknowns.
+  std::vector<std::uint8_t> known(dead.size(), 0);
+  auto probe = [&](ProcessorId p) {
+    auto& cell = known[static_cast<std::size_t>(p)];
+    if (cell == 0) {
+      ++run.probes;
+      cell = dead[static_cast<std::size_t>(p)] ? 2 : 1;
+    }
+    return cell == 1;
+  };
+
+  for (std::size_t i = 0; i < system.num_quorums(); ++i) {
+    const auto q = system.quorum(i);
+    bool killed = false;
+    // Skip candidates already known dead without probing.
+    for (const ProcessorId p : q) {
+      if (known[static_cast<std::size_t>(p)] == 2) {
+        killed = true;
+        break;
+      }
+    }
+    if (killed) continue;
+    bool alive = true;
+    for (const ProcessorId p : q) {
+      if (!probe(p)) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive) {
+      run.found_quorum = true;
+      return run;
+    }
+  }
+  run.found_quorum = false;
+  return run;
+}
+
+ProbeComplexityReport probe_complexity(const QuorumSystem& system,
+                                       double death_probability,
+                                       std::int64_t trials, Rng& rng) {
+  DCNT_CHECK(death_probability >= 0.0 && death_probability <= 1.0);
+  DCNT_CHECK(trials >= 1);
+  ProbeComplexityReport report;
+  const auto n = static_cast<std::size_t>(system.universe_size());
+  report.all_alive = greedy_probe(system, std::vector<bool>(n, false)).probes;
+  report.all_dead = greedy_probe(system, std::vector<bool>(n, true)).probes;
+  std::int64_t found = 0;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    std::vector<bool> dead(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      dead[p] = rng.next_double() < death_probability;
+    }
+    const ProbeRun run = greedy_probe(system, dead);
+    report.random_probes.add(run.probes);
+    if (run.found_quorum) ++found;
+  }
+  report.find_rate =
+      static_cast<double>(found) / static_cast<double>(trials);
+  return report;
+}
+
+}  // namespace dcnt

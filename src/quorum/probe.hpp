@@ -1,0 +1,52 @@
+// Probe complexity of quorum systems, after Peleg & Wool [PW96] (cited
+// by the paper: "How to be an efficient snoop, or the probe complexity
+// of quorum systems").
+//
+// Setting: an external observer probes elements one at a time, each
+// probe revealing whether that element is alive, and must either
+// exhibit a fully-alive quorum or certify that none exists (i.e. the
+// dead set hits every quorum). The probe complexity is the number of
+// probes a strategy needs in the worst case; [PW96] shows crumbling
+// walls achieve O(sqrt n) while some systems force Omega(n).
+//
+// We implement the natural greedy strategy — chase one candidate quorum
+// at a time, discarding every candidate a discovered-dead element kills
+// — and measure probes over random failure sets, plus the
+// deterministic all-alive / all-dead extremes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace dcnt {
+
+struct ProbeRun {
+  bool found_quorum{false};
+  std::int64_t probes{0};
+};
+
+/// Greedy probing of `system` against a fixed dead set (dead[p] = true
+/// means p does not answer). Enumerates the indexed family; aborts only
+/// when every indexed quorum is killed.
+ProbeRun greedy_probe(const QuorumSystem& system,
+                      const std::vector<bool>& dead);
+
+struct ProbeComplexityReport {
+  /// Probes with everyone alive (= size of the first quorum chased).
+  std::int64_t all_alive{0};
+  /// Probes to certify failure with everyone dead.
+  std::int64_t all_dead{0};
+  /// Distribution over random dead sets with death probability p.
+  Summary random_probes;
+  double find_rate{0.0};  ///< fraction of random runs that found a quorum
+};
+
+ProbeComplexityReport probe_complexity(const QuorumSystem& system,
+                                       double death_probability,
+                                       std::int64_t trials, Rng& rng);
+
+}  // namespace dcnt

@@ -1,0 +1,102 @@
+#include "quorum/projective_plane.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+namespace {
+
+bool is_prime(int q) {
+  if (q < 2) return false;
+  for (int d = 2; d * d <= q; ++d) {
+    if (q % d == 0) return false;
+  }
+  return true;
+}
+
+using Triple = std::array<int, 3>;
+
+/// All projective triples over GF(q), normalized so the first nonzero
+/// coordinate is 1. Exactly q^2 + q + 1 of them.
+std::vector<Triple> normalized_triples(int q) {
+  std::vector<Triple> out;
+  // (1, y, z), (0, 1, z), (0, 0, 1)
+  for (int y = 0; y < q; ++y) {
+    for (int z = 0; z < q; ++z) {
+      out.push_back({1, y, z});
+    }
+  }
+  for (int z = 0; z < q; ++z) {
+    out.push_back({0, 1, z});
+  }
+  out.push_back({0, 0, 1});
+  return out;
+}
+
+}  // namespace
+
+ProjectivePlaneQuorum::ProjectivePlaneQuorum(int q) : q_(q) {
+  DCNT_CHECK_MSG(is_prime(q), "projective-plane order must be prime here");
+  const auto points = normalized_triples(q);
+  const auto line_coords = normalized_triples(q);
+  n_ = static_cast<std::int64_t>(points.size());
+  DCNT_CHECK(n_ == static_cast<std::int64_t>(q) * q + q + 1);
+
+  lines_.reserve(line_coords.size());
+  for (const Triple& line : line_coords) {
+    std::vector<ProcessorId> members;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const int dot = (line[0] * points[p][0] + line[1] * points[p][1] +
+                       line[2] * points[p][2]) %
+                      q;
+      if (dot == 0) members.push_back(static_cast<ProcessorId>(p));
+    }
+    DCNT_CHECK_MSG(static_cast<int>(members.size()) == q + 1,
+                   "every line of PG(2,q) has q+1 points");
+    std::sort(members.begin(), members.end());
+    lines_.push_back(std::move(members));
+  }
+}
+
+std::vector<std::int64_t> ProjectivePlaneQuorum::supported_sizes(
+    std::int64_t max_n) {
+  std::vector<std::int64_t> sizes;
+  for (int q = 2;; ++q) {
+    if (!is_prime(q)) continue;
+    const std::int64_t n = static_cast<std::int64_t>(q) * q + q + 1;
+    if (n > max_n) break;
+    sizes.push_back(n);
+  }
+  return sizes;
+}
+
+int ProjectivePlaneQuorum::order_for(std::int64_t n) {
+  int best = 0;
+  for (int q = 2; static_cast<std::int64_t>(q) * q + q + 1 <= n; ++q) {
+    if (is_prime(q)) best = q;
+  }
+  return best;
+}
+
+std::vector<ProcessorId> ProjectivePlaneQuorum::quorum(
+    std::size_t index) const {
+  DCNT_CHECK(index < lines_.size());
+  return lines_[index];
+}
+
+std::string ProjectivePlaneQuorum::name() const {
+  std::ostringstream os;
+  os << "projective-plane(q=" << q_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<QuorumSystem> ProjectivePlaneQuorum::clone() const {
+  return std::make_unique<ProjectivePlaneQuorum>(*this);
+}
+
+}  // namespace dcnt

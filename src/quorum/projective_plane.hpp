@@ -1,0 +1,52 @@
+// Finite-projective-plane quorums — the classical optimum in the
+// lineage the paper surveys (Maekawa [Mae85] proposed FPP quorums for
+// sqrt(N) mutual exclusion; Erdős–Lovász [EL75] and Lovász [Lov73]
+// underpin the covering bounds).
+//
+// For a prime q, the projective plane PG(2,q) has n = q^2 + q + 1
+// points and equally many lines; every line holds q+1 ~ sqrt(n) points
+// and **any two lines meet in exactly one point** — the tightest
+// possible intersection, which minimizes both quorum size and load
+// simultaneously (load 1/sqrt(n) under uniform rotation).
+//
+// Construction: points and lines are the normalized nonzero triples
+// over GF(q) (first nonzero coordinate = 1); point P lies on line L iff
+// <P, L> = 0 (mod q).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+
+namespace dcnt {
+
+class ProjectivePlaneQuorum final : public QuorumSystem {
+ public:
+  /// q must be prime (the GF(q) construction; prime powers would need
+  /// field arithmetic). Universe size is q^2 + q + 1.
+  explicit ProjectivePlaneQuorum(int q);
+
+  /// Universe sizes realizable by prime orders up to `max_n`:
+  /// 7, 13, 31, 57, 133, 183, ...
+  static std::vector<std::int64_t> supported_sizes(std::int64_t max_n);
+  /// Largest prime q with q^2+q+1 <= n (0 if none).
+  static int order_for(std::int64_t n);
+
+  std::int64_t universe_size() const override { return n_; }
+  std::size_t num_quorums() const override { return lines_.size(); }
+  std::vector<ProcessorId> quorum(std::size_t index) const override;
+  std::string name() const override;
+  std::unique_ptr<QuorumSystem> clone() const override;
+
+  int order() const { return q_; }
+
+ private:
+  int q_;
+  std::int64_t n_;
+  std::vector<std::vector<ProcessorId>> lines_;
+};
+
+}  // namespace dcnt

@@ -1,0 +1,86 @@
+#include "quorum/quorum_analysis.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+namespace {
+bool sorted_sets_intersect(const std::vector<ProcessorId>& a,
+                           const std::vector<ProcessorId>& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+IntersectionReport check_pairwise_intersection(const QuorumSystem& system,
+                                               std::size_t exhaustive_limit,
+                                               std::int64_t samples,
+                                               Rng& rng) {
+  IntersectionReport report;
+  const std::size_t m = system.num_quorums();
+  if (m <= exhaustive_limit) {
+    std::vector<std::vector<ProcessorId>> quorums(m);
+    for (std::size_t i = 0; i < m; ++i) quorums[i] = system.quorum(i);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i; j < m; ++j) {
+        ++report.pairs_checked;
+        if (!sorted_sets_intersect(quorums[i], quorums[j])) {
+          report.all_intersect = false;
+          report.bad_a = i;
+          report.bad_b = j;
+          return report;
+        }
+      }
+    }
+    return report;
+  }
+  for (std::int64_t s = 0; s < samples; ++s) {
+    const auto i = static_cast<std::size_t>(rng.next_below(m));
+    const auto j = static_cast<std::size_t>(rng.next_below(m));
+    ++report.pairs_checked;
+    if (!sorted_sets_intersect(system.quorum(i), system.quorum(j))) {
+      report.all_intersect = false;
+      report.bad_a = i;
+      report.bad_b = j;
+      return report;
+    }
+  }
+  return report;
+}
+
+LoadReportQ rotation_load(const QuorumSystem& system, std::int64_t picks) {
+  DCNT_CHECK(picks > 0);
+  LoadReportQ report;
+  report.hits.assign(static_cast<std::size_t>(system.universe_size()), 0);
+  std::int64_t total_size = 0;
+  for (std::int64_t pick = 0; pick < picks; ++pick) {
+    const auto q = system.quorum(static_cast<std::size_t>(pick) %
+                                 system.num_quorums());
+    total_size += static_cast<std::int64_t>(q.size());
+    report.max_quorum_size =
+        std::max(report.max_quorum_size, static_cast<std::int64_t>(q.size()));
+    for (const ProcessorId p : q) {
+      ++report.hits[static_cast<std::size_t>(p)];
+    }
+  }
+  const std::int64_t busiest =
+      *std::max_element(report.hits.begin(), report.hits.end());
+  report.max_load =
+      static_cast<double>(busiest) / static_cast<double>(picks);
+  report.mean_quorum_size =
+      static_cast<double>(total_size) / static_cast<double>(picks);
+  return report;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,43 @@
+// Structural analysis of quorum systems: the pairwise intersection
+// property (the precondition of the paper's Hot Spot Lemma) and the
+// load a rotation strategy induces — the quorum-world analogue of the
+// paper's bottleneck measure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+struct IntersectionReport {
+  bool all_intersect{true};
+  std::int64_t pairs_checked{0};
+  /// First offending pair if any.
+  std::size_t bad_a{0};
+  std::size_t bad_b{0};
+};
+
+/// Verifies quorum(i) ∩ quorum(j) != ∅. Exhaustive when the family has
+/// at most `exhaustive_limit` quorums; otherwise checks `samples` random
+/// pairs.
+IntersectionReport check_pairwise_intersection(const QuorumSystem& system,
+                                               std::size_t exhaustive_limit,
+                                               std::int64_t samples, Rng& rng);
+
+struct LoadReportQ {
+  /// max_p (hits_p / picks): the fraction of operations touching the
+  /// busiest element — Naor-Wool load of the rotation strategy.
+  double max_load{0.0};
+  double mean_quorum_size{0.0};
+  std::int64_t max_quorum_size{0};
+  std::vector<std::int64_t> hits;  ///< per element
+};
+
+/// Simulates `picks` rotation picks (indices 0,1,2,... mod family size)
+/// and tallies element usage.
+LoadReportQ rotation_load(const QuorumSystem& system, std::int64_t picks);
+
+}  // namespace dcnt

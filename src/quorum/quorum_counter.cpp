@@ -1,0 +1,178 @@
+#include "quorum/quorum_counter.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+QuorumCounter::QuorumCounter(std::shared_ptr<const QuorumSystem> system)
+    : system_(std::move(system)) {
+  DCNT_CHECK(system_ != nullptr);
+  DCNT_CHECK(system_->universe_size() >= 1);
+  replicas_.resize(static_cast<std::size_t>(system_->universe_size()));
+}
+
+std::size_t QuorumCounter::num_processors() const {
+  return static_cast<std::size_t>(system_->universe_size());
+}
+
+QuorumCounter::Pending* QuorumCounter::find_pending(OpId op) {
+  for (auto& p : pending_) {
+    if (p.op == op) return &p;
+  }
+  return nullptr;
+}
+
+void QuorumCounter::start_inc(Context& ctx, ProcessorId origin, OpId op) {
+  Pending pending;
+  pending.op = op;
+  pending.origin = origin;
+  pending.quorum = system_->quorum(rotation_ % system_->num_quorums());
+  ++rotation_;
+  pending_.push_back(std::move(pending));
+  Pending& p = pending_.back();
+
+  // Round 1: read every member. The origin's own replica (if it is a
+  // member) is read locally, without a message.
+  std::int64_t local_version = -1;
+  Value local_value = 0;
+  bool origin_is_member = false;
+  int remote = 0;
+  for (const ProcessorId member : p.quorum) {
+    if (member == origin) {
+      origin_is_member = true;
+      const Replica& r = replicas_[static_cast<std::size_t>(member)];
+      local_version = r.version;
+      local_value = r.value;
+      continue;
+    }
+    ++remote;
+    Message m;
+    m.src = origin;
+    m.dst = member;
+    m.tag = kTagRead;
+    ctx.send(std::move(m));
+  }
+  p.awaiting = remote;
+  if (origin_is_member) absorb_read(ctx, p, local_version, local_value);
+  if (remote == 0 && !p.writing) begin_write(ctx, p);
+}
+
+void QuorumCounter::on_message(Context& ctx, const Message& msg) {
+  switch (msg.tag) {
+    case kTagRead: {
+      const Replica& r = replicas_[static_cast<std::size_t>(msg.dst)];
+      Message reply;
+      reply.src = msg.dst;
+      reply.dst = msg.src;
+      reply.tag = kTagReadReply;
+      reply.args = {r.version, r.value};
+      ctx.send(std::move(reply));
+      return;
+    }
+    case kTagReadReply: {
+      Pending* p = find_pending(msg.op);
+      DCNT_CHECK(p != nullptr && !p->writing);
+      --p->awaiting;
+      absorb_read(ctx, *p, msg.args.at(0), msg.args.at(1));
+      if (p->awaiting == 0) begin_write(ctx, *p);
+      return;
+    }
+    case kTagWrite: {
+      Replica& r = replicas_[static_cast<std::size_t>(msg.dst)];
+      if (msg.args.at(0) > r.version) {
+        r.version = msg.args.at(0);
+        r.value = msg.args.at(1);
+      }
+      Message ack;
+      ack.src = msg.dst;
+      ack.dst = msg.src;
+      ack.tag = kTagAck;
+      ctx.send(std::move(ack));
+      return;
+    }
+    case kTagAck: {
+      Pending* p = find_pending(msg.op);
+      DCNT_CHECK(p != nullptr && p->writing);
+      --p->awaiting;
+      absorb_ack(ctx, *p);
+      return;
+    }
+    default:
+      DCNT_CHECK_MSG(false, "unknown message tag");
+  }
+}
+
+void QuorumCounter::absorb_read(Context& ctx, Pending& pending,
+                                std::int64_t version, Value value) {
+  if (version > pending.best_version) {
+    pending.best_version = version;
+    pending.best_value = value;
+  }
+  (void)ctx;
+}
+
+void QuorumCounter::begin_write(Context& ctx, Pending& pending) {
+  DCNT_CHECK(pending.awaiting == 0);
+  pending.writing = true;
+  const std::int64_t new_version = pending.best_version + 1;
+  const Value new_value = pending.best_value + 1;
+  int remote = 0;
+  for (const ProcessorId member : pending.quorum) {
+    if (member == pending.origin) {
+      Replica& r = replicas_[static_cast<std::size_t>(member)];
+      if (new_version > r.version) {
+        r.version = new_version;
+        r.value = new_value;
+      }
+      continue;
+    }
+    ++remote;
+    Message m;
+    m.src = pending.origin;
+    m.dst = member;
+    m.tag = kTagWrite;
+    m.args = {new_version, new_value};
+    ctx.send(std::move(m));
+  }
+  pending.awaiting = remote;
+  absorb_ack(ctx, pending);  // completes immediately if no remote member
+}
+
+void QuorumCounter::absorb_ack(Context& ctx, Pending& pending) {
+  if (pending.awaiting > 0) return;
+  const OpId op = pending.op;
+  const Value result = pending.best_value;
+  pending_.erase(
+      std::find_if(pending_.begin(), pending_.end(),
+                   [op](const Pending& p) { return p.op == op; }));
+  ctx.complete(op, result);
+}
+
+std::unique_ptr<CounterProtocol> QuorumCounter::clone_counter() const {
+  return std::make_unique<QuorumCounter>(*this);
+}
+
+std::string QuorumCounter::name() const {
+  std::ostringstream os;
+  os << "quorum(" << system_->name() << ")";
+  return os.str();
+}
+
+void QuorumCounter::check_quiescent(std::size_t ops_completed) const {
+  DCNT_CHECK(pending_.empty());
+  std::int64_t best_version = 0;
+  Value best_value = 0;
+  for (const auto& r : replicas_) {
+    if (r.version > best_version) {
+      best_version = r.version;
+      best_value = r.value;
+    }
+  }
+  DCNT_CHECK(best_version == static_cast<std::int64_t>(ops_completed));
+  DCNT_CHECK(best_value == static_cast<Value>(ops_completed));
+}
+
+}  // namespace dcnt

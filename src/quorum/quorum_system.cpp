@@ -1,0 +1,22 @@
+#include "quorum/quorum_system.hpp"
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+SingletonQuorum::SingletonQuorum(std::int64_t n, ProcessorId holder)
+    : n_(n), holder_(holder) {
+  DCNT_CHECK(n > 0);
+  DCNT_CHECK(holder >= 0 && holder < n);
+}
+
+std::vector<ProcessorId> SingletonQuorum::quorum(std::size_t index) const {
+  DCNT_CHECK(index < num_quorums());
+  return {holder_};
+}
+
+std::unique_ptr<QuorumSystem> SingletonQuorum::clone() const {
+  return std::make_unique<SingletonQuorum>(*this);
+}
+
+}  // namespace dcnt

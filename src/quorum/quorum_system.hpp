@@ -1,0 +1,61 @@
+// Quorum systems (paper, Related Work): "a collection of sets of
+// elements where every two sets in the collection intersect".
+//
+// The paper's Hot Spot Lemma is exactly the quorum intersection
+// argument (it cites Maekawa [Mae85]), and the authors describe their
+// construction as something that "might be called a Dynamic Quorum
+// System". This subsystem provides the classic static constructions the
+// paper situates itself against, a pairwise-intersection checker, the
+// load metric of Naor-Wool style analyses, and a counter built on
+// read/write quorums (quorum_counter.hpp) whose bottleneck behaviour the
+// benches compare with the paper's tree.
+//
+// A QuorumSystem exposes an indexed family of quorums; pickers rotate
+// through indices to spread load. Every implementation guarantees that
+// quorum(i) and quorum(j) intersect for all i, j.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  /// Number of elements (processors) in the universe.
+  virtual std::int64_t universe_size() const = 0;
+
+  /// Size of the indexed quorum family (pickers rotate modulo this).
+  virtual std::size_t num_quorums() const = 0;
+
+  /// The index-th quorum: a sorted, duplicate-free set of processors.
+  virtual std::vector<ProcessorId> quorum(std::size_t index) const = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<QuorumSystem> clone() const = 0;
+};
+
+/// Degenerate single-element system: every quorum is {holder}. Models
+/// the centralized counter inside the quorum framework.
+class SingletonQuorum final : public QuorumSystem {
+ public:
+  SingletonQuorum(std::int64_t n, ProcessorId holder);
+
+  std::int64_t universe_size() const override { return n_; }
+  std::size_t num_quorums() const override { return 1; }
+  std::vector<ProcessorId> quorum(std::size_t index) const override;
+  std::string name() const override { return "singleton"; }
+  std::unique_ptr<QuorumSystem> clone() const override;
+
+ private:
+  std::int64_t n_;
+  ProcessorId holder_;
+};
+
+}  // namespace dcnt

@@ -1,0 +1,59 @@
+#include "quorum/tree_quorum.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+TreeQuorum::TreeQuorum(std::int64_t n) : n_(n) { DCNT_CHECK(n >= 1); }
+
+void TreeQuorum::build(std::uint64_t seed, std::int64_t node,
+                       std::vector<ProcessorId>* out) const {
+  const std::int64_t left = 2 * node + 1;
+  const std::int64_t right = 2 * node + 2;
+  const bool has_left = left < n_;
+  const bool has_right = right < n_;
+  if (!has_left && !has_right) {
+    out->push_back(static_cast<ProcessorId>(node));
+    return;
+  }
+  const std::uint64_t coin = mix64(seed ^ (0x9E37ULL * static_cast<std::uint64_t>(node) + 1));
+  if (!has_right) {
+    // Single-child node: keeping v preserves intersection regardless of
+    // whether we also descend.
+    out->push_back(static_cast<ProcessorId>(node));
+    if (coin % 2 == 0) build(seed, left, out);
+    return;
+  }
+  switch (coin % 3) {
+    case 0:
+      out->push_back(static_cast<ProcessorId>(node));
+      build(seed, left, out);
+      break;
+    case 1:
+      out->push_back(static_cast<ProcessorId>(node));
+      build(seed, right, out);
+      break;
+    default:
+      build(seed, left, out);
+      build(seed, right, out);
+      break;
+  }
+}
+
+std::vector<ProcessorId> TreeQuorum::quorum(std::size_t index) const {
+  DCNT_CHECK(index < num_quorums());
+  std::vector<ProcessorId> q;
+  build(mix64(static_cast<std::uint64_t>(index) + 0xABCDULL), 0, &q);
+  std::sort(q.begin(), q.end());
+  q.erase(std::unique(q.begin(), q.end()), q.end());
+  return q;
+}
+
+std::unique_ptr<QuorumSystem> TreeQuorum::clone() const {
+  return std::make_unique<TreeQuorum>(*this);
+}
+
+}  // namespace dcnt

@@ -1,0 +1,45 @@
+// Tree quorums (Agrawal & El Abbadi style majority-of-tree), one of the
+// classic constructions in the lineage the paper surveys ([KM96]'s
+// hierarchical quorum consensus descends from it).
+//
+// Processors form a binary tree in heap order. A quorum is built
+// recursively at each node v:
+//   * take v and a quorum of one child subtree, or
+//   * skip v and take quorums of *both* child subtrees.
+// Any two quorums built this way intersect (induction over the tree:
+// if both keep the root they share it; if one skips it, it covers both
+// subtrees and meets the other's subtree quorum).
+//
+// The indexed family derives its choices pseudo-randomly from the index,
+// so rotation spreads load over the tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+
+namespace dcnt {
+
+class TreeQuorum final : public QuorumSystem {
+ public:
+  explicit TreeQuorum(std::int64_t n);
+
+  std::int64_t universe_size() const override { return n_; }
+  std::size_t num_quorums() const override {
+    return static_cast<std::size_t>(n_);
+  }
+  std::vector<ProcessorId> quorum(std::size_t index) const override;
+  std::string name() const override { return "tree-quorum"; }
+  std::unique_ptr<QuorumSystem> clone() const override;
+
+ private:
+  void build(std::uint64_t seed, std::int64_t node,
+             std::vector<ProcessorId>* out) const;
+
+  std::int64_t n_;
+};
+
+}  // namespace dcnt

@@ -1,0 +1,79 @@
+#include "quorum/weighted.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+WeightedMajorityQuorum::WeightedMajorityQuorum(std::vector<std::int64_t> votes)
+    : votes_(std::move(votes)) {
+  DCNT_CHECK(!votes_.empty());
+  for (const auto v : votes_) {
+    DCNT_CHECK(v >= 0);
+    total_ += v;
+  }
+  DCNT_CHECK_MSG(total_ >= 1, "at least one vote required");
+}
+
+std::unique_ptr<WeightedMajorityQuorum> WeightedMajorityQuorum::uniform(
+    std::int64_t n) {
+  return std::make_unique<WeightedMajorityQuorum>(
+      std::vector<std::int64_t>(static_cast<std::size_t>(n), 1));
+}
+
+std::unique_ptr<WeightedMajorityQuorum>
+WeightedMajorityQuorum::weighted_leader(std::int64_t n, double fraction) {
+  DCNT_CHECK(n >= 2);
+  DCNT_CHECK(fraction > 0.0 && fraction < 1.0);
+  // Everyone gets 1 vote; the leader's stake is raised to `fraction` of
+  // the final total: leader = f/(1-f) * (n-1), rounded up.
+  std::vector<std::int64_t> votes(static_cast<std::size_t>(n), 1);
+  votes[0] = static_cast<std::int64_t>(
+      std::ceil(fraction / (1.0 - fraction) * static_cast<double>(n - 1)));
+  return std::make_unique<WeightedMajorityQuorum>(std::move(votes));
+}
+
+std::vector<ProcessorId> WeightedMajorityQuorum::quorum(
+    std::size_t index) const {
+  DCNT_CHECK(index < num_quorums());
+  const std::int64_t needed = total_ / 2 + 1;
+  const auto n = static_cast<std::int64_t>(votes_.size());
+  // Greedy: walk from the rotation offset, preferring heavier voters in
+  // a sliding lookahead window so quorums stay small.
+  std::vector<ProcessorId> q;
+  std::int64_t gathered = 0;
+  std::vector<bool> taken(votes_.size(), false);
+  std::int64_t cursor = static_cast<std::int64_t>(index);
+  while (gathered < needed) {
+    // Lookahead window of up to 8 untaken processors; pick the heaviest.
+    ProcessorId best = kNoProcessor;
+    std::int64_t best_votes = -1;
+    std::int64_t scanned = 0;
+    for (std::int64_t off = 0; off < n && scanned < 8; ++off) {
+      const auto p = static_cast<ProcessorId>((cursor + off) % n);
+      if (taken[static_cast<std::size_t>(p)]) continue;
+      ++scanned;
+      if (votes_[static_cast<std::size_t>(p)] > best_votes) {
+        best_votes = votes_[static_cast<std::size_t>(p)];
+        best = p;
+      }
+    }
+    DCNT_CHECK_MSG(best != kNoProcessor, "ran out of voters before majority");
+    taken[static_cast<std::size_t>(best)] = true;
+    if (best_votes > 0) {
+      q.push_back(best);
+      gathered += best_votes;
+    }
+    cursor = (best + 1) % n;
+  }
+  std::sort(q.begin(), q.end());
+  return q;
+}
+
+std::unique_ptr<QuorumSystem> WeightedMajorityQuorum::clone() const {
+  return std::make_unique<WeightedMajorityQuorum>(*this);
+}
+
+}  // namespace dcnt

@@ -1,0 +1,53 @@
+// Weighted voting, after Garcia-Molina & Barbara [GB85] (cited by the
+// paper: "How to assign votes in a distributed system").
+//
+// Every processor holds a number of votes; a quorum is any set whose
+// votes exceed half the total — two such sets must share a voter by
+// counting. Vote assignments interpolate between majority (all equal)
+// and a dictatorship (one processor holds a majority by itself, the
+// centralized hot spot in quorum clothing).
+//
+// The indexed family greedily collects votes starting from a rotating
+// offset, taking heavier voters first within the window — small quorums,
+// deterministic, and biased exactly the way vote weight is.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+
+namespace dcnt {
+
+class WeightedMajorityQuorum final : public QuorumSystem {
+ public:
+  /// votes[p] >= 0; total must be >= 1.
+  explicit WeightedMajorityQuorum(std::vector<std::int64_t> votes);
+
+  /// Equal votes — plain majority.
+  static std::unique_ptr<WeightedMajorityQuorum> uniform(std::int64_t n);
+  /// One heavy voter with `fraction` of all votes (0 < fraction < 1).
+  static std::unique_ptr<WeightedMajorityQuorum> weighted_leader(
+      std::int64_t n, double fraction);
+
+  std::int64_t universe_size() const override {
+    return static_cast<std::int64_t>(votes_.size());
+  }
+  std::size_t num_quorums() const override { return votes_.size(); }
+  std::vector<ProcessorId> quorum(std::size_t index) const override;
+  std::string name() const override { return "weighted-majority"; }
+  std::unique_ptr<QuorumSystem> clone() const override;
+
+  std::int64_t total_votes() const { return total_; }
+  std::int64_t votes_of(ProcessorId p) const {
+    return votes_[static_cast<std::size_t>(p)];
+  }
+
+ private:
+  std::vector<std::int64_t> votes_;
+  std::int64_t total_{0};
+};
+
+}  // namespace dcnt

@@ -1,0 +1,70 @@
+#include "sim/delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+SimTime DelayModel::sample(Rng& rng) const {
+  switch (kind) {
+    case DelayKind::kFixed:
+      return fixed;
+    case DelayKind::kUniform:
+      return rng.next_in(min, max);
+    case DelayKind::kHeavyTail: {
+      // Pareto-ish: most messages take `min`, a few take up to `max`.
+      const double u = std::max(rng.next_double(), 1e-9);
+      const double d = static_cast<double>(min) / std::sqrt(u);
+      return std::min<SimTime>(max, static_cast<SimTime>(d));
+    }
+  }
+  return 1;
+}
+
+DelayModel DelayModel::fixed_delay(SimTime d) {
+  DCNT_CHECK(d >= 1);
+  DelayModel m;
+  m.kind = DelayKind::kFixed;
+  m.fixed = d;
+  return m;
+}
+
+DelayModel DelayModel::uniform(SimTime lo, SimTime hi) {
+  DCNT_CHECK(lo >= 1 && lo <= hi);
+  DelayModel m;
+  m.kind = DelayKind::kUniform;
+  m.min = lo;
+  m.max = hi;
+  return m;
+}
+
+DelayModel DelayModel::heavy_tail(SimTime lo, SimTime cap) {
+  DCNT_CHECK(lo >= 1 && lo <= cap);
+  DelayModel m;
+  m.kind = DelayKind::kHeavyTail;
+  m.min = lo;
+  m.max = cap;
+  return m;
+}
+
+SimTime DelayModel::sample_for(Rng& rng, ProcessorId src,
+                               ProcessorId dst) const {
+  const SimTime base = sample(rng);
+  if (slow_pid != kNoProcessor && (src == slow_pid || dst == slow_pid)) {
+    return base * slow_factor;
+  }
+  return base;
+}
+
+DelayModel DelayModel::with_slow_processor(DelayModel base,
+                                           ProcessorId slow_pid,
+                                           SimTime factor) {
+  DCNT_CHECK(factor >= 1);
+  base.slow_pid = slow_pid;
+  base.slow_factor = factor;
+  return base;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,51 @@
+// Message delay models.
+//
+// The paper's network is asynchronous: "a message arrives at its
+// destination an unbounded but finite amount of time after it has been
+// sent". Protocol correctness must therefore not depend on delivery
+// order; experiments exercise several delay regimes to check that, while
+// message *counts* (the quantity the paper bounds) remain comparable.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+enum class DelayKind : std::uint8_t {
+  kFixed,      ///< every message takes `fixed` ticks (synchronous-like)
+  kUniform,    ///< uniform integer in [min, max]
+  kHeavyTail,  ///< min + floor(min / U^0.5) capped at max; rare stragglers
+};
+
+/// Value-semantic delay sampler. Copying a Simulator copies its model.
+///
+/// The optional slow-processor skew models adversarially asymmetric
+/// asynchrony: every message to or from `slow_pid` takes `slow_factor`
+/// times longer. The paper's model allows arbitrary finite delays, so
+/// no protocol result may depend on this; tests point the skew at the
+/// busiest processors and require identical outcomes.
+struct DelayModel {
+  DelayKind kind{DelayKind::kFixed};
+  SimTime fixed{1};
+  SimTime min{1};
+  SimTime max{1};
+  ProcessorId slow_pid{kNoProcessor};
+  SimTime slow_factor{1};
+
+  /// Endpoint-independent sample (slow-processor skew not applied).
+  SimTime sample(Rng& rng) const;
+  /// Sample for a concrete channel; applies the slow-processor skew.
+  SimTime sample_for(Rng& rng, ProcessorId src, ProcessorId dst) const;
+
+  static DelayModel fixed_delay(SimTime d);
+  static DelayModel uniform(SimTime lo, SimTime hi);
+  static DelayModel heavy_tail(SimTime lo, SimTime cap);
+  /// `base` with all traffic touching `slow_pid` stretched by `factor`.
+  static DelayModel with_slow_processor(DelayModel base, ProcessorId slow_pid,
+                                        SimTime factor);
+};
+
+}  // namespace dcnt

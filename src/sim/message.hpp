@@ -1,0 +1,31 @@
+// Messages exchanged between processors.
+//
+// A message is a protocol-defined integer tag plus a small vector of
+// integer words. The paper cares that messages stay short (O(log n)
+// bits); we record the word count so experiments can assert that no
+// protocol smuggles large state inside single messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+struct Message {
+  ProcessorId src{kNoProcessor};
+  ProcessorId dst{kNoProcessor};
+  std::int32_t tag{0};
+  OpId op{kNoOp};
+  std::vector<std::int64_t> args;
+
+  /// True for self-addressed scheduling aids (timeouts). Local messages
+  /// are delivered by the event loop but are *not* network traffic: they
+  /// are excluded from all load metrics and traces.
+  bool local{false};
+
+  std::size_t size_words() const { return args.size() + 1; }
+};
+
+}  // namespace dcnt

@@ -1,0 +1,79 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+Metrics::Metrics(std::size_t num_processors)
+    : sent_(num_processors, 0),
+      received_(num_processors, 0),
+      words_(num_processors, 0) {}
+
+void Metrics::on_send(ProcessorId p, OpId op, std::size_t words) {
+  ++sent_.at(to_idx(p));
+  ++total_messages_;
+  total_words_ += static_cast<std::int64_t>(words);
+  words_.at(to_idx(p)) += static_cast<std::int64_t>(words);
+  max_message_words_ =
+      std::max(max_message_words_, static_cast<std::int64_t>(words));
+  if (op >= 0) {
+    const auto idx = static_cast<std::size_t>(op);
+    if (idx >= per_op_messages_.size()) per_op_messages_.resize(idx + 1, 0);
+    ++per_op_messages_[idx];
+  }
+}
+
+void Metrics::on_receive(ProcessorId p, std::size_t words) {
+  ++received_.at(to_idx(p));
+  words_.at(to_idx(p)) += static_cast<std::int64_t>(words);
+}
+
+std::int64_t Metrics::max_word_load() const {
+  std::int64_t best = 0;
+  for (const auto w : words_) best = std::max(best, w);
+  return best;
+}
+
+std::int64_t Metrics::max_load() const {
+  std::int64_t best = 0;
+  for (std::size_t i = 0; i < sent_.size(); ++i) {
+    best = std::max(best, sent_[i] + received_[i]);
+  }
+  return best;
+}
+
+ProcessorId Metrics::bottleneck() const {
+  DCNT_CHECK(!sent_.empty());
+  std::size_t arg = 0;
+  std::int64_t best = -1;
+  for (std::size_t i = 0; i < sent_.size(); ++i) {
+    const std::int64_t l = sent_[i] + received_[i];
+    if (l > best) {
+      best = l;
+      arg = i;
+    }
+  }
+  return static_cast<ProcessorId>(arg);
+}
+
+Summary Metrics::load_summary() const {
+  std::vector<std::int64_t> loads(sent_.size());
+  for (std::size_t i = 0; i < sent_.size(); ++i) {
+    loads[i] = sent_[i] + received_[i];
+  }
+  return Summary(std::move(loads));
+}
+
+void Metrics::reset() {
+  std::fill(sent_.begin(), sent_.end(), 0);
+  std::fill(received_.begin(), received_.end(), 0);
+  std::fill(words_.begin(), words_.end(), 0);
+  max_message_words_ = 0;
+  per_op_messages_.clear();
+  total_messages_ = 0;
+  total_words_ = 0;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,78 @@
+// Per-processor message-load accounting.
+//
+// This is the quantity the paper's theorems are about: m_p, the number
+// of messages processor p sends or receives over an operation sequence
+// (§3, "Definitions"). The simulator updates these counters on every
+// non-local message; protocols cannot forget to count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "support/stats.hpp"
+
+namespace dcnt {
+
+class Metrics {
+ public:
+  Metrics() = default;
+  explicit Metrics(std::size_t num_processors);
+
+  void on_send(ProcessorId p, OpId op, std::size_t words);
+  void on_receive(ProcessorId p, std::size_t words);
+
+  std::size_t num_processors() const { return sent_.size(); }
+
+  std::int64_t sent(ProcessorId p) const { return sent_.at(to_idx(p)); }
+  std::int64_t received(ProcessorId p) const { return received_.at(to_idx(p)); }
+
+  /// m_p: messages sent plus received by p (the paper's message load).
+  std::int64_t load(ProcessorId p) const {
+    return sent_.at(to_idx(p)) + received_.at(to_idx(p));
+  }
+
+  /// Word load of p: payload words sent plus received. The paper keeps
+  /// messages at O(log n) bits, so for its protocols the word load is a
+  /// constant multiple of m_p; services with fat root state (the tree
+  /// priority queue) diverge — this is how that shows up per processor.
+  std::int64_t word_load(ProcessorId p) const {
+    return words_.at(to_idx(p));
+  }
+  /// max_p word_load(p) — the bottleneck in words rather than messages.
+  std::int64_t max_word_load() const;
+  /// Largest single message payload seen (words).
+  std::int64_t max_message_words() const { return max_message_words_; }
+
+  /// Total messages sent system-wide.
+  std::int64_t total_messages() const { return total_messages_; }
+  /// Total payload words sent (message-size accounting).
+  std::int64_t total_words() const { return total_words_; }
+
+  /// max_p m_p and its arg — the bottleneck processor b of §3.
+  std::int64_t max_load() const;
+  ProcessorId bottleneck() const;
+
+  /// All loads as a Summary (for percentiles / histograms).
+  Summary load_summary() const;
+
+  /// Messages attributed to each operation, by OpId (grown on demand).
+  const std::vector<std::int64_t>& per_op_messages() const {
+    return per_op_messages_;
+  }
+
+  void reset();
+
+ private:
+  static std::size_t to_idx(ProcessorId p) { return static_cast<std::size_t>(p); }
+
+  std::vector<std::int64_t> sent_;
+  std::vector<std::int64_t> received_;
+  std::vector<std::int64_t> words_;
+  std::vector<std::int64_t> per_op_messages_;
+  std::int64_t total_messages_{0};
+  std::int64_t total_words_{0};
+  std::int64_t max_message_words_{0};
+};
+
+}  // namespace dcnt

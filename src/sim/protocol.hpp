@@ -1,0 +1,91 @@
+// Protocol interface.
+//
+// A Protocol object holds the *entire* distributed state of an algorithm
+// (every processor's local memory) as one value. This is a simulation
+// convenience, not shared memory: the only channel through which
+// knowledge may move between processors is Context::send(). Protocols
+// must be written so that a handler for processor p reads and writes
+// only p's slice of the state; the tests enforce the observable
+// consequence (delivery-order invariance of all results and loads).
+//
+// Value semantics (clone()) are load-bearing: the lower-bound adversary
+// (§3 of the paper) snapshots the whole system to dry-run candidate
+// operations before committing to the one with the longest
+// communication list.
+#pragma once
+
+#include <memory>
+
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+/// Interface handed to protocol handlers for interacting with the world.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// Send a network message from msg.src to msg.dst. Must have
+  /// 0 <= src,dst < num_processors. Counted in all load metrics.
+  virtual void send(Message msg) = 0;
+
+  /// Schedule a local wake-up for processor p after `delay` ticks,
+  /// delivered as a Message with local=true (not counted as traffic).
+  virtual void send_local(ProcessorId p, std::int32_t tag,
+                          std::vector<std::int64_t> args, SimTime delay) = 0;
+
+  /// Report that operation `op` completed with `value` at its initiator.
+  virtual void complete(OpId op, Value value) = 0;
+
+  /// Current simulated time.
+  virtual SimTime now() const = 0;
+
+  /// Per-simulation random stream (cloned with the simulator).
+  virtual class Rng& rng() = 0;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::size_t num_processors() const = 0;
+
+  /// Deliver one message to its destination processor.
+  virtual void on_message(Context& ctx, const Message& msg) = 0;
+
+  /// Deep-copy the entire distributed state.
+  virtual std::unique_ptr<Protocol> clone() const = 0;
+
+  /// Human-readable short name ("tree(k=3)", "central", ...).
+  virtual std::string name() const = 0;
+
+  /// Hook for protocol-internal sanity checks at quiescence; the harness
+  /// calls this between operations. Default: nothing to check.
+  virtual void check_quiescent(std::size_t /*ops_completed*/) const {}
+};
+
+/// A distributed counter: the abstract data type of the paper (§2).
+class CounterProtocol : public Protocol {
+ public:
+  /// Begin an inc initiated at processor `origin`. The implementation
+  /// sends whatever messages the protocol requires and eventually calls
+  /// ctx.complete(op, value) at the initiator. A counter whose value
+  /// happens to live at the initiator may complete immediately with no
+  /// messages (the paper's degenerate centralized case).
+  virtual void start_inc(Context& ctx, ProcessorId origin, OpId op) = 0;
+
+  /// Generic operation entry point for services richer than a counter
+  /// (e.g. the tree priority queue takes {kind, key} arguments). The
+  /// default ignores the arguments and treats the operation as an inc.
+  virtual void start_op(Context& ctx, ProcessorId origin, OpId op,
+                        const std::vector<std::int64_t>& args) {
+    (void)args;
+    start_inc(ctx, origin, op);
+  }
+
+  virtual std::unique_ptr<CounterProtocol> clone_counter() const = 0;
+  std::unique_ptr<Protocol> clone() const final { return clone_counter(); }
+};
+
+}  // namespace dcnt

@@ -1,0 +1,169 @@
+// Discrete-event simulator for the paper's asynchronous message-passing
+// model (§2): n processors, any-to-any channels, unbounded-but-finite
+// delays, no failures.
+//
+// Determinism & reproducibility: delivery order is a pure function of
+// (protocol, config.seed). Cloning a Simulator (copy construction)
+// deep-copies the protocol state, event queue, random stream, metrics
+// and trace, which is what the lower-bound adversary uses to dry-run
+// candidate operations.
+//
+// Message accounting: every cross-processor send increments the
+// sender's and (on delivery) the receiver's load — the m_p of §3.
+// Self-addressed sends (src == dst) are delivered through the queue for
+// uniformity but are NOT counted: a processor talking to itself is a
+// local operation, not network traffic, and the paper counts messages
+// between processors. Local wake-ups (send_local) are likewise uncounted.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/delay.hpp"
+#include "sim/message.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+#include "sim/topology.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+struct SimConfig {
+  std::uint64_t seed{1};
+  DelayModel delay{};
+  /// Enforce per-(src,dst) FIFO delivery. The paper's model does not
+  /// require it; the tree counter must work either way (tested).
+  bool fifo_channels{false};
+  /// Record the causal message trace (needed for DAG/list analysis;
+  /// costs memory on big runs).
+  bool enable_trace{false};
+  /// Optional sparse network: logical messages are relayed hop by hop
+  /// along the topology's route, every hop counted as one message at
+  /// both endpoints (routers bear load). Null = the paper's complete
+  /// network (direct delivery). Must cover >= the protocol's processor
+  /// count. Shared (immutable) between simulator clones.
+  std::shared_ptr<const Topology> topology{};
+};
+
+class Simulator final : private Context {
+ public:
+  Simulator(std::unique_ptr<CounterProtocol> protocol, SimConfig config);
+
+  /// Deep snapshot (protocol cloned; queue, rng, metrics, trace copied).
+  Simulator(const Simulator& other);
+  Simulator& operator=(const Simulator& other);
+  Simulator(Simulator&&) noexcept = default;
+  Simulator& operator=(Simulator&&) noexcept = default;
+  ~Simulator() override = default;
+
+  /// Initiate an inc at `origin`; returns the operation's id (0,1,2,...).
+  OpId begin_inc(ProcessorId origin);
+
+  /// Initiate a generic operation with arguments (for protocols beyond
+  /// plain counters, e.g. the tree priority queue). Counters treat it
+  /// as an inc.
+  OpId begin_op(ProcessorId origin, const std::vector<std::int64_t>& args);
+
+  /// Invocation / response times of an operation (response only after
+  /// completion) — the history the linearizability checker consumes.
+  SimTime op_invoked_at(OpId op) const;
+  SimTime op_responded_at(OpId op) const;
+
+  /// Deliver the next pending message. Returns false when idle.
+  bool step();
+
+  /// Deliver the `index`-th pending message (0 <= index <
+  /// pending_messages(), ordered by send sequence) regardless of its
+  /// scheduled time — the asynchronous model permits any order, and the
+  /// schedule explorer (analysis/explore.hpp) uses this to enumerate
+  /// them exhaustively. Not meaningful with fifo_channels.
+  void step_specific(std::size_t index);
+
+  /// Deliver messages until none remain. Aborts (DCNT_CHECK) after
+  /// `max_steps` deliveries — a protocol that never quiesces is a bug.
+  void run_until_quiescent(std::int64_t max_steps = 100'000'000);
+
+  /// Replaces the delivery-randomness stream. The paper's adversary
+  /// quantifies over all nondeterministic processes; reseeding clones
+  /// lets the analysis layer sample several realizable schedules per
+  /// candidate operation.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+  bool quiescent() const { return queue_.empty(); }
+  std::size_t pending_messages() const { return queue_.size(); }
+
+  std::optional<Value> result(OpId op) const;
+  std::size_t ops_started() const { return results_.size(); }
+  std::size_t ops_completed() const { return completed_; }
+
+  const Metrics& metrics() const { return metrics_; }
+  Metrics& mutable_metrics() { return metrics_; }
+  const Trace& trace() const { return trace_; }
+  Trace& mutable_trace() { return trace_; }
+  const CounterProtocol& counter() const { return *protocol_; }
+  CounterProtocol& mutable_counter() { return *protocol_; }
+  std::size_t num_processors() const { return protocol_->num_processors(); }
+  const SimConfig& config() const { return config_; }
+  std::int64_t deliveries() const { return deliveries_; }
+
+  // Context interface (used by protocol handlers).
+  void send(Message msg) override;
+  void send_local(ProcessorId p, std::int32_t tag,
+                  std::vector<std::int64_t> args, SimTime delay) override;
+  void complete(OpId op, Value value) override;
+  SimTime now() const override { return now_; }
+  Rng& rng() override { return rng_; }
+
+ private:
+  struct Event {
+    SimTime deliver_time{0};
+    std::int64_t seq{0};
+    RecordId record{kNoRecord};  ///< trace record of this hop (if traced)
+    RecordId cause{kNoRecord};   ///< causal parent for sends it triggers
+    ProcessorId at{kNoProcessor};  ///< hop destination (== msg.dst if direct)
+    std::int64_t ttl{0};           ///< relay budget (routing-loop guard)
+    Message msg;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.deliver_time != b.deliver_time)
+        return a.deliver_time > b.deliver_time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue_hop(Message msg, ProcessorId hop_src, ProcessorId hop_dst,
+                   RecordId record, RecordId cause, std::int64_t ttl);
+  void deliver(Event ev);
+  static std::uint64_t channel_key(ProcessorId src, ProcessorId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+
+  std::unique_ptr<CounterProtocol> protocol_;
+  SimConfig config_;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_map<std::uint64_t, SimTime> channel_last_;
+  Metrics metrics_;
+  Trace trace_;
+  std::vector<std::optional<Value>> results_;
+  std::vector<SimTime> invoked_at_;
+  std::vector<SimTime> responded_at_;  // -1 while outstanding
+  std::size_t completed_{0};
+  SimTime now_{0};
+  std::int64_t seq_{0};
+  std::int64_t deliveries_{0};
+
+  // Transient handler context.
+  RecordId current_parent_{kNoRecord};
+  OpId current_op_{kNoOp};
+  bool in_handler_{false};
+};
+
+}  // namespace dcnt

@@ -1,0 +1,89 @@
+#include "sim/topology.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+std::int64_t Topology::distance(ProcessorId from, ProcessorId to) const {
+  DCNT_CHECK(from >= 0 && from < num_nodes());
+  DCNT_CHECK(to >= 0 && to < num_nodes());
+  if (from == to) return 0;
+  std::int64_t hops = 0;
+  ProcessorId at = from;
+  while (at != to) {
+    at = next_hop(at, to);
+    ++hops;
+    DCNT_CHECK_MSG(hops <= num_nodes(), "routing loop");
+  }
+  return hops;
+}
+
+CompleteTopology::CompleteTopology(std::int64_t n) : n_(n) {
+  DCNT_CHECK(n >= 1);
+}
+
+ProcessorId CompleteTopology::next_hop(ProcessorId from, ProcessorId to) const {
+  DCNT_CHECK(from != to);
+  return to;
+}
+
+RingTopology::RingTopology(std::int64_t n) : n_(n) { DCNT_CHECK(n >= 2); }
+
+ProcessorId RingTopology::next_hop(ProcessorId from, ProcessorId to) const {
+  DCNT_CHECK(from != to);
+  const std::int64_t forward = (to - from + n_) % n_;
+  if (forward <= n_ - forward) {
+    return static_cast<ProcessorId>((from + 1) % n_);
+  }
+  return static_cast<ProcessorId>((from - 1 + n_) % n_);
+}
+
+TorusTopology::TorusTopology(std::int64_t n, std::int64_t cols) : n_(n) {
+  DCNT_CHECK(n >= 2);
+  if (cols <= 0) {
+    cols = static_cast<std::int64_t>(std::round(std::sqrt(static_cast<double>(n))));
+    while (cols > 1 && n % cols != 0) --cols;
+  }
+  cols_ = cols;
+  DCNT_CHECK_MSG(n % cols_ == 0, "torus needs n == rows*cols");
+  rows_ = n / cols_;
+}
+
+ProcessorId TorusTopology::next_hop(ProcessorId from, ProcessorId to) const {
+  DCNT_CHECK(from != to);
+  const std::int64_t fr = from / cols_;
+  const std::int64_t fc = from % cols_;
+  const std::int64_t tr = to / cols_;
+  const std::int64_t tc = to % cols_;
+  // Dimension-order: fix the column first, then the row; wrap the
+  // shorter way around.
+  if (fc != tc) {
+    const std::int64_t forward = (tc - fc + cols_) % cols_;
+    const std::int64_t nc =
+        forward <= cols_ - forward ? (fc + 1) % cols_ : (fc - 1 + cols_) % cols_;
+    return static_cast<ProcessorId>(fr * cols_ + nc);
+  }
+  const std::int64_t forward = (tr - fr + rows_) % rows_;
+  const std::int64_t nr =
+      forward <= rows_ - forward ? (fr + 1) % rows_ : (fr - 1 + rows_) % rows_;
+  return static_cast<ProcessorId>(nr * cols_ + fc);
+}
+
+HypercubeTopology::HypercubeTopology(std::int64_t n) : n_(n) {
+  DCNT_CHECK(n >= 2);
+  DCNT_CHECK_MSG((n & (n - 1)) == 0, "hypercube needs n == 2^d");
+  dims_ = 0;
+  while ((1LL << dims_) < n) ++dims_;
+}
+
+ProcessorId HypercubeTopology::next_hop(ProcessorId from, ProcessorId to) const {
+  DCNT_CHECK(from != to);
+  const std::uint32_t diff =
+      static_cast<std::uint32_t>(from) ^ static_cast<std::uint32_t>(to);
+  const std::uint32_t lowest = diff & (~diff + 1);  // lowest set bit
+  return static_cast<ProcessorId>(static_cast<std::uint32_t>(from) ^ lowest);
+}
+
+}  // namespace dcnt

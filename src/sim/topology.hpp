@@ -1,0 +1,95 @@
+// Network topologies with deterministic routing.
+//
+// The paper's model (§2) assumes a complete network: "Any processor can
+// exchange messages directly with any other processor." That assumption
+// is load-bearing for the upper bound — on a sparse network, messages
+// are relayed hop by hop and the *routers* send and receive too, so
+// their load counts toward the bottleneck. Plugging a topology into
+// SimConfig makes the simulator deliver every logical message along the
+// topology's route, counting each hop as one message at both endpoints
+// (bench_topology quantifies what that does to the Theta(k) result).
+//
+// Topologies are immutable and shared between simulator clones.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  virtual std::int64_t num_nodes() const = 0;
+  virtual std::string name() const = 0;
+
+  /// The neighbour to forward to on the (deterministic, loop-free)
+  /// route from `from` toward `to`; requires from != to.
+  virtual ProcessorId next_hop(ProcessorId from, ProcessorId to) const = 0;
+
+  /// Route length in hops (walks next_hop; aborts if the route does not
+  /// make progress within num_nodes steps).
+  std::int64_t distance(ProcessorId from, ProcessorId to) const;
+};
+
+/// The paper's model: everyone adjacent to everyone; next_hop == to.
+class CompleteTopology final : public Topology {
+ public:
+  explicit CompleteTopology(std::int64_t n);
+  std::int64_t num_nodes() const override { return n_; }
+  std::string name() const override { return "complete"; }
+  ProcessorId next_hop(ProcessorId from, ProcessorId to) const override;
+
+ private:
+  std::int64_t n_;
+};
+
+/// Bidirectional ring; routes take the shorter direction (ties go up).
+class RingTopology final : public Topology {
+ public:
+  explicit RingTopology(std::int64_t n);
+  std::int64_t num_nodes() const override { return n_; }
+  std::string name() const override { return "ring"; }
+  ProcessorId next_hop(ProcessorId from, ProcessorId to) const override;
+
+ private:
+  std::int64_t n_;
+};
+
+/// 2D torus (rows x cols = n), dimension-order (row first) routing with
+/// wrap-around shortcuts. cols == 0 picks ~sqrt(n); n must equal
+/// rows*cols.
+class TorusTopology final : public Topology {
+ public:
+  TorusTopology(std::int64_t n, std::int64_t cols = 0);
+  std::int64_t num_nodes() const override { return n_; }
+  std::string name() const override { return "torus"; }
+  ProcessorId next_hop(ProcessorId from, ProcessorId to) const override;
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+ private:
+  std::int64_t n_;
+  std::int64_t cols_;
+  std::int64_t rows_;
+};
+
+/// Hypercube on n = 2^d nodes; routing fixes the lowest differing bit.
+class HypercubeTopology final : public Topology {
+ public:
+  explicit HypercubeTopology(std::int64_t n);
+  std::int64_t num_nodes() const override { return n_; }
+  std::string name() const override { return "hypercube"; }
+  ProcessorId next_hop(ProcessorId from, ProcessorId to) const override;
+  int dimensions() const { return dims_; }
+
+ private:
+  std::int64_t n_;
+  int dims_;
+};
+
+}  // namespace dcnt

@@ -1,0 +1,31 @@
+// Fundamental identifier types shared across the simulator and all
+// protocols.
+//
+// Paper model (§2): processors are identified 1..n; we use 0..n-1
+// internally and translate only in human-facing output.
+#pragma once
+
+#include <cstdint>
+
+namespace dcnt {
+
+/// Processor index in [0, n). -1 means "none" (e.g. the root's parent).
+using ProcessorId = std::int32_t;
+
+/// Identifier of one counting operation (assigned by the simulator in
+/// initiation order). kNoOp marks protocol-internal traffic that is not
+/// attributable to a single operation (none in the paper's protocols,
+/// but supported).
+using OpId = std::int64_t;
+
+/// Simulated time. Message delays are positive integers; the absolute
+/// scale is meaningless — only ordering matters to the protocols.
+using SimTime = std::int64_t;
+
+/// Counter values.
+using Value = std::int64_t;
+
+inline constexpr ProcessorId kNoProcessor = -1;
+inline constexpr OpId kNoOp = -1;
+
+}  // namespace dcnt

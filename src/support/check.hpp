@@ -1,0 +1,39 @@
+// Lightweight precondition / invariant checking.
+//
+// DCNT_CHECK is always on (it guards protocol invariants whose violation
+// would silently corrupt an experiment); DCNT_DCHECK compiles out in
+// release builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcnt::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "DCNT_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace dcnt::detail
+
+#define DCNT_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) ::dcnt::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DCNT_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::dcnt::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+  } while (false)
+
+#ifdef NDEBUG
+#define DCNT_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define DCNT_DCHECK(expr) DCNT_CHECK(expr)
+#endif

@@ -1,0 +1,32 @@
+// Minimal --key=value command-line parsing for examples and benches.
+// Not a general-purpose flag library: just enough to parameterize the
+// experiment binaries (seed, n, k, counter kind, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dcnt {
+
+class Flags {
+ public:
+  /// Parses argv of the form --key=value or --key value or bare --key
+  /// (boolean true). Unrecognized positional arguments are an error.
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& all() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dcnt

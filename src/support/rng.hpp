@@ -1,0 +1,55 @@
+// Deterministic, copyable pseudo-random number generation.
+//
+// Everything in this project that needs randomness takes an explicit Rng
+// so that every experiment is reproducible from a single seed, and so
+// that cloning a Simulator (needed by the lower-bound adversary) clones
+// the random stream with it. The generator is xoshiro256** seeded via
+// splitmix64 — fast, high quality, and trivially value-semantic, unlike
+// std::mt19937 which is large and slow to copy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dcnt {
+
+/// splitmix64 step; used for seeding and hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix (one splitmix64 round applied to `x`).
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** generator. Copyable value type.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  Rng() : Rng(0xDC0117ULL) {}
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound); bound must be > 0. Uses rejection sampling
+  /// (Lemire) so the distribution is exact.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double next_double();
+
+  /// Fork an independent stream (e.g. one per processor) deterministically.
+  Rng fork(std::uint64_t salt);
+
+  // UniformRandomBitGenerator interface for <algorithm> shuffles.
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+  std::uint64_t operator()() { return next(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace dcnt

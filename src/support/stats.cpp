@@ -1,0 +1,149 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+Summary::Summary(std::vector<std::int64_t> samples)
+    : samples_(std::move(samples)) {}
+
+void Summary::add(std::int64_t x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+std::int64_t Summary::min() const {
+  DCNT_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+std::int64_t Summary::max() const {
+  DCNT_CHECK(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+std::int64_t Summary::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(),
+                         static_cast<std::int64_t>(0));
+}
+
+double Summary::mean() const {
+  DCNT_CHECK(!samples_.empty());
+  return static_cast<double>(sum()) / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  DCNT_CHECK(!samples_.empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (auto x : samples_) {
+    const double d = static_cast<double>(x) - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+std::int64_t Summary::percentile(double q) const {
+  DCNT_CHECK(!samples_.empty());
+  DCNT_CHECK(q >= 0.0 && q <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  if (samples_.empty()) {
+    os << "n=0";
+    return os.str();
+  }
+  os << "n=" << count() << " min=" << min() << " mean=" << mean()
+     << " p50=" << percentile(50) << " p99=" << percentile(99)
+     << " max=" << max();
+  return os.str();
+}
+
+Histogram::Histogram(std::int64_t bucket_width, std::size_t bucket_count)
+    : width_(bucket_width), buckets_(bucket_count, 0) {
+  DCNT_CHECK(bucket_width > 0);
+  DCNT_CHECK(bucket_count > 0);
+}
+
+void Histogram::add(std::int64_t x) {
+  DCNT_CHECK(x >= 0);
+  auto idx = static_cast<std::size_t>(x / width_);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  ++buckets_[idx];
+  ++total_;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  const std::int64_t peak =
+      *std::max_element(buckets_.begin(), buckets_.end());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const std::int64_t lo = static_cast<std::int64_t>(i) * width_;
+    os << "[" << lo << ", ";
+    if (i + 1 == buckets_.size()) {
+      os << "inf";
+    } else {
+      os << lo + width_;
+    }
+    os << ") " << buckets_[i] << " ";
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(50.0 * static_cast<double>(buckets_[i]) /
+                                     static_cast<double>(peak));
+    for (int b = 0; b < bar; ++b) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  DCNT_CHECK(x.size() == y.size());
+  DCNT_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,75 @@
+// Small statistics toolkit used by load reports and benchmarks:
+// running summaries, exact percentiles over collected samples, and a
+// fixed-width bucket histogram for message-load distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcnt {
+
+/// Order statistics and moments over an explicit sample vector.
+/// Samples are kept; intended for per-processor load vectors (n is at
+/// most a few hundred thousand in our experiments).
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::vector<std::int64_t> samples);
+
+  void add(std::int64_t x);
+
+  std::size_t count() const { return samples_.size(); }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  std::int64_t sum() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Exact percentile by nearest-rank; q in [0, 100].
+  std::int64_t percentile(double q) const;
+
+  const std::vector<std::int64_t>& samples() const { return samples_; }
+
+  /// One-line human-readable rendering.
+  std::string to_string() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<std::int64_t> samples_;
+  mutable std::vector<std::int64_t> sorted_;
+  mutable bool sorted_valid_{false};
+};
+
+/// Histogram with fixed-width buckets over [0, bucket_width * bucket_count);
+/// overflow values land in the final (unbounded) bucket.
+class Histogram {
+ public:
+  Histogram(std::int64_t bucket_width, std::size_t bucket_count);
+
+  void add(std::int64_t x);
+
+  std::int64_t bucket_width() const { return width_; }
+  const std::vector<std::int64_t>& buckets() const { return buckets_; }
+  std::int64_t total() const { return total_; }
+
+  /// ASCII bar rendering, one row per non-empty bucket.
+  std::string to_string() const;
+
+ private:
+  std::int64_t width_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_{0};
+};
+
+/// Least-squares fit y = a + b*x; used to check "load grows linearly in k".
+struct LinearFit {
+  double intercept{0.0};
+  double slope{0.0};
+  double r2{0.0};
+};
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace dcnt

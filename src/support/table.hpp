@@ -1,0 +1,46 @@
+// Aligned plain-text table printer for benchmark output, plus CSV
+// emission so results can be post-processed. Every bench binary prints
+// the same rows the paper's claims predict; see EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dcnt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  Table& add(int v);
+  /// Doubles are rendered with limited precision (trailing zeros trimmed).
+  Table& add(double v, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render as an aligned text table with a header rule.
+  std::string to_text() const;
+  /// Render as CSV (quotes cells containing commas).
+  std::string to_csv() const;
+
+  /// Convenience: write to_text() to the stream with a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: "12.3" style fixed formatting with trimming.
+std::string format_double(double v, int precision = 3);
+
+}  // namespace dcnt

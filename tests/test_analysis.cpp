@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "analysis/dag.hpp"
+#include "analysis/hotspot.hpp"
+#include "analysis/report.hpp"
+#include "analysis/weights.hpp"
+#include "baselines/central.hpp"
+#include "core/tree_counter.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+namespace {
+
+Simulator traced_tree_sim(int k, std::uint64_t seed = 1) {
+  TreeCounterParams params;
+  params.k = k;
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.enable_trace = true;
+  cfg.delay = DelayModel::uniform(1, 6);
+  return Simulator(std::make_unique<TreeCounter>(params), cfg);
+}
+
+TEST(IncDag, SingleIncIsAPath) {
+  Simulator sim = traced_tree_sim(2);
+  const OpId op = sim.begin_inc(5);
+  sim.run_until_quiescent();
+  const IncDag dag = build_inc_dag(sim.trace(), op, 5);
+  // First inc: leaf -> level2 -> level1 -> root -> leaf, no retirement.
+  ASSERT_EQ(dag.nodes.size(), 5u);
+  ASSERT_EQ(dag.arcs.size(), 4u);
+  EXPECT_EQ(dag.nodes[0].processor, 5);   // source = initiator
+  EXPECT_EQ(dag.nodes.back().processor, 5);  // value returns to initiator
+  for (std::size_t i = 0; i < dag.arcs.size(); ++i) {
+    EXPECT_EQ(dag.arcs[i].from, static_cast<int>(i));
+    EXPECT_EQ(dag.arcs[i].to, static_cast<int>(i + 1));
+  }
+}
+
+TEST(IncDag, CommunicationListMatchesPaperLengthConvention) {
+  Simulator sim = traced_tree_sim(2);
+  const OpId op = sim.begin_inc(3);
+  sim.run_until_quiescent();
+  const IncDag dag = build_inc_dag(sim.trace(), op, 3);
+  const auto list = communication_list(dag);
+  // Length in arcs = number of messages of the op.
+  EXPECT_EQ(static_cast<std::int64_t>(list.size()) - 1,
+            op_message_count(sim.trace(), op));
+  EXPECT_EQ(list.front(), 3);
+}
+
+TEST(IncDag, BranchingAppearsWhenRetirementsCascade) {
+  Simulator sim = traced_tree_sim(2);
+  // Drive several incs; some op triggers retirements, whose handover
+  // and notification messages branch off the path.
+  run_sequential(sim, schedule_sequential(8));
+  bool saw_branching = false;
+  for (OpId op = 0; op < 8; ++op) {
+    const IncDag dag = build_inc_dag(
+        sim.trace(), op, static_cast<ProcessorId>(op));
+    std::set<int> froms;
+    for (const auto& arc : dag.arcs) {
+      if (!froms.insert(arc.from).second) saw_branching = true;
+    }
+  }
+  EXPECT_TRUE(saw_branching);
+}
+
+TEST(IncDag, ParticipantsIncludeOriginEvenWithoutMessages) {
+  SimConfig cfg;
+  cfg.enable_trace = true;
+  Simulator sim(std::make_unique<CentralCounter>(4, 0), cfg);
+  const OpId op = sim.begin_inc(0);  // holder incs locally: zero messages
+  sim.run_until_quiescent();
+  const auto set = participants(sim.trace(), op, 0);
+  EXPECT_EQ(set, (std::vector<ProcessorId>{0}));
+}
+
+TEST(IncDag, DotOutputMentionsAllOccurrences) {
+  Simulator sim = traced_tree_sim(2);
+  const OpId op = sim.begin_inc(7);
+  sim.run_until_quiescent();
+  const IncDag dag = build_inc_dag(sim.trace(), op, 7);
+  const std::string dot = to_dot(dag);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(HotSpot, HoldsForTreeCounter) {
+  Simulator sim = traced_tree_sim(3, 5);
+  const auto order = schedule_sequential(81);
+  run_sequential(sim, order);
+  const HotSpotReport report = check_hot_spot(sim.trace(), order);
+  EXPECT_TRUE(report.all_intersect);
+  EXPECT_EQ(report.pairs_checked, 80);
+  EXPECT_GE(report.min_intersection, 1);
+}
+
+TEST(HotSpot, HoldsForCentralCounter) {
+  SimConfig cfg;
+  cfg.enable_trace = true;
+  Simulator sim(std::make_unique<CentralCounter>(16), cfg);
+  const auto order = schedule_sequential(16);
+  run_sequential(sim, order);
+  const HotSpotReport report = check_hot_spot(sim.trace(), order);
+  EXPECT_TRUE(report.all_intersect);
+  // The holder is the (only) common participant of consecutive incs.
+  EXPECT_GE(report.min_intersection, 1);
+}
+
+TEST(Weights, ListWeightMatchesHandComputation) {
+  // w = (m0+1)/1 + (m1+1)/2 + (m2+1)/4.
+  const double w = list_weight({0, 1, 2}, std::vector<std::int64_t>{4, 1, 3});
+  EXPECT_DOUBLE_EQ(w, 5.0 + 1.0 + 1.0);
+  // Fresh system: all loads zero -> weight = sum 2^-j < 2.
+  const double fresh = list_weight({0, 1, 2, 3},
+                                   std::vector<std::int64_t>{0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(fresh, 1.0 + 0.5 + 0.25 + 0.125);
+}
+
+TEST(Weights, RepeatedProcessorCountsPerOccurrence) {
+  const double w = list_weight({1, 1}, std::vector<std::int64_t>{0, 7, 0});
+  EXPECT_DOUBLE_EQ(w, 8.0 + 4.0);
+}
+
+TEST(Report, FieldsAreConsistent) {
+  Simulator sim = traced_tree_sim(3, 2);
+  run_sequential(sim, schedule_sequential(81));
+  const LoadReport report = make_load_report(sim);
+  EXPECT_EQ(report.n, 81);
+  EXPECT_EQ(report.ops, 81);
+  EXPECT_EQ(report.max_load, sim.metrics().max_load());
+  EXPECT_NEAR(report.paper_k, 3.0, 1e-9);
+  EXPECT_NEAR(report.load_per_k * report.paper_k,
+              static_cast<double>(report.max_load), 1e-9);
+  EXPECT_GE(report.p99, report.p50);
+  EXPECT_GE(report.max_load, report.p99);
+  const std::string text = to_string(report);
+  EXPECT_NE(text.find("max_load"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcnt

@@ -1,0 +1,81 @@
+#include "core/bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcnt {
+namespace {
+
+TEST(Bound, Ipow) {
+  EXPECT_EQ(ipow(2, 0), 1);
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 4), 81);
+  EXPECT_EQ(ipow(10, 0), 1);
+  EXPECT_EQ(ipow(0, 3), 0);
+  EXPECT_EQ(ipow(1, 60), 1);
+}
+
+TEST(Bound, TreeSizes) {
+  // n = k^(k+1): the paper's tree hosts exactly these processor counts.
+  EXPECT_EQ(tree_size_for_k(1), 1);
+  EXPECT_EQ(tree_size_for_k(2), 8);
+  EXPECT_EQ(tree_size_for_k(3), 81);
+  EXPECT_EQ(tree_size_for_k(4), 1024);
+  EXPECT_EQ(tree_size_for_k(5), 15625);
+  EXPECT_EQ(tree_size_for_k(6), 279936);
+}
+
+TEST(Bound, BottleneckKInvertsTreeSize) {
+  for (int k = 2; k <= 8; ++k) {
+    const double n = static_cast<double>(tree_size_for_k(k));
+    EXPECT_NEAR(bottleneck_k(n), static_cast<double>(k), 1e-6);
+  }
+}
+
+TEST(Bound, BottleneckKMonotone) {
+  double prev = 0.0;
+  for (double n = 2; n < 1e12; n *= 7) {
+    const double k = bottleneck_k(n);
+    EXPECT_GT(k, prev);
+    prev = k;
+  }
+}
+
+TEST(Bound, BottleneckKGrowsLikeLogOverLogLog) {
+  // k = Theta(log n / log log n): check the ratio stays in a sane band.
+  for (double n : {1e4, 1e6, 1e9, 1e12}) {
+    const double k = bottleneck_k(n);
+    const double expected = std::log(n) / std::log(std::log(n));
+    EXPECT_GT(k / expected, 0.5);
+    EXPECT_LT(k / expected, 2.5);
+  }
+}
+
+TEST(Bound, FloorAndCeilK) {
+  EXPECT_EQ(floor_k_for(8), 2);
+  EXPECT_EQ(ceil_k_for(8), 2);
+  EXPECT_EQ(floor_k_for(9), 2);
+  EXPECT_EQ(ceil_k_for(9), 3);
+  EXPECT_EQ(floor_k_for(80), 2);
+  EXPECT_EQ(ceil_k_for(81), 3);
+  EXPECT_EQ(floor_k_for(1024), 4);
+  EXPECT_EQ(ceil_k_for(1025), 5);
+  EXPECT_EQ(floor_k_for(1), 1);
+  EXPECT_EQ(ceil_k_for(1), 1);
+  EXPECT_EQ(ceil_k_for(2), 2);
+}
+
+TEST(Bound, FloorCeilBracketEveryN) {
+  for (std::int64_t n = 1; n <= 20000; n += 7) {
+    const int fk = floor_k_for(n);
+    const int ck = ceil_k_for(n);
+    EXPECT_LE(tree_size_for_k(fk), n);
+    EXPECT_GE(tree_size_for_k(ck), n);
+    EXPECT_LE(fk, ck);
+    EXPECT_LE(ck - fk, 1);
+  }
+}
+
+}  // namespace
+}  // namespace dcnt

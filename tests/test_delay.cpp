@@ -1,0 +1,75 @@
+#include "sim/delay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcnt {
+namespace {
+
+TEST(Delay, FixedIsConstant) {
+  Rng rng(1);
+  const DelayModel m = DelayModel::fixed_delay(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.sample(rng), 3);
+  }
+}
+
+TEST(Delay, UniformStaysInRange) {
+  Rng rng(2);
+  const DelayModel m = DelayModel::uniform(2, 9);
+  bool saw_low = false;
+  bool saw_high = false;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime d = m.sample(rng);
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 9);
+    saw_low = saw_low || d == 2;
+    saw_high = saw_high || d == 9;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(Delay, UniformDegenerateRange) {
+  Rng rng(3);
+  const DelayModel m = DelayModel::uniform(5, 5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.sample(rng), 5);
+  }
+}
+
+TEST(Delay, SlowProcessorStretchesItsChannelsOnly) {
+  Rng rng(9);
+  const DelayModel m = DelayModel::with_slow_processor(
+      DelayModel::fixed_delay(2), /*slow_pid=*/5, /*factor=*/10);
+  EXPECT_EQ(m.sample_for(rng, 0, 1), 2);    // untouched channel
+  EXPECT_EQ(m.sample_for(rng, 5, 1), 20);   // from the slow processor
+  EXPECT_EQ(m.sample_for(rng, 3, 5), 20);   // to the slow processor
+  EXPECT_EQ(m.sample_for(rng, 5, 5), 20);
+}
+
+TEST(Delay, SampleForWithoutSkewMatchesSample) {
+  Rng a(4);
+  Rng b(4);
+  const DelayModel m = DelayModel::uniform(1, 50);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(m.sample(a), m.sample_for(b, 0, 1));
+  }
+}
+
+TEST(Delay, HeavyTailBounded) {
+  Rng rng(4);
+  const DelayModel m = DelayModel::heavy_tail(1, 100);
+  std::int64_t over_10 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const SimTime d = m.sample(rng);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 100);
+    if (d > 10) ++over_10;
+  }
+  // Heavy tail: stragglers exist but are rare.
+  EXPECT_GT(over_10, 0);
+  EXPECT_LT(over_10, 3000);
+}
+
+}  // namespace
+}  // namespace dcnt

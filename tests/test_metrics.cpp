@@ -1,0 +1,87 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcnt {
+namespace {
+
+TEST(Metrics, CountsSendsAndReceives) {
+  Metrics m(4);
+  m.on_send(0, 0, 2);
+  m.on_receive(1, 1);
+  m.on_send(1, 0, 3);
+  m.on_receive(2, 1);
+  EXPECT_EQ(m.sent(0), 1);
+  EXPECT_EQ(m.received(0), 0);
+  EXPECT_EQ(m.load(0), 1);
+  EXPECT_EQ(m.load(1), 2);
+  EXPECT_EQ(m.load(2), 1);
+  EXPECT_EQ(m.load(3), 0);
+  EXPECT_EQ(m.total_messages(), 2);
+  EXPECT_EQ(m.total_words(), 5);
+}
+
+TEST(Metrics, BottleneckIsArgmax) {
+  Metrics m(3);
+  m.on_send(2, kNoOp, 1);
+  m.on_send(2, kNoOp, 1);
+  m.on_send(1, kNoOp, 1);
+  EXPECT_EQ(m.max_load(), 2);
+  EXPECT_EQ(m.bottleneck(), 2);
+}
+
+TEST(Metrics, PerOpAttribution) {
+  Metrics m(2);
+  m.on_send(0, 0, 1);
+  m.on_send(0, 0, 1);
+  m.on_send(1, 2, 1);  // op ids may skip (op 1 sent nothing)
+  ASSERT_EQ(m.per_op_messages().size(), 3u);
+  EXPECT_EQ(m.per_op_messages()[0], 2);
+  EXPECT_EQ(m.per_op_messages()[1], 0);
+  EXPECT_EQ(m.per_op_messages()[2], 1);
+}
+
+TEST(Metrics, NoOpTrafficNotAttributed) {
+  Metrics m(2);
+  m.on_send(0, kNoOp, 1);
+  EXPECT_TRUE(m.per_op_messages().empty());
+  EXPECT_EQ(m.total_messages(), 1);
+}
+
+TEST(Metrics, LoadSummaryMatchesLoads) {
+  Metrics m(3);
+  m.on_send(0, kNoOp, 1);
+  m.on_receive(1, 1);
+  m.on_receive(1, 1);
+  const Summary s = m.load_summary();
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.max(), 2);
+  EXPECT_EQ(s.sum(), 3);
+}
+
+TEST(Metrics, WordLoadsTrackPayloadPerProcessor) {
+  Metrics m(3);
+  m.on_send(0, 0, 5);     // 0 sends 5 words
+  m.on_receive(1, 5);     // 1 receives them
+  m.on_send(1, 0, 2);
+  m.on_receive(2, 2);
+  EXPECT_EQ(m.word_load(0), 5);
+  EXPECT_EQ(m.word_load(1), 7);
+  EXPECT_EQ(m.word_load(2), 2);
+  EXPECT_EQ(m.max_word_load(), 7);
+  EXPECT_EQ(m.max_message_words(), 5);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Metrics m(2);
+  m.on_send(0, 0, 1);
+  m.on_receive(1, 1);
+  m.reset();
+  EXPECT_EQ(m.total_messages(), 0);
+  EXPECT_EQ(m.load(0), 0);
+  EXPECT_EQ(m.load(1), 0);
+  EXPECT_TRUE(m.per_op_messages().empty());
+}
+
+}  // namespace
+}  // namespace dcnt

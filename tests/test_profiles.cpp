@@ -1,0 +1,96 @@
+// Latency reports and the per-level tree profile.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/latency.hpp"
+#include "analysis/tree_profile.hpp"
+#include "baselines/central.hpp"
+#include "core/bound.hpp"
+#include "core/tree_counter.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+namespace {
+
+TEST(Latency, FixedDelayCentralRoundTrip) {
+  SimConfig cfg;
+  cfg.delay = DelayModel::fixed_delay(3);
+  Simulator sim(std::make_unique<CentralCounter>(8, 0), cfg);
+  run_sequential(sim, schedule_reverse(8));  // holder goes last
+  const LatencyReport report = latency_report(sim);
+  EXPECT_EQ(report.ops, 8);
+  // Remote incs: request 3 + reply 3 = 6 ticks; the holder's own is 0.
+  EXPECT_EQ(report.max, 6);
+  EXPECT_EQ(report.p50, 6);
+  EXPECT_NEAR(report.mean, 6.0 * 7 / 8, 1e-9);
+}
+
+TEST(Latency, TreeDeeperThanCentral) {
+  SimConfig cfg;
+  cfg.delay = DelayModel::fixed_delay(1);
+  TreeCounterParams params;
+  params.k = 3;
+  Simulator tree(std::make_unique<TreeCounter>(params), cfg);
+  run_sequential(tree, schedule_sequential(81));
+  Simulator central(std::make_unique<CentralCounter>(81), cfg);
+  run_sequential(central, schedule_sequential(81));
+  // Theta(k) hops vs one round trip — the price of spreading load.
+  EXPECT_GT(latency_report(tree).mean, latency_report(central).mean);
+}
+
+TEST(Latency, SummaryMatchesReport) {
+  Simulator sim(std::make_unique<CentralCounter>(4), {});
+  run_sequential(sim, schedule_sequential(4));
+  const Summary summary = latency_summary(sim);
+  const LatencyReport report = latency_report(sim);
+  EXPECT_EQ(static_cast<std::int64_t>(summary.count()), report.ops);
+  EXPECT_EQ(summary.max(), report.max);
+}
+
+TEST(TreeProfile, RowsAreInternallyConsistent) {
+  TreeCounterParams params;
+  params.k = 3;
+  Simulator sim(std::make_unique<TreeCounter>(params), {});
+  run_sequential(sim, schedule_sequential(81));
+  const auto profile = tree_level_profile(sim);
+  ASSERT_EQ(profile.size(), 4u);  // levels 0..k
+  std::int64_t total_retirements = 0;
+  for (const auto& row : profile) {
+    EXPECT_EQ(row.nodes, ipow(3, row.level));
+    EXPECT_LE(row.max_retirements_per_node, row.pool_budget_per_node);
+    // Incumbents: the initial ones plus one per retirement, minus any
+    // processor serving twice (none without pool wraps).
+    EXPECT_EQ(row.distinct_incumbents, row.nodes + row.retirements);
+    EXPECT_GE(row.max_incumbent_load, 1);
+    total_retirements += row.retirements;
+  }
+  const auto& tc = dynamic_cast<const TreeCounter&>(sim.counter());
+  EXPECT_EQ(total_retirements, tc.stats().retirements_total);
+}
+
+TEST(TreeProfile, LeafParentLevelNeverRetiresAtDefaultThreshold) {
+  TreeCounterParams params;
+  params.k = 4;
+  Simulator sim(std::make_unique<TreeCounter>(params), {});
+  run_sequential(sim, schedule_sequential(1024));
+  const auto profile = tree_level_profile(sim);
+  EXPECT_EQ(profile.back().retirements, 0);
+  EXPECT_EQ(profile.back().pool_budget_per_node, 0);
+  EXPECT_EQ(profile.back().distinct_incumbents, profile.back().nodes);
+}
+
+TEST(TreeProfile, TextRenderingContainsEveryLevel) {
+  TreeCounterParams params;
+  params.k = 2;
+  Simulator sim(std::make_unique<TreeCounter>(params), {});
+  run_sequential(sim, schedule_sequential(8));
+  const std::string text = to_string(tree_level_profile(sim));
+  EXPECT_NE(text.find("level"), std::string::npos);
+  EXPECT_NE(text.find("pool budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcnt

@@ -1,0 +1,130 @@
+#include "quorum/quorum_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "quorum/crumbling_wall.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/projective_plane.hpp"
+#include "quorum/tree_quorum.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+namespace {
+
+Simulator make_sim(std::shared_ptr<const QuorumSystem> system,
+                   SimConfig cfg = {}) {
+  return Simulator(std::make_unique<QuorumCounter>(std::move(system)), cfg);
+}
+
+TEST(QuorumCounter, MajoritySequentialCorrectness) {
+  Simulator sim = make_sim(std::make_shared<MajorityQuorum>(9));
+  const RunResult result = run_sequential(sim, schedule_sequential(9));
+  EXPECT_TRUE(result.values_ok);
+}
+
+TEST(QuorumCounter, GridSequentialCorrectness) {
+  Simulator sim = make_sim(std::make_shared<GridQuorum>(25));
+  const RunResult result = run_sequential(sim, schedule_sequential(25));
+  EXPECT_TRUE(result.values_ok);
+}
+
+TEST(QuorumCounter, TreeQuorumSequentialCorrectness) {
+  Simulator sim = make_sim(std::make_shared<TreeQuorum>(15));
+  const RunResult result = run_sequential(sim, schedule_sequential(15));
+  EXPECT_TRUE(result.values_ok);
+}
+
+TEST(QuorumCounter, ProjectivePlaneSequentialCorrectness) {
+  Simulator sim = make_sim(std::make_shared<ProjectivePlaneQuorum>(3));  // n=13
+  const RunResult result = run_sequential(sim, schedule_sequential(13));
+  EXPECT_TRUE(result.values_ok);
+}
+
+TEST(QuorumCounter, CrumblingWallSequentialCorrectness) {
+  Simulator sim = make_sim(
+      std::shared_ptr<const QuorumSystem>(CrumblingWall::triangle(21)));
+  const RunResult result = run_sequential(sim, schedule_sequential(21));
+  EXPECT_TRUE(result.values_ok);
+}
+
+TEST(QuorumCounter, SingletonBehavesLikeCentral) {
+  Simulator sim = make_sim(std::make_shared<SingletonQuorum>(8, 0));
+  run_sequential(sim, schedule_sequential(8));
+  // Holder is in every quorum: it carries all remote read+write traffic.
+  EXPECT_EQ(sim.metrics().bottleneck(), 0);
+  // Each remote op: read + reply + write + ack = 4 messages at holder.
+  EXPECT_EQ(sim.metrics().max_load(), 4 * 7);
+}
+
+class QuorumCounterSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuorumCounterSeedTest, RandomDeliveryAndOrder) {
+  SimConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+  cfg.delay = DelayModel::uniform(1, 25);
+  Simulator sim = make_sim(std::make_shared<GridQuorum>(16), cfg);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 5);
+  const RunResult result =
+      run_sequential(sim, schedule_permutation(16, rng));
+  EXPECT_TRUE(result.values_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuorumCounterSeedTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(QuorumCounter, RepeatOriginsWork) {
+  Simulator sim = make_sim(std::make_shared<MajorityQuorum>(5));
+  Rng rng(9);
+  const RunResult result = run_sequential(sim, schedule_uniform(5, 40, rng));
+  EXPECT_TRUE(result.values_ok);
+}
+
+TEST(QuorumCounter, MessageCountPerOpIsFourPerRemoteMember) {
+  Simulator sim = make_sim(std::make_shared<MajorityQuorum>(9));
+  const OpId op = sim.begin_inc(0);
+  sim.run_until_quiescent();
+  ASSERT_TRUE(sim.result(op).has_value());
+  // Quorum 0 = {0..4}; origin 0 is a member, so 4 remote members handle
+  // read/reply/write/ack.
+  EXPECT_EQ(sim.metrics().total_messages(), 4 * 4);
+}
+
+TEST(QuorumCounter, RotationSpreadsBottleneck) {
+  // Rotating majorities: a processor pays 4(|Q|-1) as an origin once
+  // plus 4 per op whose quorum contains it (|Q| of the n rotations) —
+  // but never the full 4|Q| * n a fixed hot spot would.
+  const std::int64_t n = 16;
+  const std::int64_t q = n / 2 + 1;
+  Simulator sim = make_sim(std::make_shared<MajorityQuorum>(n));
+  run_sequential(sim, schedule_sequential(n));
+  EXPECT_LE(sim.metrics().max_load(), 4 * (q - 1) + 4 * q);
+  // But still far above the tree counter's O(k): majorities are big.
+  EXPECT_GT(sim.metrics().max_load(), 2 * q);
+}
+
+TEST(QuorumCounter, GridBottleneckBelowMajority) {
+  const std::int64_t n = 64;
+  Simulator maj = make_sim(std::make_shared<MajorityQuorum>(n));
+  run_sequential(maj, schedule_sequential(n));
+  Simulator grid = make_sim(std::make_shared<GridQuorum>(n));
+  run_sequential(grid, schedule_sequential(n));
+  EXPECT_LT(grid.metrics().max_load(), maj.metrics().max_load());
+}
+
+TEST(QuorumCounter, CloneIndependence) {
+  Simulator sim = make_sim(std::make_shared<GridQuorum>(16));
+  run_sequential(sim, schedule_sequential(8));
+  Simulator clone(sim);
+  const OpId op = clone.begin_inc(9);
+  clone.run_until_quiescent();
+  EXPECT_EQ(*clone.result(op), 8);
+  EXPECT_EQ(sim.ops_started(), 8u);
+}
+
+}  // namespace
+}  // namespace dcnt

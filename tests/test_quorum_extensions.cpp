@@ -1,0 +1,178 @@
+// The remaining quorum constructions the paper cites: hierarchical
+// quorum consensus [KM96], weighted voting [GB85], and probe
+// complexity [PW96].
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "quorum/crumbling_wall.hpp"
+#include "quorum/grid.hpp"
+#include "quorum/hierarchical.hpp"
+#include "quorum/majority.hpp"
+#include "quorum/probe.hpp"
+#include "quorum/quorum_analysis.hpp"
+#include "quorum/quorum_counter.hpp"
+#include "quorum/weighted.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+namespace {
+
+// ---------- Hierarchical quorum consensus [KM96] ----------
+
+class HierarchicalTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(HierarchicalTest, IntersectionHolds) {
+  HierarchicalQuorum system(GetParam(), 3);
+  Rng rng(1);
+  const auto report = check_pairwise_intersection(system, 128, 5000, rng);
+  EXPECT_TRUE(report.all_intersect)
+      << "quorums " << report.bad_a << ", " << report.bad_b;
+}
+
+TEST_P(HierarchicalTest, QuorumSizeIsMajorityToTheLevels) {
+  HierarchicalQuorum system(GetParam(), 3);
+  for (std::size_t i = 0; i < std::min<std::size_t>(20, system.num_quorums());
+       ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(system.quorum(i).size()),
+              system.quorum_size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfThree, HierarchicalTest,
+                         ::testing::Values(3, 9, 27, 81));
+
+TEST(Hierarchical, SizeBeatsMajorityAsymptotically) {
+  // b=3: |Q| = 2^levels = n^(log3 2) ~ n^0.63 < n/2 + 1 for larger n.
+  HierarchicalQuorum system(81, 3);
+  EXPECT_EQ(system.quorum_size(), 16);  // 2^4
+  EXPECT_LT(system.quorum_size(), 81 / 2 + 1);
+}
+
+TEST(Hierarchical, RejectsNonPowerSizes) {
+  EXPECT_DEATH(HierarchicalQuorum(10, 3), "branching\\^levels");
+}
+
+TEST(Hierarchical, CounterRunsOnIt) {
+  Simulator sim(std::make_unique<QuorumCounter>(
+                    std::make_shared<HierarchicalQuorum>(27, 3)),
+                SimConfig{});
+  const RunResult result = run_sequential(sim, schedule_sequential(27));
+  EXPECT_TRUE(result.values_ok);
+}
+
+// ---------- Weighted voting [GB85] ----------
+
+TEST(WeightedVoting, UniformEqualsMajoritySize) {
+  const auto system = WeightedMajorityQuorum::uniform(9);
+  EXPECT_EQ(system->total_votes(), 9);
+  for (std::size_t i = 0; i < system->num_quorums(); ++i) {
+    EXPECT_EQ(system->quorum(i).size(), 5u);
+  }
+  Rng rng(2);
+  EXPECT_TRUE(
+      check_pairwise_intersection(*system, 128, 2000, rng).all_intersect);
+}
+
+TEST(WeightedVoting, LeaderShrinksQuorums) {
+  const auto system = WeightedMajorityQuorum::weighted_leader(16, 0.45);
+  Rng rng(3);
+  EXPECT_TRUE(
+      check_pairwise_intersection(*system, 128, 2000, rng).all_intersect);
+  // Quorums containing the leader need only a few more votes.
+  double mean_size = 0;
+  for (std::size_t i = 0; i < system->num_quorums(); ++i) {
+    mean_size += static_cast<double>(system->quorum(i).size());
+  }
+  mean_size /= static_cast<double>(system->num_quorums());
+  EXPECT_LT(mean_size, 9.0);  // plain majority would need 9 of 16
+}
+
+TEST(WeightedVoting, DictatorshipConcentratesLoad) {
+  // Leader holds > half the votes: every quorum contains processor 0 —
+  // weighted voting sliding into the centralized hot spot.
+  const auto system = WeightedMajorityQuorum::weighted_leader(10, 0.6);
+  for (std::size_t i = 0; i < system->num_quorums(); ++i) {
+    const auto q = system->quorum(i);
+    EXPECT_TRUE(std::find(q.begin(), q.end(), 0) != q.end());
+  }
+  const auto load = rotation_load(*system, 100);
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(load.hits[0]) / 100.0, 1.0);
+}
+
+TEST(WeightedVoting, ZeroVoteProcessorsNeverAppear) {
+  WeightedMajorityQuorum system({0, 3, 0, 3, 3});
+  for (std::size_t i = 0; i < system.num_quorums(); ++i) {
+    for (const ProcessorId p : system.quorum(i)) {
+      EXPECT_NE(p, 0);
+      EXPECT_NE(p, 2);
+    }
+  }
+}
+
+TEST(WeightedVoting, CounterRunsOnIt) {
+  Simulator sim(std::make_unique<QuorumCounter>(
+                    std::shared_ptr<const QuorumSystem>(
+                        WeightedMajorityQuorum::weighted_leader(12, 0.4))),
+                SimConfig{});
+  const RunResult result = run_sequential(sim, schedule_sequential(12));
+  EXPECT_TRUE(result.values_ok);
+}
+
+// ---------- Probe complexity [PW96] ----------
+
+TEST(ProbeComplexity, AllAliveCostsOneQuorum) {
+  MajorityQuorum system(11);
+  const ProbeRun run =
+      greedy_probe(system, std::vector<bool>(11, false));
+  EXPECT_TRUE(run.found_quorum);
+  EXPECT_EQ(run.probes, 6);  // first majority checked member by member
+}
+
+TEST(ProbeComplexity, AllDeadIsCertifiedWithoutReprobing) {
+  MajorityQuorum system(11);
+  const ProbeRun run = greedy_probe(system, std::vector<bool>(11, true));
+  EXPECT_FALSE(run.found_quorum);
+  // The first dead probe kills every quorum containing it; the greedy
+  // prober still has to disqualify the rest, but never probes the same
+  // element twice, so at most n probes total.
+  EXPECT_LE(run.probes, 11);
+  EXPECT_GE(run.probes, 1);
+}
+
+TEST(ProbeComplexity, SingleDeadElementIsRoutedAround) {
+  GridQuorum system(16, 4);
+  std::vector<bool> dead(16, false);
+  dead[0] = true;
+  const ProbeRun run = greedy_probe(system, dead);
+  EXPECT_TRUE(run.found_quorum);
+}
+
+TEST(ProbeComplexity, ReportIsInternallyConsistent) {
+  Rng rng(7);
+  CrumblingWall* wall_raw = nullptr;
+  auto wall = CrumblingWall::triangle(21);
+  wall_raw = wall.get();
+  const auto report = probe_complexity(*wall_raw, 0.2, 200, rng);
+  EXPECT_GT(report.all_alive, 0);
+  EXPECT_GT(report.all_dead, 0);
+  EXPECT_EQ(report.random_probes.count(), 200u);
+  EXPECT_GE(report.find_rate, 0.0);
+  EXPECT_LE(report.find_rate, 1.0);
+  // With 20% deaths most runs still find a quorum in a crumbling wall.
+  EXPECT_GT(report.find_rate, 0.5);
+}
+
+TEST(ProbeComplexity, DeathProbabilityDegradesFindRate) {
+  Rng rng(8);
+  MajorityQuorum system(15);
+  const auto healthy = probe_complexity(system, 0.05, 200, rng);
+  const auto sick = probe_complexity(system, 0.7, 200, rng);
+  EXPECT_GT(healthy.find_rate, sick.find_rate);
+}
+
+}  // namespace
+}  // namespace dcnt

@@ -1,0 +1,114 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dcnt {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, CopyPreservesStream) {
+  Rng a(7);
+  a.next();
+  Rng b = a;  // value semantics: clone continues identically
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  // Degenerate interval.
+  EXPECT_EQ(rng.next_in(42, 42), 42);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(2024);
+  std::vector<int> buckets(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++buckets[rng.next_below(10)];
+  }
+  for (const int b : buckets) {
+    EXPECT_GT(b, draws / 10 - draws / 50);
+    EXPECT_LT(b, draws / 10 + draws / 50);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng child = a.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == child.next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Rng, ShuffleCompatible) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  std::shuffle(v.begin(), v.end(), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace dcnt

@@ -1,0 +1,273 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace dcnt {
+namespace {
+
+// Minimal counter for exercising the simulator: the value lives at
+// processor 0; an inc hops through `hops` intermediaries first.
+class HopCounter final : public CounterProtocol {
+ public:
+  HopCounter(std::int64_t n, int hops) : n_(n), hops_(hops) {}
+
+  static constexpr std::int32_t kTagHop = 1;    // [origin, remaining]
+  static constexpr std::int32_t kTagValue = 2;  // [value]
+  static constexpr std::int32_t kTagLocal = 3;  // local wake-up
+
+  std::size_t num_processors() const override {
+    return static_cast<std::size_t>(n_);
+  }
+
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override {
+    if (hops_ == 0 && origin == 0) {
+      ctx.complete(op, value_++);
+      return;
+    }
+    Message m;
+    m.src = origin;
+    m.dst = hops_ > 0 ? next(origin) : 0;
+    m.tag = kTagHop;
+    m.args = {origin, hops_};
+    ctx.send(std::move(m));
+  }
+
+  void on_message(Context& ctx, const Message& msg) override {
+    if (msg.tag == kTagLocal) {
+      ++local_wakeups_;
+      return;
+    }
+    if (msg.tag == kTagValue) {
+      ctx.complete(msg.op, msg.args.at(0));
+      return;
+    }
+    const auto origin = static_cast<ProcessorId>(msg.args.at(0));
+    const auto remaining = msg.args.at(1);
+    if (remaining > 1) {
+      Message m;
+      m.src = msg.dst;
+      m.dst = next(msg.dst);
+      m.tag = kTagHop;
+      m.args = {origin, remaining - 1};
+      ctx.send(std::move(m));
+      return;
+    }
+    // We are the final hop — serve from processor 0's value if we are 0,
+    // else forward straight to 0.
+    if (msg.dst != 0) {
+      Message m;
+      m.src = msg.dst;
+      m.dst = 0;
+      m.tag = kTagHop;
+      m.args = {origin, 1};
+      ctx.send(std::move(m));
+      return;
+    }
+    Message reply;
+    reply.src = 0;
+    reply.dst = origin;
+    reply.tag = kTagValue;
+    reply.args = {value_++};
+    ctx.send(std::move(reply));
+  }
+
+  std::unique_ptr<CounterProtocol> clone_counter() const override {
+    return std::make_unique<HopCounter>(*this);
+  }
+  std::string name() const override { return "hop"; }
+
+  Value value() const { return value_; }
+  int local_wakeups() const { return local_wakeups_; }
+
+ private:
+  ProcessorId next(ProcessorId p) const {
+    return static_cast<ProcessorId>((p + 1) % n_);
+  }
+
+  std::int64_t n_;
+  int hops_;
+  Value value_{0};
+  int local_wakeups_{0};
+};
+
+Simulator make_sim(std::int64_t n, int hops, SimConfig cfg) {
+  return Simulator(std::make_unique<HopCounter>(n, hops), cfg);
+}
+
+TEST(Simulator, CompletesSequentialIncs) {
+  Simulator sim = make_sim(4, 2, {});
+  for (int i = 0; i < 8; ++i) {
+    const OpId op = sim.begin_inc(static_cast<ProcessorId>(i % 4));
+    sim.run_until_quiescent();
+    ASSERT_TRUE(sim.result(op).has_value());
+    EXPECT_EQ(*sim.result(op), i);
+  }
+  EXPECT_EQ(sim.ops_completed(), 8u);
+}
+
+TEST(Simulator, ImmediateLocalCompletion) {
+  Simulator sim = make_sim(4, 0, {});
+  const OpId op = sim.begin_inc(0);
+  EXPECT_TRUE(sim.result(op).has_value());
+  EXPECT_EQ(sim.metrics().total_messages(), 0);
+}
+
+TEST(Simulator, MetricsCountEachMessageOnce) {
+  Simulator sim = make_sim(4, 1, {});
+  const OpId op = sim.begin_inc(2);  // 2 -> 3 -> 0 -> 2: three messages
+  sim.run_until_quiescent();
+  ASSERT_TRUE(sim.result(op).has_value());
+  EXPECT_EQ(sim.metrics().total_messages(), 3);
+  std::int64_t loads = 0;
+  for (ProcessorId p = 0; p < 4; ++p) loads += sim.metrics().load(p);
+  EXPECT_EQ(loads, 6);  // each message: one send + one receive
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  SimConfig cfg;
+  cfg.seed = 77;
+  cfg.delay = DelayModel::uniform(1, 20);
+  Simulator a = make_sim(8, 3, cfg);
+  Simulator b = make_sim(8, 3, cfg);
+  for (int i = 0; i < 8; ++i) {
+    a.begin_inc(static_cast<ProcessorId>(i));
+    b.begin_inc(static_cast<ProcessorId>(i));
+    a.run_until_quiescent();
+    b.run_until_quiescent();
+  }
+  EXPECT_EQ(a.deliveries(), b.deliveries());
+  for (ProcessorId p = 0; p < 8; ++p) {
+    EXPECT_EQ(a.metrics().load(p), b.metrics().load(p));
+  }
+}
+
+TEST(Simulator, CloneEvolvesIndependently) {
+  SimConfig cfg;
+  cfg.delay = DelayModel::uniform(1, 5);
+  Simulator sim = make_sim(4, 2, cfg);
+  sim.begin_inc(1);
+  sim.run_until_quiescent();
+
+  Simulator clone(sim);
+  const OpId op_clone = clone.begin_inc(2);
+  clone.run_until_quiescent();
+  EXPECT_EQ(*clone.result(op_clone), 1);
+  // Original is untouched by the clone's operation.
+  EXPECT_EQ(sim.ops_started(), 1u);
+  EXPECT_EQ(sim.metrics().total_messages(), 4);  // 1->2->3->0->1
+  const OpId op_orig = sim.begin_inc(3);
+  sim.run_until_quiescent();
+  EXPECT_EQ(*sim.result(op_orig), 1);
+}
+
+TEST(Simulator, SelfSendsAreDeliveredButNotCounted) {
+  // hops such that a message lands on its own sender: n=1 impossible
+  // here, so exercise via the local wake-up path instead plus a direct
+  // check that src==dst traffic is uncounted.
+  class SelfCounter final : public CounterProtocol {
+   public:
+    std::size_t num_processors() const override { return 2; }
+    void start_inc(Context& ctx, ProcessorId origin, OpId op) override {
+      op_ = op;
+      Message m;
+      m.src = origin;
+      m.dst = origin;  // self-send
+      m.tag = 1;
+      ctx.send(std::move(m));
+    }
+    void on_message(Context& ctx, const Message& msg) override {
+      ctx.complete(msg.op, 0);
+      (void)msg;
+    }
+    std::unique_ptr<CounterProtocol> clone_counter() const override {
+      return std::make_unique<SelfCounter>(*this);
+    }
+    std::string name() const override { return "self"; }
+    OpId op_{kNoOp};
+  };
+  Simulator sim(std::make_unique<SelfCounter>(), {});
+  const OpId op = sim.begin_inc(1);
+  sim.run_until_quiescent();
+  EXPECT_TRUE(sim.result(op).has_value());
+  EXPECT_EQ(sim.metrics().total_messages(), 0);
+  EXPECT_EQ(sim.metrics().load(1), 0);
+}
+
+TEST(Simulator, FifoChannelsPreserveOrder) {
+  // With wildly random delays and fifo_channels on, two messages on the
+  // same channel must arrive in send order. The HopCounter serves values
+  // in arrival order at processor 0, so order inversions would surface
+  // as wrong values; more direct: send many ops from the same origin.
+  SimConfig cfg;
+  cfg.seed = 5;
+  cfg.delay = DelayModel::uniform(1, 100);
+  cfg.fifo_channels = true;
+  Simulator sim = make_sim(2, 1, cfg);
+  // Issue several incs concurrently from processor 1; with FIFO
+  // channels their hop messages stay ordered, so values return in
+  // initiation order.
+  std::vector<OpId> ops;
+  for (int i = 0; i < 6; ++i) ops.push_back(sim.begin_inc(1));
+  sim.run_until_quiescent();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ASSERT_TRUE(sim.result(ops[i]).has_value());
+    EXPECT_EQ(*sim.result(ops[i]), static_cast<Value>(i));
+  }
+}
+
+TEST(Simulator, TraceRecordsCausalChain) {
+  SimConfig cfg;
+  cfg.enable_trace = true;
+  Simulator sim = make_sim(4, 2, cfg);
+  const OpId op = sim.begin_inc(1);
+  sim.run_until_quiescent();
+  ASSERT_TRUE(sim.result(op).has_value());
+  const auto& records = sim.trace().records();
+  ASSERT_EQ(records.size(), 4u);  // 1->2->3->0->1
+  EXPECT_EQ(records[0].parent, kNoRecord);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].parent, records[i - 1].id);
+    EXPECT_EQ(records[i].op, op);
+    EXPECT_GE(records[i].deliver_time, records[i].send_time);
+  }
+}
+
+TEST(Simulator, TimeAdvancesMonotonically) {
+  SimConfig cfg;
+  cfg.delay = DelayModel::uniform(1, 9);
+  Simulator sim = make_sim(4, 3, cfg);
+  sim.begin_inc(0);
+  SimTime last = 0;
+  while (sim.step()) {
+    EXPECT_GE(sim.now(), last);
+    last = sim.now();
+  }
+}
+
+TEST(SimulatorDeath, CompletingTwiceAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  class DoubleComplete final : public CounterProtocol {
+   public:
+    std::size_t num_processors() const override { return 2; }
+    void start_inc(Context& ctx, ProcessorId, OpId op) override {
+      ctx.complete(op, 0);
+      ctx.complete(op, 1);
+    }
+    void on_message(Context&, const Message&) override {}
+    std::unique_ptr<CounterProtocol> clone_counter() const override {
+      return std::make_unique<DoubleComplete>(*this);
+    }
+    std::string name() const override { return "dc"; }
+  };
+  EXPECT_DEATH(
+      {
+        Simulator sim(std::make_unique<DoubleComplete>(), {});
+        sim.begin_inc(0);
+      },
+      "completed twice");
+}
+
+}  // namespace
+}  // namespace dcnt

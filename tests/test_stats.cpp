@@ -1,0 +1,87 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcnt {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_EQ(s.min(), 1);
+  EXPECT_EQ(s.max(), 5);
+  EXPECT_EQ(s.sum(), 15);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.4142, 1e-3);
+}
+
+TEST(Summary, AddInvalidatesSortCache) {
+  Summary s({5, 1});
+  EXPECT_EQ(s.max(), 5);
+  s.add(10);
+  EXPECT_EQ(s.max(), 10);
+  EXPECT_EQ(s.min(), 1);
+}
+
+TEST(Summary, Percentiles) {
+  std::vector<std::int64_t> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  Summary s(v);
+  EXPECT_EQ(s.percentile(0), 1);
+  EXPECT_EQ(s.percentile(100), 100);
+  EXPECT_NEAR(static_cast<double>(s.percentile(50)), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.percentile(99)), 99.0, 1.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s({7});
+  EXPECT_EQ(s.percentile(0), 7);
+  EXPECT_EQ(s.percentile(50), 7);
+  EXPECT_EQ(s.percentile(100), 7);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, ToStringNonEmpty) {
+  Summary s({1, 2});
+  EXPECT_NE(s.to_string().find("n=2"), std::string::npos);
+  Summary empty;
+  EXPECT_EQ(empty.to_string(), "n=0");
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(10, 4);  // [0,10) [10,20) [20,30) [30,inf)
+  h.add(0);
+  h.add(9);
+  h.add(10);
+  h.add(35);
+  h.add(1000);
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_EQ(h.buckets()[0], 2);
+  EXPECT_EQ(h.buckets()[1], 1);
+  EXPECT_EQ(h.buckets()[2], 0);
+  EXPECT_EQ(h.buckets()[3], 2);
+  EXPECT_NE(h.to_string().find("inf"), std::string::npos);
+}
+
+TEST(LinearFit, ExactLine) {
+  const LinearFit fit =
+      fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 1 + 2x
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFit, NoisyLineStillHighR2) {
+  const LinearFit fit =
+      fit_linear({1, 2, 3, 4, 5}, {2.1, 3.9, 6.2, 7.8, 10.1});
+  EXPECT_NEAR(fit.slope, 2.0, 0.2);
+  EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST(LinearFit, DegenerateXGivesZero) {
+  const LinearFit fit = fit_linear({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace dcnt

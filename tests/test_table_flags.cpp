@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+namespace dcnt {
+namespace {
+
+TEST(Table, AlignedTextOutput) {
+  Table t({"name", "value"});
+  t.row().add("alpha").add(static_cast<std::int64_t>(42));
+  t.row().add("b").add(static_cast<std::int64_t>(7));
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvQuotesCommas) {
+  Table t({"a", "b"});
+  t.row().add("x,y").add("plain");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+}
+
+TEST(Table, DoubleFormattingTrimsZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(0.1239, 2), "0.12");
+}
+
+TEST(Flags, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--n=100", "--name", "tree", "--verbose"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("n", 0), 100);
+  EXPECT_EQ(flags.get_string("name", ""), "tree");
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_TRUE(flags.has("n"));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("n", 7), 7);
+  EXPECT_EQ(flags.get_string("s", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(flags.get_double("d", 2.5), 2.5);
+  EXPECT_FALSE(flags.get_bool("b", false));
+}
+
+TEST(Flags, DoubleParsing) {
+  const char* argv[] = {"prog", "--zipf=0.9"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.get_double("zipf", 0.0), 0.9);
+}
+
+}  // namespace
+}  // namespace dcnt

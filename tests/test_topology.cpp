@@ -1,0 +1,180 @@
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/tree_counter.hpp"
+#include "baselines/central.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+namespace {
+
+TEST(Topology, CompleteIsOneHop) {
+  CompleteTopology topo(10);
+  for (ProcessorId a = 0; a < 10; ++a) {
+    for (ProcessorId b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(topo.next_hop(a, b), b);
+      EXPECT_EQ(topo.distance(a, b), 1);
+    }
+  }
+}
+
+TEST(Topology, RingTakesShorterDirection) {
+  RingTopology topo(10);
+  EXPECT_EQ(topo.next_hop(0, 3), 1);
+  EXPECT_EQ(topo.next_hop(0, 8), 9);
+  EXPECT_EQ(topo.distance(0, 3), 3);
+  EXPECT_EQ(topo.distance(0, 8), 2);
+  EXPECT_EQ(topo.distance(0, 5), 5);  // antipode
+  EXPECT_EQ(topo.distance(2, 2), 0);
+}
+
+TEST(Topology, RingRoutesAlwaysTerminate) {
+  for (const std::int64_t n : {2, 3, 7, 16, 31}) {
+    RingTopology topo(n);
+    for (ProcessorId a = 0; a < n; ++a) {
+      for (ProcessorId b = 0; b < n; ++b) {
+        EXPECT_LE(topo.distance(a, b), n / 2);
+      }
+    }
+  }
+}
+
+TEST(Topology, TorusDimensionOrderRouting) {
+  TorusTopology topo(16, 4);  // 4x4
+  EXPECT_EQ(topo.rows(), 4);
+  EXPECT_EQ(topo.cols(), 4);
+  // (0,0) -> (2,2): fix column first (0->1->2), then row.
+  EXPECT_EQ(topo.next_hop(0, 10), 1);
+  EXPECT_EQ(topo.distance(0, 10), 4);
+  // Wrap-around shortcut: (0,0) -> (0,3) is one hop backwards.
+  EXPECT_EQ(topo.next_hop(0, 3), 3);
+  EXPECT_EQ(topo.distance(0, 3), 1);
+  // Max distance on 4x4 torus = 2 + 2.
+  for (ProcessorId a = 0; a < 16; ++a) {
+    for (ProcessorId b = 0; b < 16; ++b) {
+      EXPECT_LE(topo.distance(a, b), 4);
+    }
+  }
+}
+
+TEST(Topology, TorusRaggedFactorization) {
+  TorusTopology topo(12);  // auto cols: 3 -> 4x3
+  EXPECT_EQ(topo.rows() * topo.cols(), 12);
+  for (ProcessorId a = 0; a < 12; ++a) {
+    for (ProcessorId b = 0; b < 12; ++b) {
+      EXPECT_LE(topo.distance(a, b), topo.rows() / 2 + topo.cols() / 2 + 1);
+    }
+  }
+}
+
+TEST(Topology, HypercubeDistanceIsHamming) {
+  HypercubeTopology topo(16);
+  EXPECT_EQ(topo.dimensions(), 4);
+  EXPECT_EQ(topo.distance(0b0000, 0b1111), 4);
+  EXPECT_EQ(topo.distance(0b0101, 0b0100), 1);
+  EXPECT_EQ(topo.distance(3, 3), 0);
+  // next_hop flips the lowest differing bit.
+  EXPECT_EQ(topo.next_hop(0b0000, 0b1010), 0b0010);
+}
+
+TEST(RoutedSim, CentralCounterOnRingCountsRouterHops) {
+  const std::int64_t n = 8;
+  SimConfig cfg;
+  cfg.topology = std::make_shared<RingTopology>(n);
+  Simulator sim(std::make_unique<CentralCounter>(n, 0), cfg);
+  // Processor 4 (antipode) incs: request routes 4 hops, reply 4 hops.
+  const OpId op = sim.begin_inc(4);
+  sim.run_until_quiescent();
+  EXPECT_EQ(*sim.result(op), 0);
+  EXPECT_EQ(sim.metrics().total_messages(), 8);
+  // Routers 1..3 (or 5..7) each relayed both directions.
+  std::int64_t router_load = 0;
+  for (ProcessorId p = 1; p <= 3; ++p) router_load += sim.metrics().load(p);
+  std::int64_t router_load2 = 0;
+  for (ProcessorId p = 5; p <= 7; ++p) router_load2 += sim.metrics().load(p);
+  EXPECT_EQ(router_load + router_load2, 12);  // 3 relays x (recv+send) x 2 legs
+}
+
+TEST(RoutedSim, TreeCounterCorrectOnEveryTopology) {
+  for (int variant = 0; variant < 3; ++variant) {
+    TreeCounterParams params;
+    params.k = 2;  // n = 8 = 2^3: hypercube-compatible
+    SimConfig cfg;
+    cfg.seed = 17;
+    cfg.delay = DelayModel::uniform(1, 6);
+    switch (variant) {
+      case 0:
+        cfg.topology = std::make_shared<RingTopology>(8);
+        break;
+      case 1:
+        cfg.topology = std::make_shared<TorusTopology>(8, 4);
+        break;
+      default:
+        cfg.topology = std::make_shared<HypercubeTopology>(8);
+        break;
+    }
+    Simulator sim(std::make_unique<TreeCounter>(params), cfg);
+    const RunResult result = run_sequential(sim, schedule_sequential(8));
+    EXPECT_TRUE(result.values_ok) << cfg.topology->name();
+    dynamic_cast<const TreeCounter&>(sim.counter()).deep_check();
+  }
+}
+
+TEST(RoutedSim, SparseNetworksRaiseTheBottleneck) {
+  // The §2 any-to-any assumption at work: same protocol, same workload,
+  // strictly more load once routers count.
+  TreeCounterParams params;
+  params.k = 3;
+  SimConfig direct;
+  direct.seed = 4;
+  Simulator flat(std::make_unique<TreeCounter>(params), direct);
+  run_sequential(flat, schedule_sequential(81));
+
+  SimConfig ringed = direct;
+  ringed.topology = std::make_shared<RingTopology>(81);
+  Simulator ring(std::make_unique<TreeCounter>(params), ringed);
+  run_sequential(ring, schedule_sequential(81));
+
+  EXPECT_GT(ring.metrics().total_messages(), flat.metrics().total_messages());
+  EXPECT_GT(ring.metrics().max_load(), flat.metrics().max_load());
+}
+
+TEST(RoutedSim, TraceRecordsPhysicalHops) {
+  SimConfig cfg;
+  cfg.enable_trace = true;
+  cfg.topology = std::make_shared<RingTopology>(8);
+  Simulator sim(std::make_unique<CentralCounter>(8, 0), cfg);
+  const OpId op = sim.begin_inc(2);
+  sim.run_until_quiescent();
+  ASSERT_TRUE(sim.result(op).has_value());
+  // 2 -> 1 -> 0 (request), 0 -> 1 -> 2 (reply): four hop records.
+  ASSERT_EQ(sim.trace().records().size(), 4u);
+  const auto& recs = sim.trace().records();
+  EXPECT_EQ(recs[0].src, 2);
+  EXPECT_EQ(recs[0].dst, 1);
+  EXPECT_EQ(recs[1].src, 1);
+  EXPECT_EQ(recs[1].dst, 0);
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].parent, recs[i - 1].id);
+  }
+}
+
+TEST(RoutedSim, CloneSharesTopologySafely) {
+  SimConfig cfg;
+  cfg.topology = std::make_shared<RingTopology>(8);
+  Simulator sim(std::make_unique<CentralCounter>(8, 0), cfg);
+  run_sequential(sim, schedule_sequential(8));
+  Simulator clone(sim);
+  const OpId op = clone.begin_inc(3);
+  clone.run_until_quiescent();
+  EXPECT_EQ(*clone.result(op), 8);
+}
+
+}  // namespace
+}  // namespace dcnt

@@ -1,0 +1,135 @@
+#include "core/tree_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/bound.hpp"
+
+namespace dcnt {
+namespace {
+
+class TreeLayoutTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeLayoutTest, SizesMatchPaper) {
+  const TreeLayout layout(GetParam());
+  const int k = GetParam();
+  EXPECT_EQ(layout.n(), tree_size_for_k(k));
+  std::int64_t inner = 0;
+  for (int i = 0; i <= k; ++i) inner += ipow(k, i);
+  EXPECT_EQ(layout.num_inner(), inner);
+  EXPECT_EQ(layout.leaf_parent_level(), k);
+}
+
+TEST_P(TreeLayoutTest, ParentChildInverse) {
+  const TreeLayout layout(GetParam());
+  const int k = GetParam();
+  for (NodeId node = 0; node < layout.num_inner(); ++node) {
+    const int level = layout.level_of(node);
+    if (level < k) {
+      for (int c = 0; c < k; ++c) {
+        const NodeId child = layout.child(node, c);
+        EXPECT_EQ(layout.parent(child), node);
+        EXPECT_EQ(layout.level_of(child), level + 1);
+      }
+    }
+  }
+  EXPECT_EQ(layout.parent(0), kNoNode);
+}
+
+TEST_P(TreeLayoutTest, LeafParentRoundTrip) {
+  const TreeLayout layout(GetParam());
+  const int k = GetParam();
+  for (ProcessorId p = 0; p < layout.n(); ++p) {
+    const NodeId up = layout.leaf_parent(p);
+    EXPECT_TRUE(layout.children_are_leaves(up));
+    bool found = false;
+    for (int c = 0; c < k; ++c) {
+      if (layout.leaf_child(up, c) == p) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_P(TreeLayoutTest, NodeNumberingRoundTrip) {
+  const TreeLayout layout(GetParam());
+  for (NodeId node = 0; node < layout.num_inner(); ++node) {
+    const int level = layout.level_of(node);
+    const std::int64_t j = layout.index_in_level(node);
+    EXPECT_EQ(layout.node_at(level, j), node);
+  }
+}
+
+TEST_P(TreeLayoutTest, PoolsOfNonRootNodesPartitionProcessors) {
+  // The paper: pools on levels 1..k are disjoint and their union is all
+  // n identifiers ("the largest identifier ... has the value k*k^k = n").
+  const TreeLayout layout(GetParam());
+  std::set<ProcessorId> covered;
+  std::int64_t total = 0;
+  for (NodeId node = 1; node < layout.num_inner(); ++node) {
+    const ProcessorId begin = layout.pool_begin(node);
+    const std::int64_t size = layout.pool_size(node);
+    EXPECT_EQ(layout.initial_pid(node), begin);
+    for (std::int64_t i = 0; i < size; ++i) {
+      const auto pid = static_cast<ProcessorId>(begin + i);
+      EXPECT_GE(pid, 0);
+      EXPECT_LT(pid, layout.n());
+      const bool inserted = covered.insert(pid).second;
+      EXPECT_TRUE(inserted) << "pools overlap at pid " << pid;
+    }
+    total += size;
+  }
+  EXPECT_EQ(total, layout.k() * ipow(layout.k(), layout.k()));
+  EXPECT_EQ(static_cast<std::int64_t>(covered.size()), layout.n());
+}
+
+TEST_P(TreeLayoutTest, RootPoolIsEverything) {
+  const TreeLayout layout(GetParam());
+  EXPECT_EQ(layout.pool_begin(0), 0);
+  EXPECT_EQ(layout.pool_size(0), layout.n());
+  EXPECT_EQ(layout.initial_pid(0), 0);
+}
+
+TEST_P(TreeLayoutTest, SuccessorWalksPoolAndWraps) {
+  const TreeLayout layout(GetParam());
+  for (NodeId node = 1; node < layout.num_inner(); ++node) {
+    const ProcessorId begin = layout.pool_begin(node);
+    const std::int64_t size = layout.pool_size(node);
+    ProcessorId cur = begin;
+    for (std::int64_t i = 0; i < size; ++i) {
+      const ProcessorId next = layout.successor(node, cur);
+      if (i + 1 < size) {
+        EXPECT_EQ(next, cur + 1);
+      } else {
+        EXPECT_EQ(next, begin);  // wrap
+      }
+      cur = next;
+    }
+  }
+}
+
+TEST_P(TreeLayoutTest, PoolSizeMatchesPaperFormula) {
+  const TreeLayout layout(GetParam());
+  const int k = GetParam();
+  for (NodeId node = 1; node < layout.num_inner(); ++node) {
+    const int level = layout.level_of(node);
+    EXPECT_EQ(layout.pool_size(node), ipow(k, k - level));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, TreeLayoutTest, ::testing::Values(2, 3, 4));
+
+TEST(TreeLayout, PaperInitialIdExampleK2) {
+  // k=2, n=8: level-1 nodes start at 0 and 2 (0-based; the paper's
+  // 1-based formula gives 1 and 3), level-2 nodes at 4,5,6,7.
+  const TreeLayout layout(2);
+  EXPECT_EQ(layout.initial_pid(layout.node_at(1, 0)), 0);
+  EXPECT_EQ(layout.initial_pid(layout.node_at(1, 1)), 2);
+  for (std::int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(layout.initial_pid(layout.node_at(2, j)), 4 + j);
+  }
+}
+
+}  // namespace
+}  // namespace dcnt
