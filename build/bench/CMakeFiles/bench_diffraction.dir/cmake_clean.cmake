@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diffraction.dir/bench_diffraction.cpp.o"
+  "CMakeFiles/bench_diffraction.dir/bench_diffraction.cpp.o.d"
+  "bench_diffraction"
+  "bench_diffraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diffraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

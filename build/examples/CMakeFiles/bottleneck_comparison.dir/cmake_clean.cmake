@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_comparison.dir/bottleneck_comparison.cpp.o"
+  "CMakeFiles/bottleneck_comparison.dir/bottleneck_comparison.cpp.o.d"
+  "bottleneck_comparison"
+  "bottleneck_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcount_cli.dir/dcount_cli.cpp.o"
+  "CMakeFiles/dcount_cli.dir/dcount_cli.cpp.o.d"
+  "dcount_cli"
+  "dcount_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcount_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

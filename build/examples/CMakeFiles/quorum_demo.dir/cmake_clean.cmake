@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_demo.dir/quorum_demo.cpp.o"
+  "CMakeFiles/quorum_demo.dir/quorum_demo.cpp.o.d"
+  "quorum_demo"
+  "quorum_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_dispenser.dir/task_dispenser.cpp.o"
+  "CMakeFiles/task_dispenser.dir/task_dispenser.cpp.o.d"
+  "task_dispenser"
+  "task_dispenser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_dispenser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_lock.dir/ticket_lock.cpp.o"
+  "CMakeFiles/ticket_lock.dir/ticket_lock.cpp.o.d"
+  "ticket_lock"
+  "ticket_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_dot.dir/trace_dot.cpp.o"
+  "CMakeFiles/trace_dot.dir/trace_dot.cpp.o.d"
+  "trace_dot"
+  "trace_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

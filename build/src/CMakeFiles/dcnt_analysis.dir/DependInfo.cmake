@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/adversary.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/adversary.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/adversary.cpp.o.d"
+  "/root/repo/src/analysis/audit.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/audit.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/audit.cpp.o.d"
+  "/root/repo/src/analysis/concentration.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/concentration.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/concentration.cpp.o.d"
+  "/root/repo/src/analysis/dag.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/dag.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/dag.cpp.o.d"
+  "/root/repo/src/analysis/explore.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/explore.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/explore.cpp.o.d"
+  "/root/repo/src/analysis/hotspot.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/hotspot.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/hotspot.cpp.o.d"
+  "/root/repo/src/analysis/latency.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/latency.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/latency.cpp.o.d"
+  "/root/repo/src/analysis/linearizability.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/linearizability.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/linearizability.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/tree_profile.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/tree_profile.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/tree_profile.cpp.o.d"
+  "/root/repo/src/analysis/weights.cpp" "src/CMakeFiles/dcnt_analysis.dir/analysis/weights.cpp.o" "gcc" "src/CMakeFiles/dcnt_analysis.dir/analysis/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcnt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnt_analysis.dir/analysis/adversary.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/adversary.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/audit.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/audit.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/concentration.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/concentration.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/dag.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/dag.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/explore.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/explore.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/hotspot.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/hotspot.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/latency.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/latency.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/linearizability.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/linearizability.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/report.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/tree_profile.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/tree_profile.cpp.o.d"
+  "CMakeFiles/dcnt_analysis.dir/analysis/weights.cpp.o"
+  "CMakeFiles/dcnt_analysis.dir/analysis/weights.cpp.o.d"
+  "libdcnt_analysis.a"
+  "libdcnt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

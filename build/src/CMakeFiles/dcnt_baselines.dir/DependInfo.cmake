@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/central.cpp" "src/CMakeFiles/dcnt_baselines.dir/baselines/central.cpp.o" "gcc" "src/CMakeFiles/dcnt_baselines.dir/baselines/central.cpp.o.d"
+  "/root/repo/src/baselines/combining_tree.cpp" "src/CMakeFiles/dcnt_baselines.dir/baselines/combining_tree.cpp.o" "gcc" "src/CMakeFiles/dcnt_baselines.dir/baselines/combining_tree.cpp.o.d"
+  "/root/repo/src/baselines/counting_network.cpp" "src/CMakeFiles/dcnt_baselines.dir/baselines/counting_network.cpp.o" "gcc" "src/CMakeFiles/dcnt_baselines.dir/baselines/counting_network.cpp.o.d"
+  "/root/repo/src/baselines/diffracting_tree.cpp" "src/CMakeFiles/dcnt_baselines.dir/baselines/diffracting_tree.cpp.o" "gcc" "src/CMakeFiles/dcnt_baselines.dir/baselines/diffracting_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcnt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

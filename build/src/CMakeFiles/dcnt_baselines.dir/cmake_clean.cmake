@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnt_baselines.dir/baselines/central.cpp.o"
+  "CMakeFiles/dcnt_baselines.dir/baselines/central.cpp.o.d"
+  "CMakeFiles/dcnt_baselines.dir/baselines/combining_tree.cpp.o"
+  "CMakeFiles/dcnt_baselines.dir/baselines/combining_tree.cpp.o.d"
+  "CMakeFiles/dcnt_baselines.dir/baselines/counting_network.cpp.o"
+  "CMakeFiles/dcnt_baselines.dir/baselines/counting_network.cpp.o.d"
+  "CMakeFiles/dcnt_baselines.dir/baselines/diffracting_tree.cpp.o"
+  "CMakeFiles/dcnt_baselines.dir/baselines/diffracting_tree.cpp.o.d"
+  "libdcnt_baselines.a"
+  "libdcnt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

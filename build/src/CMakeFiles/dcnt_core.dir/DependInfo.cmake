@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bound.cpp" "src/CMakeFiles/dcnt_core.dir/core/bound.cpp.o" "gcc" "src/CMakeFiles/dcnt_core.dir/core/bound.cpp.o.d"
+  "/root/repo/src/core/tree_bit.cpp" "src/CMakeFiles/dcnt_core.dir/core/tree_bit.cpp.o" "gcc" "src/CMakeFiles/dcnt_core.dir/core/tree_bit.cpp.o.d"
+  "/root/repo/src/core/tree_counter.cpp" "src/CMakeFiles/dcnt_core.dir/core/tree_counter.cpp.o" "gcc" "src/CMakeFiles/dcnt_core.dir/core/tree_counter.cpp.o.d"
+  "/root/repo/src/core/tree_layout.cpp" "src/CMakeFiles/dcnt_core.dir/core/tree_layout.cpp.o" "gcc" "src/CMakeFiles/dcnt_core.dir/core/tree_layout.cpp.o.d"
+  "/root/repo/src/core/tree_pq.cpp" "src/CMakeFiles/dcnt_core.dir/core/tree_pq.cpp.o" "gcc" "src/CMakeFiles/dcnt_core.dir/core/tree_pq.cpp.o.d"
+  "/root/repo/src/core/tree_service.cpp" "src/CMakeFiles/dcnt_core.dir/core/tree_service.cpp.o" "gcc" "src/CMakeFiles/dcnt_core.dir/core/tree_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcnt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

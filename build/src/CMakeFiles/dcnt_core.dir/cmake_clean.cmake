@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnt_core.dir/core/bound.cpp.o"
+  "CMakeFiles/dcnt_core.dir/core/bound.cpp.o.d"
+  "CMakeFiles/dcnt_core.dir/core/tree_bit.cpp.o"
+  "CMakeFiles/dcnt_core.dir/core/tree_bit.cpp.o.d"
+  "CMakeFiles/dcnt_core.dir/core/tree_counter.cpp.o"
+  "CMakeFiles/dcnt_core.dir/core/tree_counter.cpp.o.d"
+  "CMakeFiles/dcnt_core.dir/core/tree_layout.cpp.o"
+  "CMakeFiles/dcnt_core.dir/core/tree_layout.cpp.o.d"
+  "CMakeFiles/dcnt_core.dir/core/tree_pq.cpp.o"
+  "CMakeFiles/dcnt_core.dir/core/tree_pq.cpp.o.d"
+  "CMakeFiles/dcnt_core.dir/core/tree_service.cpp.o"
+  "CMakeFiles/dcnt_core.dir/core/tree_service.cpp.o.d"
+  "libdcnt_core.a"
+  "libdcnt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

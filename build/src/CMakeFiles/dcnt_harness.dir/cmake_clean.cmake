@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnt_harness.dir/harness/factory.cpp.o"
+  "CMakeFiles/dcnt_harness.dir/harness/factory.cpp.o.d"
+  "CMakeFiles/dcnt_harness.dir/harness/runner.cpp.o"
+  "CMakeFiles/dcnt_harness.dir/harness/runner.cpp.o.d"
+  "CMakeFiles/dcnt_harness.dir/harness/schedule.cpp.o"
+  "CMakeFiles/dcnt_harness.dir/harness/schedule.cpp.o.d"
+  "libdcnt_harness.a"
+  "libdcnt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcnt_harness.a"
+)

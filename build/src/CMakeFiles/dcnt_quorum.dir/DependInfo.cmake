@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quorum/crumbling_wall.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/crumbling_wall.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/crumbling_wall.cpp.o.d"
+  "/root/repo/src/quorum/grid.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/grid.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/grid.cpp.o.d"
+  "/root/repo/src/quorum/hierarchical.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/hierarchical.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/hierarchical.cpp.o.d"
+  "/root/repo/src/quorum/majority.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/majority.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/majority.cpp.o.d"
+  "/root/repo/src/quorum/probe.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/probe.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/probe.cpp.o.d"
+  "/root/repo/src/quorum/projective_plane.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/projective_plane.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/projective_plane.cpp.o.d"
+  "/root/repo/src/quorum/quorum_analysis.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/quorum_analysis.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/quorum_analysis.cpp.o.d"
+  "/root/repo/src/quorum/quorum_counter.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/quorum_counter.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/quorum_counter.cpp.o.d"
+  "/root/repo/src/quorum/quorum_system.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/quorum_system.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/quorum_system.cpp.o.d"
+  "/root/repo/src/quorum/tree_quorum.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/tree_quorum.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/tree_quorum.cpp.o.d"
+  "/root/repo/src/quorum/weighted.cpp" "src/CMakeFiles/dcnt_quorum.dir/quorum/weighted.cpp.o" "gcc" "src/CMakeFiles/dcnt_quorum.dir/quorum/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcnt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnt_quorum.dir/quorum/crumbling_wall.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/crumbling_wall.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/grid.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/grid.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/hierarchical.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/hierarchical.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/majority.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/majority.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/probe.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/probe.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/projective_plane.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/projective_plane.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/quorum_analysis.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/quorum_analysis.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/quorum_counter.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/quorum_counter.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/quorum_system.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/quorum_system.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/tree_quorum.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/tree_quorum.cpp.o.d"
+  "CMakeFiles/dcnt_quorum.dir/quorum/weighted.cpp.o"
+  "CMakeFiles/dcnt_quorum.dir/quorum/weighted.cpp.o.d"
+  "libdcnt_quorum.a"
+  "libdcnt_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnt_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

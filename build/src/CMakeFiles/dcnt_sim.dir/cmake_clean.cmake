@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnt_sim.dir/sim/delay.cpp.o"
+  "CMakeFiles/dcnt_sim.dir/sim/delay.cpp.o.d"
+  "CMakeFiles/dcnt_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/dcnt_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/dcnt_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/dcnt_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/dcnt_sim.dir/sim/topology.cpp.o"
+  "CMakeFiles/dcnt_sim.dir/sim/topology.cpp.o.d"
+  "CMakeFiles/dcnt_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/dcnt_sim.dir/sim/trace.cpp.o.d"
+  "libdcnt_sim.a"
+  "libdcnt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

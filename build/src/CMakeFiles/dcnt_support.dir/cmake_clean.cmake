@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnt_support.dir/support/flags.cpp.o"
+  "CMakeFiles/dcnt_support.dir/support/flags.cpp.o.d"
+  "CMakeFiles/dcnt_support.dir/support/rng.cpp.o"
+  "CMakeFiles/dcnt_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/dcnt_support.dir/support/stats.cpp.o"
+  "CMakeFiles/dcnt_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/dcnt_support.dir/support/table.cpp.o"
+  "CMakeFiles/dcnt_support.dir/support/table.cpp.o.d"
+  "libdcnt_support.a"
+  "libdcnt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

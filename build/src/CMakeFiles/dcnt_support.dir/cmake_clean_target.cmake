@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcnt_support.a"
+)

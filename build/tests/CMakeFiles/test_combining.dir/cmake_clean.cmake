@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combining.dir/test_combining.cpp.o"
+  "CMakeFiles/test_combining.dir/test_combining.cpp.o.d"
+  "test_combining"
+  "test_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

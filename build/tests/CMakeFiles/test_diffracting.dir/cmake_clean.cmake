@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diffracting.dir/test_diffracting.cpp.o"
+  "CMakeFiles/test_diffracting.dir/test_diffracting.cpp.o.d"
+  "test_diffracting"
+  "test_diffracting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diffracting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

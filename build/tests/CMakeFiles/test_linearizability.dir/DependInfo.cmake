@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_linearizability.cpp" "tests/CMakeFiles/test_linearizability.dir/test_linearizability.cpp.o" "gcc" "tests/CMakeFiles/test_linearizability.dir/test_linearizability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcnt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dcnt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quorum_counter.dir/test_quorum_counter.cpp.o"
+  "CMakeFiles/test_quorum_counter.dir/test_quorum_counter.cpp.o.d"
+  "test_quorum_counter"
+  "test_quorum_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quorum_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

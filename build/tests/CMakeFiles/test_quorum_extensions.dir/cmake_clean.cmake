@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quorum_extensions.dir/test_quorum_extensions.cpp.o"
+  "CMakeFiles/test_quorum_extensions.dir/test_quorum_extensions.cpp.o.d"
+  "test_quorum_extensions"
+  "test_quorum_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quorum_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quorum_systems.dir/test_quorum_systems.cpp.o"
+  "CMakeFiles/test_quorum_systems.dir/test_quorum_systems.cpp.o.d"
+  "test_quorum_systems"
+  "test_quorum_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quorum_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

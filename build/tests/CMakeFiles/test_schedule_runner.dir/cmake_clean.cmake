@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_runner.dir/test_schedule_runner.cpp.o"
+  "CMakeFiles/test_schedule_runner.dir/test_schedule_runner.cpp.o.d"
+  "test_schedule_runner"
+  "test_schedule_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_counter.dir/test_tree_counter.cpp.o"
+  "CMakeFiles/test_tree_counter.dir/test_tree_counter.cpp.o.d"
+  "test_tree_counter"
+  "test_tree_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_lemmas.dir/test_tree_lemmas.cpp.o"
+  "CMakeFiles/test_tree_lemmas.dir/test_tree_lemmas.cpp.o.d"
+  "test_tree_lemmas"
+  "test_tree_lemmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

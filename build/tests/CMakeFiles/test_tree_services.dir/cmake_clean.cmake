@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_services.dir/test_tree_services.cpp.o"
+  "CMakeFiles/test_tree_services.dir/test_tree_services.cpp.o.d"
+  "test_tree_services"
+  "test_tree_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
