@@ -1,0 +1,247 @@
+// PERF-ADV — the adversary's step cost and how it scales with threads.
+//
+// The §3 adversary dry-runs O(n) candidates per committed op; before
+// the snapshot/restore fast path each dry-run paid a full deep clone of
+// the Simulator, which kept adversarial sweeps stuck at small n. This
+// bench quantifies the three quantities that govern a sweep:
+//
+//   * clone_us    — a fresh deep copy (the old per-dry-run cost),
+//   * restore_us  — re-applying the same state into a warm scratch
+//                   simulator (the new per-dry-run cost),
+//   * dry-run throughput and run_adversarial_sequence wall time at
+//     1/2/4/max threads, asserting the results stay bit-identical.
+//
+// Emits a JSON baseline (default BENCH_adversary.json; the checked-in
+// copy at the repo root is the reference measurement for regression
+// comparisons).
+//
+// Flags: --counter=combining --n_list=64,256,1024 --threads_list=1,2,4,0
+//        --full_max_n=256 --sample=64 --schedule_samples=1 --seed=173
+//        --repeats=3 --out=BENCH_adversary.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/adversary.hpp"
+#include "harness/factory.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+#include "support/check.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace dcnt;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::int64_t> parse_list(const std::string& text) {
+  std::vector<std::int64_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+  return out;
+}
+
+struct CloneCost {
+  std::int64_t n{0};
+  double clone_us{0};
+  double restore_us{0};
+  double dryrun_us{0};  ///< restore + one inc + quiescence, serial
+};
+
+CloneCost measure_clone_cost(CounterKind kind, std::int64_t n,
+                             std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  Simulator sim(make_counter(kind, n), cfg);
+  const auto procs = static_cast<std::int64_t>(sim.num_processors());
+  run_sequential(sim, schedule_sequential(procs / 2));  // mid-sweep state
+
+  CloneCost cost;
+  cost.n = procs;
+  const int reps = 200;
+  {
+    const double t0 = now_ms();
+    for (int r = 0; r < reps; ++r) {
+      Simulator clone(sim);
+      DCNT_CHECK(clone.ops_started() == sim.ops_started());
+    }
+    cost.clone_us = (now_ms() - t0) * 1000.0 / reps;
+  }
+  {
+    Simulator scratch(sim);
+    const double t0 = now_ms();
+    for (int r = 0; r < reps; ++r) {
+      scratch.restore(sim);
+      DCNT_CHECK(scratch.ops_started() == sim.ops_started());
+    }
+    cost.restore_us = (now_ms() - t0) * 1000.0 / reps;
+  }
+  {
+    Simulator scratch(sim);
+    const double t0 = now_ms();
+    for (int r = 0; r < reps; ++r) {
+      scratch.restore(sim);
+      const OpId op =
+          scratch.begin_inc(static_cast<ProcessorId>(r % procs));
+      scratch.run_until_quiescent();
+      DCNT_CHECK(scratch.result(op).has_value());
+    }
+    cost.dryrun_us = (now_ms() - t0) * 1000.0 / reps;
+  }
+  return cost;
+}
+
+struct SweepPoint {
+  std::int64_t n{0};
+  std::size_t sample_candidates{0};
+  std::size_t threads_requested{0};
+  std::size_t threads_used{0};
+  double wall_ms{0};
+  std::int64_t max_load{0};
+  double paper_k{0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const CounterKind kind =
+      counter_kind_from_string(flags.get_string("counter", "combining"));
+  const auto n_list = parse_list(flags.get_string("n_list", "64,256,1024"));
+  // 0 in threads_list = auto (DCNT_THREADS env, else all hardware threads).
+  const auto threads_list = parse_list(flags.get_string("threads_list", "1,2,4,0"));
+  const std::int64_t full_max_n = flags.get_int("full_max_n", 256);
+  const auto sample = static_cast<std::size_t>(flags.get_int("sample", 64));
+  const auto schedule_samples =
+      static_cast<std::size_t>(flags.get_int("schedule_samples", 1));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 173));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 3));
+  const std::string out = flags.get_string("out", "BENCH_adversary.json");
+
+  Table clone_table({"n", "clone_us", "restore_us", "dryrun_us", "restore/clone"});
+  std::vector<CloneCost> clone_costs;
+  for (const std::int64_t n : n_list) {
+    const CloneCost cost = measure_clone_cost(kind, n, seed);
+    clone_costs.push_back(cost);
+    clone_table.row()
+        .add(cost.n)
+        .add(cost.clone_us, 2)
+        .add(cost.restore_us, 2)
+        .add(cost.dryrun_us, 2)
+        .add(cost.restore_us / std::max(cost.clone_us, 1e-9), 2);
+  }
+  clone_table.print(std::cout,
+                    "PERF-ADV: per-snapshot cost (" + to_string(kind) +
+                        "); restore() is the adversary's per-dry-run price");
+
+  Table sweep_table(
+      {"n", "candidates", "threads", "wall_ms", "speedup_vs_1t", "max_load"});
+  std::vector<SweepPoint> sweep;
+  for (const std::int64_t n : n_list) {
+    double wall_1t = 0;
+    const AdversaryResult* reference = nullptr;
+    AdversaryResult first;
+    for (const std::int64_t threads : threads_list) {
+      SimConfig cfg;
+      cfg.seed = seed;
+      Simulator base(make_counter(kind, n), cfg);
+      AdversaryOptions options;
+      options.seed = seed;
+      options.schedule_samples = schedule_samples;
+      // Full greedy up to full_max_n; sampled candidates beyond it.
+      options.sample_candidates = n <= full_max_n ? 0 : sample;
+      options.threads = static_cast<std::size_t>(threads);
+      double best_ms = 0;
+      AdversaryResult result;
+      for (int r = 0; r < repeats; ++r) {
+        const double t0 = now_ms();
+        result = run_adversarial_sequence(base, options);
+        const double ms = now_ms() - t0;
+        if (r == 0 || ms < best_ms) best_ms = ms;
+      }
+      // Bit-identical across thread counts, or the reduction is broken.
+      if (reference == nullptr) {
+        first = result;
+        reference = &first;
+      } else {
+        DCNT_CHECK_MSG(result.steps.size() == reference->steps.size() &&
+                           result.max_load == reference->max_load &&
+                           result.bottleneck == reference->bottleneck &&
+                           result.total_messages == reference->total_messages,
+                       "thread count changed the AdversaryResult");
+        for (std::size_t i = 0; i < result.steps.size(); ++i) {
+          DCNT_CHECK(result.steps[i].chosen == reference->steps[i].chosen &&
+                     result.steps[i].messages == reference->steps[i].messages);
+        }
+      }
+      SweepPoint point;
+      point.n = static_cast<std::int64_t>(base.num_processors());
+      point.sample_candidates = options.sample_candidates;
+      point.threads_requested = options.threads;
+      point.threads_used = resolve_thread_count(options.threads);
+      point.wall_ms = best_ms;
+      point.max_load = result.max_load;
+      point.paper_k = result.paper_k;
+      sweep.push_back(point);
+      if (threads == 1) wall_1t = best_ms;
+      sweep_table.row()
+          .add(point.n)
+          .add(point.sample_candidates == 0
+                   ? std::string("all")
+                   : std::to_string(point.sample_candidates))
+          .add(static_cast<std::int64_t>(point.threads_used))
+          .add(point.wall_ms, 1)
+          .add(wall_1t > 0 ? wall_1t / point.wall_ms : 0.0, 2)
+          .add(point.max_load);
+    }
+  }
+  sweep_table.print(std::cout,
+                    "PERF-ADV: run_adversarial_sequence wall time vs threads "
+                    "(results verified bit-identical)");
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  DCNT_CHECK_MSG(f != nullptr, "cannot open --out file");
+  std::fprintf(f, "{\n  \"bench\": \"adversary_scale\",\n");
+  std::fprintf(f, "  \"counter\": \"%s\",\n", to_string(kind).c_str());
+  std::fprintf(f, "  \"schedule_samples\": %zu,\n", schedule_samples);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", default_thread_count());
+  std::fprintf(f, "  \"snapshot_cost\": [\n");
+  for (std::size_t i = 0; i < clone_costs.size(); ++i) {
+    const CloneCost& c = clone_costs[i];
+    std::fprintf(f,
+                 "    {\"n\": %lld, \"clone_us\": %.3f, \"restore_us\": %.3f, "
+                 "\"dryrun_us\": %.3f}%s\n",
+                 static_cast<long long>(c.n), c.clone_us, c.restore_us,
+                 c.dryrun_us, i + 1 < clone_costs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"adversary\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::fprintf(
+        f,
+        "    {\"n\": %lld, \"sample_candidates\": %zu, \"threads\": %zu, "
+        "\"wall_ms\": %.2f, \"max_load\": %lld, \"paper_k\": %.3f}%s\n",
+        static_cast<long long>(p.n), p.sample_candidates, p.threads_used,
+        p.wall_ms, static_cast<long long>(p.max_load), p.paper_k,
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

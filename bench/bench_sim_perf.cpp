@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "analysis/adversary.hpp"
 #include "baselines/central.hpp"
 #include "core/tree_counter.hpp"
 #include "harness/factory.hpp"
@@ -72,6 +73,47 @@ void BM_SimulatorClone(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
 }
 BENCHMARK(BM_SimulatorClone)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SimulatorRestore(benchmark::State& state) {
+  // The snapshot/restore fast path: same state transfer as BM_SimulatorClone
+  // but into a warm scratch simulator — what the adversary pays per dry-run.
+  TreeCounterParams params;
+  params.k = static_cast<int>(state.range(0));
+  Simulator sim(std::make_unique<TreeCounter>(params), {});
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  run_sequential(sim, schedule_sequential(n / 2));
+  Simulator scratch(sim);
+  for (auto _ : state) {
+    scratch.restore(sim);
+    benchmark::DoNotOptimize(scratch.ops_started());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SimulatorRestore)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_AdversaryFullGreedy(benchmark::State& state) {
+  // Wall time of the whole §3 adversary at a given worker count; the
+  // result is bit-identical across thread counts, so Arg sweeps measure
+  // pure scheduling overhead/speedup.
+  TreeCounterParams params;
+  params.k = 3;  // n = 81
+  SimConfig cfg;
+  cfg.seed = 5;
+  Simulator base(std::make_unique<TreeCounter>(params), cfg);
+  AdversaryOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const AdversaryResult result = run_adversarial_sequence(base, options);
+    benchmark::DoNotOptimize(result.max_load);
+  }
+  state.counters["threads"] = static_cast<double>(options.threads);
+}
+BENCHMARK(BM_AdversaryFullGreedy)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MessageThroughput(benchmark::State& state) {
   // Raw event-loop throughput via a ping-pong counter with random

@@ -1,6 +1,7 @@
 #include "analysis/adversary.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "analysis/dag.hpp"
@@ -8,57 +9,70 @@
 #include "core/bound.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dcnt {
 
 namespace {
 
-struct ProbeResult {
-  std::int64_t messages{-1};
-  /// Schedule reseed that realized it (nullopt = the current stream).
+/// One dry-run: a candidate's inc under one delivery schedule.
+/// (nullopt reseed = the committed simulator's current stream.)
+struct DryRunTask {
+  ProcessorId candidate{kNoProcessor};
   std::optional<std::uint64_t> reseed;
 };
 
-/// Dry-run one inc of `candidate` over `samples` delivery schedules;
-/// returns the longest process found and how to reproduce it.
-ProbeResult probe_candidate(const Simulator& sim, ProcessorId candidate,
-                            std::size_t samples, Rng& rng) {
-  ProbeResult best;
-  for (std::size_t s = 0; s < std::max<std::size_t>(1, samples); ++s) {
-    Simulator clone(sim);
-    std::optional<std::uint64_t> reseed;
-    if (s > 0) {
-      reseed = rng.next();
-      clone.reseed(*reseed);
-    }
-    const std::int64_t before = clone.metrics().total_messages();
-    const OpId op = clone.begin_inc(candidate);
-    clone.run_until_quiescent();
-    DCNT_CHECK(clone.result(op).has_value());
-    const std::int64_t messages = clone.metrics().total_messages() - before;
-    if (messages > best.messages) {
-      best.messages = messages;
-      best.reseed = reseed;
-    }
-  }
-  return best;
-}
+/// A pool of per-worker scratch simulators. The first dry-run on a
+/// worker deep-clones the base state; every later one restore()s into
+/// the same object, reusing its buffers.
+class ScratchPool {
+ public:
+  explicit ScratchPool(std::size_t workers) : scratch_(workers) {}
 
-std::vector<ProcessorId> pick_candidates(
-    const std::vector<ProcessorId>& remaining, std::size_t sample, Rng& rng) {
-  if (sample == 0 || sample >= remaining.size()) return remaining;
-  std::vector<ProcessorId> pool = remaining;
-  // Partial Fisher-Yates: the first `sample` entries become the sample.
-  for (std::size_t i = 0; i < sample; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
-    std::swap(pool[i], pool[j]);
+  Simulator& prepared(std::size_t worker, const Simulator& base) {
+    auto& slot = scratch_[worker];
+    if (slot == nullptr) {
+      slot = std::make_unique<Simulator>(base);
+    } else {
+      slot->restore(base);
+    }
+    return *slot;
   }
-  pool.resize(sample);
-  return pool;
+
+ private:
+  std::vector<std::unique_ptr<Simulator>> scratch_;
+};
+
+/// Dry-run one task against `base` on a worker's scratch simulator and
+/// return the number of messages the candidate's inc generated.
+std::int64_t dry_run(ScratchPool& scratch, std::size_t worker,
+                     const Simulator& base, const DryRunTask& task) {
+  Simulator& sim = scratch.prepared(worker, base);
+  if (task.reseed.has_value()) sim.reseed(*task.reseed);
+  const std::int64_t before = sim.metrics().total_messages();
+  const OpId op = sim.begin_inc(task.candidate);
+  sim.run_until_quiescent();
+  DCNT_CHECK(sim.result(op).has_value());
+  return sim.metrics().total_messages() - before;
 }
 
 }  // namespace
+
+std::vector<ProcessorId> sample_without_replacement(
+    const std::vector<ProcessorId>& pool, std::size_t sample, Rng& rng) {
+  if (sample == 0 || sample >= pool.size()) return pool;
+  std::vector<ProcessorId> out = pool;
+  // Partial Fisher-Yates: the first `sample` entries become the sample;
+  // each swap draws from the untouched suffix, so entries are distinct
+  // by construction.
+  for (std::size_t i = 0; i < sample; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(out.size() - i));
+    std::swap(out[i], out[j]);
+  }
+  out.resize(sample);
+  return out;
+}
 
 AdversaryResult run_adversarial_sequence(const Simulator& base,
                                          const AdversaryOptions& options) {
@@ -69,25 +83,59 @@ AdversaryResult run_adversarial_sequence(const Simulator& base,
   result.paper_k = bottleneck_k(static_cast<double>(n));
   Rng rng(options.seed);
 
+  ThreadPool pool(resolve_thread_count(options.threads));
+  ScratchPool scratch(pool.size());
+
   Simulator sim(base);
   std::vector<ProcessorId> remaining;
   remaining.reserve(static_cast<std::size_t>(n));
   for (ProcessorId p = 0; p < n; ++p) remaining.push_back(p);
 
+  const std::size_t samples = std::max<std::size_t>(1, options.schedule_samples);
   std::vector<ProcessorId> chosen_sequence;
+  std::vector<DryRunTask> tasks;
   while (!remaining.empty()) {
     const auto candidates =
-        pick_candidates(remaining, options.sample_candidates, rng);
-    ProcessorId best = candidates.front();
+        sample_without_replacement(remaining, options.sample_candidates, rng);
+    // All schedule reseeds are drawn serially up front (candidate-major,
+    // matching the historical serial draw order) so the rng stream —
+    // and with it every downstream result — is independent of how the
+    // dry-runs are scheduled over workers.
+    tasks.clear();
+    for (const ProcessorId c : candidates) {
+      for (std::size_t s = 0; s < samples; ++s) {
+        DryRunTask task;
+        task.candidate = c;
+        if (s > 0) task.reseed = rng.next();
+        tasks.push_back(task);
+      }
+    }
+    const std::vector<std::int64_t> messages =
+        pool.parallel_map<std::int64_t>(
+            tasks.size(), [&](std::size_t worker, std::size_t i) {
+              return dry_run(scratch, worker, sim, tasks[i]);
+            });
+    // Deterministic reduction, independent of candidate order: most
+    // messages wins; across candidates ties go to the lowest
+    // ProcessorId; within a candidate, to the earliest sample.
+    ProcessorId best = kNoProcessor;
     std::int64_t best_messages = -1;
     std::optional<std::uint64_t> best_reseed;
-    for (const ProcessorId c : candidates) {
-      const ProbeResult probe =
-          probe_candidate(sim, c, options.schedule_samples, rng);
-      if (probe.messages > best_messages) {
-        best_messages = probe.messages;
+    for (std::size_t t = 0; t < tasks.size();) {
+      const ProcessorId c = tasks[t].candidate;
+      std::int64_t cand_messages = -1;
+      std::optional<std::uint64_t> cand_reseed;
+      for (; t < tasks.size() && tasks[t].candidate == c; ++t) {
+        if (messages[t] > cand_messages) {
+          cand_messages = messages[t];
+          cand_reseed = tasks[t].reseed;
+        }
+      }
+      if (cand_messages > best_messages ||
+          (cand_messages == best_messages && c < best)) {
+        best_messages = cand_messages;
         best = c;
-        best_reseed = probe.reseed;
+        best_reseed = cand_reseed;
       }
     }
     // Replay the winning process: same candidate, same schedule stream.
@@ -114,10 +162,11 @@ AdversaryResult run_adversarial_sequence(const Simulator& base,
                    "record_weights needs tracing in the base simulator");
     const ProcessorId q = result.last_processor;
     Simulator replay(base);
+    Simulator probe(base);  // reused across steps via restore()
     for (std::size_t i = 0; i < chosen_sequence.size(); ++i) {
       // Before op i: dry-run q's inc to obtain its list l_i and w_i.
       {
-        Simulator probe(replay);
+        probe.restore(replay);
         const OpId probe_op = probe.begin_inc(q);
         probe.run_until_quiescent();
         const IncDag dag = build_inc_dag(probe.trace(), probe_op, q);

@@ -13,8 +13,14 @@
 // benches show every implementation paying at least k(n) at its
 // bottleneck.
 //
-// Cost: O(n_candidates) clones per step; use `sample_candidates` for
-// larger n.
+// Cost: O(n_candidates) dry-runs per step. The dry-runs are read-only
+// with respect to the committed state, so they fan out over a
+// ThreadPool — each worker keeps ONE scratch simulator and restore()s
+// the step's base state into it per candidate (no deep clone per
+// dry-run). The reduction is a fixed deterministic rule (most
+// messages, ties to the lowest ProcessorId; within a candidate, the
+// earliest schedule sample), so the result is bit-for-bit identical
+// for every thread count. Use `sample_candidates` for larger n.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +41,10 @@ struct AdversaryOptions {
   /// explores that nondeterminism (the chosen schedule is replayed).
   std::size_t schedule_samples{1};
   std::uint64_t seed{0xADU};
+  /// Worker threads for the candidate dry-runs (0 = auto: DCNT_THREADS
+  /// env var, else hardware concurrency). The AdversaryResult is
+  /// identical for every value — parallelism only changes wall-clock.
+  std::size_t threads{0};
   /// Also record the proof's potential w_i along the run: after the
   /// main pass identifies the last processor q, a second pass replays
   /// the sequence and, before each op, dry-runs q's inc to obtain its
@@ -65,5 +75,13 @@ struct AdversaryResult {
 /// `base` (which must be freshly constructed: no operations yet).
 AdversaryResult run_adversarial_sequence(const Simulator& base,
                                          const AdversaryOptions& options = {});
+
+/// Without-replacement candidate sampling used per adversary step
+/// (exposed for tests): min(sample, pool.size()) DISTINCT entries of
+/// `pool`, via partial Fisher-Yates; sample == 0 means "all". A
+/// candidate must never be dry-run twice in one step — duplicates would
+/// waste dry-runs and skew tie-breaking.
+std::vector<ProcessorId> sample_without_replacement(
+    const std::vector<ProcessorId>& pool, std::size_t sample, Rng& rng);
 
 }  // namespace dcnt

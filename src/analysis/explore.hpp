@@ -37,7 +37,15 @@ struct ExploreOptions {
   /// services driven via op args.
   bool check_counter_semantics{true};
   /// Extra invariant evaluated at every path end (may be empty).
+  /// Setting it forces the serial explorer (the callback observes path
+  /// ends in depth-first order, which parallel branches cannot promise).
   std::function<void(const Simulator&)> on_path_end{};
+  /// Worker threads fanning out the top-level delivery branches
+  /// (0 = auto: DCNT_THREADS env var, else hardware concurrency). The
+  /// ExploreResult is identical for every value: branch path-lists are
+  /// merged serially in branch order, reproducing the serial DFS's path
+  /// order exactly — including where a max_paths truncation lands.
+  std::size_t threads{0};
 };
 
 struct ExploreResult {

@@ -51,6 +51,9 @@ class DiffractingTreeCounter final : public CounterProtocol {
   void start_inc(Context& ctx, ProcessorId origin, OpId op) override;
   void on_message(Context& ctx, const Message& msg) override;
   std::unique_ptr<CounterProtocol> clone_counter() const override;
+  bool try_assign_from(const Protocol& other) override {
+    return protocol_assign(*this, other);
+  }
   std::string name() const override;
   void check_quiescent(std::size_t ops_completed) const override;
 

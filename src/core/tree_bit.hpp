@@ -24,6 +24,9 @@ class TreeFlipBit final : public TreeService {
   std::unique_ptr<CounterProtocol> clone_counter() const override {
     return std::make_unique<TreeFlipBit>(*this);
   }
+  bool try_assign_from(const Protocol& other) override {
+    return protocol_assign(*this, other);
+  }
   std::string name() const override;
 
   /// Current bit; requires quiescence.

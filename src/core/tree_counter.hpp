@@ -52,6 +52,9 @@ class TreeCounter final : public TreeService {
   std::unique_ptr<CounterProtocol> clone_counter() const override {
     return std::make_unique<TreeCounter>(*this);
   }
+  bool try_assign_from(const Protocol& other) override {
+    return protocol_assign(*this, other);
+  }
   std::string name() const override;
 
   /// Current counter value; requires quiescence (role committed).

@@ -37,6 +37,9 @@ class TreePriorityQueue final : public TreeService {
   std::unique_ptr<CounterProtocol> clone_counter() const override {
     return std::make_unique<TreePriorityQueue>(*this);
   }
+  bool try_assign_from(const Protocol& other) override {
+    return protocol_assign(*this, other);
+  }
   std::string name() const override;
 
   /// Current queue size; requires quiescence.

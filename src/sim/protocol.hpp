@@ -15,6 +15,8 @@
 #pragma once
 
 #include <memory>
+#include <type_traits>
+#include <typeinfo>
 
 #include "sim/message.hpp"
 #include "sim/types.hpp"
@@ -57,6 +59,17 @@ class Protocol {
   /// Deep-copy the entire distributed state.
   virtual std::unique_ptr<Protocol> clone() const = 0;
 
+  /// In-place state copy from a same-type protocol, reusing this
+  /// object's already-allocated buffers — the cheap half of the
+  /// simulator's snapshot/restore fast path. Returns false when
+  /// `other`'s dynamic type is not this one's (the caller then falls
+  /// back to clone()). Implement via dcnt::protocol_assign; the default
+  /// declines so value-semantic correctness never depends on it.
+  virtual bool try_assign_from(const Protocol& other) {
+    (void)other;
+    return false;
+  }
+
   /// Human-readable short name ("tree(k=3)", "central", ...).
   virtual std::string name() const = 0;
 
@@ -87,5 +100,19 @@ class CounterProtocol : public Protocol {
   virtual std::unique_ptr<CounterProtocol> clone_counter() const = 0;
   std::unique_ptr<Protocol> clone() const final { return clone_counter(); }
 };
+
+/// Canonical try_assign_from body: copy-assign when the dynamic types
+/// match exactly (copy assignment of vectors-of-state reuses capacity,
+/// which is the whole point). Derived must be a final class — an exact
+/// typeid match on a non-final type would slice a further-derived
+/// object's state.
+template <class Derived>
+bool protocol_assign(Derived& self, const Protocol& other) {
+  static_assert(std::is_final_v<Derived>,
+                "protocol_assign requires a final protocol type");
+  if (typeid(other) != typeid(Derived)) return false;
+  if (&other != &self) self = static_cast<const Derived&>(other);
+  return true;
+}
 
 }  // namespace dcnt

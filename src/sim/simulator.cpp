@@ -21,6 +21,14 @@ Simulator::Simulator(std::unique_ptr<CounterProtocol> protocol,
                        protocol_->num_processors(),
                    "topology smaller than the processor set");
   }
+  // Pre-size the hot storage: dry-run clones live for exactly one op,
+  // so growth-by-doubling would otherwise dominate their allocation
+  // profile.
+  queue_.reserve(64);
+  const std::size_t n = protocol_->num_processors();
+  results_.reserve(n);
+  invoked_at_.reserve(n);
+  responded_at_.reserve(n);
 }
 
 Simulator::Simulator(const Simulator& other)
@@ -42,11 +50,39 @@ Simulator::Simulator(const Simulator& other)
 }
 
 Simulator& Simulator::operator=(const Simulator& other) {
-  if (this != &other) {
-    Simulator tmp(other);
-    *this = std::move(tmp);
-  }
+  restore(other);
   return *this;
+}
+
+void Simulator::restore(const Simulator& other) {
+  if (this == &other) return;
+  DCNT_CHECK_MSG(!other.in_handler_, "cannot snapshot mid-delivery");
+  DCNT_CHECK_MSG(!in_handler_, "cannot restore mid-delivery");
+  // Copy-assignment everywhere on purpose: vectors (queue, metrics,
+  // trace, results) overwrite their existing elements and keep their
+  // capacity, so a scratch simulator that has been restored once stops
+  // allocating on subsequent restores. The protocol joins in when its
+  // concrete type matches (try_assign_from); otherwise fall back to a
+  // fresh clone.
+  if (protocol_ == nullptr || !protocol_->try_assign_from(*other.protocol_)) {
+    protocol_ = other.protocol_->clone_counter();
+  }
+  config_ = other.config_;  // topology is a shared immutable pointer
+  rng_ = other.rng_;
+  queue_ = other.queue_;
+  channel_last_ = other.channel_last_;
+  metrics_ = other.metrics_;
+  trace_ = other.trace_;
+  results_ = other.results_;
+  invoked_at_ = other.invoked_at_;
+  responded_at_ = other.responded_at_;
+  completed_ = other.completed_;
+  now_ = other.now_;
+  seq_ = other.seq_;
+  deliveries_ = other.deliveries_;
+  current_parent_ = kNoRecord;
+  current_op_ = kNoOp;
+  in_handler_ = false;
 }
 
 OpId Simulator::begin_inc(ProcessorId origin) {
@@ -134,7 +170,8 @@ void Simulator::send_local(ProcessorId p, std::int32_t tag,
   ev.cause = current_parent_;
   ev.at = p;
   ev.msg = std::move(msg);
-  queue_.push(std::move(ev));
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
 }
 
 void Simulator::enqueue_hop(Message msg, ProcessorId hop_src,
@@ -154,7 +191,8 @@ void Simulator::enqueue_hop(Message msg, ProcessorId hop_src,
   ev.at = hop_dst;
   ev.ttl = ttl;
   ev.msg = std::move(msg);
-  queue_.push(std::move(ev));
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), EventLater{});
 }
 
 void Simulator::complete(OpId op, Value value) {
@@ -168,8 +206,9 @@ void Simulator::complete(OpId op, Value value) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), EventLater{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   DCNT_CHECK(ev.deliver_time >= now_);
   deliver(std::move(ev));
   return true;
@@ -177,19 +216,19 @@ bool Simulator::step() {
 
 void Simulator::step_specific(std::size_t index) {
   DCNT_CHECK(index < queue_.size());
-  // Drain the queue, pull the requested event (by send order), restore
-  // the rest. O(queue) — exploration runs on tiny systems.
-  std::vector<Event> events;
-  events.reserve(queue_.size());
-  while (!queue_.empty()) {
-    events.push_back(queue_.top());
-    queue_.pop();
-  }
-  std::sort(events.begin(), events.end(),
-            [](const Event& a, const Event& b) { return a.seq < b.seq; });
-  Event chosen = std::move(events[index]);
-  events.erase(events.begin() + static_cast<std::ptrdiff_t>(index));
-  for (auto& ev : events) queue_.push(std::move(ev));
+  // Find the `index`-th pending event by send order without draining
+  // the heap: rank positions by seq, splice the chosen one out, and
+  // re-heapify. O(queue log queue) — exploration runs on tiny systems.
+  std::vector<std::size_t> order(queue_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return queue_[a].seq < queue_[b].seq;
+  });
+  const std::size_t pos = order[index];
+  Event chosen = std::move(queue_[pos]);
+  if (pos + 1 != queue_.size()) queue_[pos] = std::move(queue_.back());
+  queue_.pop_back();
+  std::make_heap(queue_.begin(), queue_.end(), EventLater{});
   // Arbitrary-order delivery: pretend the chosen message was the fast
   // one (its nominal time may lie ahead of the clock).
   if (chosen.deliver_time < now_) chosen.deliver_time = now_;

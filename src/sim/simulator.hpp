@@ -18,7 +18,6 @@
 
 #include <memory>
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -56,6 +55,7 @@ class Simulator final : private Context {
 
   /// Deep snapshot (protocol cloned; queue, rng, metrics, trace copied).
   Simulator(const Simulator& other);
+  /// Same as restore(other); kept assignment-shaped for value semantics.
   Simulator& operator=(const Simulator& other);
   Simulator(Simulator&&) noexcept = default;
   Simulator& operator=(Simulator&&) noexcept = default;
@@ -88,14 +88,35 @@ class Simulator final : private Context {
   /// `max_steps` deliveries — a protocol that never quiesces is a bug.
   void run_until_quiescent(std::int64_t max_steps = 100'000'000);
 
-  /// Replaces the delivery-randomness stream. The paper's adversary
-  /// quantifies over all nondeterministic processes; reseeding clones
-  /// lets the analysis layer sample several realizable schedules per
-  /// candidate operation.
-  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+  /// Replaces the delivery-randomness stream AND forgets accumulated
+  /// per-channel FIFO state. The paper's adversary quantifies over all
+  /// nondeterministic processes; reseeding clones lets the analysis
+  /// layer sample several realizable schedules per candidate operation,
+  /// and each sample must be a function of (state, seed) alone — stale
+  /// channel_last_ entries would couple samples through delivery floors
+  /// inherited from a previous schedule draw.
+  void reseed(std::uint64_t seed) {
+    rng_ = Rng(seed);
+    channel_last_.clear();
+  }
+
+  /// Deep copy, named for symmetry with restore().
+  Simulator snapshot() const { return Simulator(*this); }
+
+  /// Re-applies `snapshot`'s state into this simulator in place,
+  /// reusing already-allocated buffers (event vector, metrics, trace,
+  /// result slots, and — when the protocol types match — the protocol's
+  /// own storage). Semantically identical to `*this = snapshot` but
+  /// cheap: this is how the adversary and explorer recycle one scratch
+  /// simulator per worker instead of deep-allocating a clone per
+  /// dry-run.
+  void restore(const Simulator& snapshot);
 
   bool quiescent() const { return queue_.empty(); }
   std::size_t pending_messages() const { return queue_.size(); }
+  /// Channels with recorded FIFO delivery state (empty unless
+  /// fifo_channels; cleared by reseed() — tests pin that contract).
+  std::size_t tracked_fifo_channels() const { return channel_last_.size(); }
 
   std::optional<Value> result(OpId op) const;
   std::size_t ops_started() const { return results_.size(); }
@@ -148,7 +169,12 @@ class Simulator final : private Context {
   std::unique_ptr<CounterProtocol> protocol_;
   SimConfig config_;
   Rng rng_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  /// Pending events as a binary min-heap (std::push_heap/pop_heap with
+  /// EventLater). A plain vector instead of std::priority_queue so the
+  /// storage can be reserve()d, copy-assigned without reallocating
+  /// (the restore() fast path), and inspected in place by
+  /// step_specific() without draining.
+  std::vector<Event> queue_;
   std::unordered_map<std::uint64_t, SimTime> channel_last_;
   Metrics metrics_;
   Trace trace_;

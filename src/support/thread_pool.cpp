@@ -1,0 +1,99 @@
+#include "support/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace dcnt {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("DCNT_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  return requested == 0 ? default_thread_count() : requested;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t spawned = threads <= 1 ? 0 : threads - 1;
+  workers_.reserve(spawned);
+  for (std::size_t w = 0; w < spawned; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_main(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_indices(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_indices(std::size_t worker) {
+  for (;;) {
+    const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= n_) return;
+    try {
+      (*body_)(worker, index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      next_.store(n_, std::memory_order_relaxed);  // abandon the rest
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallel_for_each(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_indices(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace dcnt

@@ -1,0 +1,92 @@
+// Minimal fixed-size worker pool for embarrassingly parallel fan-out.
+//
+// The lower-bound adversary and the schedule explorer dry-run many
+// independent candidate simulations against one read-only base state —
+// the same shape microbenchmark harnesses exploit by pinning trials to
+// worker threads. ThreadPool gives that shape a deterministic API: work
+// items are identified by index, every result lands in the slot of its
+// index, and callers reduce serially in index order, so the outcome is
+// bit-for-bit identical whatever the thread count or scheduling.
+//
+// Deliberately work-stealing-free: one shared atomic cursor hands out
+// indices; there are no per-worker deques to steal from, no affinity,
+// no priorities. That keeps the pool ~150 lines and the determinism
+// argument one sentence long.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcnt {
+
+/// Worker count used when a caller passes `threads == 0` ("auto"): the
+/// DCNT_THREADS environment variable if set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (min 1).
+std::size_t default_thread_count();
+
+/// Resolves a --threads-style knob: 0 -> default_thread_count(),
+/// anything else is used as given (min 1).
+std::size_t resolve_thread_count(std::size_t requested);
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` workers total (min 1). The calling thread
+  /// participates in every parallel_for_each as worker 0, so
+  /// ThreadPool(1) spawns no threads at all and runs everything inline.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs body(worker, index) for every index in [0, n), distributing
+  /// indices dynamically over size() workers; blocks until all have
+  /// run. Worker ids are stable in [0, size()) — use them to address
+  /// per-worker scratch state (e.g. one reusable Simulator each). The
+  /// first exception thrown by any invocation is rethrown here after
+  /// the remaining indices have been abandoned.
+  void parallel_for_each(
+      std::size_t n,
+      const std::function<void(std::size_t worker, std::size_t index)>& body);
+
+  /// parallel_for_each that collects fn(worker, index) into slot
+  /// `index` of the returned vector — the deterministic map: the result
+  /// depends only on fn and n, never on scheduling.
+  template <class T, class Fn>
+  std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+    std::vector<T> out(n);
+    parallel_for_each(n, [&](std::size_t worker, std::size_t index) {
+      out[index] = fn(worker, index);
+    });
+    return out;
+  }
+
+ private:
+  void worker_main(std::size_t worker);
+  void run_indices(std::size_t worker);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_{0};  ///< bumps once per parallel_for_each
+  std::size_t active_{0};        ///< spawned workers still in the current job
+  bool stop_{false};
+
+  // Current job; written under mu_ before workers are woken.
+  const std::function<void(std::size_t, std::size_t)>* body_{nullptr};
+  std::size_t n_{0};
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace dcnt

@@ -149,6 +149,81 @@ TEST(Adversary, ReseedReproducesChosenSchedules) {
   EXPECT_EQ(a.max_load, b.max_load);
 }
 
+TEST(Adversary, ParallelRunsAreBitIdenticalToSerial) {
+  // The tentpole determinism contract: threads only change wall-clock,
+  // never the result. Exercise both the candidate sampler and the
+  // schedule-sample reseeds across 3 seeds.
+  for (const std::uint64_t seed : {7ull, 99ull, 12345ull}) {
+    TreeCounterParams params;
+    params.k = 2;
+    SimConfig cfg;
+    cfg.seed = seed;
+    cfg.delay = DelayModel::uniform(1, 12);
+    Simulator base(std::make_unique<TreeCounter>(params), cfg);
+    AdversaryOptions serial;
+    serial.threads = 1;
+    serial.seed = seed;
+    serial.schedule_samples = 3;
+    serial.sample_candidates = 5;
+    AdversaryOptions parallel = serial;
+    parallel.threads = 4;
+    const AdversaryResult a = run_adversarial_sequence(base, serial);
+    const AdversaryResult b = run_adversarial_sequence(base, parallel);
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+      EXPECT_EQ(a.steps[i].chosen, b.steps[i].chosen) << "seed " << seed;
+      EXPECT_EQ(a.steps[i].messages, b.steps[i].messages) << "seed " << seed;
+    }
+    EXPECT_EQ(a.max_load, b.max_load);
+    EXPECT_EQ(a.bottleneck, b.bottleneck);
+    EXPECT_EQ(a.total_messages, b.total_messages);
+    EXPECT_EQ(a.last_processor, b.last_processor);
+    EXPECT_EQ(a.last_processor_load, b.last_processor_load);
+  }
+}
+
+TEST(Adversary, ParallelFullGreedyMatchesSerialOnEveryCounter) {
+  // Full candidate enumeration (no sampling) across implementations.
+  for (const CounterKind kind : all_counter_kinds()) {
+    SimConfig cfg;
+    cfg.seed = 21;
+    Simulator base(make_counter(kind, 8), cfg);
+    AdversaryOptions serial;
+    serial.threads = 1;
+    AdversaryOptions parallel = serial;
+    parallel.threads = 4;
+    const AdversaryResult a = run_adversarial_sequence(base, serial);
+    const AdversaryResult b = run_adversarial_sequence(base, parallel);
+    ASSERT_EQ(a.steps.size(), b.steps.size()) << to_string(kind);
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+      EXPECT_EQ(a.steps[i].chosen, b.steps[i].chosen) << to_string(kind);
+      EXPECT_EQ(a.steps[i].messages, b.steps[i].messages) << to_string(kind);
+    }
+    EXPECT_EQ(a.max_load, b.max_load) << to_string(kind);
+    EXPECT_EQ(a.bottleneck, b.bottleneck) << to_string(kind);
+  }
+}
+
+TEST(Adversary, CandidateSamplingIsWithoutReplacement) {
+  // A candidate must never be dry-run twice in one step.
+  std::vector<ProcessorId> pool;
+  for (ProcessorId p = 0; p < 50; ++p) pool.push_back(p);
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto picked = sample_without_replacement(pool, 7, rng);
+    ASSERT_EQ(picked.size(), 7u);
+    const std::set<ProcessorId> unique(picked.begin(), picked.end());
+    EXPECT_EQ(unique.size(), picked.size());
+    for (const ProcessorId p : picked) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 50);
+    }
+  }
+  // Oversized / zero samples mean "everyone, once".
+  EXPECT_EQ(sample_without_replacement(pool, 100, rng).size(), pool.size());
+  EXPECT_EQ(sample_without_replacement(pool, 0, rng).size(), pool.size());
+}
+
 TEST(Adversary, PaperKMatchesBoundMath) {
   TreeCounterParams params;
   params.k = 3;

@@ -142,5 +142,46 @@ TEST(Explore, CustomInvariantRuns) {
   EXPECT_EQ(calls, result.paths);
 }
 
+TEST(Explore, ParallelExplorationMatchesSerial) {
+  Simulator central(std::make_unique<CentralCounter>(5), {});
+  TreeCounterParams params;
+  params.k = 2;
+  Simulator tree(std::make_unique<TreeCounter>(params), {});
+  const auto check = [](const Simulator& base,
+                        const std::vector<ProcessorId>& ops) {
+    ExploreOptions serial;
+    serial.threads = 1;
+    ExploreOptions parallel = serial;
+    parallel.threads = 4;
+    const ExploreResult a = explore_schedules(base, ops, serial);
+    const ExploreResult b = explore_schedules(base, ops, parallel);
+    EXPECT_EQ(a.paths, b.paths);
+    EXPECT_EQ(a.truncated, b.truncated);
+    EXPECT_EQ(a.max_depth, b.max_depth);
+    EXPECT_EQ(a.distinct_outcomes, b.distinct_outcomes);
+  };
+  check(central, {1, 2, 3});
+  check(tree, {0, 7});
+}
+
+TEST(Explore, ParallelTruncationLandsAtTheSamePath) {
+  // Truncation is order-sensitive: the parallel merge must stop at the
+  // exact path where the serial DFS stops.
+  Simulator base(std::make_unique<CentralCounter>(5), {});
+  for (const std::int64_t cap : {1, 3, 7}) {
+    ExploreOptions serial;
+    serial.threads = 1;
+    serial.max_paths = cap;
+    ExploreOptions parallel = serial;
+    parallel.threads = 4;
+    const ExploreResult a = explore_schedules(base, {1, 2, 3}, serial);
+    const ExploreResult b = explore_schedules(base, {1, 2, 3}, parallel);
+    EXPECT_EQ(a.paths, b.paths) << "cap " << cap;
+    EXPECT_EQ(a.truncated, b.truncated) << "cap " << cap;
+    EXPECT_EQ(a.max_depth, b.max_depth) << "cap " << cap;
+    EXPECT_EQ(a.distinct_outcomes, b.distinct_outcomes) << "cap " << cap;
+  }
+}
+
 }  // namespace
 }  // namespace dcnt

@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "baselines/central.hpp"
+
 namespace dcnt {
 namespace {
 
@@ -267,6 +269,87 @@ TEST(SimulatorDeath, CompletingTwiceAborts) {
         sim.begin_inc(0);
       },
       "completed twice");
+}
+
+TEST(Simulator, RestoreReproducesSnapshotExactly) {
+  SimConfig cfg;
+  cfg.seed = 11;
+  cfg.delay = DelayModel::uniform(1, 8);
+  cfg.enable_trace = true;
+  Simulator sim(std::make_unique<HopCounter>(6, 2), cfg);
+  sim.begin_inc(1);
+  sim.run_until_quiescent();
+  const Simulator snap = sim.snapshot();
+
+  // Diverge a scratch simulator, then restore the snapshot into it:
+  // continuing from the scratch must be indistinguishable from
+  // continuing from a fresh deep clone.
+  Simulator scratch(sim);
+  scratch.begin_inc(3);
+  scratch.run_until_quiescent();
+  scratch.restore(snap);
+
+  Simulator fresh(snap);
+  const OpId a = scratch.begin_inc(2);
+  scratch.run_until_quiescent();
+  const OpId b = fresh.begin_inc(2);
+  fresh.run_until_quiescent();
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(scratch.result(a), fresh.result(b));
+  EXPECT_EQ(scratch.op_responded_at(a), fresh.op_responded_at(b));
+  EXPECT_EQ(scratch.metrics().total_messages(),
+            fresh.metrics().total_messages());
+  EXPECT_EQ(scratch.metrics().max_load(), fresh.metrics().max_load());
+  EXPECT_EQ(scratch.deliveries(), fresh.deliveries());
+  EXPECT_EQ(scratch.trace().records().size(), fresh.trace().records().size());
+}
+
+TEST(Simulator, RestoreAcrossProtocolTypesFallsBackToClone) {
+  // Scratch simulators are recycled across heterogeneous sweeps; a
+  // type mismatch must degrade to a full clone, not corrupt state.
+  Simulator hop(std::make_unique<HopCounter>(4, 0), {});
+  Simulator central(std::make_unique<CentralCounter>(4, 0), {});
+  central.begin_inc(2);
+  central.run_until_quiescent();
+  hop.restore(central);
+  const OpId a = hop.begin_inc(3);
+  hop.run_until_quiescent();
+  Simulator clone(central);
+  const OpId b = clone.begin_inc(3);
+  clone.run_until_quiescent();
+  EXPECT_EQ(hop.result(a), clone.result(b));
+  EXPECT_EQ(hop.metrics().total_messages(), clone.metrics().total_messages());
+}
+
+TEST(Simulator, ReseedClearsFifoChannelState) {
+  // Regression: reseeding a clone for a fresh schedule sample must also
+  // forget per-channel FIFO delivery floors, so each sample is a pure
+  // function of (state, seed) rather than coupled to the previous
+  // sample's draws through channel_last_.
+  SimConfig cfg;
+  cfg.seed = 3;
+  cfg.fifo_channels = true;
+  cfg.delay = DelayModel::uniform(1, 9);
+  Simulator sim(std::make_unique<HopCounter>(4, 1), cfg);
+  sim.begin_inc(2);
+  sim.run_until_quiescent();
+  EXPECT_GT(sim.tracked_fifo_channels(), 0u);
+
+  Simulator clone(sim);
+  EXPECT_EQ(clone.tracked_fifo_channels(), sim.tracked_fifo_channels());
+  clone.reseed(77);
+  EXPECT_EQ(clone.tracked_fifo_channels(), 0u);
+
+  // Two same-seed samples from the same state agree exactly.
+  Simulator other(sim);
+  other.reseed(77);
+  const OpId x = clone.begin_inc(1);
+  clone.run_until_quiescent();
+  const OpId y = other.begin_inc(1);
+  other.run_until_quiescent();
+  EXPECT_EQ(clone.op_responded_at(x), other.op_responded_at(y));
+  EXPECT_EQ(clone.metrics().total_messages(),
+            other.metrics().total_messages());
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dcnt {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for_each(hits.size(), [&](std::size_t worker,
+                                            std::size_t index) {
+      EXPECT_LT(worker, pool.size());
+      hits[index].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for_each(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for_each(1, [&](std::size_t worker, std::size_t index) {
+    EXPECT_EQ(worker, 0u);  // single items run inline on the caller
+    EXPECT_EQ(index, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, MapIsDeterministicAcrossThreadCounts) {
+  const auto square = [](std::size_t, std::size_t i) {
+    return static_cast<std::int64_t>(i) * static_cast<std::int64_t>(i);
+  };
+  ThreadPool serial(1);
+  const auto expected = serial.parallel_map<std::int64_t>(513, square);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.parallel_map<std::int64_t>(513, square), expected);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::int64_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    const auto parts = pool.parallel_map<std::int64_t>(
+        17, [&](std::size_t, std::size_t i) {
+          return static_cast<std::int64_t>(i + 1);
+        });
+    total += std::accumulate(parts.begin(), parts.end(), std::int64_t{0});
+  }
+  EXPECT_EQ(total, 50 * (17 * 18) / 2);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_each(100,
+                             [&](std::size_t, std::size_t index) {
+                               if (index == 42) {
+                                 throw std::runtime_error("boom");
+                               }
+                             }),
+      std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> calls{0};
+  pool.parallel_for_each(8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPool, ResolveThreadCountHonorsEnvAndExplicit) {
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  setenv("DCNT_THREADS", "5", 1);
+  EXPECT_EQ(resolve_thread_count(0), 5u);
+  EXPECT_EQ(default_thread_count(), 5u);
+  unsetenv("DCNT_THREADS");
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+}  // namespace
+}  // namespace dcnt
