@@ -50,6 +50,23 @@ struct TreeServiceParams {
   /// If true, the k+1 handover messages count toward the new incumbent's
   /// starting age (the paper's accounting excludes them; ablatable).
   bool count_handover_in_age{false};
+  /// Self-healing mode (DESIGN.md §8): per-origin operation serials with
+  /// an exactly-once journal at the root, primary-backup replication of
+  /// the root role to its pool successor (replies are write-ahead gated
+  /// on the backup ack), crash handover driven by transport suspicion
+  /// (Protocol::on_peer_unreachable), and end-to-end operation retry at
+  /// the origin. Changes the wire format of Inc / Value / the root's
+  /// TakeOver. Off by default; off means bit-identical behavior to the
+  /// paper's fault-free protocol.
+  bool self_healing{false};
+  /// Origin-side end-to-end retry (self_healing only): delay before the
+  /// first re-send of an unanswered operation.
+  SimTime inc_retry_timeout{64};
+  /// Backoff cap for the origin retry timer (doubles per attempt).
+  SimTime inc_retry_max_timeout{1024};
+  /// Attempts (1 original + retries) before the origin gives up — which
+  /// aborts loudly, since a counter op must not vanish.
+  int inc_retry_limit{40};
 };
 
 /// Housekeeping counters; exposed for lemma audits and benches.
@@ -68,6 +85,24 @@ struct TreeServiceStats {
   /// Largest payload (in words) of any handover message — O(1) for the
   /// counter and the flip bit, Theta(queue size) for the priority queue.
   std::int64_t max_handover_words{0};
+  // Self-healing counters (faults plane; all zero in the fault-free
+  // model and with self_healing off).
+  /// Crash-triggered promotions: a suspected incumbent was replaced by a
+  /// pool successor without a handover from the incumbent itself.
+  std::int64_t crash_handovers{0};
+  /// End-to-end operation re-sends by origins (distinct from the
+  /// transport's per-message retransmissions in RetryStats).
+  std::int64_t retransmissions{0};
+  /// Origin retry timers that fired and found their op still unanswered.
+  std::int64_t timeouts_fired{0};
+  /// Root-state backups shipped to the pool successor.
+  std::int64_t backups_sent{0};
+  /// Retried operations answered from the root's journal instead of
+  /// being applied a second time (the exactly-once dedup hits).
+  std::int64_t replayed_replies{0};
+  /// Promote requests ignored because the target already held, was
+  /// receiving, or had already passed on the role.
+  std::int64_t promotes_ignored{0};
 };
 
 /// One retirement, for the Retirement / Number-of-Retirements Lemma
@@ -85,11 +120,18 @@ class TreeService : public CounterProtocol {
   explicit TreeService(TreeServiceParams params);
 
   // Message tags (public so traces can be decoded by the analysis layer).
+  // Self-healing mode inserts a per-origin serial: Inc becomes
+  // [origin, target_node, serial, op_args...] and Value [value, serial].
   static constexpr std::int32_t kTagInc = 1;       ///< [origin, target_node, op_args...]
   static constexpr std::int32_t kTagValue = 2;     ///< [value]
-  static constexpr std::int32_t kTagTakeOver = 3;  ///< [node, parent_pid, root_state...]
+  static constexpr std::int32_t kTagTakeOver = 3;  ///< [node, parent_pid, root_state...]; healing root: [0, parent_pid, bseq, J, (origin,serial,value)*J, G, (origin,serial,value,op)*G, root_state...]
   static constexpr std::int32_t kTagChildInfo = 4; ///< [node, child_idx, child_pid]
   static constexpr std::int32_t kTagNewId = 5;     ///< [target_node, retiring_node, new_pid]; target -1 = "you as leaf"
+  // Self-healing tags (DESIGN.md §8; never sent with self_healing off).
+  static constexpr std::int32_t kTagBackup = 6;    ///< [0, seq, J, (origin,serial,value)*J, child_pids*k, root_state...]
+  static constexpr std::int32_t kTagBackupAck = 7; ///< [0, seq]
+  static constexpr std::int32_t kTagPromote = 8;   ///< [node, dead_pid]
+  static constexpr std::int32_t kTagIncRetry = 9;  ///< local [serial]: origin retry timer
 
   // CounterProtocol:
   std::size_t num_processors() const override;
@@ -97,6 +139,8 @@ class TreeService : public CounterProtocol {
   void start_op(Context& ctx, ProcessorId origin, OpId op,
                 const std::vector<std::int64_t>& args) override;
   void on_message(Context& ctx, const Message& msg) override;
+  void on_peer_unreachable(Context& ctx, ProcessorId self,
+                           ProcessorId peer) override;
   void check_quiescent(std::size_t ops_completed) const override;
 
   // Introspection.
@@ -135,6 +179,26 @@ class TreeService : public CounterProtocol {
   void finish_init();
 
  private:
+  /// One applied operation remembered for exactly-once dedup: the last
+  /// serial each origin got through the root, with its reply value.
+  /// Per-origin serials are sequential (one outstanding op per origin),
+  /// so one entry per origin suffices. Kept sorted by origin.
+  struct JournalEntry {
+    ProcessorId origin{kNoProcessor};
+    std::int64_t serial{-1};
+    Value value{0};
+  };
+  /// A reply the root has applied but not yet released: write-ahead
+  /// gating — the Value goes out only once backup `backup_seq` is acked,
+  /// so a promoted successor can never hand out a second, different
+  /// value for the same serial.
+  struct GatedReply {
+    std::int64_t backup_seq{-1};
+    ProcessorId origin{kNoProcessor};
+    std::int64_t serial{-1};
+    Value value{0};
+    OpId op{kNoOp};
+  };
   /// State of one inner-node role held by a processor.
   struct Role {
     NodeId node{kNoNode};
@@ -142,6 +206,14 @@ class TreeService : public CounterProtocol {
     std::vector<ProcessorId> child_pids;   // inner incumbents or leaf ids
     std::int64_t age{0};
     std::vector<std::int64_t> state;  // root only
+    // Self-healing root bookkeeping (empty unless node == 0 and
+    // self_healing is on).
+    std::vector<JournalEntry> journal;
+    std::vector<GatedReply> gated;
+    std::int64_t backup_next_seq{0};
+    /// Backup receiver; kNoProcessor = the default pool successor.
+    /// Re-targeted past a suspect when the successor itself dies.
+    ProcessorId backup_target{kNoProcessor};
   };
   /// Handover being assembled at the successor.
   struct PendingTakeover {
@@ -151,6 +223,10 @@ class TreeService : public CounterProtocol {
     ProcessorId parent_pid{kNoProcessor};
     std::vector<ProcessorId> child_pids;
     std::vector<std::int64_t> state;
+    // Healing root handover blob (node 0 with self_healing on).
+    std::vector<JournalEntry> journal;
+    std::vector<GatedReply> gated;
+    std::int64_t backup_next_seq{0};
   };
   struct ProcState {
     /// Incumbent of this leaf's parent node, as this leaf believes.
@@ -161,6 +237,24 @@ class TreeService : public CounterProtocol {
     std::vector<std::pair<NodeId, ProcessorId>> forwards;
     /// Messages for roles we do not (yet) hold.
     std::vector<Message> stash;
+    // --- Self-healing state ---
+    /// Next operation serial this origin will issue.
+    std::int64_t next_serial{0};
+    /// The one outstanding op (healing mode is sequential per origin);
+    /// -1 = none.
+    std::int64_t out_serial{-1};
+    std::vector<std::int64_t> out_args;
+    int out_attempts{0};
+    SimTime out_timeout{0};
+    /// Peers this processor has declared unreachable (f = 1 keeps this
+    /// tiny); pool walks skip them.
+    std::vector<ProcessorId> suspects;
+    /// Shadow of the root role, maintained from kTagBackup messages
+    /// while this processor is the root's backup target. seq -1 = none.
+    std::int64_t shadow_seq{-1};
+    std::vector<std::int64_t> shadow_state;
+    std::vector<ProcessorId> shadow_children;
+    std::vector<JournalEntry> shadow_journal;
   };
 
   Role* find_role(ProcState& ps, NodeId node);
@@ -177,10 +271,36 @@ class TreeService : public CounterProtocol {
   void retire(Context& ctx, ProcessorId self, const Role& role, OpId op);
   void commit_takeover(Context& ctx, ProcessorId self,
                        const PendingTakeover& pt);
+  void drain_stash(Context& ctx, ProcessorId self, NodeId node);
+
+  // Self-healing helpers (all no-ops / unreachable with healing off).
+  JournalEntry* find_journal(Role& role, ProcessorId origin);
+  void handle_root_op(Context& ctx, ProcessorId self, Role& role,
+                      const Message& msg);
+  void handle_backup(Context& ctx, ProcessorId self, const Message& msg);
+  void handle_backup_ack(Context& ctx, ProcessorId self, Role& role,
+                         const Message& msg);
+  void handle_promote(Context& ctx, ProcessorId self, const Message& msg);
+  void handle_inc_retry(Context& ctx, ProcessorId self, const Message& msg);
+  void send_backup(Context& ctx, ProcessorId self, Role& role,
+                   std::int64_t seq);
+  ProcessorId backup_target_of(const Role& role, ProcessorId self) const;
+  /// Best local guess at a node's incumbent: ourselves if we hold the
+  /// role, else the first unsuspected pool member from the initial pid.
+  ProcessorId believed_incumbent(const ProcState& ps, NodeId node,
+                                 ProcessorId self) const;
+  /// First pool member after `from` (inclusive) not suspected by `ps`;
+  /// gives up (returns `from`) after a full pool lap.
+  ProcessorId next_unsuspected(const ProcState& ps, NodeId node,
+                               ProcessorId from) const;
 
   TreeLayout layout_;
   std::int64_t threshold_;
   bool count_handover_in_age_;
+  bool self_healing_;
+  SimTime inc_retry_timeout_;
+  SimTime inc_retry_max_timeout_;
+  int inc_retry_limit_;
   std::vector<ProcState> procs_;
   /// Committed incumbent per inner node (kNoProcessor while in handover).
   std::vector<ProcessorId> incumbent_;

@@ -1,0 +1,95 @@
+#include "faults/fault_plane.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+namespace {
+// Domain-separation constant so the fault stream never collides with
+// the simulator's delay stream even for equal seeds.
+constexpr std::uint64_t kFaultSalt = 0xFA0175EEDULL;
+}  // namespace
+
+FaultPlane::FaultPlane(FaultSchedule schedule, std::uint64_t seed)
+    : schedule_(std::move(schedule)),
+      rng_(mix64(seed ^ kFaultSalt)),
+      active_(!schedule_.empty()) {
+  DCNT_CHECK_MSG(schedule_.drop_probability >= 0.0 &&
+                     schedule_.drop_probability <= 1.0,
+                 "drop_probability must be in [0, 1]");
+  DCNT_CHECK_MSG(schedule_.duplicate_probability >= 0.0 &&
+                     schedule_.duplicate_probability <= 1.0,
+                 "duplicate_probability must be in [0, 1]");
+  for (const ChannelDropRule& rule : schedule_.channel_drops) {
+    DCNT_CHECK_MSG(rule.probability >= 0.0 && rule.probability <= 1.0,
+                   "channel drop probability must be in [0, 1]");
+  }
+  for (const CrashEvent& crash : schedule_.crashes) {
+    DCNT_CHECK_MSG(crash.pid != kNoProcessor, "crash needs a processor");
+    DCNT_CHECK_MSG(crash.at >= 0, "crash time must be >= 0");
+    DCNT_CHECK_MSG(crash.recover_at < 0 || crash.recover_at > crash.at,
+                   "recovery must be after the crash");
+  }
+  // Sort the one-shot indices so membership is a binary search.
+  std::sort(schedule_.drop_message_indices.begin(),
+            schedule_.drop_message_indices.end());
+}
+
+void FaultPlane::reseed(std::uint64_t seed) {
+  rng_ = Rng(mix64(seed ^ kFaultSalt));
+}
+
+double FaultPlane::drop_probability_for(ProcessorId src,
+                                        ProcessorId dst) const {
+  for (const ChannelDropRule& rule : schedule_.channel_drops) {
+    const bool src_ok = rule.src == kNoProcessor || rule.src == src;
+    const bool dst_ok = rule.dst == kNoProcessor || rule.dst == dst;
+    if (src_ok && dst_ok) return rule.probability;
+  }
+  return schedule_.drop_probability;
+}
+
+FaultPlane::SendFault FaultPlane::on_send(ProcessorId src, ProcessorId dst) {
+  const std::int64_t index = next_index_++;
+  if (!schedule_.drop_message_indices.empty() &&
+      std::binary_search(schedule_.drop_message_indices.begin(),
+                         schedule_.drop_message_indices.end(), index)) {
+    ++stats_.scheduled_drops;
+    return SendFault::kDrop;
+  }
+  const double drop_p = drop_probability_for(src, dst);
+  if (drop_p > 0.0 && rng_.next_double() < drop_p) {
+    ++stats_.random_drops;
+    return SendFault::kDrop;
+  }
+  if (schedule_.duplicate_probability > 0.0 &&
+      rng_.next_double() < schedule_.duplicate_probability) {
+    ++stats_.duplicates;
+    return SendFault::kDuplicate;
+  }
+  return SendFault::kDeliver;
+}
+
+bool FaultPlane::crashed_at(ProcessorId p, SimTime t) const {
+  for (const CrashEvent& crash : schedule_.crashes) {
+    if (crash.pid == p && t >= crash.at &&
+        (crash.recover_at < 0 || t < crash.recover_at)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime FaultPlane::recovery_time(ProcessorId p, SimTime t) const {
+  for (const CrashEvent& crash : schedule_.crashes) {
+    if (crash.pid == p && t >= crash.at && crash.recover_at >= 0 &&
+        t < crash.recover_at) {
+      return crash.recover_at;
+    }
+  }
+  return -1;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,137 @@
+// Deterministic fault injection for the simulator.
+//
+// The paper's §2 model assumes a reliable network and no failures; the
+// fault plane is the controlled way to leave that model. A FaultPlane
+// is a pure function of (FaultSchedule, seed): the Simulator consults
+// it on every network enqueue (drop / duplicate) and every delivery
+// (crash gating), and because the plane owns its own random stream —
+// separate from the delay-sampling stream — an empty schedule leaves
+// every fault-free run bit-identical to a build without the plane.
+//
+// Fault semantics:
+//   * drop        — the hop is counted at the sender (it really sent)
+//                   but never enqueued; the network ate it.
+//   * duplicate   — a second, untraced copy of the hop is enqueued with
+//                   an independently sampled delay.
+//   * crash-stop  — from `at` onward the processor neither executes
+//                   handlers nor receives messages; network messages to
+//                   it are silently discarded.
+//   * crash-recover — as crash-stop during [at, recover_at); local
+//                   wake-ups (timers) scheduled into the dark window
+//                   are deferred to the recovery instant (the "reboot
+//                   restores the timer wheel" convention), while
+//                   network messages in the window are lost.
+//
+// Value semantics are load-bearing: the plane is deep-copied by
+// Simulator::snapshot()/restore(), so the adversary's and explorer's
+// dry-run machinery keeps working under injected faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+/// Per-channel drop-probability override. kNoProcessor endpoints are
+/// wildcards ("any"); the first matching rule wins.
+struct ChannelDropRule {
+  ProcessorId src{kNoProcessor};
+  ProcessorId dst{kNoProcessor};
+  double probability{0.0};
+};
+
+/// One crash. recover_at < 0 means crash-stop (never recovers);
+/// otherwise the processor is dark during [at, recover_at).
+struct CrashEvent {
+  ProcessorId pid{kNoProcessor};
+  SimTime at{0};
+  SimTime recover_at{-1};
+};
+
+/// Declarative fault description. Default-constructed = no faults.
+struct FaultSchedule {
+  /// Bernoulli drop applied to every network hop.
+  double drop_probability{0.0};
+  /// Bernoulli duplication applied to every surviving network hop.
+  double duplicate_probability{0.0};
+  /// Per-channel overrides of drop_probability.
+  std::vector<ChannelDropRule> channel_drops;
+  /// One-shot drops by global send index (0-based, counted over
+  /// fault-eligible hops). Deterministic regardless of seed.
+  std::vector<std::int64_t> drop_message_indices;
+  std::vector<CrashEvent> crashes;
+
+  bool empty() const {
+    return drop_probability == 0.0 && duplicate_probability == 0.0 &&
+           channel_drops.empty() && drop_message_indices.empty() &&
+           crashes.empty();
+  }
+};
+
+/// Injection counters; deterministic for a fixed (schedule, seed) and
+/// protocol, and therefore pinned by tests.
+struct FaultStats {
+  std::int64_t random_drops{0};
+  std::int64_t scheduled_drops{0};
+  std::int64_t duplicates{0};
+  /// Network deliveries suppressed because the destination was crashed.
+  std::int64_t crash_drops{0};
+  /// Local wake-ups deferred to a crash-recover instant.
+  std::int64_t deferred_timers{0};
+};
+
+class FaultPlane {
+ public:
+  enum class SendFault : std::uint8_t { kDeliver, kDrop, kDuplicate };
+
+  FaultPlane() = default;
+  FaultPlane(FaultSchedule schedule, std::uint64_t seed);
+
+  /// False for an empty schedule: the simulator then skips every hook,
+  /// so fault-free runs take the exact pre-fault-plane code path.
+  bool active() const { return active_; }
+
+  /// Decide the fate of one network hop. Consumes randomness only for
+  /// the probabilistic rules that are actually configured, so the
+  /// decision stream is a deterministic function of (schedule, seed)
+  /// and the hop sequence.
+  SendFault on_send(ProcessorId src, ProcessorId dst);
+
+  bool crashed_at(ProcessorId p, SimTime t) const;
+  /// Earliest recovery instant covering time t, or -1 if p is not
+  /// crashed at t or never recovers.
+  SimTime recovery_time(ProcessorId p, SimTime t) const;
+
+  /// True if p is crash-stopped (or inside a crash window) at t —
+  /// convenience for harnesses that must not initiate work at a dead
+  /// processor.
+  bool usable_origin(ProcessorId p, SimTime t) const {
+    return !crashed_at(p, t);
+  }
+
+  /// Replace the randomness stream (mirrors Simulator::reseed); the
+  /// schedule, send index and stats are preserved.
+  void reseed(std::uint64_t seed);
+
+  void note_crash_drop() { ++stats_.crash_drops; }
+  void note_deferred_timer() { ++stats_.deferred_timers; }
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  const FaultStats& stats() const { return stats_; }
+  /// Fault-eligible hops seen so far (the index of the next one).
+  std::int64_t hops_seen() const { return next_index_; }
+
+ private:
+  double drop_probability_for(ProcessorId src, ProcessorId dst) const;
+
+  FaultSchedule schedule_;
+  Rng rng_{};
+  std::int64_t next_index_{0};
+  bool active_{false};
+  FaultStats stats_;
+};
+
+}  // namespace dcnt

@@ -24,7 +24,7 @@ SimTime DelayModel::sample(Rng& rng) const {
 }
 
 DelayModel DelayModel::fixed_delay(SimTime d) {
-  DCNT_CHECK(d >= 1);
+  DCNT_CHECK_MSG(d >= 1, "fixed delay must be a positive tick count");
   DelayModel m;
   m.kind = DelayKind::kFixed;
   m.fixed = d;
@@ -32,7 +32,8 @@ DelayModel DelayModel::fixed_delay(SimTime d) {
 }
 
 DelayModel DelayModel::uniform(SimTime lo, SimTime hi) {
-  DCNT_CHECK(lo >= 1 && lo <= hi);
+  DCNT_CHECK_MSG(lo >= 1, "uniform delay lower bound must be >= 1");
+  DCNT_CHECK_MSG(hi >= lo, "uniform delay needs max >= min");
   DelayModel m;
   m.kind = DelayKind::kUniform;
   m.min = lo;
@@ -41,7 +42,8 @@ DelayModel DelayModel::uniform(SimTime lo, SimTime hi) {
 }
 
 DelayModel DelayModel::heavy_tail(SimTime lo, SimTime cap) {
-  DCNT_CHECK(lo >= 1 && lo <= cap);
+  DCNT_CHECK_MSG(lo >= 1, "heavy-tail delay lower bound must be >= 1");
+  DCNT_CHECK_MSG(cap >= lo, "heavy-tail delay needs cap >= min");
   DelayModel m;
   m.kind = DelayKind::kHeavyTail;
   m.min = lo;
@@ -61,7 +63,7 @@ SimTime DelayModel::sample_for(Rng& rng, ProcessorId src,
 DelayModel DelayModel::with_slow_processor(DelayModel base,
                                            ProcessorId slow_pid,
                                            SimTime factor) {
-  DCNT_CHECK(factor >= 1);
+  DCNT_CHECK_MSG(factor >= 1, "slow_factor must be >= 1 (1 = no skew)");
   base.slow_pid = slow_pid;
   base.slow_factor = factor;
   return base;

@@ -70,6 +70,20 @@ class Protocol {
     return false;
   }
 
+  /// Failure-detector hook: a transport layer (faults/retry.hpp) calls
+  /// this at processor `self` after exhausting retransmissions toward
+  /// `peer`. `self` may react by sending messages (it is inside a
+  /// handler). Suspicion is only as good as the timeout behind it —
+  /// in a truly asynchronous system a slow peer is indistinguishable
+  /// from a dead one — so implementations must make re-suspicion and
+  /// duplicate reactions idempotent. Default: ignore.
+  virtual void on_peer_unreachable(Context& ctx, ProcessorId self,
+                                   ProcessorId peer) {
+    (void)ctx;
+    (void)self;
+    (void)peer;
+  }
+
   /// Human-readable short name ("tree(k=3)", "central", ...).
   virtual std::string name() const = 0;
 

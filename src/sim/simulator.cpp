@@ -12,6 +12,7 @@ Simulator::Simulator(std::unique_ptr<CounterProtocol> protocol,
     : protocol_(std::move(protocol)),
       config_(config),
       rng_(config.seed),
+      faults_(config.faults, config.seed),
       metrics_(protocol_->num_processors()),
       trace_(config.enable_trace) {
   DCNT_CHECK(protocol_ != nullptr);
@@ -35,6 +36,7 @@ Simulator::Simulator(const Simulator& other)
     : protocol_(other.protocol_->clone_counter()),
       config_(other.config_),
       rng_(other.rng_),
+      faults_(other.faults_),
       queue_(other.queue_),
       channel_last_(other.channel_last_),
       metrics_(other.metrics_),
@@ -69,6 +71,7 @@ void Simulator::restore(const Simulator& other) {
   }
   config_ = other.config_;  // topology is a shared immutable pointer
   rng_ = other.rng_;
+  faults_ = other.faults_;
   queue_ = other.queue_;
   channel_last_ = other.channel_last_;
   metrics_ = other.metrics_;
@@ -177,6 +180,27 @@ void Simulator::send_local(ProcessorId p, std::int32_t tag,
 void Simulator::enqueue_hop(Message msg, ProcessorId hop_src,
                             ProcessorId hop_dst, RecordId record,
                             RecordId cause, std::int64_t ttl) {
+  if (faults_.active() && !msg.local && hop_src != hop_dst) {
+    switch (faults_.on_send(hop_src, hop_dst)) {
+      case FaultPlane::SendFault::kDrop:
+        // The sender's load and the trace send record stand (it really
+        // transmitted); the hop just never reaches the queue.
+        return;
+      case FaultPlane::SendFault::kDuplicate:
+        // A second copy with its own delay draw. Untraced (record-less)
+        // so the causal trace keeps one delivery per send record.
+        raw_enqueue(msg, hop_src, hop_dst, kNoRecord, cause, ttl);
+        break;
+      case FaultPlane::SendFault::kDeliver:
+        break;
+    }
+  }
+  raw_enqueue(std::move(msg), hop_src, hop_dst, record, cause, ttl);
+}
+
+void Simulator::raw_enqueue(Message msg, ProcessorId hop_src,
+                            ProcessorId hop_dst, RecordId record,
+                            RecordId cause, std::int64_t ttl) {
   Event ev;
   const SimTime delay = config_.delay.sample_for(rng_, hop_src, hop_dst);
   ev.deliver_time = now_ + delay;
@@ -216,6 +240,11 @@ bool Simulator::step() {
 
 void Simulator::step_specific(std::size_t index) {
   DCNT_CHECK(index < queue_.size());
+  // FIFO channels constrain realizable orders via delivery-time floors;
+  // delivering by send index ignores those floors, so the combination
+  // would explore schedules the configuration forbids.
+  DCNT_CHECK_MSG(!config_.fifo_channels,
+                 "step_specific is not meaningful with fifo_channels");
   // Find the `index`-th pending event by send order without draining
   // the heap: rank positions by seq, splice the chosen one out, and
   // re-heapify. O(queue log queue) — exploration runs on tiny systems.
@@ -236,6 +265,28 @@ void Simulator::step_specific(std::size_t index) {
 }
 
 void Simulator::deliver(Event ev) {
+  if (faults_.active()) {
+    const SimTime at = std::max(now_, ev.deliver_time);
+    if (faults_.crashed_at(ev.at, at)) {
+      now_ = at;
+      if (ev.msg.local) {
+        const SimTime recovery = faults_.recovery_time(ev.at, at);
+        if (recovery >= 0) {
+          // Crash-recover: the timer survives the reboot and fires at
+          // the recovery instant.
+          faults_.note_deferred_timer();
+          ev.deliver_time = recovery;
+          queue_.push_back(std::move(ev));
+          std::push_heap(queue_.begin(), queue_.end(), EventLater{});
+          return;
+        }
+      }
+      // Crashed destination: the message is lost. No receive is
+      // counted — a dead processor bears no load.
+      faults_.note_crash_drop();
+      return;
+    }
+  }
   now_ = std::max(now_, ev.deliver_time);
   ++deliveries_;
   const bool counted = !ev.msg.local && ev.msg.src != ev.msg.dst;

@@ -1,6 +1,10 @@
 // Discrete-event simulator for the paper's asynchronous message-passing
 // model (§2): n processors, any-to-any channels, unbounded-but-finite
-// delays, no failures.
+// delays, and — by default — no failures. Faults (message drop,
+// duplication, processor crash) are opt-in via SimConfig::faults and
+// injected deterministically by a FaultPlane (faults/fault_plane.hpp);
+// an empty schedule leaves every run bit-identical to the fault-free
+// model.
 //
 // Determinism & reproducibility: delivery order is a pure function of
 // (protocol, config.seed). Cloning a Simulator (copy construction)
@@ -21,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "faults/fault_plane.hpp"
 #include "sim/delay.hpp"
 #include "sim/message.hpp"
 #include "sim/metrics.hpp"
@@ -47,6 +52,10 @@ struct SimConfig {
   /// network (direct delivery). Must cover >= the protocol's processor
   /// count. Shared (immutable) between simulator clones.
   std::shared_ptr<const Topology> topology{};
+  /// Optional fault injection (drop / duplicate / crash). The plane is
+  /// seeded from `seed` with its own stream, so an empty schedule (the
+  /// default) changes nothing — not even the delay-randomness draws.
+  FaultSchedule faults{};
 };
 
 class Simulator final : private Context {
@@ -81,7 +90,8 @@ class Simulator final : private Context {
   /// pending_messages(), ordered by send sequence) regardless of its
   /// scheduled time — the asynchronous model permits any order, and the
   /// schedule explorer (analysis/explore.hpp) uses this to enumerate
-  /// them exhaustively. Not meaningful with fifo_channels.
+  /// them exhaustively. Not meaningful with fifo_channels (enforced:
+  /// DCNT_CHECK).
   void step_specific(std::size_t index);
 
   /// Deliver messages until none remain. Aborts (DCNT_CHECK) after
@@ -97,6 +107,7 @@ class Simulator final : private Context {
   /// inherited from a previous schedule draw.
   void reseed(std::uint64_t seed) {
     rng_ = Rng(seed);
+    faults_.reseed(seed);
     channel_last_.clear();
   }
 
@@ -121,6 +132,9 @@ class Simulator final : private Context {
   std::optional<Value> result(OpId op) const;
   std::size_t ops_started() const { return results_.size(); }
   std::size_t ops_completed() const { return completed_; }
+
+  /// The fault-injection plane (inactive for an empty schedule).
+  const FaultPlane& fault_plane() const { return faults_; }
 
   const Metrics& metrics() const { return metrics_; }
   Metrics& mutable_metrics() { return metrics_; }
@@ -160,6 +174,10 @@ class Simulator final : private Context {
 
   void enqueue_hop(Message msg, ProcessorId hop_src, ProcessorId hop_dst,
                    RecordId record, RecordId cause, std::int64_t ttl);
+  /// Event-queue mechanics of enqueue_hop, bypassing the fault plane
+  /// (used for the second copy of a duplicated hop).
+  void raw_enqueue(Message msg, ProcessorId hop_src, ProcessorId hop_dst,
+                   RecordId record, RecordId cause, std::int64_t ttl);
   void deliver(Event ev);
   static std::uint64_t channel_key(ProcessorId src, ProcessorId dst) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
@@ -169,6 +187,7 @@ class Simulator final : private Context {
   std::unique_ptr<CounterProtocol> protocol_;
   SimConfig config_;
   Rng rng_;
+  FaultPlane faults_;
   /// Pending events as a binary min-heap (std::push_heap/pop_heap with
   /// EventLater). A plain vector instead of std::priority_queue so the
   /// storage can be reserve()d, copy-assigned without reallocating

@@ -71,5 +71,19 @@ TEST(Delay, HeavyTailBounded) {
   EXPECT_LT(over_10, 3000);
 }
 
+TEST(DelayDeath, InvalidParametersAbort) {
+  // Zero or inverted ranges would make the event queue go backwards in
+  // time (or spin on zero-delay self-sends); the factories must refuse.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(DelayModel::fixed_delay(0), "positive tick count");
+  EXPECT_DEATH(DelayModel::uniform(0, 4), "lower bound");
+  EXPECT_DEATH(DelayModel::uniform(5, 4), "max >= min");
+  EXPECT_DEATH(DelayModel::heavy_tail(0, 4), "lower bound");
+  EXPECT_DEATH(DelayModel::heavy_tail(9, 4), "cap >= min");
+  EXPECT_DEATH(
+      DelayModel::with_slow_processor(DelayModel::fixed_delay(1), 0, 0),
+      "slow_factor");
+}
+
 }  // namespace
 }  // namespace dcnt

@@ -1,0 +1,329 @@
+// Fault-injection plane: determinism, fault semantics, and the
+// contract that an inert schedule changes nothing.
+#include "faults/fault_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/central.hpp"
+#include "core/tree_counter.hpp"
+#include "harness/runner.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+namespace {
+
+// Idempotent two-processor counter for fault-semantics tests: requests
+// carry the op's id, the home dedups by it, and the origin completes
+// only the first reply — so drops merely lose work and duplicates are
+// harmless, letting each fault show up in the stats without tripping
+// the simulator's double-completion check.
+class DedupCounter final : public CounterProtocol {
+ public:
+  static constexpr std::int32_t kTagReq = 1;    // [op]
+  static constexpr std::int32_t kTagReply = 2;  // [op, value]
+
+  std::size_t num_processors() const override { return 2; }
+
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override {
+    Message m;
+    m.src = origin;
+    m.dst = 0;
+    m.tag = kTagReq;
+    m.args = {op};
+    ctx.send(std::move(m));
+  }
+
+  void on_message(Context& ctx, const Message& msg) override {
+    if (msg.tag == kTagReq) {
+      const OpId op = msg.args.at(0);
+      Value v;
+      if (op < static_cast<OpId>(served_.size()) && served_[op] >= 0) {
+        v = served_[op];  // duplicate request: replay, don't re-apply
+      } else {
+        v = value_++;
+        if (op >= static_cast<OpId>(served_.size())) {
+          served_.resize(static_cast<std::size_t>(op) + 1, -1);
+        }
+        served_[op] = v;
+      }
+      Message reply;
+      reply.src = 0;
+      reply.dst = msg.src;
+      reply.tag = kTagReply;
+      reply.op = msg.op;
+      reply.args = {op, v};
+      ctx.send(std::move(reply));
+      return;
+    }
+    const OpId op = msg.args.at(0);
+    if (op < static_cast<OpId>(completed_.size()) && completed_[op]) return;
+    if (op >= static_cast<OpId>(completed_.size())) {
+      completed_.resize(static_cast<std::size_t>(op) + 1, false);
+    }
+    completed_[op] = true;
+    ctx.complete(msg.op, msg.args.at(1));
+  }
+
+  std::unique_ptr<CounterProtocol> clone_counter() const override {
+    return std::make_unique<DedupCounter>(*this);
+  }
+  std::string name() const override { return "dedup"; }
+
+ private:
+  Value value_{0};
+  std::vector<Value> served_;
+  std::vector<bool> completed_;
+};
+
+// Completes via a local timer so crash-recover's "reboot restores the
+// timer wheel" convention is observable end to end.
+class TimerCounter final : public CounterProtocol {
+ public:
+  static constexpr std::int32_t kTagTimer = 1;  // local [op]
+
+  std::size_t num_processors() const override { return 2; }
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override {
+    ctx.send_local(origin, kTagTimer, {op}, 5);
+  }
+  void on_message(Context& ctx, const Message& msg) override {
+    ctx.complete(msg.args.at(0), value_++);
+  }
+  std::unique_ptr<CounterProtocol> clone_counter() const override {
+    return std::make_unique<TimerCounter>(*this);
+  }
+  std::string name() const override { return "timer"; }
+
+ private:
+  Value value_{0};
+};
+
+TEST(FaultPlane, EmptyScheduleIsInactive) {
+  FaultPlane plane(FaultSchedule{}, 42);
+  EXPECT_FALSE(plane.active());
+  FaultSchedule s;
+  s.drop_probability = 0.1;
+  EXPECT_TRUE(FaultPlane(s, 42).active());
+}
+
+TEST(FaultPlane, ScheduledIndexDropsAreSeedIndependent) {
+  FaultSchedule s;
+  s.drop_message_indices = {0, 3};
+  for (const std::uint64_t seed : {1ull, 7ull, 999ull}) {
+    FaultPlane plane(s, seed);
+    EXPECT_EQ(plane.on_send(0, 1), FaultPlane::SendFault::kDrop);
+    EXPECT_EQ(plane.on_send(0, 1), FaultPlane::SendFault::kDeliver);
+    EXPECT_EQ(plane.on_send(1, 0), FaultPlane::SendFault::kDeliver);
+    EXPECT_EQ(plane.on_send(1, 0), FaultPlane::SendFault::kDrop);
+    EXPECT_EQ(plane.stats().scheduled_drops, 2);
+    EXPECT_EQ(plane.hops_seen(), 4);
+  }
+}
+
+TEST(FaultPlane, ChannelRuleOverridesGlobalProbability) {
+  FaultSchedule s;
+  s.drop_probability = 1.0;
+  // First matching rule wins: (2 -> anyone) is lossless.
+  s.channel_drops.push_back({2, kNoProcessor, 0.0});
+  FaultPlane plane(s, 5);
+  EXPECT_EQ(plane.on_send(2, 7), FaultPlane::SendFault::kDeliver);
+  EXPECT_EQ(plane.on_send(7, 2), FaultPlane::SendFault::kDrop);
+  EXPECT_EQ(plane.stats().random_drops, 1);
+}
+
+TEST(FaultPlane, CrashWindows) {
+  FaultSchedule s;
+  s.crashes.push_back({3, 10, -1});   // crash-stop at t=10
+  s.crashes.push_back({5, 20, 30});   // dark during [20, 30)
+  FaultPlane plane(s, 1);
+  EXPECT_FALSE(plane.crashed_at(3, 9));
+  EXPECT_TRUE(plane.crashed_at(3, 10));
+  EXPECT_TRUE(plane.crashed_at(3, 1'000'000));
+  EXPECT_EQ(plane.recovery_time(3, 50), -1);
+  EXPECT_FALSE(plane.crashed_at(5, 19));
+  EXPECT_TRUE(plane.crashed_at(5, 29));
+  EXPECT_FALSE(plane.crashed_at(5, 30));
+  EXPECT_EQ(plane.recovery_time(5, 25), 30);
+  EXPECT_TRUE(plane.usable_origin(5, 35));
+  EXPECT_FALSE(plane.usable_origin(3, 35));
+}
+
+TEST(FaultPlane, InertScheduleLeavesRunsBitIdentical) {
+  // A schedule whose faults can never fire (a crash far past the end of
+  // the run) must not perturb anything: the plane draws from its own
+  // random stream, and zero-probability rules draw nothing at all.
+  const auto run = [](const FaultSchedule& faults) {
+    SimConfig cfg;
+    cfg.seed = 1234;
+    cfg.delay = DelayModel::uniform(1, 16);
+    cfg.faults = faults;
+    TreeServiceParams params;
+    params.k = 2;
+    Simulator sim(std::make_unique<TreeCounter>(params), cfg);
+    std::vector<ProcessorId> order;
+    for (ProcessorId p = 0; p < 8; ++p) order.push_back(p);
+    return run_sequential(sim, order);
+  };
+  FaultSchedule inert;
+  inert.crashes.push_back({0, 1'000'000'000, -1});
+  const RunResult plain = run(FaultSchedule{});
+  const RunResult gated = run(inert);
+  EXPECT_TRUE(plain.values_ok);
+  EXPECT_TRUE(gated.values_ok);
+  EXPECT_EQ(plain.values, gated.values);
+  EXPECT_EQ(plain.max_load, gated.max_load);
+  EXPECT_EQ(plain.total_messages, gated.total_messages);
+  EXPECT_EQ(plain.bottleneck, gated.bottleneck);
+}
+
+TEST(FaultPlane, InjectionsAreDeterministicAcrossRuns) {
+  // Identical (schedule, seed) => bit-identical injections, loads and
+  // delivery counts, run after run.
+  const auto run = [](std::uint64_t seed) {
+    SimConfig cfg;
+    cfg.seed = seed;
+    cfg.delay = DelayModel::uniform(1, 9);
+    cfg.faults.drop_probability = 0.2;
+    cfg.faults.duplicate_probability = 0.3;
+    cfg.faults.crashes.push_back({1, 40, 80});  // crash-recover window
+    Simulator sim(std::make_unique<DedupCounter>(), cfg);
+    for (int i = 0; i < 30; ++i) sim.begin_inc(1);
+    sim.run_until_quiescent();
+    return sim;
+  };
+  const Simulator a = run(9);
+  const Simulator b = run(9);
+  const FaultStats& fa = a.fault_plane().stats();
+  const FaultStats& fb = b.fault_plane().stats();
+  EXPECT_EQ(fa.random_drops, fb.random_drops);
+  EXPECT_EQ(fa.duplicates, fb.duplicates);
+  EXPECT_EQ(fa.crash_drops, fb.crash_drops);
+  EXPECT_EQ(a.fault_plane().hops_seen(), b.fault_plane().hops_seen());
+  EXPECT_EQ(a.deliveries(), b.deliveries());
+  EXPECT_EQ(a.ops_completed(), b.ops_completed());
+  for (ProcessorId p = 0; p < 2; ++p) {
+    EXPECT_EQ(a.metrics().load(p), b.metrics().load(p));
+  }
+  // ...and a different seed draws a different fault realization.
+  const Simulator c = run(10);
+  EXPECT_NE(a.fault_plane().stats().random_drops +
+                a.fault_plane().stats().duplicates * 1000,
+            c.fault_plane().stats().random_drops +
+                c.fault_plane().stats().duplicates * 1000);
+}
+
+TEST(FaultPlane, DropsAreCountedAtSenderButNeverDelivered) {
+  SimConfig cfg;
+  cfg.faults.drop_probability = 1.0;
+  Simulator sim(std::make_unique<DedupCounter>(), cfg);
+  const OpId op = sim.begin_inc(1);
+  sim.run_until_quiescent();
+  EXPECT_FALSE(sim.result(op).has_value());
+  EXPECT_EQ(sim.fault_plane().stats().random_drops, 1);
+  EXPECT_EQ(sim.deliveries(), 0);
+  // The hop was really sent: the sender paid for it.
+  EXPECT_EQ(sim.metrics().load(1), 1);
+  EXPECT_EQ(sim.metrics().load(0), 0);
+}
+
+TEST(FaultPlane, DuplicatesDeliverTwice) {
+  SimConfig cfg;
+  cfg.faults.duplicate_probability = 1.0;
+  Simulator sim(std::make_unique<DedupCounter>(), cfg);
+  const OpId op = sim.begin_inc(1);
+  sim.run_until_quiescent();
+  ASSERT_TRUE(sim.result(op).has_value());
+  EXPECT_EQ(*sim.result(op), 0);
+  // The request duplicates (2 deliveries); the idempotent server answers
+  // each copy, and both replies duplicate too: 3 duplicated sends, 6
+  // deliveries for 3 logical sends — yet the op completes exactly once.
+  EXPECT_EQ(sim.fault_plane().stats().duplicates, 3);
+  EXPECT_EQ(sim.deliveries(), 6);
+}
+
+TEST(FaultPlane, CrashStopSilencesAProcessor) {
+  SimConfig cfg;
+  cfg.faults.crashes.push_back({0, 0, -1});
+  Simulator sim(std::make_unique<DedupCounter>(), cfg);
+  const OpId op = sim.begin_inc(1);
+  sim.run_until_quiescent();
+  EXPECT_FALSE(sim.result(op).has_value());
+  EXPECT_EQ(sim.fault_plane().stats().crash_drops, 1);
+}
+
+TEST(FaultPlane, CrashRecoverDefersLocalTimers) {
+  SimConfig cfg;
+  cfg.faults.crashes.push_back({1, 2, 50});  // dark during [2, 50)
+  Simulator sim(std::make_unique<TimerCounter>(), cfg);
+  const OpId op = sim.begin_inc(1);  // timer due at t=5, inside the window
+  sim.run_until_quiescent();
+  ASSERT_TRUE(sim.result(op).has_value());
+  EXPECT_EQ(sim.op_responded_at(op), 50);  // fired at the reboot instant
+  EXPECT_EQ(sim.fault_plane().stats().deferred_timers, 1);
+}
+
+TEST(FaultPlane, SnapshotRestoreReplaysIdentically) {
+  // The plane's stream and counters are part of the simulator's value
+  // semantics: diverge a scratch, restore, and the continuation must
+  // match a fresh clone of the snapshot exactly.
+  SimConfig cfg;
+  cfg.seed = 21;
+  cfg.delay = DelayModel::uniform(1, 7);
+  cfg.faults.drop_probability = 0.25;
+  cfg.faults.duplicate_probability = 0.25;
+  Simulator sim(std::make_unique<DedupCounter>(), cfg);
+  for (int i = 0; i < 10; ++i) sim.begin_inc(1);
+  sim.run_until_quiescent();
+  const Simulator snap = sim.snapshot();
+
+  Simulator scratch(sim);
+  for (int i = 0; i < 5; ++i) scratch.begin_inc(1);
+  scratch.run_until_quiescent();
+  scratch.restore(snap);
+  Simulator fresh(snap);
+  for (int i = 0; i < 8; ++i) {
+    scratch.begin_inc(1);
+    fresh.begin_inc(1);
+  }
+  scratch.run_until_quiescent();
+  fresh.run_until_quiescent();
+  EXPECT_EQ(scratch.deliveries(), fresh.deliveries());
+  EXPECT_EQ(scratch.ops_completed(), fresh.ops_completed());
+  const FaultStats& fs = scratch.fault_plane().stats();
+  const FaultStats& ff = fresh.fault_plane().stats();
+  EXPECT_EQ(fs.random_drops, ff.random_drops);
+  EXPECT_EQ(fs.duplicates, ff.duplicates);
+  EXPECT_EQ(scratch.fault_plane().hops_seen(), fresh.fault_plane().hops_seen());
+  for (std::size_t op = 0; op < scratch.ops_started(); ++op) {
+    EXPECT_EQ(scratch.result(static_cast<OpId>(op)),
+              fresh.result(static_cast<OpId>(op)));
+  }
+}
+
+TEST(FaultPlane, LocalAndSelfTrafficIsExempt) {
+  // send_local and self-addressed sends bypass the plane entirely: with
+  // certain drop, a timer-driven counter still completes.
+  SimConfig cfg;
+  cfg.faults.drop_probability = 1.0;
+  Simulator sim(std::make_unique<TimerCounter>(), cfg);
+  const OpId op = sim.begin_inc(1);
+  sim.run_until_quiescent();
+  ASSERT_TRUE(sim.result(op).has_value());
+  EXPECT_EQ(sim.fault_plane().stats().random_drops, 0);
+  EXPECT_EQ(sim.fault_plane().hops_seen(), 0);
+}
+
+TEST(FaultPlaneDeath, InvalidProbabilitiesAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FaultSchedule bad;
+  bad.drop_probability = 1.5;
+  EXPECT_DEATH({ FaultPlane plane(bad, 1); }, "probability");
+  FaultSchedule neg;
+  neg.duplicate_probability = -0.1;
+  EXPECT_DEATH({ FaultPlane plane(neg, 1); }, "probability");
+}
+
+}  // namespace
+}  // namespace dcnt

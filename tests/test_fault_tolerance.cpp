@@ -1,0 +1,285 @@
+// Fault tolerance end to end: the reliable transport over lossy
+// channels, and the self-healing tree counter surviving processor
+// crashes — the counter stays a counter (distinct consecutive values in
+// initiation order) while the fault plane does its worst.
+#include "faults/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/tree_counter.hpp"
+#include "core/tree_service.hpp"
+#include "harness/runner.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcnt {
+namespace {
+
+std::vector<ProcessorId> order_skipping(std::int64_t n, std::int64_t ops,
+                                        ProcessorId skip) {
+  std::vector<ProcessorId> order;
+  ProcessorId p = 0;
+  while (static_cast<std::int64_t>(order.size()) < ops) {
+    if (p != skip) order.push_back(p);
+    p = static_cast<ProcessorId>((p + 1) % n);
+  }
+  return order;
+}
+
+const TreeService& tree_of(const Simulator& sim) {
+  const auto& transport = dynamic_cast<const ReliableTransport&>(sim.counter());
+  return dynamic_cast<const TreeService&>(transport.inner());
+}
+
+TEST(ReliableTransport, RecoversFromHeavyLoss) {
+  // A *plain* (non-healing) tree counter over 20%-lossy channels: the
+  // transport's retransmissions alone must preserve exact counter
+  // semantics, because the inner protocol still sees every surviving
+  // message exactly once.
+  SimConfig cfg;
+  cfg.seed = 7;
+  cfg.delay = DelayModel::uniform(1, 4);
+  cfg.faults.drop_probability = 0.2;
+  TreeServiceParams params;
+  params.k = 2;
+  RetryParams retry;
+  retry.ack_timeout = 8;
+  retry.max_timeout = 64;
+  retry.max_attempts = 20;
+  Simulator sim(std::make_unique<ReliableTransport>(
+                    std::make_unique<TreeCounter>(params), retry),
+                cfg);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  ASSERT_EQ(n, 8);
+  const RunResult result =
+      run_sequential(sim, order_skipping(n, 2 * n, /*skip=*/-1));
+  EXPECT_TRUE(result.values_ok);
+  const auto& transport = dynamic_cast<const ReliableTransport&>(sim.counter());
+  EXPECT_GT(transport.stats().retransmissions, 0);
+  EXPECT_GT(sim.fault_plane().stats().random_drops, 0);
+  EXPECT_EQ(transport.stats().messages_abandoned, 0);
+}
+
+TEST(ReliableTransport, SuppressesFaultPlaneDuplicates) {
+  SimConfig cfg;
+  cfg.seed = 3;
+  cfg.delay = DelayModel::uniform(1, 6);
+  cfg.faults.duplicate_probability = 0.5;
+  TreeServiceParams params;
+  params.k = 2;
+  Simulator sim(std::make_unique<ReliableTransport>(
+                    std::make_unique<TreeCounter>(params), RetryParams{}),
+                cfg);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  const RunResult result =
+      run_sequential(sim, order_skipping(n, 2 * n, /*skip=*/-1));
+  EXPECT_TRUE(result.values_ok);
+  const auto& transport = dynamic_cast<const ReliableTransport&>(sim.counter());
+  EXPECT_GT(transport.stats().duplicates_suppressed, 0);
+}
+
+TEST(ReliableTransport, NameAndCloneRoundTrip) {
+  TreeServiceParams params;
+  params.k = 2;
+  ReliableTransport t(std::make_unique<TreeCounter>(params), RetryParams{});
+  EXPECT_EQ(t.name(), "reliable(" + t.inner().name() + ")");
+  auto clone = t.clone_counter();
+  EXPECT_EQ(clone->name(), t.name());
+  EXPECT_TRUE(t.try_assign_from(*clone));
+}
+
+TEST(SelfHealing, RawLossyChannelsEndToEndRetry) {
+  // No transport at all: the healing counter's own origin-side retries
+  // plus the root's journal must survive a 10%-lossy network (with
+  // retirement disabled so handover messages are never at risk).
+  SimConfig cfg;
+  cfg.seed = 11;
+  cfg.delay = DelayModel::uniform(1, 4);
+  cfg.faults.drop_probability = 0.1;
+  TreeServiceParams params;
+  params.k = 2;
+  params.age_threshold = 1'000'000;  // no voluntary retirement
+  params.self_healing = true;
+  params.inc_retry_timeout = 32;
+  Simulator sim(std::make_unique<TreeCounter>(params), cfg);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  const RunResult result =
+      run_sequential(sim, order_skipping(n, 3 * n, /*skip=*/-1));
+  EXPECT_TRUE(result.values_ok);
+  const auto& tree = dynamic_cast<const TreeService&>(sim.counter());
+  EXPECT_GT(tree.stats().timeouts_fired, 0);
+  EXPECT_GT(tree.stats().retransmissions, 0);
+  EXPECT_GT(tree.stats().replayed_replies + tree.stats().backups_sent, 0);
+  EXPECT_EQ(tree.stats().crash_handovers, 0);
+}
+
+TEST(SelfHealing, HealingModeWithoutFaultsStaysExact) {
+  // Healing machinery at rest: no faults, voluntary retirements on —
+  // serials, backups and gating must not disturb counter semantics.
+  SimConfig cfg;
+  cfg.seed = 5;
+  cfg.delay = DelayModel::uniform(1, 4);
+  TreeServiceParams params;
+  params.k = 2;
+  params.self_healing = true;
+  Simulator sim(std::make_unique<TreeCounter>(params), cfg);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  const RunResult result =
+      run_sequential(sim, order_skipping(n, 4 * n, /*skip=*/-1));
+  EXPECT_TRUE(result.values_ok);
+  const auto& tree = dynamic_cast<const TreeService&>(sim.counter());
+  EXPECT_GT(tree.stats().retirements_total, 0);  // retirements still work
+  EXPECT_GT(tree.stats().backups_sent, 0);
+  EXPECT_EQ(tree.stats().crash_handovers, 0);
+}
+
+TEST(SelfHealing, RootCrashMidSequenceRecovers) {
+  // The headline acceptance scenario: crash-stop the root incumbent in
+  // the middle of a sequential workload, over 5%-lossy channels, and
+  // every operation must still return distinct consecutive values in
+  // initiation order (run_sequential aborts otherwise).
+  SimConfig cfg;
+  cfg.seed = 17;
+  cfg.delay = DelayModel::uniform(1, 4);
+  cfg.faults.drop_probability = 0.05;
+  cfg.faults.crashes.push_back({0, 300, -1});  // the initial root
+  TreeServiceParams params;
+  params.k = 2;
+  params.age_threshold = 1'000'000;  // keep processor 0 the incumbent
+  params.self_healing = true;
+  params.inc_retry_timeout = 48;
+  RetryParams retry;
+  retry.ack_timeout = 8;
+  retry.max_timeout = 32;
+  retry.max_attempts = 4;
+  Simulator sim(make_fault_tolerant_tree_counter(params, retry), cfg);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  ASSERT_EQ(n, 8);
+  // Processor 0 is crashed from t=300 on; never initiate there.
+  const RunResult result =
+      run_sequential(sim, order_skipping(n, 3 * n, /*skip=*/0));
+  EXPECT_TRUE(result.values_ok);
+  const TreeService& tree = tree_of(sim);
+  EXPECT_GE(tree.stats().crash_handovers, 1);
+  EXPECT_GT(sim.fault_plane().stats().crash_drops, 0);
+  // The new incumbent is a real processor and it is not the corpse.
+  EXPECT_NE(tree.incumbent(0), kNoProcessor);
+  EXPECT_NE(tree.incumbent(0), 0);
+}
+
+TEST(SelfHealing, NonRootCrashRecovers) {
+  // Crash a level-1 incumbent (pool size k^(k-1) = 2 for k=2): its pool
+  // successor must take over via promotion and traffic through that
+  // subtree must keep completing.
+  SimConfig cfg;
+  cfg.seed = 23;
+  cfg.delay = DelayModel::uniform(1, 4);
+  cfg.faults.crashes.push_back({2, 250, -1});  // initial incumbent of node 2
+  TreeServiceParams params;
+  params.k = 2;
+  params.age_threshold = 1'000'000;
+  params.self_healing = true;
+  params.inc_retry_timeout = 48;
+  RetryParams retry;
+  retry.ack_timeout = 8;
+  retry.max_timeout = 32;
+  retry.max_attempts = 4;
+  Simulator sim(make_fault_tolerant_tree_counter(params, retry), cfg);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  const RunResult result =
+      run_sequential(sim, order_skipping(n, 3 * n, /*skip=*/2));
+  EXPECT_TRUE(result.values_ok);
+  const TreeService& tree = tree_of(sim);
+  EXPECT_GE(tree.stats().crash_handovers, 1);
+  EXPECT_EQ(tree.incumbent(2), 3);  // node 2's pool is {2, 3}
+}
+
+TEST(SelfHealing, CrashRecoveryIsDeterministic) {
+  // Same (schedule, seed) => the same crash recovery, message for
+  // message — snapshots included.
+  const auto run = [] {
+    SimConfig cfg;
+    cfg.seed = 29;
+    cfg.delay = DelayModel::uniform(1, 4);
+    cfg.faults.drop_probability = 0.05;
+    cfg.faults.crashes.push_back({0, 200, -1});
+    TreeServiceParams params;
+    params.k = 2;
+    params.age_threshold = 1'000'000;
+    params.self_healing = true;
+    params.inc_retry_timeout = 48;
+    RetryParams retry;
+    retry.ack_timeout = 8;
+    retry.max_timeout = 32;
+    retry.max_attempts = 4;
+    Simulator sim(make_fault_tolerant_tree_counter(params, retry), cfg);
+    const auto n = static_cast<std::int64_t>(sim.num_processors());
+    run_sequential(sim, order_skipping(n, 2 * n, /*skip=*/0));
+    return sim;
+  };
+  const Simulator a = run();
+  const Simulator b = run();
+  EXPECT_EQ(a.deliveries(), b.deliveries());
+  EXPECT_EQ(a.metrics().max_load(), b.metrics().max_load());
+  const TreeService& ta = tree_of(a);
+  const TreeService& tb = tree_of(b);
+  EXPECT_EQ(ta.stats().crash_handovers, tb.stats().crash_handovers);
+  EXPECT_EQ(ta.stats().retransmissions, tb.stats().retransmissions);
+  EXPECT_EQ(ta.stats().backups_sent, tb.stats().backups_sent);
+  EXPECT_EQ(a.fault_plane().stats().crash_drops,
+            b.fault_plane().stats().crash_drops);
+}
+
+TEST(SelfHealing, SnapshotRestoreAcrossACrash) {
+  // Snapshot before the crash instant, run through recovery twice (once
+  // in a restored scratch, once in a fresh clone): identical outcomes.
+  SimConfig cfg;
+  cfg.seed = 31;
+  cfg.delay = DelayModel::uniform(1, 4);
+  cfg.faults.crashes.push_back({0, 220, -1});
+  TreeServiceParams params;
+  params.k = 2;
+  params.age_threshold = 1'000'000;
+  params.self_healing = true;
+  params.inc_retry_timeout = 48;
+  RetryParams retry;
+  retry.ack_timeout = 8;
+  retry.max_timeout = 32;
+  retry.max_attempts = 4;
+  Simulator sim(make_fault_tolerant_tree_counter(params, retry), cfg);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  run_sequential(sim, order_skipping(n, 4, /*skip=*/0));  // pre-crash ops
+  const Simulator snap = sim.snapshot();
+
+  Simulator scratch(sim);
+  run_sequential(scratch, {5, 6});  // diverge
+  scratch.restore(snap);
+  Simulator fresh(snap);
+  const RunResult ra = run_sequential(scratch, order_skipping(n, n, 0));
+  const RunResult rb = run_sequential(fresh, order_skipping(n, n, 0));
+  EXPECT_TRUE(ra.values_ok);
+  EXPECT_TRUE(rb.values_ok);
+  EXPECT_EQ(scratch.deliveries(), fresh.deliveries());
+  EXPECT_EQ(tree_of(scratch).stats().crash_handovers,
+            tree_of(fresh).stats().crash_handovers);
+  EXPECT_GE(tree_of(fresh).stats().crash_handovers, 1);
+}
+
+TEST(SelfHealingDeath, ConcurrentOpsPerOriginAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TreeServiceParams params;
+  params.k = 2;
+  params.self_healing = true;
+  EXPECT_DEATH(
+      {
+        Simulator sim(std::make_unique<TreeCounter>(params), SimConfig{});
+        sim.begin_inc(1);
+        sim.begin_inc(1);  // second op at the same origin, first in flight
+      },
+      "one outstanding");
+}
+
+}  // namespace
+}  // namespace dcnt

@@ -8,8 +8,10 @@
 #include <memory>
 
 #include "core/tree_bit.hpp"
+#include "core/tree_counter.hpp"
 #include "core/tree_pq.hpp"
 #include "core/tree_service.hpp"
+#include "faults/retry.hpp"
 #include "harness/factory.hpp"
 #include "harness/runner.hpp"
 #include "harness/schedule.hpp"
@@ -136,6 +138,50 @@ TEST_P(FuzzCounters, TreeBitRandomInterleavedWithClones) {
       s->run_until_quiescent();
       ASSERT_EQ(*s->result(op), static_cast<Value>((warm + i) % 2));
     }
+  }
+}
+
+TEST_P(FuzzCounters, LossyChannelsWithReliableTransport) {
+  // Random FaultSchedules over the retry transport: any mix of drops,
+  // duplicates and a crash-recover window must still hand out distinct
+  // consecutive values (run_sequential aborts otherwise). The inner
+  // protocol is the plain tree counter — all fault masking lives in the
+  // transport.
+  Rng meta(static_cast<std::uint64_t>(GetParam()) * 48611 + 7);
+  for (int round = 0; round < 6; ++round) {
+    SimConfig cfg;
+    cfg.seed = meta.next();
+    cfg.delay = random_delay(meta);
+    cfg.faults.drop_probability =
+        static_cast<double>(meta.next_below(30)) / 100.0;  // 0 .. 0.29
+    cfg.faults.duplicate_probability =
+        static_cast<double>(meta.next_below(30)) / 100.0;
+    if (meta.next_below(2) == 0) {
+      // A transient crash-recover window on a non-root processor: the
+      // transport rides it out with retransmissions (crash-stops need
+      // the self-healing service, covered in test_fault_tolerance).
+      const SimTime at = meta.next_in(10, 200);
+      cfg.faults.crashes.push_back(
+          {static_cast<ProcessorId>(meta.next_in(1, 7)), at,
+           at + meta.next_in(20, 120)});
+    }
+    TreeServiceParams params;
+    params.k = 2;
+    RetryParams retry;
+    retry.ack_timeout = meta.next_in(4, 16);
+    retry.max_timeout = retry.ack_timeout * 8;
+    retry.max_attempts = 30;
+    Simulator sim(std::make_unique<ReliableTransport>(
+                      std::make_unique<TreeCounter>(params), retry),
+                  cfg);
+    const auto n = static_cast<std::int64_t>(sim.num_processors());
+    Rng order_rng(meta.next());
+    const auto order = schedule_uniform(n, meta.next_in(4, 3 * n), order_rng);
+    const RunResult result = run_sequential(sim, order);
+    ASSERT_TRUE(result.values_ok)
+        << "drop=" << cfg.faults.drop_probability
+        << " dup=" << cfg.faults.duplicate_probability
+        << " crashes=" << cfg.faults.crashes.size();
   }
 }
 

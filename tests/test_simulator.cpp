@@ -271,6 +271,22 @@ TEST(SimulatorDeath, CompletingTwiceAborts) {
       "completed twice");
 }
 
+TEST(SimulatorDeath, StepSpecificUnderFifoAborts) {
+  // FIFO channels constrain realizable delivery orders; delivering by
+  // send index ignores those floors, so the combination must abort
+  // instead of silently exploring forbidden schedules.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SimConfig cfg;
+        cfg.fifo_channels = true;
+        Simulator sim(std::make_unique<HopCounter>(4, 2), cfg);
+        sim.begin_inc(1);
+        sim.step_specific(0);
+      },
+      "not meaningful with fifo_channels");
+}
+
 TEST(Simulator, RestoreReproducesSnapshotExactly) {
   SimConfig cfg;
   cfg.seed = 11;
