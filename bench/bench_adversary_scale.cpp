@@ -20,13 +20,12 @@
 //        --repeats=3 --out=BENCH_adversary.json
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/adversary.hpp"
+#include "bench_util.hpp"
 #include "harness/factory.hpp"
 #include "harness/runner.hpp"
 #include "harness/schedule.hpp"
@@ -44,14 +43,6 @@ double now_ms() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-std::vector<std::int64_t> parse_list(const std::string& text) {
-  std::vector<std::int64_t> out;
-  std::stringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
-  return out;
 }
 
 struct CloneCost {
@@ -120,9 +111,11 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const CounterKind kind =
       counter_kind_from_string(flags.get_string("counter", "combining"));
-  const auto n_list = parse_list(flags.get_string("n_list", "64,256,1024"));
-  // 0 in threads_list = auto (DCNT_THREADS env, else all hardware threads).
-  const auto threads_list = parse_list(flags.get_string("threads_list", "1,2,4,0"));
+  const auto n_list = parse_int_list(flags.get_string("n_list", "64,256,1024"));
+  // 0 in threads_list = auto via the shared knob (--threads, then the
+  // DCNT_THREADS env, else all hardware threads).
+  const auto threads_list =
+      parse_int_list(flags.get_string("threads_list", "1,2,4,0"));
   const std::int64_t full_max_n = flags.get_int("full_max_n", 256);
   const auto sample = static_cast<std::size_t>(flags.get_int("sample", 64));
   const auto schedule_samples =
@@ -163,7 +156,8 @@ int main(int argc, char** argv) {
       options.schedule_samples = schedule_samples;
       // Full greedy up to full_max_n; sampled candidates beyond it.
       options.sample_candidates = n <= full_max_n ? 0 : sample;
-      options.threads = static_cast<std::size_t>(threads);
+      options.threads = threads == 0 ? threads_from_flags(flags)
+                                     : static_cast<std::size_t>(threads);
       double best_ms = 0;
       AdversaryResult result;
       for (int r = 0; r < repeats; ++r) {
@@ -212,36 +206,33 @@ int main(int argc, char** argv) {
                     "PERF-ADV: run_adversarial_sequence wall time vs threads "
                     "(results verified bit-identical)");
 
-  std::FILE* f = std::fopen(out.c_str(), "w");
-  DCNT_CHECK_MSG(f != nullptr, "cannot open --out file");
-  std::fprintf(f, "{\n  \"bench\": \"adversary_scale\",\n");
-  std::fprintf(f, "  \"counter\": \"%s\",\n", to_string(kind).c_str());
-  std::fprintf(f, "  \"schedule_samples\": %zu,\n", schedule_samples);
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(seed));
-  std::fprintf(f, "  \"hardware_threads\": %zu,\n", default_thread_count());
-  std::fprintf(f, "  \"snapshot_cost\": [\n");
-  for (std::size_t i = 0; i < clone_costs.size(); ++i) {
-    const CloneCost& c = clone_costs[i];
-    std::fprintf(f,
-                 "    {\"n\": %lld, \"clone_us\": %.3f, \"restore_us\": %.3f, "
-                 "\"dryrun_us\": %.3f}%s\n",
-                 static_cast<long long>(c.n), c.clone_us, c.restore_us,
-                 c.dryrun_us, i + 1 < clone_costs.size() ? "," : "");
+  JsonWriter json(out);
+  json.field("bench", "adversary_scale");
+  json.field("counter", to_string(kind));
+  json.field("schedule_samples", schedule_samples);
+  json.field("seed", seed);
+  json.field("hardware_threads", default_thread_count());
+  json.begin_array("snapshot_cost");
+  for (const CloneCost& c : clone_costs) {
+    json.begin_object();
+    json.field("n", c.n);
+    json.field("clone_us", c.clone_us);
+    json.field("restore_us", c.restore_us);
+    json.field("dryrun_us", c.dryrun_us);
+    json.end_object();
   }
-  std::fprintf(f, "  ],\n  \"adversary\": [\n");
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const SweepPoint& p = sweep[i];
-    std::fprintf(
-        f,
-        "    {\"n\": %lld, \"sample_candidates\": %zu, \"threads\": %zu, "
-        "\"wall_ms\": %.2f, \"max_load\": %lld, \"paper_k\": %.3f}%s\n",
-        static_cast<long long>(p.n), p.sample_candidates, p.threads_used,
-        p.wall_ms, static_cast<long long>(p.max_load), p.paper_k,
-        i + 1 < sweep.size() ? "," : "");
+  json.end_array();
+  json.begin_array("adversary");
+  for (const SweepPoint& p : sweep) {
+    json.begin_object();
+    json.field("n", p.n);
+    json.field("sample_candidates", p.sample_candidates);
+    json.field("threads", p.threads_used);
+    json.field("wall_ms", p.wall_ms, 2);
+    json.field("max_load", p.max_load);
+    json.field("paper_k", p.paper_k);
+    json.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", out.c_str());
+  json.end_array();
   return 0;
 }

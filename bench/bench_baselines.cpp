@@ -20,9 +20,9 @@
 //
 // Flags: --sizes=64,256,1024 --seed=5 --batch=32
 #include <iostream>
-#include <sstream>
 
 #include "analysis/latency.hpp"
+#include "bench_util.hpp"
 #include "analysis/report.hpp"
 #include "harness/factory.hpp"
 #include "harness/runner.hpp"
@@ -33,23 +33,9 @@
 
 using namespace dcnt;
 
-namespace {
-
-std::vector<std::int64_t> parse_sizes(const std::string& text) {
-  std::vector<std::int64_t> sizes;
-  std::stringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    sizes.push_back(std::stoll(item));
-  }
-  return sizes;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const auto sizes = parse_sizes(flags.get_string("sizes", "64,256,1024"));
+  const auto sizes = parse_int_list(flags.get_string("sizes", "64,256,1024"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
   const auto batch = static_cast<std::size_t>(flags.get_int("batch", 32));
 

@@ -27,13 +27,12 @@
 //        --crash_list=0,1,2 --crash_drop=0.01 --ops_factor=1 --seed=97
 //        --out=BENCH_faults.json
 #include <algorithm>
-#include <cstdio>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/report.hpp"
+#include "bench_util.hpp"
 #include "core/tree_counter.hpp"
 #include "core/tree_layout.hpp"
 #include "faults/retry.hpp"
@@ -46,22 +45,6 @@
 using namespace dcnt;
 
 namespace {
-
-std::vector<double> parse_doubles(const std::string& text) {
-  std::vector<double> out;
-  std::stringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
-  return out;
-}
-
-std::vector<std::int64_t> parse_ints(const std::string& text) {
-  std::vector<std::int64_t> out;
-  std::stringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
-  return out;
-}
 
 /// One inc per live processor, round-robin, skipping the given pids.
 std::vector<ProcessorId> live_order(std::int64_t n, std::int64_t ops,
@@ -104,10 +87,12 @@ struct CrashPoint {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const auto k_list = parse_ints(flags.get_string("k_list", "2,3,4"));
-  const auto crash_k_list = parse_ints(flags.get_string("crash_k_list", "2,3"));
-  const auto drops = parse_doubles(flags.get_string("drops", "0,0.02,0.05,0.1,0.2"));
-  const auto crash_list = parse_ints(flags.get_string("crash_list", "0,1,2"));
+  const auto k_list = parse_int_list(flags.get_string("k_list", "2,3,4"));
+  const auto crash_k_list =
+      parse_int_list(flags.get_string("crash_k_list", "2,3"));
+  const auto drops =
+      parse_double_list(flags.get_string("drops", "0,0.02,0.05,0.1,0.2"));
+  const auto crash_list = parse_int_list(flags.get_string("crash_list", "0,1,2"));
   const double crash_drop = flags.get_double("crash_drop", 0.01);
   const std::int64_t ops_factor = flags.get_int("ops_factor", 1);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 97));
@@ -239,42 +224,36 @@ int main(int argc, char** argv) {
                     "values stay exact, max_load within a small constant of "
                     "the c=0 row while promotions replace the dead)");
 
-  std::FILE* f = std::fopen(out.c_str(), "w");
-  DCNT_CHECK_MSG(f != nullptr, "cannot open --out file");
-  std::fprintf(f, "{\n  \"bench\": \"faults\",\n");
-  std::fprintf(f, "  \"seed\": %llu,\n  \"ops_factor\": %lld,\n",
-               static_cast<unsigned long long>(seed),
-               static_cast<long long>(ops_factor));
-  std::fprintf(f, "  \"drop_sweep\": [\n");
-  for (std::size_t i = 0; i < drop_points.size(); ++i) {
-    const DropPoint& p = drop_points[i];
-    std::fprintf(f,
-                 "    {\"k\": %d, \"n\": %lld, \"drop\": %.3f, \"max_load\": "
-                 "%lld, \"load_per_k\": %.3f, \"total_messages\": %lld, "
-                 "\"retransmissions\": %lld, \"random_drops\": %lld}%s\n",
-                 p.k, static_cast<long long>(p.n), p.drop,
-                 static_cast<long long>(p.max_load), p.load_per_k,
-                 static_cast<long long>(p.total_messages),
-                 static_cast<long long>(p.retransmissions),
-                 static_cast<long long>(p.random_drops),
-                 i + 1 < drop_points.size() ? "," : "");
+  JsonWriter json(out);
+  json.field("bench", "faults");
+  json.field("seed", seed);
+  json.field("ops_factor", ops_factor);
+  json.begin_array("drop_sweep");
+  for (const DropPoint& p : drop_points) {
+    json.begin_object();
+    json.field("k", p.k);
+    json.field("n", p.n);
+    json.field("drop", p.drop);
+    json.field("max_load", p.max_load);
+    json.field("load_per_k", p.load_per_k);
+    json.field("total_messages", p.total_messages);
+    json.field("retransmissions", p.retransmissions);
+    json.field("random_drops", p.random_drops);
+    json.end_object();
   }
-  std::fprintf(f, "  ],\n  \"crash_sweep\": [\n");
-  for (std::size_t i = 0; i < crash_points.size(); ++i) {
-    const CrashPoint& p = crash_points[i];
-    std::fprintf(f,
-                 "    {\"k\": %d, \"n\": %lld, \"crashes\": %lld, "
-                 "\"max_load\": %lld, \"load_per_k\": %.3f, "
-                 "\"crash_handovers\": %lld, \"backups_sent\": %lld}%s\n",
-                 p.k, static_cast<long long>(p.n),
-                 static_cast<long long>(p.crashes),
-                 static_cast<long long>(p.max_load), p.load_per_k,
-                 static_cast<long long>(p.crash_handovers),
-                 static_cast<long long>(p.backups_sent),
-                 i + 1 < crash_points.size() ? "," : "");
+  json.end_array();
+  json.begin_array("crash_sweep");
+  for (const CrashPoint& p : crash_points) {
+    json.begin_object();
+    json.field("k", p.k);
+    json.field("n", p.n);
+    json.field("crashes", p.crashes);
+    json.field("max_load", p.max_load);
+    json.field("load_per_k", p.load_per_k);
+    json.field("crash_handovers", p.crash_handovers);
+    json.field("backups_sent", p.backups_sent);
+    json.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", out.c_str());
+  json.end_array();
   return 0;
 }

@@ -1,0 +1,123 @@
+// THRU — wall-clock throughput of unmodified protocols on real cores.
+//
+// The simulator measures the paper's quantity (messages through the
+// bottleneck); this bench measures what the bottleneck costs in wall
+// time. Each selected counter runs the workload driver against the
+// threaded runtime at every worker count in --workers_list, and we
+// report increments/second plus client-observed latency percentiles.
+// The runtime verifies exactness as it goes: the returned values must
+// be a permutation of 0..m-1 and the protocol must pass its own
+// quiescence audit, so a row in this table is also a correctness run.
+//
+// Counters that decline sharded execution (shard_safe() == false) are
+// skipped at W > 1 rather than run unsoundly.
+//
+// Emits a JSON baseline (default BENCH_throughput.json; the checked-in
+// copy at the repo root is the reference measurement).
+//
+// Flags: --counters=tree,central,combining,diffracting
+//        --workers_list=1,2,4,8 (0 = auto: --threads, DCNT_THREADS, or
+//        all cores) --n=16 --ops_factor=16 --concurrency=16
+//        --dist=roundrobin|uniform|zipf --zipf_s=0.9 --open_rate=0
+//        --seed=7 --out=BENCH_throughput.json
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/factory.hpp"
+#include "harness/throughput.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace dcnt;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto counters = parse_string_list(
+      flags.get_string("counters", "tree,central,combining,diffracting"));
+  const auto workers_list =
+      parse_int_list(flags.get_string("workers_list", "1,2,4,8"));
+  const std::int64_t n = flags.get_int("n", 16);
+  const std::int64_t ops_factor = flags.get_int("ops_factor", 16);
+  const auto concurrency =
+      static_cast<std::size_t>(flags.get_int("concurrency", 16));
+  const std::string dist = flags.get_string("dist", "roundrobin");
+  const double zipf_s = flags.get_double("zipf_s", 0.9);
+  const double open_rate = flags.get_double("open_rate", 0.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const std::string out = flags.get_string("out", "BENCH_throughput.json");
+
+  Table table({"counter", "n", "W", "ops", "inc/s", "p50_us", "p95_us",
+               "p99_us", "max_load", "total_msgs"});
+  std::vector<ThroughputResult> results;
+  for (const std::string& name : counters) {
+    const CounterKind kind = counter_kind_from_string(name);
+    for (const std::int64_t w : workers_list) {
+      // 0 = the shared process-wide knob (--threads / DCNT_THREADS).
+      const std::size_t workers =
+          w == 0 ? threads_from_flags(flags) : static_cast<std::size_t>(w);
+      auto protocol = make_counter(kind, n);
+      if (workers > 1 && !protocol->shard_safe()) {
+        std::cout << "skip: " << protocol->name() << " at W=" << workers
+                  << " (not shard-safe)\n";
+        continue;
+      }
+      ThroughputOptions options;
+      options.workers = workers;
+      options.ops = static_cast<std::size_t>(ops_factor) *
+                    protocol->num_processors();
+      options.concurrency = concurrency;
+      options.open_rate = open_rate;
+      options.initiators = dist;
+      options.zipf_s = zipf_s;
+      options.seed = seed;
+      const ThroughputResult res = run_throughput(std::move(protocol), options);
+      results.push_back(res);
+      table.row()
+          .add(res.counter)
+          .add(static_cast<std::int64_t>(res.n))
+          .add(static_cast<std::int64_t>(res.workers))
+          .add(static_cast<std::int64_t>(res.ops))
+          .add(res.ops_per_sec, 0)
+          .add(res.p50_us, 1)
+          .add(res.p95_us, 1)
+          .add(res.p99_us, 1)
+          .add(res.max_load)
+          .add(res.total_messages);
+    }
+  }
+  table.print(std::cout,
+              "THRU: closed-loop increments/second on real threads (" + dist +
+                  " initiators; every run verified exact)");
+
+  JsonWriter json(out);
+  json.field("bench", "throughput");
+  json.field("dist", dist);
+  json.field("ops_factor", ops_factor);
+  json.field("concurrency", concurrency);
+  json.field("open_rate", open_rate, 1);
+  json.field("seed", seed);
+  json.field("hardware_threads", default_thread_count());
+  json.begin_array("throughput");
+  for (const ThroughputResult& r : results) {
+    json.begin_object();
+    json.field("counter", r.counter);
+    json.field("n", r.n);
+    json.field("workers", r.workers);
+    json.field("ops", r.ops);
+    json.field("wall_seconds", r.wall_seconds, 4);
+    json.field("ops_per_sec", r.ops_per_sec, 1);
+    json.field("mean_us", r.mean_us, 2);
+    json.field("p50_us", r.p50_us, 2);
+    json.field("p95_us", r.p95_us, 2);
+    json.field("p99_us", r.p99_us, 2);
+    json.field("total_messages", r.total_messages);
+    json.field("max_load", r.max_load);
+    json.field("bottleneck", r.bottleneck);
+    json.end_object();
+  }
+  json.end_array();
+  return 0;
+}

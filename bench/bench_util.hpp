@@ -1,0 +1,78 @@
+// Shared plumbing for the bench binaries: comma-separated list parsing
+// for flags and a minimal JSON emitter for the checked-in BENCH_*.json
+// baselines. Every bench that writes a baseline goes through JsonWriter
+// so the files share one shape:
+//
+//   {
+//     "bench": "...", <scalar header fields>,
+//     "<sweep>": [
+//       {"k": 2, "max_load": 14, ...},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dcnt {
+
+/// "2,3,4" -> {2, 3, 4}. Empty input yields an empty list.
+std::vector<std::int64_t> parse_int_list(const std::string& text);
+
+/// "0,0.05,0.2" -> {0.0, 0.05, 0.2}.
+std::vector<double> parse_double_list(const std::string& text);
+
+/// "tree,central" -> {"tree", "central"}.
+std::vector<std::string> parse_string_list(const std::string& text);
+
+/// Streaming writer for the flat JSON baselines the benches emit.
+/// Top-level fields go one per line; array rows are single-line
+/// objects. The destructor closes the file and announces the path, so
+/// a bench just writes fields in order and returns.
+class JsonWriter {
+ public:
+  /// Opens `path` for writing and emits the opening brace.
+  /// DCNT_CHECK-fails if the file cannot be opened.
+  explicit JsonWriter(std::string path);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void field(const std::string& key, double value, int precision = 3);
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  template <typename T,
+            typename std::enable_if<std::is_integral<T>::value, int>::type = 0>
+  void field(const std::string& key, T value) {
+    field_int(key, static_cast<long long>(value));
+  }
+
+  /// Starts a top-level array of row objects.
+  void begin_array(const std::string& key);
+  void end_array();
+
+  /// Starts one single-line row object inside the current array.
+  void begin_object();
+  void end_object();
+
+ private:
+  void field_int(const std::string& key, long long value);
+  /// Writes the separator + indentation owed before the next item and
+  /// returns the FILE* for the value itself.
+  std::FILE* pre_key(const std::string& key);
+
+  std::FILE* f_{nullptr};
+  std::string path_;
+  bool in_array_{false};
+  bool in_row_{false};
+  bool first_at_top_{true};
+  bool first_in_array_{true};
+  bool first_in_row_{true};
+};
+
+}  // namespace dcnt

@@ -32,6 +32,9 @@ class CentralCounter final : public CounterProtocol {
   }
   std::string name() const override { return "central"; }
   void check_quiescent(std::size_t ops_completed) const override;
+  /// value_ is read and written only by handlers at the holder; origins
+  /// touch nothing. The textbook shard-safe protocol.
+  bool shard_safe() const override { return true; }
 
   Value value() const { return value_; }
   ProcessorId holder() const { return holder_; }

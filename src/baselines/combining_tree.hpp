@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "sim/protocol.hpp"
+#include "support/relaxed.hpp"
 
 namespace dcnt {
 
@@ -62,6 +63,11 @@ class CombiningTreeCounter final : public CounterProtocol {
   }
   std::string name() const override;
   void check_quiescent(std::size_t ops_completed) const override;
+  /// Every inner node (window, epoch, buffers) lives at node.pid and is
+  /// only touched by handlers running there; value_ is root-only; leaf
+  /// queues are per-origin. The one global, combined_requests_, is a
+  /// RelaxedCounter.
+  bool shard_safe() const override { return true; }
 
   Value value() const { return value_; }
   int depth() const { return depth_; }
@@ -107,7 +113,9 @@ class CombiningTreeCounter final : public CounterProtocol {
   std::vector<std::int64_t> leaf_parent_;  ///< leaf -> inner node index
   std::vector<Leaf> leaves_;
   Value value_{0};
-  std::int64_t combined_requests_{0};
+  /// Bumped from handlers at whichever processor combines; relaxed
+  /// atomic so sharded execution stays race-free.
+  RelaxedCounter combined_requests_{0};
 };
 
 }  // namespace dcnt

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/protocol.hpp"
+#include "support/relaxed.hpp"
 
 namespace dcnt {
 
@@ -56,6 +57,10 @@ class DiffractingTreeCounter final : public CounterProtocol {
   }
   std::string name() const override;
   void check_quiescent(std::size_t ops_completed) const override;
+  /// Each prism slot, toggle and output cell is pinned to one processor
+  /// and only mutated by handlers running there; the two global tallies
+  /// are RelaxedCounters; randomness goes through ctx.rng().
+  bool shard_safe() const override { return true; }
 
   int width() const { return width_; }
   std::int64_t diffracted_pairs() const { return diffracted_pairs_; }
@@ -94,8 +99,10 @@ class DiffractingTreeCounter final : public CounterProtocol {
   SimTime patience_;
   std::vector<TreeNode> nodes_;
   std::vector<Cell> cells_;
-  std::int64_t diffracted_pairs_{0};
-  std::int64_t toggle_passes_{0};
+  /// Bumped from handlers at slot/toggle processors; relaxed atomic so
+  /// sharded execution stays race-free.
+  RelaxedCounter diffracted_pairs_{0};
+  RelaxedCounter toggle_passes_{0};
 };
 
 }  // namespace dcnt

@@ -354,7 +354,7 @@ void TreeService::retire(Context& ctx, ProcessorId self, const Role& role,
   ev.level = level;
   ev.old_pid = self;
   ev.new_pid = succ;
-  retirement_log_.push_back(ev);
+  if (!shard_mode_) retirement_log_.push_back(ev);
   ++stats_.retirements_total;
   ++stats_.retirements_by_level[static_cast<std::size_t>(level)];
 
@@ -407,9 +407,8 @@ void TreeService::retire(Context& ctx, ProcessorId self, const Role& role,
       }
     }
     m.args.insert(m.args.end(), role.state.begin(), role.state.end());
-    stats_.max_handover_words =
-        std::max(stats_.max_handover_words,
-                 static_cast<std::int64_t>(m.size_words()));
+    stats_.max_handover_words.update_max(
+        static_cast<std::int64_t>(m.size_words()));
     ctx.send(std::move(m));
   }
   for (int c = 0; c < k; ++c) {
@@ -902,6 +901,14 @@ void TreeService::on_peer_unreachable(Context& ctx, ProcessorId self,
       f.second = next_unsuspected(ps, f.first, layout_.successor(f.first, peer));
     }
   }
+}
+
+void TreeService::on_shard_start(std::size_t workers) {
+  (void)workers;
+  DCNT_CHECK_MSG(!self_healing_,
+                 "healing tree is simulator-only (see shard_safe)");
+  shard_mode_ = true;
+  retirement_log_.clear();
 }
 
 void TreeService::check_quiescent(std::size_t ops_completed) const {

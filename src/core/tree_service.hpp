@@ -36,6 +36,7 @@
 
 #include "core/tree_layout.hpp"
 #include "sim/protocol.hpp"
+#include "support/relaxed.hpp"
 
 namespace dcnt {
 
@@ -70,39 +71,44 @@ struct TreeServiceParams {
 };
 
 /// Housekeeping counters; exposed for lemma audits and benches.
+/// RelaxedCounter because these are bumped from handlers at arbitrary
+/// processors — under the threaded runtime those run on different
+/// shards, and a plain int64 would be a data race (the counters carry
+/// no synchronization, so relaxed ordering is exact; see
+/// support/relaxed.hpp).
 struct TreeServiceStats {
-  std::int64_t retirements_total{0};
-  std::vector<std::int64_t> retirements_by_level;
+  RelaxedCounter retirements_total{0};
+  std::vector<RelaxedCounter> retirements_by_level;
   /// A pool ran out and wrapped around — never happens for the paper's
   /// workload with the default threshold (asserted in tests).
-  std::int64_t pool_wraps{0};
+  RelaxedCounter pool_wraps{0};
   /// Misdirected messages re-sent to a role's successor.
-  std::int64_t forwarded_messages{0};
+  RelaxedCounter forwarded_messages{0};
   /// Messages that arrived for a role before its handover did.
-  std::int64_t orphan_stashes{0};
+  RelaxedCounter orphan_stashes{0};
   /// Retirements whose pool has size 1 (successor == retiree).
-  std::int64_t self_handovers{0};
+  RelaxedCounter self_handovers{0};
   /// Largest payload (in words) of any handover message — O(1) for the
   /// counter and the flip bit, Theta(queue size) for the priority queue.
-  std::int64_t max_handover_words{0};
+  RelaxedCounter max_handover_words{0};
   // Self-healing counters (faults plane; all zero in the fault-free
   // model and with self_healing off).
   /// Crash-triggered promotions: a suspected incumbent was replaced by a
   /// pool successor without a handover from the incumbent itself.
-  std::int64_t crash_handovers{0};
+  RelaxedCounter crash_handovers{0};
   /// End-to-end operation re-sends by origins (distinct from the
   /// transport's per-message retransmissions in RetryStats).
-  std::int64_t retransmissions{0};
+  RelaxedCounter retransmissions{0};
   /// Origin retry timers that fired and found their op still unanswered.
-  std::int64_t timeouts_fired{0};
+  RelaxedCounter timeouts_fired{0};
   /// Root-state backups shipped to the pool successor.
-  std::int64_t backups_sent{0};
+  RelaxedCounter backups_sent{0};
   /// Retried operations answered from the root's journal instead of
   /// being applied a second time (the exactly-once dedup hits).
-  std::int64_t replayed_replies{0};
+  RelaxedCounter replayed_replies{0};
   /// Promote requests ignored because the target already held, was
   /// receiving, or had already passed on the role.
-  std::int64_t promotes_ignored{0};
+  RelaxedCounter promotes_ignored{0};
 };
 
 /// One retirement, for the Retirement / Number-of-Retirements Lemma
@@ -142,6 +148,17 @@ class TreeService : public CounterProtocol {
   void on_peer_unreachable(Context& ctx, ProcessorId self,
                            ProcessorId peer) override;
   void check_quiescent(std::size_t ops_completed) const override;
+  /// The fault-free tree honours the state-slicing invariant at the
+  /// memory level (each role/stash/forward lives in its holder's
+  /// ProcState; incumbent_[node] writes are ordered by the handover
+  /// message chain; stats are RelaxedCounters). Healing mode relies on
+  /// transport timeouts and suspicion that the runtime does not model,
+  /// so it stays simulator-only.
+  bool shard_safe() const override { return !self_healing_; }
+  /// Sharded execution disables the retirement log: it is an optional
+  /// audit aid (analysis/audit.hpp), and a global append vector cannot
+  /// be written from concurrent handlers.
+  void on_shard_start(std::size_t workers) override;
 
   // Introspection.
   const TreeLayout& layout() const { return layout_; }
@@ -306,9 +323,13 @@ class TreeService : public CounterProtocol {
   std::vector<ProcessorId> incumbent_;
   TreeServiceStats stats_;
   std::vector<RetirementEvent> retirement_log_;
-  // O(1) quiescence counters.
-  std::int64_t live_pending_{0};
-  std::int64_t live_stash_{0};
+  // O(1) quiescence counters (RelaxedCounter: bumped from handlers at
+  // arbitrary processors, read only at quiescence).
+  RelaxedCounter live_pending_{0};
+  RelaxedCounter live_stash_{0};
+  /// True once on_shard_start ran: handlers may execute concurrently,
+  /// so the (optional) retirement log stops recording.
+  bool shard_mode_{false};
   bool initialized_{false};
 };
 

@@ -1,0 +1,125 @@
+#include "harness/throughput.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "harness/schedule.hpp"
+#include "runtime/threaded_runtime.hpp"
+#include "runtime/workload.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+
+namespace {
+
+std::vector<ProcessorId> build_initiators(const ThroughputOptions& options,
+                                          std::int64_t n, std::int64_t ops) {
+  Rng rng(mix64(options.seed ^ 0x7b9d1e5u));
+  if (options.initiators == "roundrobin") {
+    std::vector<ProcessorId> order(static_cast<std::size_t>(ops));
+    for (std::int64_t i = 0; i < ops; ++i) {
+      order[static_cast<std::size_t>(i)] = static_cast<ProcessorId>(i % n);
+    }
+    return order;
+  }
+  if (options.initiators == "uniform") return schedule_uniform(n, ops, rng);
+  if (options.initiators == "zipf") {
+    return schedule_zipf(n, ops, options.zipf_s, rng);
+  }
+  DCNT_CHECK_MSG(false, "unknown initiator distribution");
+  return {};
+}
+
+bool is_permutation_of_iota(std::vector<Value> values) {
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != static_cast<Value>(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
+                                const ThroughputOptions& options) {
+  DCNT_CHECK(protocol != nullptr);
+  const auto n = static_cast<std::int64_t>(protocol->num_processors());
+  const std::size_t ops =
+      options.ops != 0 ? options.ops : static_cast<std::size_t>(8 * n);
+
+  ThroughputResult out;
+  out.counter = protocol->name();
+  out.n = static_cast<std::size_t>(n);
+  out.ops = ops;
+
+  RuntimeConfig config;
+  config.workers = options.workers;
+  config.seed = options.seed;
+  config.max_ops = ops;
+  ThreadedRuntime rt(std::move(protocol), config);
+  out.workers = rt.workers();
+
+  const auto initiators =
+      build_initiators(options, n, static_cast<std::int64_t>(ops));
+  WorkloadOptions wl;
+  wl.concurrency = options.concurrency;
+  wl.open_rate = options.open_rate;
+  const WorkloadResult run = run_workload(rt, initiators, wl);
+
+  std::vector<Value> values(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto v = rt.result(static_cast<OpId>(i));
+    DCNT_CHECK_MSG(v.has_value(), "operation never completed");
+    values[i] = *v;
+  }
+  out.values_ok = is_permutation_of_iota(values);
+  DCNT_CHECK_MSG(out.values_ok, "values are not a permutation of 0..m-1");
+  rt.protocol().check_quiescent(ops);
+
+  out.wall_seconds = run.wall_seconds;
+  out.ops_per_sec = run.ops_per_sec;
+  const Summary& lat = run.latency_ns;
+  if (lat.count() > 0) {
+    out.mean_us = lat.mean() / 1e3;
+    out.p50_us = static_cast<double>(lat.percentile(50)) / 1e3;
+    out.p95_us = static_cast<double>(lat.percentile(95)) / 1e3;
+    out.p99_us = static_cast<double>(lat.percentile(99)) / 1e3;
+  }
+
+  const Metrics metrics = rt.merged_metrics();
+  out.total_messages = metrics.total_messages();
+  out.max_load = metrics.max_load();
+  out.bottleneck = metrics.bottleneck();
+  out.mean_load = 2.0 * static_cast<double>(metrics.total_messages()) /
+                  static_cast<double>(n);
+  return out;
+}
+
+RuntimeSequentialResult run_runtime_sequential(
+    std::unique_ptr<CounterProtocol> protocol, std::size_t workers,
+    const std::vector<ProcessorId>& order, std::uint64_t seed) {
+  DCNT_CHECK(protocol != nullptr);
+  RuntimeConfig config;
+  config.workers = workers;
+  config.seed = seed;
+  config.max_ops = std::max<std::size_t>(order.size(), 1);
+  ThreadedRuntime rt(std::move(protocol), config);
+
+  RuntimeSequentialResult out;
+  out.values.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const OpId op = rt.begin_inc(order[i]);
+    rt.wait_quiescent();
+    const auto v = rt.result(op);
+    DCNT_CHECK_MSG(v.has_value(), "operation never completed");
+    DCNT_CHECK_MSG(*v == static_cast<Value>(i),
+                   "sequential semantics violated (value != op index)");
+    out.values.push_back(*v);
+    rt.protocol().check_quiescent(i + 1);
+  }
+  out.metrics = rt.merged_metrics();
+  return out;
+}
+
+}  // namespace dcnt

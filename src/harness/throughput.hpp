@@ -1,0 +1,83 @@
+// Wall-clock throughput harness: the threaded-runtime sibling of
+// runner.hpp.
+//
+// run_throughput drives a counter protocol on real threads with a
+// closed- or open-loop workload and verifies the concurrent-mode
+// contract — returned values form a permutation of 0..m-1 (same check
+// as run_concurrent; sequential 0,1,2,... ordering is meaningless once
+// operations genuinely overlap). Aborts on violation, so a bench
+// completing is itself a correctness check.
+//
+// run_runtime_sequential is the paper's model on the runtime: one
+// operation at a time, quiescing in between. Used by the
+// runtime/simulator equivalence tests: for sequential schedules the
+// message complexity of the tree and central counters is
+// schedule-independent, so total_messages (and per-processor loads)
+// must match the simulator exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+struct ThroughputOptions {
+  /// Worker threads; 0 = the process-wide --threads/DCNT_THREADS knob.
+  std::size_t workers{0};
+  /// Operations; 0 = 8 * num_processors.
+  std::size_t ops{0};
+  /// Closed-loop clients (ignored when open_rate > 0).
+  std::size_t concurrency{16};
+  /// > 0: open-loop issuance at this rate (ops/sec).
+  double open_rate{0.0};
+  /// Initiator choice: "roundrobin", "uniform", or "zipf".
+  std::string initiators{"roundrobin"};
+  /// Zipf skew (initiators == "zipf"); processor 0 hottest.
+  double zipf_s{0.9};
+  std::uint64_t seed{1};
+};
+
+struct ThroughputResult {
+  std::string counter;
+  std::size_t n{0};
+  std::size_t workers{0};
+  std::size_t ops{0};
+  double wall_seconds{0.0};
+  double ops_per_sec{0.0};
+  double mean_us{0.0};
+  double p50_us{0.0};
+  double p95_us{0.0};
+  double p99_us{0.0};
+  std::int64_t total_messages{0};
+  std::int64_t max_load{0};
+  ProcessorId bottleneck{kNoProcessor};
+  double mean_load{0.0};
+  bool values_ok{false};
+};
+
+/// Runs the workload, verifies the value permutation (aborts on
+/// violation) and check_quiescent, and reports wall-clock rates plus
+/// the merged message-load metrics.
+ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
+                                const ThroughputOptions& options = {});
+
+struct RuntimeSequentialResult {
+  std::vector<Value> values;
+  Metrics metrics;
+};
+
+/// Sequential driver on the threaded runtime: begin one inc per entry
+/// of `order`, wait for quiescence after each, assert the value is the
+/// initiation index (the paper's sequential contract) and run
+/// check_quiescent. `workers` as in RuntimeConfig (0 = auto).
+RuntimeSequentialResult run_runtime_sequential(
+    std::unique_ptr<CounterProtocol> protocol, std::size_t workers,
+    const std::vector<ProcessorId>& order, std::uint64_t seed = 1);
+
+}  // namespace dcnt

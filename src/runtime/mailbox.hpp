@@ -1,0 +1,84 @@
+// MPSC mailbox: the only channel into a runtime worker.
+//
+// Each worker of the threaded runtime (threaded_runtime.hpp) owns one
+// Mailbox. Any thread — another worker's handler doing a cross-shard
+// Context::send, or a driver thread starting an operation — may push;
+// only the owning worker drains. The mutex hand-off is what turns
+// message delivery into a happens-before edge: everything the sender
+// wrote before push() is visible to the receiver after drain(), which
+// is the memory-level backing of the protocol state-slicing invariant
+// (see Protocol::shard_safe).
+//
+// Deliberately a mutex + vector, not a lock-free queue: the runtime
+// drains in batches (one lock per batch, swap out the whole backlog),
+// so the lock is taken O(1) times per batch of deliveries and never
+// held across a handler. Profile before reaching for anything fancier.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+/// One unit of work for a worker: a delivered message, an operation
+/// start, or a timer registration.
+struct RuntimeEvent {
+  enum class Kind : std::uint8_t {
+    kMessage,  ///< deliver msg to msg.dst (network or self-addressed)
+    kStart,    ///< run start_inc/start_op at msg.dst for msg.op
+    kTimer,    ///< register a local timer at msg.dst, `delay` ticks out
+  };
+  Kind kind{Kind::kMessage};
+  Message msg;
+  /// kTimer only: delay relative to the owning worker's logical clock at
+  /// registration (the sender cannot know the receiver's clock).
+  SimTime delay{0};
+};
+
+class Mailbox {
+ public:
+  /// Multi-producer enqueue.
+  void push(RuntimeEvent ev) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(std::move(ev));
+    }
+    cv_.notify_one();
+  }
+
+  /// Single-consumer batch drain: swaps the backlog into `out` (cleared
+  /// first). Returns false if there was nothing.
+  bool drain(std::vector<RuntimeEvent>& out) {
+    out.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    std::swap(items_, out);
+    return true;
+  }
+
+  /// Blocks until mail is present or `stop` becomes true. Returns true
+  /// if mail is present (stop may also be set; the caller checks).
+  bool wait(const std::atomic<bool>& stop) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return !items_.empty() || stop.load(std::memory_order_acquire);
+    });
+    return !items_.empty();
+  }
+
+  /// Wakes a wait()-blocked owner so it can observe a stop flag.
+  void wake() { cv_.notify_all(); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<RuntimeEvent> items_;
+};
+
+}  // namespace dcnt

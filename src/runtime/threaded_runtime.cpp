@@ -1,0 +1,319 @@
+#include "runtime/threaded_runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace dcnt {
+
+namespace {
+
+/// Timer heap entry: min-heap by absolute deadline on the owner's
+/// logical clock, FIFO among equal deadlines (matches the simulator's
+/// (deliver_time, seq) ordering).
+struct TimerEntry {
+  SimTime due{0};
+  std::uint64_t seq{0};
+  Message msg;
+};
+
+struct TimerLater {
+  bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+    if (a.due != b.due) return a.due > b.due;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+struct ThreadedRuntime::Shard {
+  explicit Shard(std::size_t n, Rng shard_rng)
+      : rng(shard_rng), metrics(n) {}
+
+  Mailbox mailbox;
+
+  // Owner-thread-only state below.
+  std::vector<RuntimeEvent> batch;  ///< drain target, reused
+  std::vector<RuntimeEvent> ready;  ///< runnable events, appended mid-run
+  std::size_t ready_head{0};
+  std::vector<TimerEntry> timers;  ///< min-heap (TimerLater)
+  std::uint64_t timer_seq{0};
+  /// Logical clock: advances by one per processed event, and jumps to
+  /// the earliest timer deadline when the worker runs dry (the
+  /// simulator's idle time-jump, per worker).
+  SimTime clock{0};
+  Rng rng;
+  Metrics metrics;
+};
+
+/// Per-worker Context. Mirrors the Simulator's handler guard rails:
+/// send/send_local/complete only inside a handler, bounds checks, op
+/// inheritance from the event being handled.
+class ThreadedRuntime::WorkerCtx final : public Context {
+ public:
+  WorkerCtx(ThreadedRuntime* rt, Shard* shard) : rt_(rt), shard_(shard) {}
+
+  void send(Message msg) override {
+    DCNT_CHECK_MSG(in_handler_, "send() outside a handler");
+    DCNT_CHECK(msg.src >= 0 &&
+               static_cast<std::size_t>(msg.src) < rt_->num_processors());
+    DCNT_CHECK(msg.dst >= 0 &&
+               static_cast<std::size_t>(msg.dst) < rt_->num_processors());
+    DCNT_CHECK(!msg.local);
+    if (msg.op == kNoOp) msg.op = current_op_;
+    if (msg.src != msg.dst) {
+      shard_->metrics.on_send(msg.src, msg.op, msg.size_words());
+    }
+    RuntimeEvent ev;
+    ev.kind = RuntimeEvent::Kind::kMessage;
+    const std::size_t dst_shard = rt_->shard_of(msg.dst);
+    ev.msg = std::move(msg);
+    rt_->in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (&*rt_->shards_[dst_shard] == shard_) {
+      // Same shard: skip the mailbox, the owner is this thread.
+      shard_->ready.push_back(std::move(ev));
+    } else {
+      rt_->shards_[dst_shard]->mailbox.push(std::move(ev));
+    }
+  }
+
+  void send_local(ProcessorId p, std::int32_t tag,
+                  std::vector<std::int64_t> args, SimTime delay) override {
+    DCNT_CHECK_MSG(in_handler_, "send_local() outside a handler");
+    DCNT_CHECK(p >= 0 && static_cast<std::size_t>(p) < rt_->num_processors());
+    DCNT_CHECK(delay >= 1);
+    Message msg;
+    msg.src = p;
+    msg.dst = p;
+    msg.tag = tag;
+    msg.op = current_op_;
+    msg.args = std::move(args);
+    msg.local = true;
+    rt_->in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    const std::size_t dst_shard = rt_->shard_of(p);
+    if (&*rt_->shards_[dst_shard] == shard_) {
+      TimerEntry t;
+      t.due = shard_->clock + delay;
+      t.seq = shard_->timer_seq++;
+      t.msg = std::move(msg);
+      shard_->timers.push_back(std::move(t));
+      std::push_heap(shard_->timers.begin(), shard_->timers.end(),
+                     TimerLater{});
+    } else {
+      // Protocols only arm timers at the handling processor today, but
+      // the Context contract allows any p: ship the relative delay and
+      // let the owner anchor it to its own clock.
+      RuntimeEvent ev;
+      ev.kind = RuntimeEvent::Kind::kTimer;
+      ev.msg = std::move(msg);
+      ev.delay = delay;
+      rt_->shards_[dst_shard]->mailbox.push(std::move(ev));
+    }
+  }
+
+  void complete(OpId op, Value value) override {
+    DCNT_CHECK_MSG(in_handler_, "complete() outside a handler");
+    DCNT_CHECK(op >= 0 &&
+               static_cast<std::size_t>(op) <
+                   rt_->next_op_.load(std::memory_order_acquire));
+    auto& done = rt_->done_[static_cast<std::size_t>(op)];
+    DCNT_CHECK_MSG(done.load(std::memory_order_relaxed) == 0,
+                   "operation completed twice");
+    rt_->results_[static_cast<std::size_t>(op)] = value;
+    done.store(1, std::memory_order_release);
+    rt_->completed_.fetch_add(1, std::memory_order_acq_rel);
+    if (rt_->completion_) rt_->completion_(op, value);
+  }
+
+  SimTime now() const override { return shard_->clock; }
+  Rng& rng() override { return shard_->rng; }
+
+  void run(const RuntimeEvent& ev) {
+    in_handler_ = true;
+    current_op_ = ev.msg.op;
+    if (ev.kind == RuntimeEvent::Kind::kStart) {
+      if (ev.msg.args.empty()) {
+        rt_->protocol_->start_inc(*this, ev.msg.dst, ev.msg.op);
+      } else {
+        rt_->protocol_->start_op(*this, ev.msg.dst, ev.msg.op, ev.msg.args);
+      }
+    } else {
+      rt_->protocol_->on_message(*this, ev.msg);
+    }
+    in_handler_ = false;
+    current_op_ = kNoOp;
+  }
+
+ private:
+  ThreadedRuntime* rt_;
+  Shard* shard_;
+  OpId current_op_{kNoOp};
+  bool in_handler_{false};
+};
+
+ThreadedRuntime::ThreadedRuntime(std::unique_ptr<CounterProtocol> protocol,
+                                 RuntimeConfig config)
+    : protocol_(std::move(protocol)),
+      config_(config),
+      num_processors_(0),
+      results_(config.max_ops, 0),
+      done_(config.max_ops) {
+  DCNT_CHECK(protocol_ != nullptr);
+  num_processors_ = protocol_->num_processors();
+  DCNT_CHECK(num_processors_ > 0);
+  const std::size_t w = resolve_thread_count(config_.workers);
+  DCNT_CHECK_MSG(w == 1 || protocol_->shard_safe(),
+                 "protocol declines sharded execution (shard_safe)");
+  protocol_->on_shard_start(w);
+  Rng base(config_.seed);
+  shards_.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(num_processors_, base.fork(i + 1)));
+  }
+  threads_.reserve(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadedRuntime::~ThreadedRuntime() { stop(); }
+
+OpId ThreadedRuntime::begin_op(ProcessorId origin,
+                               std::vector<std::int64_t> args) {
+  DCNT_CHECK(origin >= 0 &&
+             static_cast<std::size_t>(origin) < num_processors_);
+  DCNT_CHECK(!stop_.load(std::memory_order_acquire));
+  const std::size_t op = next_op_.fetch_add(1, std::memory_order_acq_rel);
+  DCNT_CHECK_MSG(op < config_.max_ops,
+                 "operation table full (raise RuntimeConfig::max_ops)");
+  RuntimeEvent ev;
+  ev.kind = RuntimeEvent::Kind::kStart;
+  ev.msg.src = origin;
+  ev.msg.dst = origin;
+  ev.msg.op = static_cast<OpId>(op);
+  ev.msg.args = std::move(args);
+  // The increment precedes the push (sequenced-before), so in_flight_
+  // can never read zero while this event is invisible.
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  shards_[shard_of(origin)]->mailbox.push(std::move(ev));
+  return static_cast<OpId>(op);
+}
+
+void ThreadedRuntime::finish_event() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Notify under the mutex so a waiter cannot check the predicate and
+    // sleep between our decrement and our notify.
+    std::lock_guard<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+void ThreadedRuntime::wait_quiescent() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::optional<Value> ThreadedRuntime::result(OpId op) const {
+  DCNT_CHECK(op >= 0 && static_cast<std::size_t>(op) <
+                            next_op_.load(std::memory_order_acquire));
+  if (done_[static_cast<std::size_t>(op)].load(std::memory_order_acquire) ==
+      0) {
+    return std::nullopt;
+  }
+  return results_[static_cast<std::size_t>(op)];
+}
+
+Metrics ThreadedRuntime::merged_metrics() const {
+  DCNT_CHECK_MSG(in_flight_.load(std::memory_order_acquire) == 0,
+                 "merged_metrics requires quiescence");
+  Metrics out(num_processors_);
+  for (const auto& shard : shards_) out.merge_from(shard->metrics);
+  return out;
+}
+
+void ThreadedRuntime::stop() {
+  if (!stop_.exchange(true, std::memory_order_acq_rel)) {
+    for (auto& shard : shards_) shard->mailbox.wake();
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+}
+
+void ThreadedRuntime::process_event(Shard& shard, WorkerCtx& ctx,
+                                    RuntimeEvent& ev) {
+  if (ev.kind == RuntimeEvent::Kind::kMessage && !ev.msg.local &&
+      ev.msg.src != ev.msg.dst) {
+    shard.metrics.on_receive(ev.msg.dst, ev.msg.size_words());
+  }
+  ctx.run(ev);
+  ++shard.clock;
+  finish_event();
+}
+
+void ThreadedRuntime::worker_main(std::size_t worker) {
+  Shard& shard = *shards_[worker];
+  WorkerCtx ctx(this, &shard);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // 1. Pull whatever has accumulated in the mailbox. Timer
+    //    registrations are anchored to this clock now; the rest joins
+    //    the ready queue in arrival order.
+    if (shard.mailbox.drain(shard.batch)) {
+      for (auto& ev : shard.batch) {
+        if (ev.kind == RuntimeEvent::Kind::kTimer) {
+          TimerEntry t;
+          t.due = shard.clock + ev.delay;
+          t.seq = shard.timer_seq++;
+          t.msg = std::move(ev.msg);
+          shard.timers.push_back(std::move(t));
+          std::push_heap(shard.timers.begin(), shard.timers.end(),
+                         TimerLater{});
+        } else {
+          shard.ready.push_back(std::move(ev));
+        }
+      }
+    }
+    // 2. Run until dry: ready events first (handlers may append more),
+    //    then any timer whose deadline the advancing clock has passed.
+    bool ran = false;
+    for (;;) {
+      if (shard.ready_head < shard.ready.size()) {
+        // Move out: the handler may push_back and reallocate `ready`.
+        RuntimeEvent ev = std::move(shard.ready[shard.ready_head++]);
+        process_event(shard, ctx, ev);
+        ran = true;
+        continue;
+      }
+      shard.ready.clear();
+      shard.ready_head = 0;
+      if (!shard.timers.empty() && shard.timers.front().due <= shard.clock) {
+        std::pop_heap(shard.timers.begin(), shard.timers.end(), TimerLater{});
+        RuntimeEvent ev;
+        ev.kind = RuntimeEvent::Kind::kMessage;
+        ev.msg = std::move(shard.timers.back().msg);
+        shard.timers.pop_back();
+        process_event(shard, ctx, ev);
+        ran = true;
+        continue;
+      }
+      break;
+    }
+    if (ran) continue;  // recheck the mailbox before considering idle
+    // 3. Idle with armed timers: jump the clock (the simulator does the
+    //    same across its global queue) so windows/timeouts fire rather
+    //    than deadlock a drained system.
+    if (!shard.timers.empty()) {
+      shard.clock = shard.timers.front().due;
+      continue;
+    }
+    // 4. Nothing to do: sleep until mail or stop.
+    shard.mailbox.wait(stop_);
+  }
+}
+
+}  // namespace dcnt

@@ -1,0 +1,165 @@
+// Sharded multi-threaded execution of unmodified Protocol objects.
+//
+// The simulator measures the paper's quantity (per-processor message
+// load) but cannot measure the production consequence — a bottleneck
+// processor caps wall-clock inc/s. This runtime executes the *same*
+// Protocol implementations on real threads: the n processors are
+// sharded round-robin across W workers, each worker owns an MPSC
+// mailbox (mailbox.hpp) and delivers events only to its own
+// processors, and a cross-shard Context::send enqueues into the
+// destination's mailbox. Handlers for processors of different shards
+// run concurrently on one protocol object; Protocol::shard_safe()
+// documents why that is sound (state slicing + message-causality +
+// mailbox mutexes = happens-before for every conflicting access).
+//
+// What carries over from the simulator, exactly:
+//   - message accounting: a non-local message with src != dst counts
+//     one send at src and one receive at dst; self-sends and local
+//     timers are free. Per-worker Metrics are merged at quiescence, so
+//     total_messages/max_load agree with the simulator whenever the
+//     protocol's message count is schedule-independent (asserted by
+//     tests/test_runtime_equivalence.cpp for sequential schedules).
+//   - semantics hooks: start_inc/start_op runs at the origin's worker;
+//     complete() fires at whichever worker runs the completing handler.
+// What deliberately does not:
+//   - time. now() is the worker's logical clock (one tick per event it
+//     processes); send_local timers fire when that clock reaches their
+//     deadline, or immediately once the worker runs dry (mirroring the
+//     simulator's idle time-jump). Wall-clock latency is measured by
+//     the workload driver (workload.hpp), not by now().
+//   - topology routing, fault injection and FIFO-channel floors: the
+//     runtime is the fault-free fully-connected model on real cores.
+//   - global determinism. One worker processes its own mailbox in FIFO
+//     order, so W=1 with a single-threaded driver is deterministic;
+//     W>1 interleaves shards nondeterministically — results are then
+//     verified as a permutation, the concurrent-mode contract.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+#include "sim/types.hpp"
+
+namespace dcnt {
+
+struct RuntimeConfig {
+  /// Worker threads. 0 = auto: the process-wide --threads/DCNT_THREADS
+  /// knob via resolve_thread_count(). May exceed the processor count;
+  /// surplus workers own empty shards and sleep.
+  std::size_t workers{0};
+  /// Seeds the per-worker rng() streams (fork(worker) of one base Rng).
+  std::uint64_t seed{1};
+  /// Capacity of the operation table (results and completion flags are
+  /// pre-sized so completion never allocates or locks). Drivers that
+  /// know their op count pass it exactly.
+  std::size_t max_ops{1 << 16};
+};
+
+class ThreadedRuntime {
+ public:
+  /// Called at the completing worker, after the op's value is recorded
+  /// and before the runtime considers the event finished — so a
+  /// closed-loop driver may start the next operation from inside it.
+  using CompletionFn = std::function<void(OpId op, Value value)>;
+
+  /// Spawns the workers immediately; they sleep until events arrive.
+  /// Requires protocol->shard_safe() when resolving to more than one
+  /// worker. Calls protocol->on_shard_start(W) before any handler.
+  explicit ThreadedRuntime(std::unique_ptr<CounterProtocol> protocol,
+                           RuntimeConfig config = {});
+  ~ThreadedRuntime();
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  std::size_t workers() const { return shards_.size(); }
+  std::size_t num_processors() const { return num_processors_; }
+  const CounterProtocol& protocol() const { return *protocol_; }
+
+  /// Not thread-safe against in-flight operations: install before the
+  /// first begin_*.
+  void set_completion(CompletionFn fn) { completion_ = std::move(fn); }
+
+  /// Starts an operation at `origin`'s worker. Callable from any thread,
+  /// including from inside a completion callback — the start always runs
+  /// on the owning worker, never inline on the caller.
+  OpId begin_inc(ProcessorId origin) { return begin_op(origin, {}); }
+  OpId begin_op(ProcessorId origin, std::vector<std::int64_t> args);
+
+  /// Blocks until no event is queued, timed, or being handled. Only
+  /// meaningful once the caller has stopped issuing operations from
+  /// outside (completion-driven issuance is fine: the in-flight count
+  /// cannot touch zero while a completion callback is still running).
+  void wait_quiescent();
+
+  std::size_t ops_started() const {
+    return next_op_.load(std::memory_order_acquire);
+  }
+  std::size_t ops_completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+  /// The op's value, or nullopt while it is still running.
+  std::optional<Value> result(OpId op) const;
+
+  /// Per-worker load counters merged into one simulator-compatible
+  /// Metrics. Requires quiescence.
+  Metrics merged_metrics() const;
+
+  /// Stops and joins the workers; abandons whatever is still queued.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  /// One worker's world. Everything here except the mailbox is touched
+  /// only by the owning thread.
+  struct Shard;
+  /// The Context handed to handlers: one per worker, carrying the
+  /// worker's shard (clock, rng, metrics, timer heap) and current op.
+  class WorkerCtx;
+  friend class WorkerCtx;
+
+  std::size_t shard_of(ProcessorId p) const {
+    return static_cast<std::size_t>(p) % shards_.size();
+  }
+  void worker_main(std::size_t worker);
+  void process_event(Shard& shard, WorkerCtx& ctx, RuntimeEvent& ev);
+  /// Decrements the in-flight count; the release/acquire chain through
+  /// this one atomic is what makes quiescence a full memory barrier
+  /// (merged_metrics and protocol state reads after wait_quiescent()
+  /// see every handler's writes).
+  void finish_event();
+
+  std::unique_ptr<CounterProtocol> protocol_;
+  RuntimeConfig config_;
+  std::size_t num_processors_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> threads_;
+  CompletionFn completion_;
+
+  /// Events queued + timers pending + handlers running. Every mutation
+  /// is acq_rel so the RMW chain transfers visibility (see
+  /// finish_event).
+  std::atomic<std::int64_t> in_flight_{0};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::size_t> next_op_{0};
+  std::atomic<std::size_t> completed_{0};
+  /// Slot per op, pre-sized to max_ops: distinct ops never contend.
+  std::vector<Value> results_;
+  std::vector<std::atomic<std::uint8_t>> done_;
+
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+};
+
+}  // namespace dcnt

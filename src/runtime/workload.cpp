@@ -1,0 +1,124 @@
+#include "runtime/workload.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+LatencyRecorder::LatencyRecorder(std::size_t max_ops)
+    : issue_ns_(max_ops), latency_ns_(max_ops, -1) {}
+
+std::int64_t LatencyRecorder::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void LatencyRecorder::on_issue(OpId op, std::int64_t t_ns) {
+  DCNT_CHECK(op >= 0 && static_cast<std::size_t>(op) < issue_ns_.size());
+  DCNT_CHECK(t_ns != 0);  // 0 is the "not yet stored" sentinel
+  issue_ns_[static_cast<std::size_t>(op)].store(t_ns,
+                                                std::memory_order_release);
+}
+
+void LatencyRecorder::on_complete(OpId op, std::int64_t t_ns) {
+  DCNT_CHECK(op >= 0 && static_cast<std::size_t>(op) < issue_ns_.size());
+  // The issuer stamps before begin_inc and stores right after it
+  // returns; if the op completed in between, spin out the tiny window.
+  std::int64_t issued;
+  while ((issued = issue_ns_[static_cast<std::size_t>(op)].load(
+              std::memory_order_acquire)) == 0) {
+    std::this_thread::yield();
+  }
+  latency_ns_[static_cast<std::size_t>(op)] = t_ns - issued;
+}
+
+Summary LatencyRecorder::summary_ns() const {
+  Summary s;
+  for (const auto l : latency_ns_) {
+    if (l >= 0) s.add(l);
+  }
+  return s;
+}
+
+WorkloadResult run_workload(ThreadedRuntime& rt,
+                            const std::vector<ProcessorId>& initiators,
+                            const WorkloadOptions& options) {
+  const std::size_t ops = initiators.size();
+  DCNT_CHECK(ops > 0);
+  DCNT_CHECK_MSG(rt.ops_started() == 0, "run_workload needs a fresh runtime");
+
+  LatencyRecorder recorder(ops);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<std::int64_t> last_completion_ns{0};
+
+  // Issues the next initiator, from the driver thread or from inside a
+  // completion callback; no-op once the sequence is exhausted.
+  const auto issue_next = [&] {
+    const std::size_t i = cursor.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= ops) return;
+    const std::int64_t t0 = LatencyRecorder::now_ns();
+    const OpId op = rt.begin_inc(initiators[i]);
+    recorder.on_issue(op, t0);
+  };
+
+  const bool open_loop = options.open_rate > 0.0;
+  rt.set_completion([&](OpId op, Value /*value*/) {
+    const std::int64_t t = LatencyRecorder::now_ns();
+    recorder.on_complete(op, t);
+    // Closed loop: this client immediately issues its next operation.
+    if (!open_loop) issue_next();
+    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == ops) {
+      last_completion_ns.store(t, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+  });
+
+  const std::int64_t t_start = LatencyRecorder::now_ns();
+  if (open_loop) {
+    const double period_ns = 1e9 / options.open_rate;
+    const auto epoch = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      std::this_thread::sleep_until(
+          epoch + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                      period_ns * static_cast<double>(i))));
+      issue_next();
+    }
+  } else {
+    const std::size_t clients = std::min(
+        ops, options.concurrency == 0 ? std::size_t{1} : options.concurrency);
+    for (std::size_t c = 0; c < clients; ++c) issue_next();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] {
+      return done.load(std::memory_order_acquire) == ops;
+    });
+  }
+  // Let stragglers (stale combining-window timers and the like) drain
+  // so the caller can read metrics and protocol state.
+  rt.wait_quiescent();
+  rt.set_completion(nullptr);
+
+  WorkloadResult result;
+  result.ops = ops;
+  const std::int64_t t_end = last_completion_ns.load(std::memory_order_acquire);
+  result.wall_seconds = static_cast<double>(t_end - t_start) / 1e9;
+  if (result.wall_seconds > 0.0) {
+    result.ops_per_sec =
+        static_cast<double>(ops) / result.wall_seconds;
+  }
+  result.latency_ns = recorder.summary_ns();
+  return result;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,78 @@
+// Wall-clock workload generation against a ThreadedRuntime.
+//
+// Two standard load shapes:
+//   - closed loop: `concurrency` clients, each issuing its next
+//     operation the moment its previous one completes (issuance rides
+//     the completion callback, so the offered load self-regulates to
+//     the service rate — the classic saturation benchmark);
+//   - open loop: a driver thread issues at a fixed target rate
+//     regardless of completions (exposes queueing delay; the honest
+//     latency-under-load shape).
+// Who initiates is the caller's choice: pass any initiator sequence
+// (harness/schedule.hpp generates round-robin, uniform and Zipf ones).
+//
+// LatencyRecorder stamps issue/completion with steady_clock and feeds
+// support/Summary, so p50/p95/p99 come out of the same machinery the
+// simulator's load reports use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/threaded_runtime.hpp"
+#include "sim/types.hpp"
+#include "support/stats.hpp"
+
+namespace dcnt {
+
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t max_ops);
+
+  /// steady_clock, in nanoseconds since an arbitrary epoch.
+  static std::int64_t now_ns();
+
+  /// Called by the issuer, immediately after begin_inc returned `op`
+  /// with `t_ns` stamped immediately before. The slot is atomic because
+  /// the completion can race this call (the op may finish on a worker
+  /// before the issuer stores the stamp).
+  void on_issue(OpId op, std::int64_t t_ns);
+
+  /// Called from the completion callback. Waits (nanoseconds, in
+  /// practice) for the racing on_issue store if needed.
+  void on_complete(OpId op, std::int64_t t_ns);
+
+  /// Latencies of completed ops, in ns.
+  Summary summary_ns() const;
+
+ private:
+  std::vector<std::atomic<std::int64_t>> issue_ns_;  ///< 0 = not issued
+  std::vector<std::int64_t> latency_ns_;             ///< -1 = not completed
+};
+
+struct WorkloadOptions {
+  /// Closed-loop clients; used when open_rate == 0.
+  std::size_t concurrency{8};
+  /// If > 0: open-loop issuance at this many ops/second.
+  double open_rate{0.0};
+};
+
+struct WorkloadResult {
+  std::size_t ops{0};
+  double wall_seconds{0.0};
+  double ops_per_sec{0.0};
+  /// Completion latency per op, nanoseconds.
+  Summary latency_ns;
+};
+
+/// Issues one operation per entry of `initiators` into `rt` (which must
+/// be fresh: no operations started yet), waits for all completions,
+/// then runs the runtime to quiescence so the caller can read
+/// merged_metrics() and protocol state. Wall time covers first issue to
+/// last completion (not the trailing quiesce).
+WorkloadResult run_workload(ThreadedRuntime& rt,
+                            const std::vector<ProcessorId>& initiators,
+                            const WorkloadOptions& options = {});
+
+}  // namespace dcnt

@@ -66,6 +66,24 @@ Summary Metrics::load_summary() const {
   return Summary(std::move(loads));
 }
 
+void Metrics::merge_from(const Metrics& other) {
+  DCNT_CHECK(other.sent_.size() == sent_.size());
+  for (std::size_t i = 0; i < sent_.size(); ++i) {
+    sent_[i] += other.sent_[i];
+    received_[i] += other.received_[i];
+    words_[i] += other.words_[i];
+  }
+  if (other.per_op_messages_.size() > per_op_messages_.size()) {
+    per_op_messages_.resize(other.per_op_messages_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.per_op_messages_.size(); ++i) {
+    per_op_messages_[i] += other.per_op_messages_[i];
+  }
+  total_messages_ += other.total_messages_;
+  total_words_ += other.total_words_;
+  max_message_words_ = std::max(max_message_words_, other.max_message_words_);
+}
+
 void Metrics::reset() {
   std::fill(sent_.begin(), sent_.end(), 0);
   std::fill(received_.begin(), received_.end(), 0);

@@ -61,6 +61,12 @@ class Metrics {
     return per_op_messages_;
   }
 
+  /// Element-wise accumulation of another Metrics over the same
+  /// processor set: the threaded runtime counts loads per worker shard
+  /// and merges them here at quiescence, so reports read one Metrics
+  /// whichever backend produced it.
+  void merge_from(const Metrics& other);
+
   void reset();
 
  private:

@@ -84,6 +84,34 @@ class Protocol {
     (void)peer;
   }
 
+  /// Shard-execution contract. The threaded runtime (src/runtime/) may
+  /// run handlers for *different* processors of this one object
+  /// concurrently, one thread per shard of the processor set. That is
+  /// safe exactly when the protocol upholds the state-slicing invariant
+  /// above in the strong, memory-level sense:
+  ///   - a handler running at processor p writes only state owned by p,
+  ///     and ownership moves between processors only via messages, so
+  ///     any two conflicting accesses are ordered by a message chain
+  ///     (the runtime turns every delivery into a happens-before edge);
+  ///   - topology/wiring tables fixed at construction may be read from
+  ///     anywhere;
+  ///   - protocol-global counters (stats, live-work gauges) use
+  ///     RelaxedCounter (support/relaxed.hpp), never plain integers;
+  ///   - all randomness comes from ctx.rng(), which the runtime hands
+  ///     out per worker.
+  /// Protocols keeping other cross-processor mutable aids (global logs,
+  /// lazily built caches) must shard them, switch them off in
+  /// on_shard_start(), or decline here. Default: decline — single-shard
+  /// execution is always allowed.
+  virtual bool shard_safe() const { return false; }
+
+  /// Called once by the threaded runtime, after construction and before
+  /// any handler runs, when the protocol is about to execute across
+  /// `workers` shards. Protocols use it to disable optional
+  /// cross-processor debug structures (e.g. the tree's retirement
+  /// log). Never called for simulator execution.
+  virtual void on_shard_start(std::size_t workers) { (void)workers; }
+
   /// Human-readable short name ("tree(k=3)", "central", ...).
   virtual std::string name() const = 0;
 

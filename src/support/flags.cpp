@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dcnt {
 
@@ -52,6 +53,12 @@ bool Flags::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::size_t threads_from_flags(const Flags& flags, const std::string& key) {
+  const std::int64_t requested = flags.get_int(key, 0);
+  DCNT_CHECK_MSG(requested >= 0, "--threads must be >= 0 (0 = auto)");
+  return resolve_thread_count(static_cast<std::size_t>(requested));
 }
 
 }  // namespace dcnt

@@ -29,4 +29,12 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+/// The process-wide thread-count knob, shared by every binary that
+/// spins up workers (thread pools, the threaded runtime, benches):
+/// `--threads=N` on the command line wins; `--threads=0` or no flag
+/// means auto (the DCNT_THREADS environment variable if set, else all
+/// hardware threads). Always returns at least 1.
+std::size_t threads_from_flags(const Flags& flags,
+                               const std::string& key = "threads");
+
 }  // namespace dcnt

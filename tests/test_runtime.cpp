@@ -1,0 +1,206 @@
+// Threaded runtime: mailbox delivery, quiescence, timers, sharding
+// guard rails, and exact load accounting under real concurrency. These
+// tests (quick-labeled) run in the TSan CI job — they are the ones with
+// actual data races to find.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "baselines/central.hpp"
+#include "core/tree_counter.hpp"
+#include "harness/factory.hpp"
+#include "harness/schedule.hpp"
+#include "harness/throughput.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/threaded_runtime.hpp"
+#include "runtime/workload.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt {
+namespace {
+
+TEST(Mailbox, MultiProducerDrainsEverythingExactlyOnce) {
+  Mailbox box;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        RuntimeEvent ev;
+        ev.msg.tag = p * kPerProducer + i;
+        box.push(std::move(ev));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::multiset<int> seen;
+  std::vector<RuntimeEvent> batch;
+  while (box.drain(batch)) {
+    for (const auto& ev : batch) seen.insert(ev.msg.tag);
+  }
+  ASSERT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int tag = 0; tag < kProducers * kPerProducer; ++tag) {
+    EXPECT_EQ(seen.count(tag), 1u) << tag;
+  }
+}
+
+TEST(ThreadedRuntime, WaitQuiescentOnIdleRuntimeReturnsImmediately) {
+  RuntimeConfig config;
+  config.workers = 2;
+  ThreadedRuntime rt(std::make_unique<CentralCounter>(4), config);
+  rt.wait_quiescent();  // must not hang
+  EXPECT_EQ(rt.ops_started(), 0u);
+  EXPECT_EQ(rt.merged_metrics().total_messages(), 0);
+}
+
+// Central counter: an inc from origin != holder is exactly one request
+// plus one reply; an inc at the holder is free. The merged metrics must
+// reproduce that count exactly, whatever the thread count.
+TEST(ThreadedRuntime, CentralLoadAccountingIsExact) {
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    const std::int64_t n = 8;
+    const std::size_t ops = 512;
+    RuntimeConfig config;
+    config.workers = workers;
+    config.seed = 5;
+    config.max_ops = ops;
+    ThreadedRuntime rt(std::make_unique<CentralCounter>(n), config);
+
+    std::vector<ProcessorId> initiators(ops);
+    std::int64_t remote = 0;
+    for (std::size_t i = 0; i < ops; ++i) {
+      initiators[i] = static_cast<ProcessorId>(i % n);
+      if (initiators[i] != 0) ++remote;  // holder is processor 0
+    }
+    WorkloadOptions wl;
+    wl.concurrency = 16;
+    const WorkloadResult run = run_workload(rt, initiators, wl);
+    EXPECT_EQ(run.ops, ops);
+    EXPECT_GT(run.ops_per_sec, 0.0);
+    EXPECT_EQ(run.latency_ns.count(), ops);
+
+    const Metrics m = rt.merged_metrics();
+    EXPECT_EQ(m.total_messages(), 2 * remote);
+    std::int64_t load_sum = 0;
+    for (ProcessorId p = 0; p < n; ++p) load_sum += m.load(p);
+    EXPECT_EQ(load_sum, 2 * m.total_messages());
+    // The holder receives every request and sends every reply.
+    EXPECT_EQ(m.load(0), 2 * remote);
+    EXPECT_EQ(m.bottleneck(), 0);
+  }
+}
+
+TEST(ThreadedRuntime, ValuesArePermutationForEveryCounterAndWorkerCount) {
+  for (const CounterKind kind :
+       {CounterKind::kCentral, CounterKind::kTree, CounterKind::kCombining,
+        CounterKind::kDiffracting}) {
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      ThroughputOptions options;
+      options.workers = workers;
+      options.ops = 256;
+      options.concurrency = 8;
+      options.seed = 3;
+      options.initiators = "uniform";
+      const ThroughputResult res =
+          run_throughput(make_counter(kind, 8), options);
+      EXPECT_TRUE(res.values_ok) << to_string(kind) << " W=" << workers;
+      EXPECT_EQ(res.ops, 256u);
+      EXPECT_GT(res.ops_per_sec, 0.0);
+      EXPECT_GT(res.total_messages, 0);
+      EXPECT_GE(res.p99_us, res.p50_us);
+    }
+  }
+}
+
+TEST(ThreadedRuntime, ZipfAndOpenLoopWorkloadsComplete) {
+  ThroughputOptions options;
+  options.workers = 2;
+  options.ops = 128;
+  options.seed = 11;
+  options.initiators = "zipf";
+  options.zipf_s = 1.0;
+  const ThroughputResult closed =
+      run_throughput(make_counter(CounterKind::kTree, 8), options);
+  EXPECT_TRUE(closed.values_ok);
+
+  options.open_rate = 50'000.0;  // open loop at 50k/s
+  const ThroughputResult open =
+      run_throughput(make_counter(CounterKind::kCentral, 8), options);
+  EXPECT_TRUE(open.values_ok);
+  EXPECT_GT(open.wall_seconds, 0.0);
+}
+
+// A protocol driven purely by send_local timers: completion depends on
+// the idle clock-jump, and quiescence must wait for armed timers.
+struct TimerCounter final : CounterProtocol {
+  std::int64_t count{0};
+
+  std::size_t num_processors() const override { return 1; }
+  void start_inc(Context& ctx, ProcessorId origin, OpId /*op*/) override {
+    ctx.send_local(origin, 1, {}, 5);
+  }
+  void on_message(Context& ctx, const Message& msg) override {
+    EXPECT_TRUE(msg.local);
+    ctx.complete(msg.op, count++);
+  }
+  std::unique_ptr<CounterProtocol> clone_counter() const override {
+    return std::make_unique<TimerCounter>(*this);
+  }
+  std::string name() const override { return "timer-counter"; }
+  bool shard_safe() const override { return true; }
+};
+
+TEST(ThreadedRuntime, TimersFireViaIdleClockJump) {
+  RuntimeConfig config;
+  config.workers = 2;  // processor 0 lives on shard 0; shard 1 idles
+  config.max_ops = 8;
+  ThreadedRuntime rt(std::make_unique<TimerCounter>(), config);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const OpId op = rt.begin_inc(0);
+    rt.wait_quiescent();
+    ASSERT_TRUE(rt.result(op).has_value());
+    EXPECT_EQ(*rt.result(op), i);
+  }
+  EXPECT_EQ(rt.ops_completed(), 8u);
+  // Timers are local: no network traffic at all.
+  EXPECT_EQ(rt.merged_metrics().total_messages(), 0);
+}
+
+TEST(ThreadedRuntime, ShardSafetyDefaultsMatchTheAudit) {
+  EXPECT_TRUE(make_counter(CounterKind::kCentral, 8)->shard_safe());
+  EXPECT_TRUE(make_counter(CounterKind::kTree, 8)->shard_safe());
+  EXPECT_TRUE(make_counter(CounterKind::kStaticTree, 8)->shard_safe());
+  EXPECT_TRUE(make_counter(CounterKind::kCombining, 8)->shard_safe());
+  EXPECT_TRUE(make_counter(CounterKind::kDiffracting, 8)->shard_safe());
+  // Not audited for sharding: default-declines.
+  EXPECT_FALSE(make_counter(CounterKind::kQuorumMajority, 8)->shard_safe());
+  EXPECT_FALSE(make_counter(CounterKind::kCountingNetwork, 8)->shard_safe());
+  // The healing tree relies on transport suspicion the runtime lacks.
+  TreeServiceParams healing;
+  healing.k = 2;
+  healing.self_healing = true;
+  EXPECT_FALSE(TreeCounter(healing).shard_safe());
+}
+
+TEST(ThreadedRuntimeDeathTest, RejectsShardUnsafeProtocolAtMultipleWorkers) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RuntimeConfig config;
+  config.workers = 2;
+  EXPECT_DEATH(
+      ThreadedRuntime(make_counter(CounterKind::kQuorumMajority, 8), config),
+      "shard_safe");
+  // One worker is always allowed.
+  RuntimeConfig single;
+  single.workers = 1;
+  ThreadedRuntime rt(make_counter(CounterKind::kQuorumMajority, 8), single);
+  EXPECT_EQ(rt.workers(), 1u);
+}
+
+}  // namespace
+}  // namespace dcnt

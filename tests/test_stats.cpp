@@ -41,6 +41,31 @@ TEST(Summary, SingleSample) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
+// Nearest-rank boundaries: q=0 is the minimum, q=100 the maximum, and
+// rank = q/100 * (n-1) rounds half away from zero, so the two-sample
+// median lands on the larger sample.
+TEST(Summary, PercentileEdgeCasesAreExact) {
+  Summary two({20, 10});
+  EXPECT_EQ(two.percentile(0), 10);
+  EXPECT_EQ(two.percentile(100), 20);
+  EXPECT_EQ(two.percentile(49), 10);
+  EXPECT_EQ(two.percentile(50), 20);
+
+  Summary four({4, 1, 3, 2});
+  EXPECT_EQ(four.percentile(0), 1);
+  EXPECT_EQ(four.percentile(33), 2);  // rank 0.99 rounds to index 1
+  EXPECT_EQ(four.percentile(100), 4);
+}
+
+TEST(SummaryDeathTest, PercentileRejectsEmptyAndOutOfRangeQ) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Summary empty;
+  EXPECT_DEATH(empty.percentile(50), "");
+  const Summary s({1, 2, 3});
+  EXPECT_DEATH(s.percentile(-0.5), "");
+  EXPECT_DEATH(s.percentile(100.5), "");
+}
+
 TEST(Summary, ToStringNonEmpty) {
   Summary s({1, 2});
   EXPECT_NE(s.to_string().find("n=2"), std::string::npos);

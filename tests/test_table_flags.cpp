@@ -2,6 +2,7 @@
 
 #include "support/flags.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dcnt {
 namespace {
@@ -56,6 +57,24 @@ TEST(Flags, DoubleParsing) {
   const char* argv[] = {"prog", "--zipf=0.9"};
   Flags flags(2, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(flags.get_double("zipf", 0.0), 0.9);
+}
+
+// The shared --threads knob: explicit values pass through, absence (or
+// 0) defers to resolve_thread_count's auto policy, and callers can
+// rename the key.
+TEST(Flags, ThreadsKnobResolvesExplicitAndAuto) {
+  const char* argv[] = {"prog", "--threads=3"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(threads_from_flags(flags), 3u);
+
+  const char* bare[] = {"prog"};
+  Flags absent(1, const_cast<char**>(bare));
+  EXPECT_EQ(threads_from_flags(absent), resolve_thread_count(0));
+  EXPECT_GE(threads_from_flags(absent), 1u);
+
+  const char* named[] = {"prog", "--workers=2"};
+  Flags renamed(2, const_cast<char**>(named));
+  EXPECT_EQ(threads_from_flags(renamed, "workers"), 2u);
 }
 
 }  // namespace
