@@ -22,6 +22,7 @@
 #include <iostream>
 #include <limits>
 
+#include "bench_util.hpp"
 #include "analysis/report.hpp"
 #include "baselines/combining_tree.hpp"
 #include "core/bound.hpp"
@@ -54,7 +55,10 @@ LoadReport run_tree(TreeCounterParams params, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "ABL-THRESH / ABL-FANOUT: tree design-choice ablations (retirement threshold, fanout)",
+      {"k", "seed"});
   const int k = static_cast<int>(flags.get_int("k", 4));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
 

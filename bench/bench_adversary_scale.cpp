@@ -108,7 +108,10 @@ struct SweepPoint {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "PERF-ADV: adversary/explorer scaling — clone cost, dry-run throughput, thread scaling",
+      {"counter", "full_max_n", "n_list", "out", "repeats", "sample", "schedule_samples", "seed", "threads", "threads_list"});
   const CounterKind kind =
       counter_kind_from_string(flags.get_string("counter", "combining"));
   const auto n_list = parse_int_list(flags.get_string("n_list", "64,256,1024"));

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_util.hpp"
 #include "analysis/concentration.hpp"
 #include "analysis/report.hpp"
 #include "harness/factory.hpp"
@@ -32,7 +33,10 @@ std::vector<std::int64_t> parse_sizes(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "CONC: load concentration across counter implementations",
+      {"seed", "sizes"});
   const auto sizes = parse_sizes(flags.get_string("sizes", "81,256,1024"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 6));
 

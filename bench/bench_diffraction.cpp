@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "baselines/diffracting_tree.hpp"
 #include "harness/runner.hpp"
 #include "harness/schedule.hpp"
@@ -23,7 +24,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "DIFF: diffracting-tree steady state vs width",
+      {"n", "seed", "width"});
   const std::int64_t n = flags.get_int("n", 256);
   const int width = static_cast<int>(flags.get_int("width", 4));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 14));

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "analysis/explore.hpp"
 #include "baselines/central.hpp"
 #include "baselines/counting_network.hpp"
@@ -21,7 +22,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "VERIFY: schedule-space model-checking coverage",
+      {"max_paths"});
   ExploreOptions options;
   options.max_paths = flags.get_int("max_paths", 200000);
 

@@ -86,7 +86,10 @@ struct CrashPoint {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "FAULT: exact counting under message loss and crashes, and its message price",
+      {"crash_drop", "crash_k_list", "crash_list", "drops", "k_list", "ops_factor", "out", "seed"});
   const auto k_list = parse_int_list(flags.get_string("k_list", "2,3,4"));
   const auto crash_k_list =
       parse_int_list(flags.get_string("crash_k_list", "2,3"));

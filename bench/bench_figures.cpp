@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "analysis/adversary.hpp"
 #include "analysis/dag.hpp"
 #include "core/bound.hpp"
@@ -26,7 +27,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "FIG1-FIG4: regenerate the paper's illustrative figures from real runs",
+      {"k", "origin", "seed"});
   const int k = static_cast<int>(flags.get_int("k", 2));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
   const auto origin = static_cast<ProcessorId>(flags.get_int("origin", 5));

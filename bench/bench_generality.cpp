@@ -17,6 +17,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "analysis/audit.hpp"
 #include "core/tree_bit.hpp"
 #include "core/tree_counter.hpp"
@@ -68,7 +69,10 @@ RunOutcome drive(Simulator& sim, bool pq_mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "GEN: the model-generality claim measured across delay regimes",
+      {"kmax", "seed"});
   const int kmax = static_cast<int>(flags.get_int("kmax", 4));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 9));
 

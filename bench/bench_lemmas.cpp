@@ -6,6 +6,7 @@
 // Flags: --kmax=5 --seed=7 --order=random|seq
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "analysis/audit.hpp"
 #include "analysis/tree_profile.hpp"
 #include "core/tree_counter.hpp"
@@ -18,7 +19,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "LEM-RET: the paper's S4 lemma ledger, measured",
+      {"kmax", "order", "seed"});
   const int kmax = static_cast<int>(flags.get_int("kmax", 5));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const bool random_order = flags.get_string("order", "random") == "random";

@@ -14,6 +14,7 @@
 #include <memory>
 #include <functional>
 
+#include "bench_util.hpp"
 #include "analysis/linearizability.hpp"
 #include "baselines/central.hpp"
 #include "baselines/combining_tree.hpp"
@@ -50,7 +51,10 @@ LinearizabilityReport staggered_run(std::unique_ptr<CounterProtocol> counter,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "LIN: linearizability vs counting under overlapping ops",
+      {"ops", "seeds"});
   const std::int64_t ops = flags.get_int("ops", 200);
   const std::int64_t seeds = flags.get_int("seeds", 30);
   const auto seed0 = static_cast<std::uint64_t>(flags.get_int("seed0", 1));

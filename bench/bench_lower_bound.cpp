@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "analysis/adversary.hpp"
 #include "core/tree_counter.hpp"
 #include "harness/factory.hpp"
@@ -28,7 +29,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "THM-LB: the Lower Bound Theorem's adversarial bottleneck",
+      {"n", "sample", "seed", "weights_n"});
   const std::int64_t n = flags.get_int("n", 81);
   const auto sample = static_cast<std::size_t>(flags.get_int("sample", 8));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 173));

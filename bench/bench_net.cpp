@@ -1,0 +1,211 @@
+// NET — what real sockets cost: the multi-process cluster runtime
+// (dcnt_node processes over localhost TCP or lossy UDP) versus the
+// in-process threaded runtime at matched protocol, n, and parallelism.
+//
+// Each mode runs the identical closed-loop workload and verifies the
+// returned values are an exact permutation of 0..ops-1, so every row
+// is also a correctness check. Protocol-level message loads (m_p, the
+// paper's bottleneck quantity) match the in-process runtime on the TCP
+// rows up to the tree's O(1)-per-handover slack; the UDP rows run
+// behind the reliable transport, whose Data/Ack envelopes are protocol
+// messages too — the m_p delta is exactly what at-least-once delivery
+// costs in the paper's own currency. Wall-clock columns price the
+// transport itself: loopback TCP costs microseconds per hop where the
+// in-process runtime costs nanoseconds, and the lossy rows add
+// retransmission stalls on top.
+//
+//   $ bench_net [--counters=tree,central] [--n=16] [--nodes=4]
+//               [--ops_factor=16] [--concurrency=16] [--drop=0.05]
+//               [--seed=7] [--out=BENCH_net.json]
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/cluster.hpp"
+#include "harness/factory.hpp"
+#include "harness/throughput.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+using namespace dcnt;
+
+namespace {
+
+/// One row of the comparison, whichever runtime produced it.
+struct NetRow {
+  std::string counter;
+  std::string mode;  ///< "inproc", "tcp", "udp", "udp-lossy"
+  std::size_t n{0};
+  std::size_t parallelism{0};  ///< workers (inproc) or nodes (cluster)
+  std::size_t ops{0};
+  double wall_seconds{0.0};
+  double ops_per_sec{0.0};
+  double mean_us{0.0};
+  double p50_us{0.0};
+  double p99_us{0.0};
+  std::int64_t total_messages{0};
+  std::int64_t max_load{0};
+  std::int64_t wire_msgs{0};
+  std::int64_t injected_drops{0};
+  std::int64_t retransmissions{0};
+};
+
+NetRow from_throughput(const ThroughputResult& r) {
+  NetRow row;
+  row.counter = r.counter;
+  row.mode = "inproc";
+  row.n = r.n;
+  row.parallelism = r.workers;
+  row.ops = r.ops;
+  row.wall_seconds = r.wall_seconds;
+  row.ops_per_sec = r.ops_per_sec;
+  row.mean_us = r.mean_us;
+  row.p50_us = r.p50_us;
+  row.p99_us = r.p99_us;
+  row.total_messages = r.total_messages;
+  row.max_load = r.max_load;
+  return row;
+}
+
+NetRow from_cluster(const net::ClusterResult& r, const std::string& mode) {
+  NetRow row;
+  row.counter = r.counter;
+  row.mode = mode;
+  row.n = r.n;
+  row.parallelism = r.nodes;
+  row.ops = r.ops;
+  row.wall_seconds = r.wall_seconds;
+  row.ops_per_sec = r.ops_per_sec;
+  row.mean_us = r.mean_us;
+  row.p50_us = r.p50_us;
+  row.p99_us = r.p99_us;
+  row.total_messages = r.total_messages;
+  row.max_load = r.max_load;
+  row.wire_msgs = r.wire_msgs_sent;
+  row.injected_drops = r.injected_drops;
+  row.retransmissions = r.retransmissions;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "NET: socket cluster runtime vs in-process runtime at matched "
+      "protocol/n/parallelism",
+      {"concurrency", "counters", "drop", "n", "nodes", "ops_factor", "out",
+       "seed"});
+  const auto counters =
+      parse_string_list(flags.get_string("counters", "tree,central"));
+  const std::int64_t n = flags.get_int("n", 16);
+  const auto nodes = static_cast<std::uint32_t>(flags.get_int("nodes", 4));
+  const std::int64_t ops_factor = flags.get_int("ops_factor", 16);
+  const auto concurrency =
+      static_cast<std::size_t>(flags.get_int("concurrency", 16));
+  const double drop = flags.get_double("drop", 0.05);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const std::string out = flags.get_string("out", "BENCH_net.json");
+
+  Table table({"counter", "mode", "n", "par", "ops", "inc/s", "p50_us",
+               "p99_us", "total_msgs", "max_load", "wire_msgs", "retx"});
+  std::vector<NetRow> rows;
+
+  for (const std::string& name : counters) {
+    const CounterKind kind = counter_kind_from_string(name);
+    auto probe = make_counter(kind, n);
+    if (!probe->shard_safe()) {
+      std::cout << "skip: " << probe->name() << " (not shard-safe)\n";
+      continue;
+    }
+    const std::size_t procs = probe->num_processors();
+    const auto ops = static_cast<std::size_t>(ops_factor) * procs;
+
+    // In-process baseline: worker count matched to the cluster's
+    // process count, so both runtimes get the same parallelism budget.
+    ThroughputOptions topt;
+    topt.workers = nodes;
+    topt.ops = ops;
+    topt.concurrency = concurrency;
+    topt.seed = seed;
+    NetRow inproc = from_throughput(run_throughput(make_counter(kind, n), topt));
+    inproc.counter = name;  // cluster rows carry the flag name; match it
+    rows.push_back(inproc);
+
+    net::ClusterOptions copt;
+    copt.counter = name;
+    copt.min_processors = n;
+    copt.nodes = nodes;
+    copt.ops = static_cast<std::int64_t>(ops);
+    copt.concurrency = concurrency;
+    copt.seed = seed;
+    rows.push_back(from_cluster(net::run_cluster(copt), "tcp"));
+
+    copt.udp = true;
+    copt.drop_probability = 0.0;
+    rows.push_back(from_cluster(net::run_cluster(copt), "udp"));
+
+    if (drop > 0.0) {
+      copt.drop_probability = drop;
+      // Faster retransmission clock: at the default 200us tick the
+      // first retry would wait ~3ms of wall time per lost datagram.
+      copt.tick_us = 100;
+      copt.retry.ack_timeout = 8;
+      copt.retry.max_timeout = 64;
+      copt.retry.max_attempts = 30;
+      rows.push_back(from_cluster(net::run_cluster(copt), "udp-lossy"));
+    }
+  }
+
+  for (const NetRow& r : rows) {
+    table.row()
+        .add(r.counter)
+        .add(r.mode)
+        .add(static_cast<std::int64_t>(r.n))
+        .add(static_cast<std::int64_t>(r.parallelism))
+        .add(static_cast<std::int64_t>(r.ops))
+        .add(r.ops_per_sec, 0)
+        .add(r.p50_us, 1)
+        .add(r.p99_us, 1)
+        .add(r.total_messages)
+        .add(r.max_load)
+        .add(r.wire_msgs)
+        .add(r.retransmissions);
+  }
+  table.print(std::cout,
+              "NET: in-process runtime vs multi-process socket cluster "
+              "(every run verified exact)");
+
+  JsonWriter json(out);
+  json.field("bench", "net");
+  json.field("n", n);
+  json.field("nodes", nodes);
+  json.field("ops_factor", ops_factor);
+  json.field("concurrency", concurrency);
+  json.field("drop", drop, 3);
+  json.field("seed", seed);
+  json.begin_array("runs");
+  for (const NetRow& r : rows) {
+    json.begin_object();
+    json.field("counter", r.counter);
+    json.field("mode", r.mode);
+    json.field("n", r.n);
+    json.field("parallelism", r.parallelism);
+    json.field("ops", r.ops);
+    json.field("wall_seconds", r.wall_seconds, 4);
+    json.field("ops_per_sec", r.ops_per_sec, 1);
+    json.field("mean_us", r.mean_us, 2);
+    json.field("p50_us", r.p50_us, 2);
+    json.field("p99_us", r.p99_us, 2);
+    json.field("total_messages", r.total_messages);
+    json.field("max_load", r.max_load);
+    json.field("wire_msgs", r.wire_msgs);
+    json.field("injected_drops", r.injected_drops);
+    json.field("retransmissions", r.retransmissions);
+    json.end_object();
+  }
+  json.end_array();
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "analysis/report.hpp"
 #include "core/tree_counter.hpp"
 #include "core/bound.hpp"
@@ -36,7 +37,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "QRM: quorum-system hot spots vs the counting bottleneck",
+      {"n", "seed"});
   const std::int64_t n = flags.get_int("n", 81);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 19));
 

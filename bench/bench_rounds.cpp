@@ -9,6 +9,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "core/tree_counter.hpp"
 #include "harness/runner.hpp"
 #include "harness/schedule.hpp"
@@ -20,7 +21,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "ROUNDS: repeated one-inc-per-processor rounds beyond the paper's workload",
+      {"k", "rounds", "seed"});
   const int k = static_cast<int>(flags.get_int("k", 3));
   const int rounds = static_cast<int>(flags.get_int("rounds", 6));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 10));

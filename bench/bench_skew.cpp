@@ -14,6 +14,7 @@
 // Flags: --k=4 --seed=11
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "analysis/report.hpp"
 #include "core/tree_counter.hpp"
 #include "harness/runner.hpp"
@@ -25,7 +26,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "SKEW: asymmetric delays against the bottleneck claim",
+      {"k", "seed"});
   const int k = static_cast<int>(flags.get_int("k", 4));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
 

@@ -34,7 +34,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "THRU: wall-clock inc throughput on the threaded runtime",
+      {"concurrency", "counters", "dist", "n", "open_rate", "ops_factor", "out", "seed", "threads", "workers_list", "zipf_s"});
   const auto counters = parse_string_list(
       flags.get_string("counters", "tree,central,combining,diffracting"));
   const auto workers_list =

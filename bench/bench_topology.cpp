@@ -14,6 +14,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "analysis/report.hpp"
 #include "baselines/central.hpp"
 #include "core/tree_counter.hpp"
@@ -27,7 +28,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "TOPO: the point-to-point model assumption under constrained topologies",
+      {"k", "seed"});
   const int k = static_cast<int>(flags.get_int("k", 3));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 8));
 

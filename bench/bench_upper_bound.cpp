@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "analysis/audit.hpp"
 #include "analysis/report.hpp"
 #include "core/tree_counter.hpp"
@@ -26,7 +27,10 @@
 using namespace dcnt;
 
 int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "THM-UB: the Bottleneck Theorem — max load vs k on the tree counter",
+      {"delay_max", "kmax", "order", "seed"});
   const int kmax = static_cast<int>(flags.get_int("kmax", 6));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const SimTime delay_max = flags.get_int("delay_max", 8);

@@ -18,7 +18,18 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/flags.hpp"
+
 namespace dcnt {
+
+/// Shared command-line entry for every bench binary. Handles `--help`
+/// (prints the description and the accepted flags, exits 0) and
+/// rejects flags outside `known` (prints the offender and the same
+/// usage to stderr, exits 2); otherwise returns the parsed flags.
+/// Every bench routes through this so a typo'd flag fails loudly
+/// instead of silently running the default experiment.
+Flags parse_bench_flags(int argc, char** argv, const std::string& description,
+                        const std::vector<std::string>& known);
 
 /// "2,3,4" -> {2, 3, 4}. Empty input yields an empty list.
 std::vector<std::int64_t> parse_int_list(const std::string& text);

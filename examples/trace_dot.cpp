@@ -1,8 +1,10 @@
 // Reproduce the paper's Figure 1 for any run: trace an inc operation
 // and emit its process DAG as Graphviz DOT (pipe into `dot -Tpng`),
 // plus the Figure 2 communication list and the participant set I_p.
+// With --chrome, emit the whole run's trace as Chrome trace-event JSON
+// instead (load into chrome://tracing or ui.perfetto.dev).
 //
-//   $ ./examples/trace_dot [--k=2] [--origin=3] [--warmup=7]
+//   $ ./examples/trace_dot [--k=2] [--origin=3] [--warmup=7] [--chrome]
 #include <cstdio>
 #include <iostream>
 
@@ -38,6 +40,11 @@ int main(int argc, char** argv) {
   sim.run_until_quiescent();
   std::fprintf(stderr, "inc by processor %d returned %lld\n", origin,
                static_cast<long long>(*sim.result(op)));
+
+  if (flags.get_bool("chrome", false)) {
+    std::cout << to_chrome_trace(sim.trace());
+    return 0;
+  }
 
   const IncDag dag = build_inc_dag(sim.trace(), op, origin);
   std::cout << to_dot(dag);  // stdout: pipe into graphviz

@@ -20,6 +20,7 @@
 #include "sim/simulator.hpp"
 #include "sim/topology.hpp"
 #include "sim/trace.hpp"
+#include "sim/trace_export.hpp"
 #include "sim/types.hpp"
 
 // The paper's contribution (§4) and bound arithmetic (§3), plus the

@@ -89,6 +89,19 @@ class ReliableTransport final : public CounterProtocol {
 
   const RetryStats& stats() const { return stats_; }
   const RetryParams& params() const { return params_; }
+  /// Envelopes currently awaiting an ack, summed over all channels. The
+  /// cluster's distributed-quiescence barrier needs this to reach zero:
+  /// a pending envelope means a retransmission timer is still armed and
+  /// more wire traffic is coming.
+  std::int64_t unacked_total() const {
+    std::int64_t n = 0;
+    for (const auto& proc : procs_) {
+      for (const auto& [peer, tx] : proc.tx) {
+        n += static_cast<std::int64_t>(tx.unacked.size());
+      }
+    }
+    return n;
+  }
   const CounterProtocol& inner() const { return *inner_; }
   CounterProtocol& mutable_inner() { return *inner_; }
 

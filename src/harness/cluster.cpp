@@ -1,0 +1,461 @@
+#include "harness/cluster.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "harness/factory.hpp"
+#include "harness/schedule.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "runtime/workload.hpp"
+#include "support/check.hpp"
+
+namespace dcnt::net {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+std::string find_node_binary(const std::string& override_path) {
+  if (!override_path.empty()) return override_path;
+  if (const char* env = std::getenv("DCNT_NODE_BIN")) return env;
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len > 0) {
+    buf[len] = '\0';
+    std::string dir(buf);
+    const std::size_t slash = dir.find_last_of('/');
+    if (slash != std::string::npos) dir.resize(slash);
+    const std::string candidates[] = {
+        dir + "/dcnt_node",          // alongside the caller
+        dir + "/../src/dcnt_node",   // build/{tests,bench,examples} -> build/src
+        dir + "/src/dcnt_node",      // build root
+    };
+    for (const std::string& cand : candidates) {
+      if (::access(cand.c_str(), X_OK) == 0) return cand;
+    }
+  }
+  DCNT_CHECK_MSG(false,
+                 "cannot locate the dcnt_node binary (set DCNT_NODE_BIN or "
+                 "ClusterOptions::node_binary)");
+  return "";
+}
+
+pid_t spawn(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  DCNT_CHECK(pid >= 0);
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    _exit(127);  // exec failed; the controller sees the early exit
+  }
+  return pid;
+}
+
+/// Best-effort cleanup on error paths that unwind normally. (DCNT_CHECK
+/// aborts without unwinding; orphaned nodes then exit on their own when
+/// the controller's sockets close under them.)
+struct ChildReaper {
+  std::vector<pid_t> pids;
+  ~ChildReaper() {
+    for (pid_t pid : pids) {
+      if (pid <= 0) continue;
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, nullptr, 0);
+    }
+  }
+};
+
+class Controller {
+ public:
+  explicit Controller(const ClusterOptions& opt) : opt_(opt) {}
+  ClusterResult run();
+
+ private:
+  enum class Phase { kHello, kReady, kRun, kQuiesce, kShutdown };
+
+  void on_frame(int conn, const FrameView& frame);
+  void issue_next();
+  void begin_stats_round();
+  void on_stats_round_complete();
+  bool rounds_stable() const;
+  void check_deadline() const;
+  int poll_timeout_ms() const;
+
+  ClusterOptions opt_;
+  EventLoop loop_;
+  ChildReaper reaper_;
+  std::int64_t n_{0};
+  std::size_t ops_{0};
+  std::vector<ProcessorId> initiators_;
+
+  Phase phase_{Phase::kHello};
+  WallClock::time_point deadline_;
+  std::vector<int> conn_of_node_;
+  std::vector<std::optional<HelloFrame>> hellos_;
+  std::size_t hello_count_{0};
+  std::size_t ready_count_{0};
+  bool child_died_{false};
+
+  std::size_t issued_{0};
+  std::size_t completed_{0};
+  std::vector<Value> values_;
+  std::vector<bool> value_seen_;
+  std::unique_ptr<LatencyRecorder> recorder_;
+  std::int64_t t_first_issue_ns_{0};
+  std::int64_t t_last_complete_ns_{0};
+  std::int64_t open_t0_ns_{0};
+
+  int quiesce_rounds_{0};
+  bool round_in_flight_{false};
+  WallClock::time_point next_round_at_;
+  std::vector<std::optional<StatsFrame>> round_;
+  std::vector<std::optional<StatsFrame>> prev_round_;
+  std::size_t stats_outstanding_{0};
+};
+
+void Controller::check_deadline() const {
+  DCNT_CHECK_MSG(WallClock::now() < deadline_,
+                 "cluster run exceeded its wall-clock budget");
+}
+
+void Controller::issue_next() {
+  if (issued_ >= ops_) return;
+  const OpId op = static_cast<OpId>(issued_++);
+  const ProcessorId origin = initiators_[static_cast<std::size_t>(op)];
+  const std::uint32_t node = static_cast<std::uint32_t>(origin) % opt_.nodes;
+  const std::int64_t t = LatencyRecorder::now_ns();
+  if (t_first_issue_ns_ == 0) t_first_issue_ns_ = t;
+  recorder_->on_issue(op, t);
+  loop_.send(conn_of_node_.at(node), encode_start(StartFrame{op, origin, {}}));
+}
+
+void Controller::begin_stats_round() {
+  round_.assign(opt_.nodes, std::nullopt);
+  stats_outstanding_ = opt_.nodes;
+  round_in_flight_ = true;
+  ++quiesce_rounds_;
+  const std::vector<std::uint8_t> frame = encode_stats_request();
+  for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+    loop_.send(conn_of_node_[id], frame);
+  }
+}
+
+bool Controller::rounds_stable() const {
+  if (prev_round_.empty()) return false;
+  std::int64_t sent = 0;
+  std::int64_t received = 0;
+  for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+    const StatsFrame& cur = *round_[id];
+    const StatsFrame& prev = *prev_round_[id];
+    if (cur.events_processed != prev.events_processed) return false;
+    // An unacked envelope means a retransmission is coming.
+    if (cur.unacked != 0) return false;
+    sent += cur.wire_msgs_sent;
+    received += cur.wire_msgs_received;
+  }
+  // On the reliable TCP plane every wire message eventually arrives, so
+  // a sent/received mismatch means frames are still in flight. On lossy
+  // UDP the counts legitimately differ (kernel drops are invisible to
+  // both sides); stability plus zero pending work is the whole test.
+  if (!opt_.udp && sent != received) return false;
+  return true;
+}
+
+void Controller::on_stats_round_complete() {
+  round_in_flight_ = false;
+  if (rounds_stable()) {
+    std::int64_t timers = 0;
+    for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+      timers += round_[id]->timers_armed;
+    }
+    if (timers > 0) {
+      // Idle except for armed timers — the distributed version of the
+      // simulator's clock jump: tell the nodes to fire them now rather
+      // than waiting out wall deadlines (a stale inc-retry or
+      // retransmission timer can be tens of milliseconds away).
+      const std::vector<std::uint8_t> jump = encode_time_jump();
+      for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+        loop_.send(conn_of_node_[id], jump);
+      }
+      prev_round_ = round_;
+      next_round_at_ = WallClock::now() + std::chrono::milliseconds(1);
+      return;
+    }
+    if (opt_.quiesce_between_ops && completed_ < ops_) {
+      // Mid-run barrier: the previous op's activity has fully settled;
+      // resume the workload with the next one.
+      prev_round_.clear();
+      phase_ = Phase::kRun;
+      issue_next();
+      return;
+    }
+    phase_ = Phase::kShutdown;
+    return;
+  }
+  prev_round_ = round_;
+  // Give in-flight frames and stale timers a moment before re-asking;
+  // the barrier converges on stability, not on asking faster.
+  next_round_at_ = WallClock::now() + std::chrono::milliseconds(2);
+}
+
+void Controller::on_frame(int conn, const FrameView& frame) {
+  switch (frame.type()) {
+    case FrameType::kHello: {
+      const HelloFrame hello = decode_hello(frame);
+      DCNT_CHECK(hello.node_id < opt_.nodes);
+      DCNT_CHECK_MSG(!hellos_[hello.node_id].has_value(),
+                     "duplicate Hello from a node");
+      hellos_[hello.node_id] = hello;
+      conn_of_node_[hello.node_id] = conn;
+      ++hello_count_;
+      if (hello_count_ == opt_.nodes) {
+        PeersFrame peers;
+        peers.peers.reserve(opt_.nodes);
+        for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+          const HelloFrame& h = *hellos_[id];
+          peers.peers.push_back(PeerAddr{id, h.tcp_port, h.udp_port});
+        }
+        const std::vector<std::uint8_t> encoded = encode_peers(peers);
+        for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+          loop_.send(conn_of_node_[id], encoded);
+        }
+        phase_ = Phase::kReady;
+      }
+      return;
+    }
+    case FrameType::kReady: {
+      DCNT_CHECK(phase_ == Phase::kReady);
+      ++ready_count_;
+      if (ready_count_ == opt_.nodes) {
+        phase_ = Phase::kRun;
+        if (opt_.open_rate > 0.0) {
+          open_t0_ns_ = LatencyRecorder::now_ns();
+        } else {
+          const std::size_t window =
+              opt_.quiesce_between_ops
+                  ? 1
+                  : std::max<std::size_t>(1, std::min(opt_.concurrency, ops_));
+          for (std::size_t i = 0; i < window; ++i) issue_next();
+        }
+      }
+      return;
+    }
+    case FrameType::kComplete: {
+      DCNT_CHECK(phase_ == Phase::kRun);
+      const CompleteFrame done = decode_complete(frame);
+      const auto idx = static_cast<std::size_t>(done.op);
+      DCNT_CHECK(done.op >= 0 && idx < ops_);
+      DCNT_CHECK_MSG(!value_seen_[idx], "operation completed twice");
+      value_seen_[idx] = true;
+      values_[idx] = done.value;
+      const std::int64_t t = LatencyRecorder::now_ns();
+      recorder_->on_complete(done.op, t);
+      t_last_complete_ns_ = t;
+      ++completed_;
+      if (opt_.quiesce_between_ops) {
+        phase_ = Phase::kQuiesce;
+        begin_stats_round();
+        return;
+      }
+      if (opt_.open_rate <= 0.0) issue_next();
+      if (completed_ == ops_) {
+        phase_ = Phase::kQuiesce;
+        begin_stats_round();
+      }
+      return;
+    }
+    case FrameType::kStats: {
+      const StatsFrame stats = decode_stats(frame);
+      DCNT_CHECK(stats.node_id < opt_.nodes);
+      DCNT_CHECK(round_in_flight_ && !round_[stats.node_id].has_value());
+      round_[stats.node_id] = stats;
+      if (--stats_outstanding_ == 0) on_stats_round_complete();
+      return;
+    }
+    default:
+      DCNT_CHECK_MSG(false, "unexpected frame type at the controller");
+  }
+}
+
+int Controller::poll_timeout_ms() const {
+  if (phase_ == Phase::kRun && opt_.open_rate > 0.0) return 1;
+  if (phase_ == Phase::kQuiesce && !round_in_flight_) return 1;
+  return 50;
+}
+
+ClusterResult Controller::run() {
+  DCNT_CHECK(opt_.nodes >= 1);
+  deadline_ = WallClock::now() +
+              std::chrono::microseconds(
+                  static_cast<std::int64_t>(opt_.timeout_seconds * 1e6));
+
+  // Probe the protocol locally for its true size and shard contract —
+  // friendlier to fail here than inside four child processes.
+  {
+    auto probe = make_counter(counter_kind_from_string(opt_.counter),
+                              opt_.min_processors);
+    n_ = static_cast<std::int64_t>(probe->num_processors());
+    if (opt_.nodes > 1) {
+      DCNT_CHECK_MSG(probe->shard_safe(),
+                     "multi-node cluster requires a shard-safe protocol");
+    }
+  }
+  ops_ = opt_.ops != 0 ? opt_.ops : static_cast<std::size_t>(8 * n_);
+  DCNT_CHECK(ops_ > 0);
+  initiators_ = make_initiators(opt_.initiators, opt_.zipf_s, n_,
+                                static_cast<std::int64_t>(ops_), opt_.seed);
+  values_.assign(ops_, -1);
+  value_seen_.assign(ops_, false);
+  recorder_ = std::make_unique<LatencyRecorder>(ops_);
+  conn_of_node_.assign(opt_.nodes, -1);
+  hellos_.assign(opt_.nodes, std::nullopt);
+
+  std::uint16_t ctrl_port = 0;
+  Socket listener = tcp_listen(&ctrl_port);
+  loop_.add_listener(std::move(listener), [this](Socket accepted) {
+    loop_.add_connection(
+        std::move(accepted),
+        [this](int conn, const FrameView& f) { on_frame(conn, f); },
+        [this](int) {
+          if (phase_ != Phase::kShutdown) child_died_ = true;
+        });
+  });
+
+  const std::string binary = find_node_binary(opt_.node_binary);
+  for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+    std::vector<std::string> args = {
+        binary,
+        "--ctrl_port=" + std::to_string(ctrl_port),
+        "--node=" + std::to_string(id),
+        "--nodes=" + std::to_string(opt_.nodes),
+        "--counter=" + opt_.counter,
+        "--n=" + std::to_string(opt_.min_processors),
+        "--seed=" + std::to_string(opt_.seed),
+        "--transport=" + std::string(opt_.udp ? "udp" : "tcp"),
+        "--drop=" + std::to_string(opt_.drop_probability),
+        "--tick_us=" + std::to_string(opt_.tick_us),
+        "--ack_timeout=" + std::to_string(opt_.retry.ack_timeout),
+        "--max_timeout=" + std::to_string(opt_.retry.max_timeout),
+        "--max_attempts=" + std::to_string(opt_.retry.max_attempts),
+    };
+    reaper_.pids.push_back(spawn(args));
+  }
+
+  while (phase_ != Phase::kShutdown) {
+    check_deadline();
+    DCNT_CHECK_MSG(!child_died_, "a node process died mid-run");
+    if (phase_ == Phase::kRun && opt_.open_rate > 0.0 && issued_ < ops_) {
+      const double per_op_ns = 1e9 / opt_.open_rate;
+      while (issued_ < ops_ &&
+             LatencyRecorder::now_ns() - open_t0_ns_ >=
+                 static_cast<std::int64_t>(per_op_ns *
+                                           static_cast<double>(issued_))) {
+        issue_next();
+      }
+    }
+    if (phase_ == Phase::kQuiesce && !round_in_flight_ &&
+        WallClock::now() >= next_round_at_) {
+      begin_stats_round();
+    }
+    loop_.run_once(poll_timeout_ms());
+  }
+
+  // Orderly teardown: every node flushes and exits 0; the controller
+  // insists on it so a crash shadowed by a successful run still fails.
+  const std::vector<std::uint8_t> bye = encode_shutdown();
+  for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+    loop_.send(conn_of_node_[id], bye);
+  }
+  while (loop_.open_connections() > 0) {
+    check_deadline();
+    loop_.run_once(20);
+  }
+  for (pid_t& pid : reaper_.pids) {
+    int status = 0;
+    DCNT_CHECK(::waitpid(pid, &status, 0) == pid);
+    DCNT_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                   "a node exited abnormally");
+    pid = 0;  // reaped; the ChildReaper must not touch it
+  }
+
+  // Merge and verify.
+  ClusterResult out;
+  out.counter = opt_.counter;
+  out.n = static_cast<std::size_t>(n_);
+  out.nodes = opt_.nodes;
+  out.ops = ops_;
+  out.quiesce_rounds = quiesce_rounds_;
+  out.load.assign(static_cast<std::size_t>(n_), 0);
+  for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+    const StatsFrame& s = *round_[id];
+    out.wire_msgs_sent += s.wire_msgs_sent;
+    out.wire_msgs_received += s.wire_msgs_received;
+    out.wire_bytes_sent += s.wire_bytes_sent;
+    out.wire_bytes_received += s.wire_bytes_received;
+    out.injected_drops += s.injected_drops;
+    out.retransmissions += s.retransmissions;
+    out.duplicates_suppressed += s.duplicates_suppressed;
+    out.messages_abandoned += s.messages_abandoned;
+    for (const ProcLoad& load : s.loads) {
+      DCNT_CHECK(load.pid >= 0 && load.pid < n_);
+      DCNT_CHECK(static_cast<std::uint32_t>(load.pid) % opt_.nodes == id);
+      out.load[static_cast<std::size_t>(load.pid)] =
+          load.sent + load.received;
+      out.total_messages += load.sent;
+    }
+  }
+  for (ProcessorId p = 0; p < n_; ++p) {
+    if (out.load[static_cast<std::size_t>(p)] > out.max_load) {
+      out.max_load = out.load[static_cast<std::size_t>(p)];
+      out.bottleneck = p;
+    }
+  }
+
+  std::vector<Value> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  out.values_ok = true;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != static_cast<Value>(i)) {
+      out.values_ok = false;
+      break;
+    }
+  }
+  DCNT_CHECK_MSG(out.values_ok,
+                 "cluster values are not a permutation of 0..ops-1");
+  out.values = std::move(values_);
+
+  out.wall_seconds =
+      static_cast<double>(t_last_complete_ns_ - t_first_issue_ns_) / 1e9;
+  if (out.wall_seconds > 0.0) {
+    out.ops_per_sec = static_cast<double>(ops_) / out.wall_seconds;
+  }
+  const Summary lat = recorder_->summary_ns();
+  if (lat.count() > 0) {
+    out.mean_us = lat.mean() / 1e3;
+    out.p50_us = static_cast<double>(lat.percentile(50)) / 1e3;
+    out.p95_us = static_cast<double>(lat.percentile(95)) / 1e3;
+    out.p99_us = static_cast<double>(lat.percentile(99)) / 1e3;
+  }
+  return out;
+}
+
+}  // namespace
+
+ClusterResult run_cluster(const ClusterOptions& options) {
+  Controller controller(options);
+  return controller.run();
+}
+
+}  // namespace dcnt::net

@@ -1,0 +1,118 @@
+// Multi-process cluster harness: the controller side of the socket
+// runtime (src/net/).
+//
+// run_cluster spawns `nodes` dcnt_node processes on localhost, waits
+// for the Hello/Peers/Ready mesh handshake, then plays the same
+// closed-/open-loop workload shapes as runtime/workload.hpp against the
+// cluster: Start frames out, Complete frames back, latency stamped at
+// the controller with the same steady_clock machinery. Afterwards it
+// runs the distributed-quiescence barrier (repeated StatsRequest/Stats
+// rounds; quiescent when two consecutive rounds show identical per-node
+// progress, no unacked envelopes or armed timers anywhere, and — on the
+// reliable TCP plane — wire sends equal to wire receives), merges the
+// per-processor loads (exact: each processor is owned by one node), and
+// verifies the counter's observable contract: the returned values are a
+// permutation of 0..ops-1.
+//
+// The node binary is found via ClusterOptions::node_binary, then the
+// DCNT_NODE_BIN environment variable, then next to /proc/self/exe
+// (covers running from build/tests, build/bench and build/examples).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/retry.hpp"
+#include "sim/types.hpp"
+#include "support/stats.hpp"
+
+namespace dcnt::net {
+
+struct ClusterOptions {
+  /// Counter kind accepted by harness/factory.hpp; a multi-node cluster
+  /// requires it to be shard_safe().
+  std::string counter{"tree"};
+  std::int64_t min_processors{16};
+  std::uint32_t nodes{4};
+  /// 0 = 8 * actual processor count (the throughput harness default).
+  std::size_t ops{0};
+  /// "roundrobin" | "uniform" | "zipf" (harness/schedule.hpp).
+  std::string initiators{"roundrobin"};
+  double zipf_s{0.99};
+  std::uint64_t seed{1};
+  /// Closed-loop in-flight window; used when open_rate == 0.
+  std::size_t concurrency{8};
+  /// Run the quiescence barrier after every completion before issuing
+  /// the next op (forces an effective concurrency of 1). This is the
+  /// sequential schedule in the simulator's sense: an op's *entire*
+  /// message activity — including trailing maintenance traffic the
+  /// protocol emits after completing (e.g. tree retirement) — settles
+  /// before the next op starts. For protocols whose per-op traffic is a
+  /// single causal chain (central, static-tree) this makes runs
+  /// deterministic in (seed, schedule) down to per-processor loads;
+  /// protocols that fork concurrent branches within an op (the dynamic
+  /// tree's handover handshake racing the inc's reply) stay
+  /// deterministic in *values* but may shift a constant number of
+  /// forwarding messages between runs, exactly as in the asynchronous
+  /// simulator under non-fixed delay models. Completion alone is not
+  /// enough even for chains: the next Start would race leftover
+  /// maintenance messages across nodes.
+  bool quiesce_between_ops{false};
+  /// If > 0: open-loop issuance at this many ops/second.
+  double open_rate{0.0};
+  /// Data plane: false = TCP mesh, true = lossy UDP behind the reliable
+  /// transport.
+  bool udp{false};
+  /// Seeded sender-side datagram loss (UDP mode).
+  double drop_probability{0.0};
+  /// Wall microseconds per logical tick in the nodes (timer delays).
+  std::int64_t tick_us{200};
+  RetryParams retry{};
+  /// Whole-run wall-clock budget; exceeding it aborts the harness (and
+  /// the orphaned nodes exit on losing their controller connection).
+  double timeout_seconds{120.0};
+  /// Override the dcnt_node binary path (tests, cross-directory runs).
+  std::string node_binary;
+};
+
+struct ClusterResult {
+  std::string counter;
+  std::size_t n{0};
+  std::uint32_t nodes{0};
+  std::size_t ops{0};
+  /// Values form a permutation of 0..ops-1 (also DCNT_CHECKed).
+  bool values_ok{false};
+
+  double wall_seconds{0.0};
+  double ops_per_sec{0.0};
+  double mean_us{0.0};
+  double p50_us{0.0};
+  double p95_us{0.0};
+  double p99_us{0.0};
+
+  /// Protocol-level message accounting, merged across nodes — the same
+  /// m_p the simulator and threaded runtime report.
+  std::int64_t total_messages{0};
+  std::int64_t max_load{0};
+  ProcessorId bottleneck{kNoProcessor};
+  std::vector<std::int64_t> load;  ///< m_p per processor
+
+  /// Wire-level accounting, summed across nodes.
+  std::int64_t wire_msgs_sent{0};
+  std::int64_t wire_msgs_received{0};
+  std::int64_t wire_bytes_sent{0};
+  std::int64_t wire_bytes_received{0};
+  std::int64_t injected_drops{0};
+  std::int64_t retransmissions{0};
+  std::int64_t duplicates_suppressed{0};
+  std::int64_t messages_abandoned{0};
+
+  /// StatsRequest rounds the quiescence barrier took.
+  int quiesce_rounds{0};
+  std::vector<Value> values;  ///< per-op returned values
+};
+
+ClusterResult run_cluster(const ClusterOptions& options);
+
+}  // namespace dcnt::net

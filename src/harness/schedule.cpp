@@ -65,4 +65,24 @@ std::vector<ProcessorId> schedule_single_origin(ProcessorId origin,
   return std::vector<ProcessorId>(static_cast<std::size_t>(ops), origin);
 }
 
+std::vector<ProcessorId> make_initiators(const std::string& distribution,
+                                         double zipf_s, std::int64_t n,
+                                         std::int64_t ops, std::uint64_t seed) {
+  // The salt is historical (this code moved here from the throughput
+  // harness); it must not change, or thru-vs-net comparisons at one seed
+  // stop driving identical initiator sequences.
+  Rng rng(mix64(seed ^ 0x7b9d1e5u));
+  if (distribution == "roundrobin") {
+    std::vector<ProcessorId> order(static_cast<std::size_t>(ops));
+    for (std::int64_t i = 0; i < ops; ++i) {
+      order[static_cast<std::size_t>(i)] = static_cast<ProcessorId>(i % n);
+    }
+    return order;
+  }
+  if (distribution == "uniform") return schedule_uniform(n, ops, rng);
+  if (distribution == "zipf") return schedule_zipf(n, ops, zipf_s, rng);
+  DCNT_CHECK_MSG(false, "unknown initiator distribution");
+  return {};
+}
+
 }  // namespace dcnt

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -37,5 +38,15 @@ std::vector<ProcessorId> schedule_zipf(std::int64_t n, std::int64_t ops,
 /// operations initiated by a single processor" degenerate case.
 std::vector<ProcessorId> schedule_single_origin(ProcessorId origin,
                                                 std::int64_t ops);
+
+/// Named-distribution front end shared by the throughput harness and the
+/// socket cluster: "roundrobin" (i % n, the strict one-inc-per-processor
+/// regime when ops == n), "uniform", or "zipf" with skew `zipf_s`.
+/// Seeding is by value, so in-process and cluster runs at the same seed
+/// drive the identical initiator sequence — which is what makes their
+/// message-load numbers comparable.
+std::vector<ProcessorId> make_initiators(const std::string& distribution,
+                                         double zipf_s, std::int64_t n,
+                                         std::int64_t ops, std::uint64_t seed);
 
 }  // namespace dcnt

@@ -13,24 +13,6 @@ namespace dcnt {
 
 namespace {
 
-std::vector<ProcessorId> build_initiators(const ThroughputOptions& options,
-                                          std::int64_t n, std::int64_t ops) {
-  Rng rng(mix64(options.seed ^ 0x7b9d1e5u));
-  if (options.initiators == "roundrobin") {
-    std::vector<ProcessorId> order(static_cast<std::size_t>(ops));
-    for (std::int64_t i = 0; i < ops; ++i) {
-      order[static_cast<std::size_t>(i)] = static_cast<ProcessorId>(i % n);
-    }
-    return order;
-  }
-  if (options.initiators == "uniform") return schedule_uniform(n, ops, rng);
-  if (options.initiators == "zipf") {
-    return schedule_zipf(n, ops, options.zipf_s, rng);
-  }
-  DCNT_CHECK_MSG(false, "unknown initiator distribution");
-  return {};
-}
-
 bool is_permutation_of_iota(std::vector<Value> values) {
   std::sort(values.begin(), values.end());
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -61,7 +43,8 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   out.workers = rt.workers();
 
   const auto initiators =
-      build_initiators(options, n, static_cast<std::int64_t>(ops));
+      make_initiators(options.initiators, options.zipf_s, n,
+                      static_cast<std::int64_t>(ops), options.seed);
   WorkloadOptions wl;
   wl.concurrency = options.concurrency;
   wl.open_rate = options.open_rate;

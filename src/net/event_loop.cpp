@@ -1,0 +1,203 @@
+#include "net/event_loop.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "support/check.hpp"
+
+namespace dcnt::net {
+
+int EventLoop::add_connection(Socket sock, FrameFn on_frame, CloseFn on_close) {
+  DCNT_CHECK(sock.valid());
+  auto conn = std::make_unique<Connection>();
+  conn->sock = std::move(sock);
+  conn->on_frame = std::move(on_frame);
+  conn->on_close = std::move(on_close);
+  conn->open = true;
+  connections_.push_back(std::move(conn));
+  return static_cast<int>(connections_.size()) - 1;
+}
+
+void EventLoop::add_listener(Socket sock, AcceptFn on_accept) {
+  DCNT_CHECK(sock.valid());
+  DCNT_CHECK_MSG(!listener_.valid(), "one listener per loop");
+  listener_ = std::move(sock);
+  on_accept_ = std::move(on_accept);
+}
+
+void EventLoop::add_udp(Socket sock, DatagramFn on_datagram) {
+  DCNT_CHECK(sock.valid());
+  DCNT_CHECK_MSG(!udp_.valid(), "one UDP socket per loop");
+  udp_ = std::move(sock);
+  on_datagram_ = std::move(on_datagram);
+}
+
+bool EventLoop::connected(int conn) const {
+  return conn >= 0 && static_cast<std::size_t>(conn) < connections_.size() &&
+         connections_[static_cast<std::size_t>(conn)]->open;
+}
+
+bool EventLoop::backlog() const {
+  for (const auto& c : connections_) {
+    if (c->open && c->out_head < c->outbound.size()) return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::open_connections() const {
+  std::size_t n = 0;
+  for (const auto& c : connections_) {
+    if (c->open) ++n;
+  }
+  return n;
+}
+
+void EventLoop::send(int conn, const std::vector<std::uint8_t>& frame) {
+  DCNT_CHECK_MSG(connected(conn), "send on a closed connection");
+  Connection& c = *connections_[static_cast<std::size_t>(conn)];
+  c.outbound.insert(c.outbound.end(), frame.begin(), frame.end());
+  ++frames_sent_;
+  bytes_sent_ += static_cast<std::int64_t>(frame.size());
+  flush(c);
+}
+
+bool EventLoop::send_datagram(std::uint16_t port,
+                              const std::vector<std::uint8_t>& frame) {
+  DCNT_CHECK_MSG(udp_.valid(), "no UDP socket registered");
+  const bool ok = udp_send(udp_, port, frame.data(), frame.size());
+  if (ok) ++datagrams_sent_;
+  return ok;
+}
+
+void EventLoop::flush(Connection& c) {
+  while (c.out_head < c.outbound.size()) {
+    const ssize_t n =
+        ::send(c.sock.fd(), c.outbound.data() + c.out_head,
+               c.outbound.size() - c.out_head, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_head += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // EPIPE/ECONNRESET: the peer is gone; the next poll round surfaces
+    // it as a close event. Drop the backlog so we stop retrying.
+    c.outbound.clear();
+    c.out_head = 0;
+    return;
+  }
+  c.outbound.clear();
+  c.out_head = 0;
+}
+
+std::size_t EventLoop::read_ready(int conn) {
+  Connection& c = *connections_[static_cast<std::size_t>(conn)];
+  std::uint8_t buf[64 * 1024];
+  std::size_t delivered = 0;
+  bool closed = false;
+  for (;;) {
+    const ssize_t n = ::recv(c.sock.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_received_ += n;
+      c.reader.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    closed = true;  // EOF or hard error
+    break;
+  }
+  std::vector<std::uint8_t> payload;
+  while (c.open && c.reader.pop(payload)) {
+    ++frames_received_;
+    ++delivered;
+    c.on_frame(conn, FrameView(payload.data(), payload.size()));
+  }
+  if (closed) close_connection(conn);
+  return delivered;
+}
+
+void EventLoop::close_connection(int conn) {
+  Connection& c = *connections_[static_cast<std::size_t>(conn)];
+  if (!c.open) return;
+  c.open = false;
+  if (c.on_close) c.on_close(conn);
+  c.sock.close();
+}
+
+std::size_t EventLoop::run_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<int> conn_of;  // parallel to fds; -1 = listener, -2 = udp
+  fds.reserve(connections_.size() + 2);
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    Connection& c = *connections_[i];
+    if (!c.open) continue;
+    pollfd pfd{};
+    pfd.fd = c.sock.fd();
+    pfd.events = POLLIN;
+    if (c.out_head < c.outbound.size()) pfd.events |= POLLOUT;
+    fds.push_back(pfd);
+    conn_of.push_back(static_cast<int>(i));
+  }
+  if (listener_.valid()) {
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    conn_of.push_back(-1);
+  }
+  if (udp_.valid()) {
+    fds.push_back({udp_.fd(), POLLIN, 0});
+    conn_of.push_back(-2);
+  }
+  if (fds.empty()) return 0;
+
+  int rc;
+  do {
+    rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  DCNT_CHECK(rc >= 0);
+  if (rc == 0) return 0;
+
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    const int tag = conn_of[i];
+    if (tag == -1) {
+      for (;;) {
+        Socket accepted = tcp_accept(listener_);
+        if (!accepted.valid()) break;
+        on_accept_(std::move(accepted));
+      }
+      continue;
+    }
+    if (tag == -2) {
+      std::uint8_t buf[64 * 1024];
+      int n;
+      while ((n = udp_recv(udp_, buf, sizeof(buf))) >= 0) {
+        // One frame per datagram: strip the length word, hand over the
+        // payload. A datagram truncated by the kernel would fail the
+        // FrameView checks; buffers are sized to prevent that.
+        if (n < 6) continue;  // runt datagram: treat as line noise
+        ++datagrams_received_;
+        FrameReader one;
+        one.feed(buf, static_cast<std::size_t>(n));
+        std::vector<std::uint8_t> payload;
+        while (one.pop(payload)) {
+          ++delivered;
+          on_datagram_(FrameView(payload.data(), payload.size()));
+        }
+      }
+      continue;
+    }
+    Connection& c = *connections_[static_cast<std::size_t>(tag)];
+    if (!c.open) continue;
+    if (fds[i].revents & POLLOUT) flush(c);
+    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      delivered += read_ready(tag);
+    }
+  }
+  return delivered;
+}
+
+}  // namespace dcnt::net

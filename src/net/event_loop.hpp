@@ -1,0 +1,111 @@
+// Single-threaded poll() event loop with per-peer outbound queues.
+//
+// Both sides of the cluster — the dcnt_node processes and the
+// controller inside the cluster harness — drive all their sockets
+// through one EventLoop: TCP connections deliver complete frames to a
+// per-connection callback, listeners deliver accepted sockets, a UDP
+// socket delivers datagrams. Writes never block: send() appends to the
+// connection's outbound byte queue, the loop flushes opportunistically
+// and arms POLLOUT only while a backlog exists, so one slow peer
+// stalls neither the loop nor the other peers.
+//
+// poll(), not epoll: the fd set is tiny (N nodes + controller, N well
+// under a hundred) and poll keeps the loop portable; the per-call scan
+// is noise next to a localhost round trip.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace dcnt::net {
+
+class EventLoop {
+ public:
+  /// One complete frame payload (version + type + body) from connection
+  /// `conn`.
+  using FrameFn = std::function<void(int conn, const FrameView& frame)>;
+  /// Peer hung up (EOF or error). The connection is removed after the
+  /// callback returns; sending to it afterwards is an error.
+  using CloseFn = std::function<void(int conn)>;
+  using AcceptFn = std::function<void(Socket accepted)>;
+  using DatagramFn = std::function<void(const FrameView& frame)>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers a connected TCP socket; returns its connection id.
+  int add_connection(Socket sock, FrameFn on_frame, CloseFn on_close);
+  void add_listener(Socket sock, AcceptFn on_accept);
+  /// At most one UDP socket; datagrams must each hold one whole frame.
+  void add_udp(Socket sock, DatagramFn on_datagram);
+
+  /// Queues one encoded frame (length prefix included) and flushes what
+  /// the kernel will take now.
+  void send(int conn, const std::vector<std::uint8_t>& frame);
+  bool connected(int conn) const;
+  std::size_t open_connections() const;
+  /// Any open connection still holding unflushed outbound bytes? A node
+  /// must drain this to false before exiting, or its last frames die in
+  /// the queue.
+  bool backlog() const;
+
+  /// One poll round: waits up to `timeout_ms` (0 = just poll, -1 =
+  /// indefinitely) for readiness, then performs all pending reads,
+  /// accepts, datagram deliveries and queued writes. Returns the number
+  /// of frames delivered to callbacks.
+  std::size_t run_once(int timeout_ms);
+
+  const Socket& udp_socket() const { return udp_; }
+
+  std::int64_t frames_sent() const { return frames_sent_; }
+  std::int64_t frames_received() const { return frames_received_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+  std::int64_t bytes_received() const { return bytes_received_; }
+  /// Datagram counters are split out: the data plane reports them
+  /// separately from control traffic.
+  std::int64_t datagrams_sent() const { return datagrams_sent_; }
+  std::int64_t datagrams_received() const { return datagrams_received_; }
+
+  /// Sends one frame as a datagram to 127.0.0.1:port via the UDP
+  /// socket. Returns false when the kernel dropped it (counted by the
+  /// caller as loss).
+  bool send_datagram(std::uint16_t port, const std::vector<std::uint8_t>& frame);
+
+ private:
+  struct Connection {
+    Socket sock;
+    FrameFn on_frame;
+    CloseFn on_close;
+    FrameReader reader;
+    std::vector<std::uint8_t> outbound;
+    std::size_t out_head{0};
+    bool open{false};
+  };
+
+  void flush(Connection& c);
+  /// Reads until EAGAIN; delivers complete frames. Returns frames
+  /// delivered; flags close on EOF/error.
+  std::size_t read_ready(int conn);
+  void close_connection(int conn);
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  Socket listener_;
+  AcceptFn on_accept_;
+  Socket udp_;
+  DatagramFn on_datagram_;
+
+  std::int64_t frames_sent_{0};
+  std::int64_t frames_received_{0};
+  std::int64_t bytes_sent_{0};
+  std::int64_t bytes_received_{0};
+  std::int64_t datagrams_sent_{0};
+  std::int64_t datagrams_received_{0};
+};
+
+}  // namespace dcnt::net

@@ -1,0 +1,461 @@
+#include "net/node.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "harness/factory.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dcnt::net {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+/// An armed Context::send_local wake-up. Ordered by wall deadline with a
+/// sequence tiebreak so same-deadline timers fire in arming order (the
+/// simulator's FIFO-per-timestamp rule).
+struct Timer {
+  WallClock::time_point wall_due;
+  std::uint64_t seq{0};
+  SimTime logical_due{0};
+  Message msg;
+};
+
+struct TimerLater {
+  bool operator()(const Timer& a, const Timer& b) const {
+    if (a.wall_due != b.wall_due) return a.wall_due > b.wall_due;
+    return a.seq > b.seq;
+  }
+};
+
+/// The node process: protocol shard + sockets + event/timer loop. Also
+/// the Context its protocol handlers see — sends are routed by
+/// destination ownership (local queue vs wire), send_local becomes a
+/// wall-clock timer, complete becomes a frame to the controller.
+class NodeRuntime final : public Context {
+ public:
+  explicit NodeRuntime(const NodeConfig& cfg)
+      : cfg_(cfg),
+        rng_(Rng(cfg.seed).fork(cfg.node_id + 1)),
+        // Distinct stream for the loss shim so dropping datagrams never
+        // perturbs the protocol's own randomness.
+        drop_rng_(Rng(mix64(cfg.seed ^ 0x10551055ull)).fork(cfg.node_id + 1)) {}
+
+  int run();
+
+  // Context: ---------------------------------------------------------------
+  void send(Message msg) override;
+  void send_local(ProcessorId p, std::int32_t tag,
+                  std::vector<std::int64_t> args, SimTime delay) override;
+  void complete(OpId op, Value value) override;
+  SimTime now() const override { return clock_; }
+  Rng& rng() override { return rng_; }
+
+ private:
+  bool owns(ProcessorId p) const {
+    return static_cast<std::uint32_t>(p) % cfg_.num_nodes == cfg_.node_id;
+  }
+  std::uint32_t owner(ProcessorId p) const {
+    return static_cast<std::uint32_t>(p) % cfg_.num_nodes;
+  }
+
+  void build_protocol();
+  void on_ctrl_frame(const FrameView& frame);
+  void on_peer_accept(Socket accepted);
+  void on_peer_frame(int conn, const FrameView& frame);
+  void on_datagram(const FrameView& frame);
+  void maybe_ready();
+  void deliver(Message msg);
+  void deliver_start(const StartFrame& start);
+  void drain();
+  void time_jump();
+  void send_stats();
+  int poll_timeout_ms() const;
+
+  NodeConfig cfg_;
+  Rng rng_;
+  Rng drop_rng_;
+
+  std::unique_ptr<CounterProtocol> protocol_;
+  ReliableTransport* transport_{nullptr};  ///< set in UDP mode
+  std::int64_t n_{0};
+  Metrics metrics_;
+
+  EventLoop loop_;
+  int ctrl_conn_{-1};
+  bool ctrl_closed_{false};
+  std::vector<PeerAddr> peers_;
+  std::vector<int> peer_conn_;  ///< node id -> connection id (TCP mesh)
+  std::size_t peer_links_{0};
+  bool ready_sent_{false};
+  bool stats_requested_{false};
+  bool time_jump_requested_{false};
+  bool shutdown_{false};
+
+  std::deque<Message> local_queue_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  std::uint64_t timer_seq_{0};
+
+  SimTime clock_{0};
+  bool in_handler_{false};
+  OpId current_op_{kNoOp};
+
+  std::int64_t events_{0};
+  std::int64_t wire_msgs_sent_{0};
+  std::int64_t wire_msgs_received_{0};
+  std::int64_t wire_bytes_sent_{0};
+  std::int64_t wire_bytes_received_{0};
+  std::int64_t injected_drops_{0};
+};
+
+void NodeRuntime::build_protocol() {
+  auto counter =
+      make_counter(counter_kind_from_string(cfg_.counter), cfg_.min_processors);
+  n_ = static_cast<std::int64_t>(counter->num_processors());
+  if (cfg_.num_nodes > 1) {
+    DCNT_CHECK_MSG(counter->shard_safe(),
+                   "multi-node cluster requires a shard-safe protocol");
+    // Same contract as the threaded runtime: switch off cross-processor
+    // debug aids before any handler runs. Must reach the inner protocol,
+    // so it happens before the transport wrap.
+    counter->on_shard_start(cfg_.num_nodes);
+  }
+  if (cfg_.udp) {
+    auto wrapped =
+        std::make_unique<ReliableTransport>(std::move(counter), cfg_.retry);
+    transport_ = wrapped.get();
+    protocol_ = std::move(wrapped);
+  } else {
+    protocol_ = std::move(counter);
+  }
+  metrics_ = Metrics(static_cast<std::size_t>(n_));
+}
+
+void NodeRuntime::send(Message msg) {
+  DCNT_CHECK_MSG(in_handler_, "Context::send outside a handler");
+  DCNT_CHECK(!msg.local);
+  DCNT_CHECK(msg.src >= 0 && msg.src < n_);
+  DCNT_CHECK(msg.dst >= 0 && msg.dst < n_);
+  DCNT_CHECK_MSG(owns(msg.src), "handler sent on behalf of a remote processor");
+  if (msg.op == kNoOp) msg.op = current_op_;  // inherit from context
+  if (msg.src != msg.dst) {
+    metrics_.on_send(msg.src, msg.op, msg.size_words());
+  }
+  if (owns(msg.dst)) {
+    local_queue_.push_back(std::move(msg));
+    return;
+  }
+  const PeerAddr& peer = peers_.at(owner(msg.dst));
+  const std::vector<std::uint8_t> frame = encode_message(msg);
+  if (cfg_.udp) {
+    if (cfg_.drop_probability > 0.0 &&
+        drop_rng_.next_double() < cfg_.drop_probability) {
+      ++injected_drops_;
+      return;
+    }
+    // A kernel refusal (full buffers) is just loss with extra steps; the
+    // reliable transport's retransmission covers both.
+    if (loop_.send_datagram(peer.udp_port, frame)) {
+      ++wire_msgs_sent_;
+      wire_bytes_sent_ += static_cast<std::int64_t>(frame.size());
+    }
+    return;
+  }
+  loop_.send(peer_conn_.at(peer.node_id), frame);
+  ++wire_msgs_sent_;
+  wire_bytes_sent_ += static_cast<std::int64_t>(frame.size());
+}
+
+void NodeRuntime::send_local(ProcessorId p, std::int32_t tag,
+                             std::vector<std::int64_t> args, SimTime delay) {
+  DCNT_CHECK(p >= 0 && p < n_);
+  DCNT_CHECK_MSG(owns(p), "send_local to a processor on another node");
+  DCNT_CHECK(delay >= 0);
+  Message msg;
+  msg.src = p;
+  msg.dst = p;
+  msg.tag = tag;
+  msg.op = current_op_;
+  msg.args = std::move(args);
+  msg.local = true;
+  Timer t;
+  t.wall_due =
+      WallClock::now() + std::chrono::microseconds(delay * cfg_.tick_us);
+  t.seq = timer_seq_++;
+  t.logical_due = clock_ + delay;
+  t.msg = std::move(msg);
+  timers_.push(std::move(t));
+}
+
+void NodeRuntime::complete(OpId op, Value value) {
+  loop_.send(ctrl_conn_, encode_complete(CompleteFrame{op, value}));
+}
+
+void NodeRuntime::deliver(Message msg) {
+  if (!msg.local && msg.src != msg.dst) {
+    metrics_.on_receive(msg.dst, msg.size_words());
+  }
+  DCNT_CHECK(!in_handler_);
+  in_handler_ = true;
+  current_op_ = msg.op;
+  protocol_->on_message(*this, msg);
+  in_handler_ = false;
+  current_op_ = kNoOp;
+  ++events_;
+  ++clock_;
+}
+
+void NodeRuntime::deliver_start(const StartFrame& start) {
+  DCNT_CHECK(start.origin >= 0 && start.origin < n_);
+  DCNT_CHECK_MSG(owns(start.origin),
+                 "Start frame routed to the wrong node");
+  DCNT_CHECK(!in_handler_);
+  in_handler_ = true;
+  current_op_ = start.op;
+  if (start.args.empty()) {
+    protocol_->start_inc(*this, start.origin, start.op);
+  } else {
+    protocol_->start_op(*this, start.origin, start.op, start.args);
+  }
+  in_handler_ = false;
+  current_op_ = kNoOp;
+  ++events_;
+  ++clock_;
+}
+
+void NodeRuntime::drain() {
+  for (;;) {
+    if (!local_queue_.empty()) {
+      Message msg = std::move(local_queue_.front());
+      local_queue_.pop_front();
+      deliver(std::move(msg));
+      continue;
+    }
+    if (!timers_.empty() && timers_.top().wall_due <= WallClock::now()) {
+      Timer t = timers_.top();
+      timers_.pop();
+      // The logical clock cannot jump at global idleness the way the
+      // simulator's does (no node sees the whole system); it jumps when
+      // the timer's wall deadline arrives instead, keeping deadline
+      // arithmetic against now() monotone.
+      if (clock_ < t.logical_due) clock_ = t.logical_due;
+      deliver(std::move(t.msg));
+      continue;
+    }
+    return;
+  }
+}
+
+void NodeRuntime::time_jump() {
+  // Fire the timers armed at this instant without waiting out their
+  // wall deadlines — the controller has certified the cluster idle
+  // (stable events, no unacked envelopes, no wire traffic in flight),
+  // which is exactly when the simulator would jump its clock. Timers
+  // armed by the cascades this triggers keep their wall deadlines; the
+  // controller re-evaluates and jumps again if the cluster settles with
+  // timers still pending.
+  std::size_t budget = timers_.size();
+  while (budget-- > 0 && !timers_.empty()) {
+    Timer t = timers_.top();
+    timers_.pop();
+    if (clock_ < t.logical_due) clock_ = t.logical_due;
+    deliver(std::move(t.msg));
+    drain();
+  }
+}
+
+void NodeRuntime::on_ctrl_frame(const FrameView& frame) {
+  switch (frame.type()) {
+    case FrameType::kPeers: {
+      peers_ = decode_peers(frame).peers;
+      DCNT_CHECK(peers_.size() == cfg_.num_nodes);
+      peer_conn_.assign(cfg_.num_nodes, -1);
+      if (!cfg_.udp) {
+        // Deterministic mesh construction: node i dials every peer with
+        // a smaller id and sends a Hello to identify itself; larger ids
+        // dial us and we learn who they are from their Hello.
+        for (std::uint32_t id = 0; id < cfg_.node_id; ++id) {
+          Socket sock = tcp_connect(peers_[id].tcp_port, 15000);
+          const int conn = loop_.add_connection(
+              std::move(sock),
+              [this](int c, const FrameView& f) { on_peer_frame(c, f); },
+              [](int) {});
+          peer_conn_[id] = conn;
+          ++peer_links_;
+          loop_.send(conn, encode_hello(HelloFrame{cfg_.node_id, 0, 0}));
+        }
+      }
+      maybe_ready();
+      return;
+    }
+    case FrameType::kStart:
+      deliver_start(decode_start(frame));
+      return;
+    case FrameType::kStatsRequest:
+      stats_requested_ = true;
+      return;
+    case FrameType::kTimeJump:
+      time_jump_requested_ = true;
+      return;
+    case FrameType::kShutdown:
+      shutdown_ = true;
+      return;
+    default:
+      DCNT_CHECK_MSG(false, "unexpected frame type on the control channel");
+  }
+}
+
+void NodeRuntime::on_peer_accept(Socket accepted) {
+  loop_.add_connection(
+      std::move(accepted),
+      [this](int c, const FrameView& f) { on_peer_frame(c, f); },
+      // Peers close their sockets as they shut down, possibly before our
+      // own Shutdown frame arrives; by then the quiescence barrier has
+      // certified no data is in flight, so a close is never data loss.
+      [](int) {});
+}
+
+void NodeRuntime::on_peer_frame(int conn, const FrameView& frame) {
+  if (frame.type() == FrameType::kHello) {
+    const HelloFrame hello = decode_hello(frame);
+    DCNT_CHECK(hello.node_id < cfg_.num_nodes);
+    DCNT_CHECK(peer_conn_.at(hello.node_id) == -1);
+    peer_conn_[hello.node_id] = conn;
+    ++peer_links_;
+    maybe_ready();
+    return;
+  }
+  DCNT_CHECK(frame.type() == FrameType::kMsg);
+  ++wire_msgs_received_;
+  wire_bytes_received_ += static_cast<std::int64_t>(frame.body_size()) + 6;
+  Message msg = decode_message(frame);
+  DCNT_CHECK(owns(msg.dst));
+  local_queue_.push_back(std::move(msg));
+}
+
+void NodeRuntime::on_datagram(const FrameView& frame) {
+  DCNT_CHECK(frame.type() == FrameType::kMsg);
+  ++wire_msgs_received_;
+  wire_bytes_received_ += static_cast<std::int64_t>(frame.body_size()) + 6;
+  Message msg = decode_message(frame);
+  DCNT_CHECK(owns(msg.dst));
+  local_queue_.push_back(std::move(msg));
+}
+
+void NodeRuntime::maybe_ready() {
+  if (ready_sent_ || peers_.empty()) return;
+  const std::size_t expected =
+      cfg_.udp ? 0 : static_cast<std::size_t>(cfg_.num_nodes) - 1;
+  if (peer_links_ < expected) return;
+  ready_sent_ = true;
+  loop_.send(ctrl_conn_, encode_ready(ReadyFrame{cfg_.node_id}));
+}
+
+void NodeRuntime::send_stats() {
+  StatsFrame s;
+  s.node_id = cfg_.node_id;
+  s.events_processed = events_;
+  s.wire_msgs_sent = wire_msgs_sent_;
+  s.wire_msgs_received = wire_msgs_received_;
+  s.wire_bytes_sent = wire_bytes_sent_;
+  s.wire_bytes_received = wire_bytes_received_;
+  s.injected_drops = injected_drops_;
+  s.timers_armed = static_cast<std::int64_t>(timers_.size());
+  if (transport_ != nullptr) {
+    s.unacked = transport_->unacked_total();
+    const RetryStats& rs = transport_->stats();
+    s.retransmissions = rs.retransmissions;
+    s.duplicates_suppressed = rs.duplicates_suppressed;
+    s.messages_abandoned = rs.messages_abandoned;
+  }
+  for (ProcessorId p = static_cast<ProcessorId>(cfg_.node_id); p < n_;
+       p += static_cast<ProcessorId>(cfg_.num_nodes)) {
+    ProcLoad load;
+    load.pid = p;
+    load.sent = metrics_.sent(p);
+    load.received = metrics_.received(p);
+    load.words = metrics_.word_load(p);
+    s.loads.push_back(load);
+  }
+  loop_.send(ctrl_conn_, encode_stats(s));
+}
+
+int NodeRuntime::poll_timeout_ms() const {
+  if (!local_queue_.empty()) return 0;
+  if (timers_.empty()) return 100;
+  const auto now = WallClock::now();
+  const auto due = timers_.top().wall_due;
+  if (due <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(due - now).count() +
+      1;
+  return static_cast<int>(ms < 100 ? ms : 100);
+}
+
+int NodeRuntime::run() {
+  build_protocol();
+  DCNT_CHECK_MSG(cfg_.ctrl_port != 0, "node needs --ctrl_port");
+  Socket ctrl = tcp_connect(cfg_.ctrl_port, 15000);
+  ctrl_conn_ = loop_.add_connection(
+      std::move(ctrl),
+      [this](int, const FrameView& f) { on_ctrl_frame(f); },
+      [this](int) { ctrl_closed_ = true; });
+
+  std::uint16_t tcp_port = 0;
+  std::uint16_t udp_port = 0;
+  if (!cfg_.udp && cfg_.num_nodes > 1) {
+    Socket listener = tcp_listen(&tcp_port);
+    loop_.add_listener(std::move(listener),
+                       [this](Socket s) { on_peer_accept(std::move(s)); });
+  }
+  if (cfg_.udp) {
+    Socket udp = udp_bind(&udp_port);
+    loop_.add_udp(std::move(udp),
+                  [this](const FrameView& f) { on_datagram(f); });
+  }
+  loop_.send(ctrl_conn_,
+             encode_hello(HelloFrame{cfg_.node_id, tcp_port, udp_port}));
+
+  while (!shutdown_) {
+    DCNT_CHECK_MSG(!ctrl_closed_, "controller connection lost");
+    drain();
+    if (time_jump_requested_) {
+      time_jump_requested_ = false;
+      time_jump();
+    }
+    if (stats_requested_) {
+      // Replying only after the drain means a Stats snapshot never
+      // reports a received wire message it has not yet processed — the
+      // property the controller's two-stable-rounds barrier leans on.
+      stats_requested_ = false;
+      send_stats();
+    }
+    if (shutdown_) break;
+    loop_.run_once(poll_timeout_ms());
+  }
+  // Flush any queued control-plane bytes (the final Stats reply) before
+  // the destructors close the sockets.
+  while (loop_.backlog()) loop_.run_once(10);
+  return 0;
+}
+
+}  // namespace
+
+int run_node(const NodeConfig& config) {
+  NodeRuntime node(config);
+  return node.run();
+}
+
+}  // namespace dcnt::net

@@ -1,0 +1,70 @@
+// One process of the socket cluster: hosts a shard of processors of an
+// unmodified CounterProtocol and exchanges Messages with its peers over
+// real kernel sockets.
+//
+// Sharding is the threaded runtime's, across processes instead of
+// threads: processor p lives on node p % num_nodes, a node runs
+// handlers only for its own processors, and the only channel between
+// shards is Context::send — exactly the state-slicing contract
+// Protocol::shard_safe() documents. Because shards are separate
+// *processes*, the contract is enforced by construction: a handler
+// physically cannot read another node's memory, and each node's copy of
+// the protocol object only ever mutates its own processors' slices
+// (remote slices stay at their initial state and are never consulted).
+// Protocol-global conveniences (RelaxedCounter stats, debug logs) are
+// per-process and therefore partial; correctness state must live in
+// per-processor slices, which is what shard_safe() promises.
+// check_quiescent() is NOT run per node — it audits whole-object state
+// that no single node holds; the cluster harness verifies the
+// observable contract (value permutation) instead.
+//
+// Two data planes:
+//   - tcp (default): a full TCP mesh with TCP_NODELAY; the kernel's
+//     byte stream gives reliable FIFO channels, matching the paper's
+//     reliable asynchronous model directly.
+//   - udp: datagrams plus a seeded Bernoulli loss shim at the sender,
+//     with the protocol wrapped in ReliableTransport (faults/retry.hpp)
+//     inside each node — the PROTOCOL.md ack/seq/backoff framing doing
+//     real work over an actually-lossy medium. Kernel-level losses
+//     (ENOBUFS, buffer overflow) are absorbed by the same machinery.
+//
+// Time: the node keeps the runtime's logical clock (one tick per
+// handled event), and maps Context::send_local delays to wall-clock
+// timers at `tick_us` microseconds per tick — a distributed node cannot
+// detect global idleness to jump its clock, so timeouts are honest
+// durations here. When a timer fires, the clock jumps to at least the
+// timer's logical due time, preserving the deadline arithmetic
+// protocols do against now().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faults/retry.hpp"
+
+namespace dcnt::net {
+
+struct NodeConfig {
+  std::uint32_t node_id{0};
+  std::uint32_t num_nodes{1};
+  /// Counter kind accepted by harness/factory.hpp.
+  std::string counter{"tree"};
+  std::int64_t min_processors{16};
+  std::uint64_t seed{1};
+  /// Controller's TCP port on 127.0.0.1 (required).
+  std::uint16_t ctrl_port{0};
+  /// Data plane: false = TCP mesh, true = lossy UDP + ReliableTransport.
+  bool udp{false};
+  /// Sender-side Bernoulli datagram loss (UDP mode), seeded.
+  double drop_probability{0.0};
+  /// Wall-clock microseconds per SimTime tick for send_local delays.
+  std::int64_t tick_us{200};
+  /// Retransmission knobs (UDP mode).
+  RetryParams retry{};
+};
+
+/// Runs the node until the controller sends Shutdown. Returns the
+/// process exit code (0 on orderly shutdown).
+int run_node(const NodeConfig& config);
+
+}  // namespace dcnt::net

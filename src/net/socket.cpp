@@ -1,0 +1,153 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace dcnt::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  DCNT_CHECK(flags >= 0);
+  DCNT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Nagle + delayed acks cost tens of milliseconds per hop on the
+  // request-response message pattern; every TCP socket disables it.
+  DCNT_CHECK(::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) ==
+             0);
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  DCNT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket tcp_listen(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DCNT_CHECK(fd >= 0);
+  Socket sock(fd);
+  const int one = 1;
+  DCNT_CHECK(::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) ==
+             0);
+  sockaddr_in addr = loopback(0);
+  DCNT_CHECK_MSG(
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "cannot bind a loopback TCP socket");
+  DCNT_CHECK(::listen(fd, 64) == 0);
+  set_nonblocking(fd);
+  *port = bound_port(fd);
+  return sock;
+}
+
+Socket tcp_connect(std::uint16_t port, int deadline_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    DCNT_CHECK(fd >= 0);
+    Socket sock(fd);
+    sockaddr_in addr = loopback(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      return sock;
+    }
+    DCNT_CHECK_MSG(std::chrono::steady_clock::now() < deadline,
+                   "tcp_connect: peer never started listening");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+Socket tcp_accept(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    DCNT_CHECK_MSG(errno == EAGAIN || errno == EWOULDBLOCK ||
+                       errno == EINTR || errno == ECONNABORTED,
+                   "accept failed");
+    return Socket();
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+Socket udp_bind(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  DCNT_CHECK(fd >= 0);
+  Socket sock(fd);
+  const int bufsize = 4 << 20;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bufsize, sizeof(bufsize));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bufsize, sizeof(bufsize));
+  sockaddr_in addr = loopback(0);
+  DCNT_CHECK_MSG(
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "cannot bind a loopback UDP socket");
+  set_nonblocking(fd);
+  *port = bound_port(fd);
+  return sock;
+}
+
+bool udp_send(const Socket& sock, std::uint16_t port, const std::uint8_t* data,
+              std::size_t size) {
+  sockaddr_in addr = loopback(port);
+  for (;;) {
+    const ssize_t n =
+        ::sendto(sock.fd(), data, size, MSG_NOSIGNAL,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (n == static_cast<ssize_t>(size)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    // EAGAIN / ENOBUFS / ECONNREFUSED (peer not yet bound, or gone):
+    // on the lossy data plane this is indistinguishable from network
+    // loss, which the reliable transport is there to absorb.
+    DCNT_CHECK_MSG(n < 0, "short datagram write");
+    return false;
+  }
+}
+
+int udp_recv(const Socket& sock, std::uint8_t* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::recvfrom(sock.fd(), buf, cap, 0, nullptr, nullptr);
+    if (n >= 0) return static_cast<int>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED) {
+      return -1;
+    }
+    DCNT_CHECK_MSG(false, "recvfrom failed");
+  }
+}
+
+}  // namespace dcnt::net

@@ -1,0 +1,71 @@
+// Thin RAII wrappers over BSD sockets, specialized for the cluster's
+// needs: non-blocking localhost TCP (control plane + peer mesh) and UDP
+// (lossy data plane). Everything binds 127.0.0.1 with an ephemeral port
+// (bind(0)) so parallel test runs never fight over port numbers — the
+// kernel-assigned port is read back and exchanged via Hello/Peers
+// frames.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace dcnt::net {
+
+/// Move-only owned file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  int release() { return std::exchange(fd_, -1); }
+  void close();
+
+ private:
+  int fd_{-1};
+};
+
+/// Listening TCP socket on 127.0.0.1:<ephemeral>, non-blocking,
+/// SO_REUSEADDR. Writes the kernel-chosen port to *port.
+Socket tcp_listen(std::uint16_t* port);
+
+/// Blocking connect to 127.0.0.1:port, retried with a short sleep until
+/// `deadline_ms` of wall time elapsed (the peer may not have reached
+/// listen() yet). The returned socket is non-blocking with TCP_NODELAY.
+/// Aborts (DCNT_CHECK) on deadline exhaustion.
+Socket tcp_connect(std::uint16_t port, int deadline_ms);
+
+/// Accepts one pending connection (non-blocking listener); returns an
+/// invalid Socket if none is pending. The accepted socket is
+/// non-blocking with TCP_NODELAY.
+Socket tcp_accept(const Socket& listener);
+
+/// Bound UDP socket on 127.0.0.1:<ephemeral>, non-blocking, with send
+/// and receive buffers raised (datagram bursts from k retransmitting
+/// peers otherwise overflow the default and masquerade as extra loss).
+Socket udp_bind(std::uint16_t* port);
+
+/// sendto 127.0.0.1:port. Returns false if the kernel refused
+/// (EAGAIN/ENOBUFS) — for the lossy data plane that is just loss, and
+/// the reliable transport's retransmission covers it.
+bool udp_send(const Socket& sock, std::uint16_t port,
+              const std::uint8_t* data, std::size_t size);
+
+/// One datagram into `buf` (size `cap`); returns -1 when none pending.
+int udp_recv(const Socket& sock, std::uint8_t* buf, std::size_t cap);
+
+}  // namespace dcnt::net

@@ -1,0 +1,103 @@
+#include "sim/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace dcnt {
+
+namespace {
+
+void append(std::string& out, const char* fmt, long long a) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, a);
+  out += buf;
+}
+
+/// Common tail of every event: the record's identity and causal parent,
+/// so a slice clicked in the viewer names its DAG arc.
+void append_args(std::string& out, const MessageRecord& rec, bool dropped) {
+  out += "\"args\":{";
+  append(out, "\"record\":%lld", rec.id);
+  append(out, ",\"parent\":%lld", rec.parent);
+  append(out, ",\"op\":%lld", rec.op);
+  append(out, ",\"tag\":%lld", static_cast<long long>(rec.tag));
+  append(out, ",\"src\":%lld", static_cast<long long>(rec.src));
+  append(out, ",\"dst\":%lld", static_cast<long long>(rec.dst));
+  append(out, ",\"words\":%lld", static_cast<long long>(rec.words));
+  if (dropped) out += ",\"dropped\":true";
+  out += "}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Trace& trace) {
+  const std::vector<MessageRecord>& records = trace.records();
+
+  std::string out;
+  out.reserve(256 + records.size() * 384);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  // Name the process and one thread per participating processor, so
+  // tracks read "processor 3" instead of a bare tid.
+  std::set<ProcessorId> procs;
+  for (const MessageRecord& rec : records) {
+    procs.insert(rec.src);
+    procs.insert(rec.dst);
+  }
+  out +=
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"dcnt\"}}";
+  for (const ProcessorId p : procs) {
+    out += ",\n{\"ph\":\"M\",\"pid\":0,";
+    append(out, "\"tid\":%lld,", static_cast<long long>(p));
+    out += "\"name\":\"thread_name\",\"args\":{\"name\":\"processor ";
+    append(out, "%lld", static_cast<long long>(p));
+    out += "\"}}";
+  }
+
+  for (const MessageRecord& rec : records) {
+    // Delivery times are strictly after send times (delays are >= 1),
+    // so a record still at its zero-initialized deliver_time was
+    // dropped in flight.
+    const bool dropped = rec.deliver_time <= rec.send_time;
+
+    out += ",\n{\"ph\":\"X\",\"pid\":0,";
+    append(out, "\"tid\":%lld,", static_cast<long long>(rec.src));
+    append(out, "\"ts\":%lld,", static_cast<long long>(rec.send_time));
+    out += "\"dur\":1,\"cat\":\"send\",\"name\":\"send tag ";
+    append(out, "%lld", static_cast<long long>(rec.tag));
+    out += "\",";
+    append_args(out, rec, dropped);
+    out += "}";
+    if (dropped) continue;
+
+    out += ",\n{\"ph\":\"X\",\"pid\":0,";
+    append(out, "\"tid\":%lld,", static_cast<long long>(rec.dst));
+    append(out, "\"ts\":%lld,", static_cast<long long>(rec.deliver_time));
+    out += "\"dur\":1,\"cat\":\"recv\",\"name\":\"recv tag ";
+    append(out, "%lld", static_cast<long long>(rec.tag));
+    out += "\",";
+    append_args(out, rec, dropped);
+    out += "}";
+
+    // Flow arrow from the send slice to the recv slice. The start event
+    // binds to the enclosing slice at the same (tid, ts); bp="e" makes
+    // the finish bind to the recv slice rather than the next one.
+    out += ",\n{\"ph\":\"s\",\"pid\":0,";
+    append(out, "\"tid\":%lld,", static_cast<long long>(rec.src));
+    append(out, "\"ts\":%lld,", static_cast<long long>(rec.send_time));
+    append(out, "\"id\":%lld,", rec.id);
+    out += "\"cat\":\"msg\",\"name\":\"msg\"}";
+    out += ",\n{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,";
+    append(out, "\"tid\":%lld,", static_cast<long long>(rec.dst));
+    append(out, "\"ts\":%lld,", static_cast<long long>(rec.deliver_time));
+    append(out, "\"id\":%lld,", rec.id);
+    out += "\"cat\":\"msg\",\"name\":\"msg\"}";
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace dcnt

@@ -1,0 +1,26 @@
+// Chrome trace-event export of a causal message trace.
+//
+// Serializes Trace records into the Chrome trace-event JSON format
+// (the `traceEvents` object form), loadable by chrome://tracing and
+// Perfetto's legacy importer. Each processor becomes one named thread
+// track; every message contributes a 1-tick "send" slice on its source
+// track, a 1-tick "recv" slice on its destination track, and a flow
+// arrow binding the two, so the paper's inc DAG (Figure 1) renders as
+// arrows hopping between processor tracks over simulated time.
+//
+// Simulated ticks are written as microseconds 1:1 — the format wants
+// integers in `ts` and the absolute unit is irrelevant for inspection.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace dcnt {
+
+/// Whole-trace export. Records that were sent but never delivered
+/// (dropped by fault injection) emit only their send slice, with
+/// `"dropped": true` in args and no flow arrow.
+std::string to_chrome_trace(const Trace& trace);
+
+}  // namespace dcnt

@@ -1,0 +1,77 @@
+// The shared bench command-line entry: every bench binary routes its
+// argv through parse_bench_flags, so --help and unknown-flag behavior
+// are uniform across the suite — help exits 0 after printing usage,
+// a typo'd flag exits 2 instead of silently running the default
+// experiment, and valid flags parse through unchanged.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace dcnt {
+namespace {
+
+/// argv builder: keeps the strings alive and hands out char* the way
+/// main() receives them.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (std::string& s : strings_) {
+      pointers_.push_back(s.data());
+    }
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+const std::vector<std::string> kKnown = {"k", "seed"};
+
+TEST(BenchFlags, ValidFlagsParseThrough) {
+  Argv args({"bench_x", "--k=3", "--seed=9"});
+  const Flags flags =
+      parse_bench_flags(args.argc(), args.argv(), "a bench", kKnown);
+  EXPECT_EQ(flags.get_int("k", 0), 3);
+  EXPECT_EQ(flags.get_int("seed", 0), 9);
+}
+
+TEST(BenchFlags, NoFlagsParseThrough) {
+  Argv args({"bench_x"});
+  const Flags flags =
+      parse_bench_flags(args.argc(), args.argv(), "a bench", kKnown);
+  EXPECT_EQ(flags.get_int("k", 42), 42);
+}
+
+TEST(BenchFlagsDeath, HelpPrintsUsageAndExitsZero) {
+  Argv args({"bench_x", "--help"});
+  EXPECT_EXIT(parse_bench_flags(args.argc(), args.argv(), "a bench", kKnown),
+              testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchFlagsDeath, ShortHelpAlsoExitsZero) {
+  Argv args({"bench_x", "-h"});
+  EXPECT_EXIT(parse_bench_flags(args.argc(), args.argv(), "a bench", kKnown),
+              testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchFlagsDeath, HelpWinsEvenNextToOtherFlags) {
+  // A user asking for help should get it even with other (possibly
+  // broken) flags on the line.
+  Argv args({"bench_x", "--k=3", "--help"});
+  EXPECT_EXIT(parse_bench_flags(args.argc(), args.argv(), "a bench", kKnown),
+              testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchFlagsDeath, UnknownFlagExitsTwoAndNamesIt) {
+  Argv args({"bench_x", "--sede=9"});
+  EXPECT_EXIT(parse_bench_flags(args.argc(), args.argv(), "a bench", kKnown),
+              testing::ExitedWithCode(2), "unknown flag --sede");
+}
+
+}  // namespace
+}  // namespace dcnt

@@ -281,5 +281,179 @@ TEST(SelfHealingDeath, ConcurrentOpsPerOriginAbort) {
       "one outstanding");
 }
 
+// --- transport edge cases, driven without a simulator ---------------------
+//
+// A fake Context plus a probe inner protocol let these tests hit the
+// transport's receive and timeout paths with surgically chosen message
+// sequences — duplicate storms and blackholed channels that a seeded
+// fault plane only produces by luck.
+
+/// Records everything the transport does; drops cross-processor sends
+/// when `blackhole` is set (the peer never sees data, the sender never
+/// sees acks).
+class RecordingCtx final : public Context {
+ public:
+  void send(Message msg) override {
+    if (!blackhole) sent.push_back(std::move(msg));
+  }
+  void send_local(ProcessorId p, std::int32_t tag,
+                  std::vector<std::int64_t> args, SimTime delay) override {
+    Message msg;
+    msg.src = p;
+    msg.dst = p;
+    msg.tag = tag;
+    msg.args = std::move(args);
+    msg.local = true;
+    timers.push_back(std::move(msg));
+    (void)delay;
+  }
+  void complete(OpId op, Value value) override {
+    (void)op;
+    (void)value;
+  }
+  SimTime now() const override { return time; }
+  Rng& rng() override { return rng_; }
+
+  bool blackhole{false};
+  SimTime time{0};
+  std::vector<Message> sent;
+  std::vector<Message> timers;
+
+ private:
+  Rng rng_{1};
+};
+
+/// Two-processor inner protocol: start_inc sends one payload 0 -> 1;
+/// counts deliveries and unreachable upcalls.
+class ProbeProtocol final : public CounterProtocol {
+ public:
+  static constexpr std::int32_t kTagPayload = 42;
+
+  std::size_t num_processors() const override { return 2; }
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override {
+    Message msg;
+    msg.src = origin;
+    msg.dst = 1;
+    msg.tag = kTagPayload;
+    msg.op = op;
+    msg.args = {7};
+    ctx.send(std::move(msg));
+  }
+  void start_op(Context& ctx, ProcessorId origin, OpId op,
+                const std::vector<std::int64_t>& args) override {
+    (void)args;
+    start_inc(ctx, origin, op);
+  }
+  void on_message(Context& ctx, const Message& msg) override {
+    (void)ctx;
+    delivered.push_back(msg);
+  }
+  void on_peer_unreachable(Context& ctx, ProcessorId self,
+                           ProcessorId peer) override {
+    (void)ctx;
+    unreachable.push_back({self, peer});
+  }
+  std::unique_ptr<CounterProtocol> clone_counter() const override {
+    return std::make_unique<ProbeProtocol>(*this);
+  }
+  std::string name() const override { return "probe"; }
+
+  std::vector<Message> delivered;
+  std::vector<std::pair<ProcessorId, ProcessorId>> unreachable;
+};
+
+Message data_envelope(std::int64_t seq, OpId op = 5) {
+  Message msg;
+  msg.src = 0;
+  msg.dst = 1;
+  msg.tag = ReliableTransport::kTagData;
+  msg.op = op;
+  msg.args = {seq, ProbeProtocol::kTagPayload, 7};
+  return msg;
+}
+
+TEST(ReliableTransportEdge, DuplicateStormHitsDedupWindow) {
+  // Storm the receiver: every envelope delivered five times, one of
+  // them (seq 3) arriving out of order so the dedup window's sparse
+  // tail is exercised alongside the contiguous watermark. The inner
+  // protocol must see each seq exactly once; every copy must still be
+  // acked (the previous ack may have been the thing that was lost).
+  ReliableTransport transport(std::make_unique<ProbeProtocol>(),
+                              RetryParams{});
+  auto& probe = dynamic_cast<ProbeProtocol&>(transport.mutable_inner());
+  RecordingCtx ctx;
+
+  const std::vector<std::int64_t> arrival_order = {0, 1, 3, 2, 4};
+  constexpr int kCopies = 5;
+  for (int copy = 0; copy < kCopies; ++copy) {
+    for (const std::int64_t seq : arrival_order) {
+      transport.on_message(ctx, data_envelope(seq));
+    }
+  }
+
+  ASSERT_EQ(probe.delivered.size(), arrival_order.size());
+  // First pass delivered each seq once, in arrival order.
+  EXPECT_EQ(probe.delivered[2].tag, ProbeProtocol::kTagPayload);
+  EXPECT_EQ(probe.delivered[2].args, (std::vector<std::int64_t>{7}));
+  const auto total =
+      static_cast<std::int64_t>(arrival_order.size() * kCopies);
+  EXPECT_EQ(transport.stats().duplicates_suppressed,
+            total - static_cast<std::int64_t>(arrival_order.size()));
+  EXPECT_EQ(transport.stats().acks_sent, total);
+  // Every ack went back to the sender, duplicates included.
+  std::int64_t acks = 0;
+  for (const Message& msg : ctx.sent) {
+    if (msg.tag == ReliableTransport::kTagAck) ++acks;
+  }
+  EXPECT_EQ(acks, total);
+}
+
+TEST(ReliableTransportEdge, PeerUnreachableFiresExactlyOnce) {
+  // Blackhole the channel and let the retransmission timer run to
+  // exhaustion: max_attempts transmissions, then exactly one
+  // on_peer_unreachable upcall — and a stale timer for the abandoned
+  // seq must not produce a second one.
+  RetryParams retry;
+  retry.ack_timeout = 4;
+  retry.max_timeout = 16;
+  retry.max_attempts = 3;
+  ReliableTransport transport(std::make_unique<ProbeProtocol>(), retry);
+  auto& probe = dynamic_cast<ProbeProtocol&>(transport.mutable_inner());
+  RecordingCtx ctx;
+  ctx.blackhole = true;
+
+  transport.start_inc(ctx, 0, 0);
+  EXPECT_EQ(transport.unacked_total(), 1);
+
+  // Pump armed timers back into the transport until it gives up.
+  int fired = 0;
+  while (!ctx.timers.empty()) {
+    ASSERT_LT(fired, 100) << "timer loop did not terminate";
+    Message timer = std::move(ctx.timers.front());
+    ctx.timers.erase(ctx.timers.begin());
+    transport.on_message(ctx, timer);
+    ++fired;
+  }
+
+  EXPECT_EQ(transport.stats().retransmissions, retry.max_attempts - 1);
+  EXPECT_EQ(transport.stats().messages_abandoned, 1);
+  EXPECT_EQ(transport.unacked_total(), 0);
+  ASSERT_EQ(probe.unreachable.size(), 1u);
+  EXPECT_EQ(probe.unreachable[0], std::make_pair(ProcessorId{0},
+                                                 ProcessorId{1}));
+
+  // A stale duplicate of the final timer finds no pending send and
+  // must be a no-op, not a second failure report.
+  Message stale;
+  stale.src = 0;
+  stale.dst = 0;
+  stale.tag = ReliableTransport::kTagTimer;
+  stale.args = {1, 0};
+  stale.local = true;
+  transport.on_message(ctx, stale);
+  EXPECT_EQ(probe.unreachable.size(), 1u);
+  EXPECT_EQ(transport.stats().messages_abandoned, 1);
+}
+
 }  // namespace
 }  // namespace dcnt

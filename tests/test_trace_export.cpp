@@ -1,0 +1,116 @@
+// Chrome trace-event export: the JSON must be structurally sound and
+// must encode exactly the trace's records — one send slice per record,
+// plus a recv slice and a flow-arrow pair for every delivered record.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "harness/factory.hpp"
+#include "harness/runner.hpp"
+#include "harness/schedule.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_export.hpp"
+
+namespace dcnt {
+namespace {
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Minimal structural JSON check: every brace/bracket closes in order
+/// and nothing trails the root object. The exporter emits no strings
+/// containing braces, so scanning raw characters outside quotes is
+/// sound.
+void expect_balanced_json(const std::string& text) {
+  std::string stack;
+  bool in_string = false;
+  for (const char c : text) {
+    if (in_string) {
+      in_string = c != '"';
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '{');
+        stack.pop_back();
+        break;
+      case ']':
+        ASSERT_FALSE(stack.empty());
+        ASSERT_EQ(stack.back(), '[');
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_TRUE(stack.empty());
+}
+
+Simulator traced_run(CounterKind kind, std::int64_t min_n) {
+  auto counter = make_counter(kind, min_n);
+  SimConfig config;
+  config.seed = 11;
+  config.enable_trace = true;
+  config.delay = DelayModel::uniform(1, 4);
+  Simulator sim(std::move(counter), config);
+  const auto n = static_cast<std::int64_t>(sim.num_processors());
+  run_sequential(sim, schedule_sequential(n));
+  return sim;
+}
+
+TEST(TraceExport, EmitsOneEventSetPerRecord) {
+  Simulator sim = traced_run(CounterKind::kTree, 8);
+  const std::size_t records = sim.trace().records().size();
+  ASSERT_GT(records, 0u);
+
+  const std::string json = to_chrome_trace(sim.trace());
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"processor 0\""), std::string::npos);
+
+  // Nothing is dropped in a fault-free run: every record produced a
+  // send slice, a recv slice, and a flow start/finish pair.
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"send\""), records);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"recv\""), records);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), records);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), records);
+  EXPECT_EQ(count_occurrences(json, "\"dropped\":true"), 0u);
+}
+
+TEST(TraceExport, CentralRoundTripShape) {
+  Simulator sim = traced_run(CounterKind::kCentral, 8);
+  const std::string json = to_chrome_trace(sim.trace());
+  expect_balanced_json(json);
+  // The central counter's trace is pure request/response: record count
+  // is even and every arc touches the holder, processor 0.
+  EXPECT_EQ(sim.trace().records().size() % 2, 0u);
+  EXPECT_NE(json.find("\"name\":\"processor 0\""), std::string::npos);
+}
+
+TEST(TraceExport, EmptyTraceIsValid) {
+  Trace trace(true);
+  const std::string json = to_chrome_trace(trace);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 0u);
+}
+
+}  // namespace
+}  // namespace dcnt

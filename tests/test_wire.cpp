@@ -1,0 +1,188 @@
+// Wire-format tests: every frame type round-trips, the stream reader
+// reassembles frames from arbitrary chunking, and malformed input dies
+// loudly instead of being misread.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "sim/message.hpp"
+
+namespace dcnt::net {
+namespace {
+
+FrameView view(const std::vector<std::uint8_t>& encoded) {
+  // Strip the 4-byte length word, as the event loop does.
+  return FrameView(encoded.data() + 4, encoded.size() - 4);
+}
+
+TEST(Wire, HelloRoundTrip) {
+  const HelloFrame in{7, 40001, 40002};
+  const HelloFrame out = decode_hello(view(encode_hello(in)));
+  EXPECT_EQ(out.node_id, 7u);
+  EXPECT_EQ(out.tcp_port, 40001);
+  EXPECT_EQ(out.udp_port, 40002);
+}
+
+TEST(Wire, PeersRoundTrip) {
+  PeersFrame in;
+  in.peers.push_back(PeerAddr{0, 1111, 0});
+  in.peers.push_back(PeerAddr{1, 2222, 3333});
+  const PeersFrame out = decode_peers(view(encode_peers(in)));
+  ASSERT_EQ(out.peers.size(), 2u);
+  EXPECT_EQ(out.peers[0].tcp_port, 1111);
+  EXPECT_EQ(out.peers[1].node_id, 1u);
+  EXPECT_EQ(out.peers[1].udp_port, 3333);
+}
+
+TEST(Wire, ReadyRoundTrip) {
+  EXPECT_EQ(decode_ready(view(encode_ready(ReadyFrame{3}))).node_id, 3u);
+}
+
+TEST(Wire, StartRoundTripWithAndWithoutArgs) {
+  const StartFrame plain{42, 5, {}};
+  const StartFrame plain_out = decode_start(view(encode_start(plain)));
+  EXPECT_EQ(plain_out.op, 42);
+  EXPECT_EQ(plain_out.origin, 5);
+  EXPECT_TRUE(plain_out.args.empty());
+
+  const StartFrame rich{7, 2, {1, -9, 1'000'000'000'000}};
+  const StartFrame rich_out = decode_start(view(encode_start(rich)));
+  EXPECT_EQ(rich_out.args, (std::vector<std::int64_t>{1, -9, 1'000'000'000'000}));
+}
+
+TEST(Wire, CompleteRoundTripNegativeValue) {
+  const CompleteFrame out =
+      decode_complete(view(encode_complete(CompleteFrame{9, -5})));
+  EXPECT_EQ(out.op, 9);
+  EXPECT_EQ(out.value, -5);
+}
+
+TEST(Wire, MessageRoundTripPreservesEnvelopeFields) {
+  Message msg;
+  msg.src = 3;
+  msg.dst = 11;
+  msg.tag = 1'000'001;  // a ReliableTransport Data tag rides unchanged
+  msg.op = 1234;
+  msg.args = {17, 0, -3};
+  const Message out = decode_message(view(encode_message(msg)));
+  EXPECT_EQ(out.src, 3);
+  EXPECT_EQ(out.dst, 11);
+  EXPECT_EQ(out.tag, 1'000'001);
+  EXPECT_EQ(out.op, 1234);
+  EXPECT_EQ(out.args, msg.args);
+  EXPECT_FALSE(out.local);
+}
+
+TEST(Wire, StatsRoundTrip) {
+  StatsFrame in;
+  in.node_id = 2;
+  in.events_processed = 100;
+  in.wire_msgs_sent = 7;
+  in.wire_msgs_received = 6;
+  in.wire_bytes_sent = 700;
+  in.wire_bytes_received = 600;
+  in.injected_drops = 3;
+  in.unacked = 1;
+  in.retransmissions = 4;
+  in.duplicates_suppressed = 2;
+  in.messages_abandoned = 1;
+  in.loads.push_back(ProcLoad{2, 10, 11, 40});
+  in.loads.push_back(ProcLoad{6, 0, 1, 2});
+  const StatsFrame out = decode_stats(view(encode_stats(in)));
+  EXPECT_EQ(out.node_id, 2u);
+  EXPECT_EQ(out.events_processed, 100);
+  EXPECT_EQ(out.wire_msgs_received, 6);
+  EXPECT_EQ(out.injected_drops, 3);
+  EXPECT_EQ(out.unacked, 1);
+  EXPECT_EQ(out.retransmissions, 4);
+  ASSERT_EQ(out.loads.size(), 2u);
+  EXPECT_EQ(out.loads[0].pid, 2);
+  EXPECT_EQ(out.loads[0].received, 11);
+  EXPECT_EQ(out.loads[1].words, 2);
+}
+
+TEST(Wire, BodylessFrames) {
+  EXPECT_EQ(view(encode_stats_request()).type(), FrameType::kStatsRequest);
+  EXPECT_EQ(view(encode_shutdown()).type(), FrameType::kShutdown);
+}
+
+TEST(Wire, FrameReaderReassemblesByteAtATime) {
+  std::vector<std::uint8_t> stream;
+  const auto a = encode_ready(ReadyFrame{1});
+  const auto b = encode_complete(CompleteFrame{5, 55});
+  const auto c = encode_stats_request();
+  stream.insert(stream.end(), a.begin(), a.end());
+  stream.insert(stream.end(), b.begin(), b.end());
+  stream.insert(stream.end(), c.begin(), c.end());
+
+  FrameReader reader;
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::vector<std::uint8_t> payload;
+  for (const std::uint8_t byte : stream) {
+    reader.feed(&byte, 1);
+    while (reader.pop(payload)) frames.push_back(payload);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(decode_ready(FrameView(frames[0].data(), frames[0].size())).node_id,
+            1u);
+  EXPECT_EQ(
+      decode_complete(FrameView(frames[1].data(), frames[1].size())).value, 55);
+  EXPECT_EQ(FrameView(frames[2].data(), frames[2].size()).type(),
+            FrameType::kStatsRequest);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(Wire, FrameReaderHandlesSplitAcrossFeeds) {
+  const auto frame = encode_complete(CompleteFrame{1, 2});
+  FrameReader reader;
+  const std::size_t cut = frame.size() / 2;
+  reader.feed(frame.data(), cut);
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(reader.pop(payload));
+  reader.feed(frame.data() + cut, frame.size() - cut);
+  ASSERT_TRUE(reader.pop(payload));
+  EXPECT_EQ(decode_complete(FrameView(payload.data(), payload.size())).op, 1);
+}
+
+TEST(Wire, RejectsForeignVersion) {
+  auto frame = encode_ready(ReadyFrame{0});
+  frame[4] = kWireVersion + 1;  // version byte, after the length word
+  EXPECT_DEATH(FrameView(frame.data() + 4, frame.size() - 4),
+               "wire version mismatch");
+}
+
+TEST(Wire, RejectsUnknownType) {
+  auto frame = encode_ready(ReadyFrame{0});
+  frame[5] = 200;  // type byte
+  const FrameView v(frame.data() + 4, frame.size() - 4);
+  EXPECT_DEATH(v.type(), "unknown frame type");
+}
+
+TEST(Wire, RejectsCorruptLength) {
+  std::vector<std::uint8_t> bogus = {0xff, 0xff, 0xff, 0x7f, 1, 3};
+  FrameReader reader;
+  reader.feed(bogus.data(), bogus.size());
+  std::vector<std::uint8_t> payload;
+  EXPECT_DEATH(reader.pop(payload), "corrupt frame length");
+}
+
+TEST(Wire, RejectsTruncatedBody) {
+  auto frame = encode_hello(HelloFrame{1, 2, 3});
+  // Chop the last body byte but keep the header consistent.
+  std::vector<std::uint8_t> payload(frame.begin() + 4, frame.end() - 1);
+  const FrameView v(payload.data(), payload.size());
+  EXPECT_DEATH(decode_hello(v), "truncated frame body");
+}
+
+TEST(Wire, RejectsTrailingBytes) {
+  auto frame = encode_ready(ReadyFrame{1});
+  std::vector<std::uint8_t> payload(frame.begin() + 4, frame.end());
+  payload.push_back(0);
+  const FrameView v(payload.data(), payload.size());
+  EXPECT_DEATH(decode_ready(v), "trailing bytes");
+}
+
+}  // namespace
+}  // namespace dcnt::net
