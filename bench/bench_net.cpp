@@ -14,9 +14,17 @@
 // in-process runtime costs nanoseconds, and the lossy rows add
 // retransmission stalls on top.
 //
+// Each run starts with `--warmup` unmeasured closed-loop ops: the
+// connection setup, allocator cold-start and first-touch faults settle,
+// a cluster-wide quiescence barrier fires, the nodes reset their
+// metrics, and only then does the measured phase begin. The wr_B column
+// (wire bytes per kernel write()) is the coalescing observable: the
+// event loop batches every frame queued in one drain round into a
+// single write() per peer.
+//
 //   $ bench_net [--counters=tree,central] [--n=16] [--nodes=4]
 //               [--ops_factor=16] [--concurrency=16] [--drop=0.05]
-//               [--seed=7] [--out=BENCH_net.json]
+//               [--warmup=64] [--seed=7] [--out=BENCH_net.json]
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -50,6 +58,11 @@ struct NetRow {
   std::int64_t wire_msgs{0};
   std::int64_t injected_drops{0};
   std::int64_t retransmissions{0};
+  std::int64_t wire_bytes{0};
+  std::int64_t write_syscalls{0};
+  /// Wire bytes per kernel write() — how much frame coalescing the
+  /// deferred-flush event loop achieved (0 for the in-process rows).
+  double bytes_per_write{0.0};
 };
 
 NetRow from_throughput(const ThroughputResult& r) {
@@ -86,6 +99,12 @@ NetRow from_cluster(const net::ClusterResult& r, const std::string& mode) {
   row.wire_msgs = r.wire_msgs_sent;
   row.injected_drops = r.injected_drops;
   row.retransmissions = r.retransmissions;
+  row.wire_bytes = r.wire_bytes_sent;
+  row.write_syscalls = r.wire_write_syscalls;
+  if (r.wire_write_syscalls > 0) {
+    row.bytes_per_write = static_cast<double>(r.wire_bytes_sent) /
+                          static_cast<double>(r.wire_write_syscalls);
+  }
   return row;
 }
 
@@ -97,7 +116,7 @@ int main(int argc, char** argv) {
       "NET: socket cluster runtime vs in-process runtime at matched "
       "protocol/n/parallelism",
       {"concurrency", "counters", "drop", "n", "nodes", "ops_factor", "out",
-       "seed"});
+       "seed", "warmup"});
   const auto counters =
       parse_string_list(flags.get_string("counters", "tree,central"));
   const std::int64_t n = flags.get_int("n", 16);
@@ -106,11 +125,13 @@ int main(int argc, char** argv) {
   const auto concurrency =
       static_cast<std::size_t>(flags.get_int("concurrency", 16));
   const double drop = flags.get_double("drop", 0.05);
+  const auto warmup = static_cast<std::size_t>(flags.get_int("warmup", 64));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const std::string out = flags.get_string("out", "BENCH_net.json");
 
   Table table({"counter", "mode", "n", "par", "ops", "inc/s", "p50_us",
-               "p99_us", "total_msgs", "max_load", "wire_msgs", "retx"});
+               "p99_us", "total_msgs", "max_load", "wire_msgs", "wr_B",
+               "retx"});
   std::vector<NetRow> rows;
 
   for (const std::string& name : counters) {
@@ -129,6 +150,7 @@ int main(int argc, char** argv) {
     topt.workers = nodes;
     topt.ops = ops;
     topt.concurrency = concurrency;
+    topt.warmup = warmup;
     topt.seed = seed;
     NetRow inproc = from_throughput(run_throughput(make_counter(kind, n), topt));
     inproc.counter = name;  // cluster rows carry the flag name; match it
@@ -140,6 +162,7 @@ int main(int argc, char** argv) {
     copt.nodes = nodes;
     copt.ops = static_cast<std::int64_t>(ops);
     copt.concurrency = concurrency;
+    copt.warmup = warmup;
     copt.seed = seed;
     rows.push_back(from_cluster(net::run_cluster(copt), "tcp"));
 
@@ -172,6 +195,7 @@ int main(int argc, char** argv) {
         .add(r.total_messages)
         .add(r.max_load)
         .add(r.wire_msgs)
+        .add(r.bytes_per_write, 1)
         .add(r.retransmissions);
   }
   table.print(std::cout,
@@ -185,6 +209,7 @@ int main(int argc, char** argv) {
   json.field("ops_factor", ops_factor);
   json.field("concurrency", concurrency);
   json.field("drop", drop, 3);
+  json.field("warmup", warmup);
   json.field("seed", seed);
   json.begin_array("runs");
   for (const NetRow& r : rows) {
@@ -202,6 +227,9 @@ int main(int argc, char** argv) {
     json.field("total_messages", r.total_messages);
     json.field("max_load", r.max_load);
     json.field("wire_msgs", r.wire_msgs);
+    json.field("wire_bytes", r.wire_bytes);
+    json.field("write_syscalls", r.write_syscalls);
+    json.field("bytes_per_write", r.bytes_per_write, 1);
     json.field("injected_drops", r.injected_drops);
     json.field("retransmissions", r.retransmissions);
     json.end_object();

@@ -15,12 +15,21 @@
 // Emits a JSON baseline (default BENCH_throughput.json; the checked-in
 // copy at the repo root is the reference measurement).
 //
+// Each run starts with --warmup unrecorded operations (run to
+// quiescence, metrics reset after) so thread wakeups, buffer growth and
+// page faults do not land in the measured percentiles — that cold-start
+// was the old workers=1 p99 = 1795µs artifact. The table ends with a
+// per-counter scaling line (ops/s at the largest worker count vs 1),
+// also emitted to the JSON, so a scaling regression is visible right in
+// the baseline trajectory.
+//
 // Flags: --counters=tree,central,combining,diffracting
 //        --workers_list=1,2,4,8 (0 = auto: --threads, DCNT_THREADS, or
 //        all cores) --n=16 --ops_factor=16 --concurrency=16
-//        --dist=roundrobin|uniform|zipf --zipf_s=0.9 --open_rate=0
-//        --seed=7 --out=BENCH_throughput.json
+//        --warmup=256 --dist=roundrobin|uniform|zipf --zipf_s=0.9
+//        --open_rate=0 --seed=7 --out=BENCH_throughput.json
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,7 +46,7 @@ int main(int argc, char** argv) {
   const Flags flags = parse_bench_flags(
       argc, argv,
       "THRU: wall-clock inc throughput on the threaded runtime",
-      {"concurrency", "counters", "dist", "n", "open_rate", "ops_factor", "out", "seed", "threads", "workers_list", "zipf_s"});
+      {"concurrency", "counters", "dist", "n", "open_rate", "ops_factor", "out", "seed", "threads", "warmup", "workers_list", "zipf_s"});
   const auto counters = parse_string_list(
       flags.get_string("counters", "tree,central,combining,diffracting"));
   const auto workers_list =
@@ -49,6 +58,7 @@ int main(int argc, char** argv) {
   const std::string dist = flags.get_string("dist", "roundrobin");
   const double zipf_s = flags.get_double("zipf_s", 0.9);
   const double open_rate = flags.get_double("open_rate", 0.0);
+  const auto warmup = static_cast<std::size_t>(flags.get_int("warmup", 256));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const std::string out = flags.get_string("out", "BENCH_throughput.json");
 
@@ -76,6 +86,7 @@ int main(int argc, char** argv) {
       options.initiators = dist;
       options.zipf_s = zipf_s;
       options.seed = seed;
+      options.warmup = warmup;
       const ThroughputResult res = run_throughput(std::move(protocol), options);
       results.push_back(res);
       table.row()
@@ -95,12 +106,38 @@ int main(int argc, char** argv) {
               "THRU: closed-loop increments/second on real threads (" + dist +
                   " initiators; every run verified exact)");
 
+  // Scaling check: ops/s at the largest measured worker count relative
+  // to one worker. >= 1.0 means adding workers does not cost throughput
+  // (the acceptance bar on this box); the old runtime sat well below it.
+  struct ScalingRow {
+    std::size_t w_lo{0}, w_hi{0};
+    double lo{0.0}, hi{0.0};
+  };
+  std::map<std::string, ScalingRow> scaling;
+  for (const ThroughputResult& r : results) {
+    ScalingRow& row = scaling[r.counter];
+    if (row.w_lo == 0 || r.workers < row.w_lo) {
+      row.w_lo = r.workers;
+      row.lo = r.ops_per_sec;
+    }
+    if (r.workers > row.w_hi) {
+      row.w_hi = r.workers;
+      row.hi = r.ops_per_sec;
+    }
+  }
+  for (const auto& [counter, row] : scaling) {
+    if (row.w_hi <= row.w_lo || row.lo <= 0.0) continue;
+    std::cout << "scaling " << counter << ": W=" << row.w_hi << " / W="
+              << row.w_lo << " = " << row.hi / row.lo << "x\n";
+  }
+
   JsonWriter json(out);
   json.field("bench", "throughput");
   json.field("dist", dist);
   json.field("ops_factor", ops_factor);
   json.field("concurrency", concurrency);
   json.field("open_rate", open_rate, 1);
+  json.field("warmup", warmup);
   json.field("seed", seed);
   json.field("hardware_threads", default_thread_count());
   json.begin_array("throughput");
@@ -119,6 +156,17 @@ int main(int argc, char** argv) {
     json.field("total_messages", r.total_messages);
     json.field("max_load", r.max_load);
     json.field("bottleneck", r.bottleneck);
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_array("scaling");
+  for (const auto& [counter, row] : scaling) {
+    if (row.w_hi <= row.w_lo || row.lo <= 0.0) continue;
+    json.begin_object();
+    json.field("counter", counter);
+    json.field("workers_lo", row.w_lo);
+    json.field("workers_hi", row.w_hi);
+    json.field("ratio", row.hi / row.lo, 3);
     json.end_object();
   }
   json.end_array();

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <utility>
@@ -87,6 +88,7 @@ class Controller {
 
   void on_frame(int conn, const FrameView& frame);
   void issue_next();
+  void begin_measured_phase();
   void begin_stats_round();
   void on_stats_round_complete();
   bool rounds_stable() const;
@@ -97,7 +99,17 @@ class Controller {
   EventLoop loop_;
   ChildReaper reaper_;
   std::int64_t n_{0};
-  std::size_t ops_{0};
+  std::size_t ops_{0};      ///< measured ops
+  std::size_t warmup_{0};   ///< unmeasured ops issued first
+  std::size_t total_{0};    ///< warmup_ + ops_
+  /// True from launch until the post-warmup metrics reset completes;
+  /// while set, issuance stops at warmup_ so no measured op can slip in
+  /// before the reset barrier.
+  bool warming_up_{false};
+  /// Reset acks still owed after a kMetricsReset broadcast; the
+  /// measured phase starts when this drains to zero, so no measured
+  /// frame can race a node's own reset (see node.cpp).
+  std::size_t reset_acks_pending_{0};
   std::vector<ProcessorId> initiators_;
 
   Phase phase_{Phase::kHello};
@@ -126,19 +138,43 @@ class Controller {
 };
 
 void Controller::check_deadline() const {
-  DCNT_CHECK_MSG(WallClock::now() < deadline_,
-                 "cluster run exceeded its wall-clock budget");
+  if (WallClock::now() < deadline_) return;
+  // Say where the run was stuck; a budget abort is always a hang
+  // diagnosis session and the phase/progress triple is the first
+  // question.
+  std::fprintf(stderr,
+               "cluster budget exceeded: phase=%d issued=%zu completed=%zu "
+               "warmup=%zu total=%zu round_in_flight=%d outstanding=%zu\n",
+               static_cast<int>(phase_), issued_, completed_, warmup_, total_,
+               round_in_flight_ ? 1 : 0, stats_outstanding_);
+  DCNT_CHECK_MSG(false, "cluster run exceeded its wall-clock budget");
 }
 
 void Controller::issue_next() {
-  if (issued_ >= ops_) return;
+  if (issued_ >= total_) return;
+  if (warming_up_ && issued_ >= warmup_) return;  // measured ops wait
   const OpId op = static_cast<OpId>(issued_++);
   const ProcessorId origin = initiators_[static_cast<std::size_t>(op)];
   const std::uint32_t node = static_cast<std::uint32_t>(origin) % opt_.nodes;
-  const std::int64_t t = LatencyRecorder::now_ns();
-  if (t_first_issue_ns_ == 0) t_first_issue_ns_ = t;
-  recorder_->on_issue(op, t);
+  if (static_cast<std::size_t>(op) >= warmup_) {
+    const std::int64_t t = LatencyRecorder::now_ns();
+    if (t_first_issue_ns_ == 0) t_first_issue_ns_ = t;
+    recorder_->on_issue(op, t);
+  }
   loop_.send(conn_of_node_.at(node), encode_start(StartFrame{op, origin, {}}));
+}
+
+void Controller::begin_measured_phase() {
+  DCNT_CHECK(phase_ == Phase::kRun);
+  if (opt_.open_rate > 0.0) {
+    open_t0_ns_ = LatencyRecorder::now_ns();
+    return;
+  }
+  const std::size_t window =
+      opt_.quiesce_between_ops
+          ? 1
+          : std::max<std::size_t>(1, std::min(opt_.concurrency, ops_));
+  for (std::size_t i = 0; i < window; ++i) issue_next();
 }
 
 void Controller::begin_stats_round() {
@@ -193,7 +229,24 @@ void Controller::on_stats_round_complete() {
       next_round_at_ = WallClock::now() + std::chrono::milliseconds(1);
       return;
     }
-    if (opt_.quiesce_between_ops && completed_ < ops_) {
+    if (warming_up_ && completed_ == warmup_) {
+      // The warmup traffic has fully settled; tell every node to zero
+      // its metrics and re-baseline its wire counters. Measured Starts
+      // wait for every node's ack (begin_measured_phase): the reset is
+      // ordered before the Starts on each control connection, but a
+      // fast peer's first measured data frame is not ordered against a
+      // slow node's reset, and a receive absorbed into a baseline
+      // would skew the global sent/received balance for good.
+      const std::vector<std::uint8_t> reset = encode_metrics_reset();
+      for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+        loop_.send(conn_of_node_[id], reset);
+      }
+      reset_acks_pending_ = opt_.nodes;
+      prev_round_.clear();
+      phase_ = Phase::kRun;
+      return;
+    }
+    if (opt_.quiesce_between_ops && completed_ < total_) {
       // Mid-run barrier: the previous op's activity has fully settled;
       // resume the workload with the next one.
       prev_round_.clear();
@@ -236,18 +289,29 @@ void Controller::on_frame(int conn, const FrameView& frame) {
       return;
     }
     case FrameType::kReady: {
+      if (reset_acks_pending_ > 0) {
+        // Reset ack (see kMetricsReset in node.cpp): this node has
+        // re-baselined; once all have, measured traffic may flow.
+        if (--reset_acks_pending_ == 0) {
+          warming_up_ = false;
+          begin_measured_phase();
+        }
+        return;
+      }
       DCNT_CHECK(phase_ == Phase::kReady);
       ++ready_count_;
       if (ready_count_ == opt_.nodes) {
         phase_ = Phase::kRun;
-        if (opt_.open_rate > 0.0) {
-          open_t0_ns_ = LatencyRecorder::now_ns();
-        } else {
+        if (warming_up_ || opt_.open_rate <= 0.0) {
+          // Warmup always runs closed-loop, even ahead of an open-loop
+          // measured phase; the open-loop clock starts after the reset.
           const std::size_t window =
               opt_.quiesce_between_ops
                   ? 1
-                  : std::max<std::size_t>(1, std::min(opt_.concurrency, ops_));
+                  : std::max<std::size_t>(1, std::min(opt_.concurrency, total_));
           for (std::size_t i = 0; i < window; ++i) issue_next();
+        } else {
+          open_t0_ns_ = LatencyRecorder::now_ns();
         }
       }
       return;
@@ -256,21 +320,34 @@ void Controller::on_frame(int conn, const FrameView& frame) {
       DCNT_CHECK(phase_ == Phase::kRun);
       const CompleteFrame done = decode_complete(frame);
       const auto idx = static_cast<std::size_t>(done.op);
-      DCNT_CHECK(done.op >= 0 && idx < ops_);
+      DCNT_CHECK(done.op >= 0 && idx < total_);
       DCNT_CHECK_MSG(!value_seen_[idx], "operation completed twice");
       value_seen_[idx] = true;
       values_[idx] = done.value;
-      const std::int64_t t = LatencyRecorder::now_ns();
-      recorder_->on_complete(done.op, t);
-      t_last_complete_ns_ = t;
+      if (idx >= warmup_) {
+        const std::int64_t t = LatencyRecorder::now_ns();
+        recorder_->on_complete(done.op, t);
+        t_last_complete_ns_ = t;
+      }
       ++completed_;
       if (opt_.quiesce_between_ops) {
         phase_ = Phase::kQuiesce;
         begin_stats_round();
         return;
       }
+      if (warming_up_) {
+        // Keep the warmup window full; the last warmup completion
+        // triggers the reset barrier instead of a new op.
+        if (completed_ == warmup_) {
+          phase_ = Phase::kQuiesce;
+          begin_stats_round();
+        } else {
+          issue_next();
+        }
+        return;
+      }
       if (opt_.open_rate <= 0.0) issue_next();
-      if (completed_ == ops_) {
+      if (completed_ == total_) {
         phase_ = Phase::kQuiesce;
         begin_stats_round();
       }
@@ -314,11 +391,15 @@ ClusterResult Controller::run() {
   }
   ops_ = opt_.ops != 0 ? opt_.ops : static_cast<std::size_t>(8 * n_);
   DCNT_CHECK(ops_ > 0);
+  warmup_ = opt_.warmup;
+  total_ = warmup_ + ops_;
+  warming_up_ = warmup_ > 0;
   initiators_ = make_initiators(opt_.initiators, opt_.zipf_s, n_,
-                                static_cast<std::int64_t>(ops_), opt_.seed);
-  values_.assign(ops_, -1);
-  value_seen_.assign(ops_, false);
-  recorder_ = std::make_unique<LatencyRecorder>(ops_);
+                                static_cast<std::int64_t>(total_), opt_.seed);
+  values_.assign(total_, -1);
+  value_seen_.assign(total_, false);
+  // Sized by op id; the warmup slots simply stay empty.
+  recorder_ = std::make_unique<LatencyRecorder>(total_);
   conn_of_node_.assign(opt_.nodes, -1);
   hellos_.assign(opt_.nodes, std::nullopt);
 
@@ -356,12 +437,13 @@ ClusterResult Controller::run() {
   while (phase_ != Phase::kShutdown) {
     check_deadline();
     DCNT_CHECK_MSG(!child_died_, "a node process died mid-run");
-    if (phase_ == Phase::kRun && opt_.open_rate > 0.0 && issued_ < ops_) {
+    if (phase_ == Phase::kRun && !warming_up_ && opt_.open_rate > 0.0 &&
+        issued_ < total_) {
       const double per_op_ns = 1e9 / opt_.open_rate;
-      while (issued_ < ops_ &&
+      while (issued_ < total_ &&
              LatencyRecorder::now_ns() - open_t0_ns_ >=
-                 static_cast<std::int64_t>(per_op_ns *
-                                           static_cast<double>(issued_))) {
+                 static_cast<std::int64_t>(
+                     per_op_ns * static_cast<double>(issued_ - warmup_))) {
         issue_next();
       }
     }
@@ -396,6 +478,7 @@ ClusterResult Controller::run() {
   out.n = static_cast<std::size_t>(n_);
   out.nodes = opt_.nodes;
   out.ops = ops_;
+  out.warmup = warmup_;
   out.quiesce_rounds = quiesce_rounds_;
   out.load.assign(static_cast<std::size_t>(n_), 0);
   for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
@@ -408,6 +491,7 @@ ClusterResult Controller::run() {
     out.retransmissions += s.retransmissions;
     out.duplicates_suppressed += s.duplicates_suppressed;
     out.messages_abandoned += s.messages_abandoned;
+    out.wire_write_syscalls += s.wire_write_syscalls;
     for (const ProcLoad& load : s.loads) {
       DCNT_CHECK(load.pid >= 0 && load.pid < n_);
       DCNT_CHECK(static_cast<std::uint32_t>(load.pid) % opt_.nodes == id);

@@ -37,6 +37,13 @@ struct ClusterOptions {
   std::uint32_t nodes{4};
   /// 0 = 8 * actual processor count (the throughput harness default).
   std::size_t ops{0};
+  /// Unmeasured ops issued closed-loop before the measured run. After
+  /// they complete and the cluster passes a full quiescence barrier,
+  /// the controller broadcasts kMetricsReset (nodes zero their
+  /// message-load metrics and re-baseline their wire counters) and only
+  /// then starts the measured ops — connection setup, allocator
+  /// cold-start and first-touch page faults land outside the numbers.
+  std::size_t warmup{0};
   /// "roundrobin" | "uniform" | "zipf" (harness/schedule.hpp).
   std::string initiators{"roundrobin"};
   double zipf_s{0.99};
@@ -81,7 +88,9 @@ struct ClusterResult {
   std::size_t n{0};
   std::uint32_t nodes{0};
   std::size_t ops{0};
-  /// Values form a permutation of 0..ops-1 (also DCNT_CHECKed).
+  std::size_t warmup{0};
+  /// Values (warmup + measured together) form a permutation of
+  /// 0..warmup+ops-1 (also DCNT_CHECKed).
   bool values_ok{false};
 
   double wall_seconds{0.0};
@@ -107,10 +116,16 @@ struct ClusterResult {
   std::int64_t retransmissions{0};
   std::int64_t duplicates_suppressed{0};
   std::int64_t messages_abandoned{0};
+  /// Kernel write syscalls the data planes issued (TCP send() calls
+  /// that moved bytes; one sendto per datagram in UDP mode).
+  /// wire_bytes_sent / wire_write_syscalls = bytes per write, the
+  /// direct observable for send coalescing.
+  std::int64_t wire_write_syscalls{0};
 
   /// StatsRequest rounds the quiescence barrier took.
   int quiesce_rounds{0};
-  std::vector<Value> values;  ///< per-op returned values
+  /// Per-op returned values, warmup ops first (size warmup + ops).
+  std::vector<Value> values;
 };
 
 ClusterResult run_cluster(const ClusterOptions& options);

@@ -34,11 +34,14 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   out.counter = protocol->name();
   out.n = static_cast<std::size_t>(n);
   out.ops = ops;
+  out.warmup = options.warmup;
 
   RuntimeConfig config;
   config.workers = options.workers;
   config.seed = options.seed;
-  config.max_ops = ops;
+  config.max_ops = options.warmup + ops;
+  config.active_shards = options.active_shards;
+  config.flush_batch = options.flush_batch;
   ThreadedRuntime rt(std::move(protocol), config);
   out.workers = rt.workers();
 
@@ -48,17 +51,21 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   WorkloadOptions wl;
   wl.concurrency = options.concurrency;
   wl.open_rate = options.open_rate;
+  wl.warmup = options.warmup;
   const WorkloadResult run = run_workload(rt, initiators, wl);
 
-  std::vector<Value> values(ops);
-  for (std::size_t i = 0; i < ops; ++i) {
+  // Warmup ops take part in the permutation too (they consumed counter
+  // values before the measured phase), so verify over the full range.
+  const std::size_t total = options.warmup + ops;
+  std::vector<Value> values(total);
+  for (std::size_t i = 0; i < total; ++i) {
     const auto v = rt.result(static_cast<OpId>(i));
     DCNT_CHECK_MSG(v.has_value(), "operation never completed");
     values[i] = *v;
   }
   out.values_ok = is_permutation_of_iota(values);
   DCNT_CHECK_MSG(out.values_ok, "values are not a permutation of 0..m-1");
-  rt.protocol().check_quiescent(ops);
+  rt.protocol().check_quiescent(total);
 
   out.wall_seconds = run.wall_seconds;
   out.ops_per_sec = run.ops_per_sec;
@@ -81,12 +88,17 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
 
 RuntimeSequentialResult run_runtime_sequential(
     std::unique_ptr<CounterProtocol> protocol, std::size_t workers,
-    const std::vector<ProcessorId>& order, std::uint64_t seed) {
+    const std::vector<ProcessorId>& order, std::uint64_t seed,
+    std::size_t flush_batch) {
   DCNT_CHECK(protocol != nullptr);
   RuntimeConfig config;
   config.workers = workers;
   config.seed = seed;
   config.max_ops = std::max<std::size_t>(order.size(), 1);
+  // Equivalence runs must not collapse to fewer shards on small hosts:
+  // the whole point is to drive the cross-shard machinery.
+  config.active_shards = workers;
+  config.flush_batch = flush_batch;
   ThreadedRuntime rt(std::move(protocol), config);
 
   RuntimeSequentialResult out;

@@ -41,6 +41,15 @@ struct ThroughputOptions {
   /// Zipf skew (initiators == "zipf"); processor 0 hottest.
   double zipf_s{0.9};
   std::uint64_t seed{1};
+  /// Unrecorded warmup operations run to quiescence (metrics reset
+  /// after) before the measured ops — see WorkloadOptions::warmup.
+  std::size_t warmup{0};
+  /// Passed through to RuntimeConfig: 0 = adaptive (min(workers,
+  /// cores)); tests pin it to `workers` to force real cross-shard
+  /// delivery on any host.
+  std::size_t active_shards{0};
+  /// Passed through to RuntimeConfig::flush_batch.
+  std::size_t flush_batch{64};
 };
 
 struct ThroughputResult {
@@ -48,6 +57,7 @@ struct ThroughputResult {
   std::size_t n{0};
   std::size_t workers{0};
   std::size_t ops{0};
+  std::size_t warmup{0};
   double wall_seconds{0.0};
   double ops_per_sec{0.0};
   double mean_us{0.0};
@@ -75,9 +85,14 @@ struct RuntimeSequentialResult {
 /// Sequential driver on the threaded runtime: begin one inc per entry
 /// of `order`, wait for quiescence after each, assert the value is the
 /// initiation index (the paper's sequential contract) and run
-/// check_quiescent. `workers` as in RuntimeConfig (0 = auto).
+/// check_quiescent. `workers` as in RuntimeConfig (0 = auto). Always
+/// pins active_shards = workers — this is the equivalence harness, and
+/// it must exercise genuine cross-shard delivery on any host.
+/// `flush_batch` as in RuntimeConfig: the equivalence tests sweep it to
+/// prove outbox coalescing is delivery-transparent.
 RuntimeSequentialResult run_runtime_sequential(
     std::unique_ptr<CounterProtocol> protocol, std::size_t workers,
-    const std::vector<ProcessorId>& order, std::uint64_t seed = 1);
+    const std::vector<ProcessorId>& order, std::uint64_t seed = 1,
+    std::size_t flush_batch = 64);
 
 }  // namespace dcnt

@@ -61,15 +61,46 @@ void EventLoop::send(int conn, const std::vector<std::uint8_t>& frame) {
   c.outbound.insert(c.outbound.end(), frame.begin(), frame.end());
   ++frames_sent_;
   bytes_sent_ += static_cast<std::int64_t>(frame.size());
-  flush(c);
+}
+
+void EventLoop::send(int conn, std::vector<std::uint8_t>&& frame) {
+  DCNT_CHECK_MSG(connected(conn), "send on a closed connection");
+  Connection& c = *connections_[static_cast<std::size_t>(conn)];
+  ++frames_sent_;
+  bytes_sent_ += static_cast<std::int64_t>(frame.size());
+  if (c.outbound.empty()) {
+    // Adopt the buffer; the caller's (now cleared) vector inherits
+    // whatever capacity the queue had.
+    std::swap(c.outbound, frame);
+    frame.clear();
+    return;
+  }
+  c.outbound.insert(c.outbound.end(), frame.begin(), frame.end());
+}
+
+std::size_t EventLoop::send_message(int conn, const Message& msg) {
+  DCNT_CHECK_MSG(connected(conn), "send on a closed connection");
+  Connection& c = *connections_[static_cast<std::size_t>(conn)];
+  const std::size_t n = append_message(c.outbound, msg);
+  ++frames_sent_;
+  bytes_sent_ += static_cast<std::int64_t>(n);
+  return n;
 }
 
 bool EventLoop::send_datagram(std::uint16_t port,
                               const std::vector<std::uint8_t>& frame) {
   DCNT_CHECK_MSG(udp_.valid(), "no UDP socket registered");
   const bool ok = udp_send(udp_, port, frame.data(), frame.size());
+  ++write_syscalls_;
   if (ok) ++datagrams_sent_;
   return ok;
+}
+
+std::size_t EventLoop::send_datagram_message(std::uint16_t port,
+                                             const Message& msg) {
+  dgram_scratch_.clear();
+  const std::size_t n = append_message(dgram_scratch_, msg);
+  return send_datagram(port, dgram_scratch_) ? n : 0;
 }
 
 void EventLoop::flush(Connection& c) {
@@ -78,6 +109,7 @@ void EventLoop::flush(Connection& c) {
         ::send(c.sock.fd(), c.outbound.data() + c.out_head,
                c.outbound.size() - c.out_head, MSG_NOSIGNAL);
     if (n > 0) {
+      ++write_syscalls_;
       c.out_head += static_cast<std::size_t>(n);
       continue;
     }
@@ -91,6 +123,12 @@ void EventLoop::flush(Connection& c) {
   }
   c.outbound.clear();
   c.out_head = 0;
+}
+
+void EventLoop::flush_all() {
+  for (auto& c : connections_) {
+    if (c->open && c->out_head < c->outbound.size()) flush(*c);
+  }
 }
 
 std::size_t EventLoop::read_ready(int conn) {
@@ -129,6 +167,10 @@ void EventLoop::close_connection(int conn) {
 }
 
 std::size_t EventLoop::run_once(int timeout_ms) {
+  // Everything queued since the last round leaves now, coalesced into
+  // one write() per peer (modulo kernel pushback, which arms POLLOUT
+  // below for the residue).
+  flush_all();
   std::vector<pollfd> fds;
   std::vector<int> conn_of;  // parallel to fds; -1 = listener, -2 = udp
   fds.reserve(connections_.size() + 2);
@@ -197,6 +239,9 @@ std::size_t EventLoop::run_once(int timeout_ms) {
       delivered += read_ready(tag);
     }
   }
+  // Frames the callbacks queued this round (acks, forwards, replies)
+  // leave before the caller decides whether to sleep.
+  flush_all();
   return delivered;
 }
 

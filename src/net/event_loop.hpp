@@ -4,10 +4,18 @@
 // controller inside the cluster harness — drive all their sockets
 // through one EventLoop: TCP connections deliver complete frames to a
 // per-connection callback, listeners deliver accepted sockets, a UDP
-// socket delivers datagrams. Writes never block: send() appends to the
-// connection's outbound byte queue, the loop flushes opportunistically
-// and arms POLLOUT only while a backlog exists, so one slow peer
-// stalls neither the loop nor the other peers.
+// socket delivers datagrams. Writes never block: send()/send_message()
+// only append to the connection's outbound byte queue; run_once()
+// flushes every backlog at entry (before poll) and again after the
+// round's callbacks, so all frames queued in one round leave in one
+// write() per peer, and POLLOUT is armed only for residue the kernel
+// refused. One slow peer stalls neither the loop nor the other peers.
+//
+// The hot data-plane path is allocation-free: send_message() encodes
+// the frame directly into the connection's outbound queue (no
+// per-message temporary), and send_datagram_message() reuses one
+// scratch buffer. write_syscalls() counts actual kernel writes, so
+// bytes_sent()/write_syscalls() measures the coalescing.
 //
 // poll(), not epoll: the fd set is tiny (N nodes + controller, N well
 // under a hundred) and poll keeps the loop portable; the per-call scan
@@ -45,9 +53,16 @@ class EventLoop {
   /// At most one UDP socket; datagrams must each hold one whole frame.
   void add_udp(Socket sock, DatagramFn on_datagram);
 
-  /// Queues one encoded frame (length prefix included) and flushes what
-  /// the kernel will take now.
+  /// Queues one encoded frame (length prefix included). The bytes leave
+  /// at the next run_once() boundary, coalesced with everything else
+  /// queued for the peer this round.
   void send(int conn, const std::vector<std::uint8_t>& frame);
+  /// Move overload: when the connection's queue is empty the frame's
+  /// buffer is adopted wholesale instead of copied.
+  void send(int conn, std::vector<std::uint8_t>&& frame);
+  /// Encodes one protocol Message straight into the connection's
+  /// outbound queue — no intermediate buffer. Returns bytes queued.
+  std::size_t send_message(int conn, const Message& msg);
   bool connected(int conn) const;
   std::size_t open_connections() const;
   /// Any open connection still holding unflushed outbound bytes? A node
@@ -76,6 +91,16 @@ class EventLoop {
   /// socket. Returns false when the kernel dropped it (counted by the
   /// caller as loss).
   bool send_datagram(std::uint16_t port, const std::vector<std::uint8_t>& frame);
+  /// Datagram flavor of send_message: encodes into a reused scratch
+  /// buffer (no allocation after the first call) and sends immediately
+  /// (datagrams keep their boundaries; there is nothing to coalesce).
+  /// Returns bytes sent, or 0 when the kernel dropped it.
+  std::size_t send_datagram_message(std::uint16_t port, const Message& msg);
+
+  /// Kernel write syscalls actually issued (TCP send() calls that moved
+  /// bytes + UDP sendto() calls). bytes_sent()/write_syscalls() is the
+  /// observable for frame coalescing.
+  std::int64_t write_syscalls() const { return write_syscalls_; }
 
  private:
   struct Connection {
@@ -89,6 +114,8 @@ class EventLoop {
   };
 
   void flush(Connection& c);
+  /// Flushes every open connection holding queued bytes.
+  void flush_all();
   /// Reads until EAGAIN; delivers complete frames. Returns frames
   /// delivered; flags close on EOF/error.
   std::size_t read_ready(int conn);
@@ -106,6 +133,9 @@ class EventLoop {
   std::int64_t bytes_received_{0};
   std::int64_t datagrams_sent_{0};
   std::int64_t datagrams_received_{0};
+  std::int64_t write_syscalls_{0};
+  /// Reused by send_datagram_message.
+  std::vector<std::uint8_t> dgram_scratch_;
 };
 
 }  // namespace dcnt::net

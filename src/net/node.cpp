@@ -81,6 +81,7 @@ class NodeRuntime final : public Context {
   void deliver_start(const StartFrame& start);
   void drain();
   void time_jump();
+  void reset_metrics();
   void send_stats();
   int poll_timeout_ms() const;
 
@@ -118,6 +119,23 @@ class NodeRuntime final : public Context {
   std::int64_t wire_bytes_sent_{0};
   std::int64_t wire_bytes_received_{0};
   std::int64_t injected_drops_{0};
+
+  /// Counter values captured at the last kMetricsReset; send_stats
+  /// reports deltas against these so warmup traffic never shows up in
+  /// the measured stats. events_processed stays monotone (a constant
+  /// offset), so the controller's stability barrier is unaffected.
+  struct Baseline {
+    std::int64_t events{0};
+    std::int64_t wire_msgs_sent{0};
+    std::int64_t wire_msgs_received{0};
+    std::int64_t wire_bytes_sent{0};
+    std::int64_t wire_bytes_received{0};
+    std::int64_t injected_drops{0};
+    std::int64_t write_syscalls{0};
+    std::int64_t retransmissions{0};
+    std::int64_t duplicates_suppressed{0};
+    std::int64_t messages_abandoned{0};
+  } base_;
 };
 
 void NodeRuntime::build_protocol() {
@@ -158,7 +176,6 @@ void NodeRuntime::send(Message msg) {
     return;
   }
   const PeerAddr& peer = peers_.at(owner(msg.dst));
-  const std::vector<std::uint8_t> frame = encode_message(msg);
   if (cfg_.udp) {
     if (cfg_.drop_probability > 0.0 &&
         drop_rng_.next_double() < cfg_.drop_probability) {
@@ -167,15 +184,19 @@ void NodeRuntime::send(Message msg) {
     }
     // A kernel refusal (full buffers) is just loss with extra steps; the
     // reliable transport's retransmission covers both.
-    if (loop_.send_datagram(peer.udp_port, frame)) {
+    const std::size_t sent = loop_.send_datagram_message(peer.udp_port, msg);
+    if (sent != 0) {
       ++wire_msgs_sent_;
-      wire_bytes_sent_ += static_cast<std::int64_t>(frame.size());
+      wire_bytes_sent_ += static_cast<std::int64_t>(sent);
     }
     return;
   }
-  loop_.send(peer_conn_.at(peer.node_id), frame);
+  // Encoded straight into the connection's outbound queue; the bytes
+  // leave coalesced with everything else queued this drain round.
+  const std::size_t queued =
+      loop_.send_message(peer_conn_.at(peer.node_id), msg);
   ++wire_msgs_sent_;
-  wire_bytes_sent_ += static_cast<std::int64_t>(frame.size());
+  wire_bytes_sent_ += static_cast<std::int64_t>(queued);
 }
 
 void NodeRuntime::send_local(ProcessorId p, std::int32_t tag,
@@ -309,6 +330,16 @@ void NodeRuntime::on_ctrl_frame(const FrameView& frame) {
     case FrameType::kTimeJump:
       time_jump_requested_ = true;
       return;
+    case FrameType::kMetricsReset:
+      reset_metrics();
+      // Ack with a Ready frame: the controller must not issue measured
+      // Starts until every node has re-baselined, or a fast peer's
+      // first measured message could reach us ahead of our own reset
+      // (TCP orders per connection, not across them) and be absorbed
+      // into the baseline — leaving the global sent/received counts
+      // permanently skewed and the quiescence barrier unsatisfiable.
+      loop_.send(ctrl_conn_, encode_ready(ReadyFrame{cfg_.node_id}));
+      return;
     case FrameType::kShutdown:
       shutdown_ = true;
       return;
@@ -363,22 +394,43 @@ void NodeRuntime::maybe_ready() {
   loop_.send(ctrl_conn_, encode_ready(ReadyFrame{cfg_.node_id}));
 }
 
+void NodeRuntime::reset_metrics() {
+  metrics_ = Metrics(static_cast<std::size_t>(n_));
+  base_.events = events_;
+  base_.wire_msgs_sent = wire_msgs_sent_;
+  base_.wire_msgs_received = wire_msgs_received_;
+  base_.wire_bytes_sent = wire_bytes_sent_;
+  base_.wire_bytes_received = wire_bytes_received_;
+  base_.injected_drops = injected_drops_;
+  base_.write_syscalls = loop_.write_syscalls();
+  if (transport_ != nullptr) {
+    const RetryStats& rs = transport_->stats();
+    base_.retransmissions = rs.retransmissions;
+    base_.duplicates_suppressed = rs.duplicates_suppressed;
+    base_.messages_abandoned = rs.messages_abandoned;
+  }
+}
+
 void NodeRuntime::send_stats() {
   StatsFrame s;
   s.node_id = cfg_.node_id;
-  s.events_processed = events_;
-  s.wire_msgs_sent = wire_msgs_sent_;
-  s.wire_msgs_received = wire_msgs_received_;
-  s.wire_bytes_sent = wire_bytes_sent_;
-  s.wire_bytes_received = wire_bytes_received_;
-  s.injected_drops = injected_drops_;
+  // events_processed keeps its full monotone value (minus a constant
+  // baseline) so the controller's two-stable-rounds comparison works
+  // across a reset; the traffic counters are reported as deltas.
+  s.events_processed = events_ - base_.events;
+  s.wire_msgs_sent = wire_msgs_sent_ - base_.wire_msgs_sent;
+  s.wire_msgs_received = wire_msgs_received_ - base_.wire_msgs_received;
+  s.wire_bytes_sent = wire_bytes_sent_ - base_.wire_bytes_sent;
+  s.wire_bytes_received = wire_bytes_received_ - base_.wire_bytes_received;
+  s.injected_drops = injected_drops_ - base_.injected_drops;
+  s.wire_write_syscalls = loop_.write_syscalls() - base_.write_syscalls;
   s.timers_armed = static_cast<std::int64_t>(timers_.size());
   if (transport_ != nullptr) {
     s.unacked = transport_->unacked_total();
     const RetryStats& rs = transport_->stats();
-    s.retransmissions = rs.retransmissions;
-    s.duplicates_suppressed = rs.duplicates_suppressed;
-    s.messages_abandoned = rs.messages_abandoned;
+    s.retransmissions = rs.retransmissions - base_.retransmissions;
+    s.duplicates_suppressed = rs.duplicates_suppressed - base_.duplicates_suppressed;
+    s.messages_abandoned = rs.messages_abandoned - base_.messages_abandoned;
   }
   for (ProcessorId p = static_cast<ProcessorId>(cfg_.node_id); p < n_;
        p += static_cast<ProcessorId>(cfg_.num_nodes)) {

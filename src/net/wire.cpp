@@ -152,14 +152,30 @@ std::vector<std::uint8_t> encode_complete(const CompleteFrame& f) {
 }
 
 std::vector<std::uint8_t> encode_message(const Message& msg) {
-  auto out = begin_frame(FrameType::kMsg);
+  std::vector<std::uint8_t> out;
+  append_message(out, msg);
+  return out;
+}
+
+std::size_t append_message(std::vector<std::uint8_t>& out,
+                           const Message& msg) {
+  const std::size_t start = out.size();
+  put_u32(out, 0);  // payload length, backpatched below
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(FrameType::kMsg));
   put_i32(out, msg.src);
   put_i32(out, msg.dst);
   put_i32(out, msg.tag);
   put_i64(out, msg.op);
   put_u32(out, static_cast<std::uint32_t>(msg.args.size()));
   for (const std::int64_t a : msg.args) put_i64(out, a);
-  return finish_frame(std::move(out));
+  const std::size_t payload = out.size() - start - 4;
+  DCNT_CHECK_MSG(payload <= kMaxFramePayload, "frame payload too large");
+  for (int i = 0; i < 4; ++i) {
+    out[start + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload >> (8 * i));
+  }
+  return out.size() - start;
 }
 
 std::vector<std::uint8_t> encode_stats_request() {
@@ -180,6 +196,7 @@ std::vector<std::uint8_t> encode_stats(const StatsFrame& f) {
   put_i64(out, f.retransmissions);
   put_i64(out, f.duplicates_suppressed);
   put_i64(out, f.messages_abandoned);
+  put_i64(out, f.wire_write_syscalls);
   put_u32(out, static_cast<std::uint32_t>(f.loads.size()));
   for (const ProcLoad& l : f.loads) {
     put_i32(out, l.pid);
@@ -198,6 +215,10 @@ std::vector<std::uint8_t> encode_time_jump() {
   return finish_frame(begin_frame(FrameType::kTimeJump));
 }
 
+std::vector<std::uint8_t> encode_metrics_reset() {
+  return finish_frame(begin_frame(FrameType::kMetricsReset));
+}
+
 FrameView::FrameView(const std::uint8_t* data, std::size_t size)
     : data_(data), size_(size) {
   DCNT_CHECK_MSG(size_ >= 2, "frame shorter than its header");
@@ -207,7 +228,7 @@ FrameView::FrameView(const std::uint8_t* data, std::size_t size)
 FrameType FrameView::type() const {
   const std::uint8_t t = data_[1];
   DCNT_CHECK_MSG(t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-                     t <= static_cast<std::uint8_t>(FrameType::kTimeJump),
+                     t <= static_cast<std::uint8_t>(FrameType::kMetricsReset),
                  "unknown frame type");
   return static_cast<FrameType>(t);
 }
@@ -303,6 +324,7 @@ StatsFrame decode_stats(const FrameView& frame) {
   f.retransmissions = r.i64();
   f.duplicates_suppressed = r.i64();
   f.messages_abandoned = r.i64();
+  f.wire_write_syscalls = r.i64();
   const std::uint32_t count = r.u32();
   f.loads.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {

@@ -54,6 +54,11 @@ enum class FrameType : std::uint8_t {
   /// distributed analogue of the simulator's idle clock-jump — only the
   /// controller can see global idleness, so it pulls the trigger.
   kTimeJump = 10,
+  /// controller -> node: zero the message-load metrics and remember the
+  /// current transport counters as the new baseline. Broadcast at a
+  /// quiescent barrier after the warmup phase, so cold-start traffic
+  /// never appears in the measured stats.
+  kMetricsReset = 11,
 };
 
 struct HelloFrame {
@@ -121,6 +126,10 @@ struct StatsFrame {
   std::int64_t retransmissions{0};
   std::int64_t duplicates_suppressed{0};
   std::int64_t messages_abandoned{0};
+  /// write()/send() syscalls the data plane issued (TCP mode; one
+  /// sendto per datagram in UDP mode). wire_bytes_sent divided by this
+  /// is bytes-per-syscall — the direct observable for send coalescing.
+  std::int64_t wire_write_syscalls{0};
   std::vector<ProcLoad> loads;
 };
 
@@ -132,10 +141,17 @@ std::vector<std::uint8_t> encode_ready(const ReadyFrame& f);
 std::vector<std::uint8_t> encode_start(const StartFrame& f);
 std::vector<std::uint8_t> encode_complete(const CompleteFrame& f);
 std::vector<std::uint8_t> encode_message(const Message& msg);
+/// Appends one complete kMsg frame (length word included) to `out`
+/// without any intermediate buffer — the zero-allocation path for hot
+/// data-plane sends: encode straight into a connection's outbound queue
+/// or a reused datagram scratch buffer, coalescing many messages into
+/// one write(). Returns the number of bytes appended.
+std::size_t append_message(std::vector<std::uint8_t>& out, const Message& msg);
 std::vector<std::uint8_t> encode_stats_request();
 std::vector<std::uint8_t> encode_stats(const StatsFrame& f);
 std::vector<std::uint8_t> encode_shutdown();
 std::vector<std::uint8_t> encode_time_jump();
+std::vector<std::uint8_t> encode_metrics_reset();
 
 // --- decoding -------------------------------------------------------------
 

@@ -27,11 +27,17 @@ struct TimerLater {
   }
 };
 
+/// Which runtime worker (if any) is running on this thread. Lets
+/// begin_op distinguish a driver thread (immediate mailbox push) from a
+/// completion callback on a worker (batch through the worker's outbox).
+thread_local ThreadedRuntime* tl_worker_runtime = nullptr;
+thread_local std::size_t tl_worker_index = 0;
+
 }  // namespace
 
 struct ThreadedRuntime::Shard {
-  explicit Shard(std::size_t n, Rng shard_rng)
-      : rng(shard_rng), metrics(n) {}
+  Shard(std::size_t n, std::size_t num_shards, Rng shard_rng)
+      : outbox(num_shards), rng(shard_rng), metrics(n) {}
 
   Mailbox mailbox;
 
@@ -39,6 +45,18 @@ struct ThreadedRuntime::Shard {
   std::vector<RuntimeEvent> batch;  ///< drain target, reused
   std::vector<RuntimeEvent> ready;  ///< runnable events, appended mid-run
   std::size_t ready_head{0};
+  /// Cross-shard events staged per destination, flushed by flush_shard
+  /// with one push_all per dirty destination. The vectors are reused
+  /// (push_all clears without releasing capacity), so steady-state
+  /// cross-shard traffic allocates nothing here.
+  std::vector<std::vector<RuntimeEvent>> outbox;
+  std::vector<std::size_t> outbox_dirty;  ///< dsts with staged events
+  /// Deferred in_flight_ deltas: events created (sends, timers, starts
+  /// issued from this worker) and events finished since the last flush.
+  /// flush_shard applies adds before subtracts.
+  std::int64_t pending_sends{0};
+  std::int64_t finished{0};
+  std::size_t events_since_flush{0};
   std::vector<TimerEntry> timers;  ///< min-heap (TimerLater)
   std::uint64_t timer_seq{0};
   /// Logical clock: advances by one per processed event, and jumps to
@@ -47,6 +65,12 @@ struct ThreadedRuntime::Shard {
   SimTime clock{0};
   Rng rng;
   Metrics metrics;
+
+  void stage(std::size_t dst, RuntimeEvent ev) {
+    auto& out = outbox[dst];
+    if (out.empty()) outbox_dirty.push_back(dst);
+    out.push_back(std::move(ev));
+  }
 };
 
 /// Per-worker Context. Mirrors the Simulator's handler guard rails:
@@ -71,12 +95,12 @@ class ThreadedRuntime::WorkerCtx final : public Context {
     ev.kind = RuntimeEvent::Kind::kMessage;
     const std::size_t dst_shard = rt_->shard_of(msg.dst);
     ev.msg = std::move(msg);
-    rt_->in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    ++shard_->pending_sends;
     if (&*rt_->shards_[dst_shard] == shard_) {
       // Same shard: skip the mailbox, the owner is this thread.
       shard_->ready.push_back(std::move(ev));
     } else {
-      rt_->shards_[dst_shard]->mailbox.push(std::move(ev));
+      shard_->stage(dst_shard, std::move(ev));
     }
   }
 
@@ -92,7 +116,7 @@ class ThreadedRuntime::WorkerCtx final : public Context {
     msg.op = current_op_;
     msg.args = std::move(args);
     msg.local = true;
-    rt_->in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    ++shard_->pending_sends;
     const std::size_t dst_shard = rt_->shard_of(p);
     if (&*rt_->shards_[dst_shard] == shard_) {
       TimerEntry t;
@@ -110,7 +134,7 @@ class ThreadedRuntime::WorkerCtx final : public Context {
       ev.kind = RuntimeEvent::Kind::kTimer;
       ev.msg = std::move(msg);
       ev.delay = delay;
-      rt_->shards_[dst_shard]->mailbox.push(std::move(ev));
+      shard_->stage(dst_shard, std::move(ev));
     }
   }
 
@@ -164,15 +188,23 @@ ThreadedRuntime::ThreadedRuntime(std::unique_ptr<CounterProtocol> protocol,
   DCNT_CHECK(protocol_ != nullptr);
   num_processors_ = protocol_->num_processors();
   DCNT_CHECK(num_processors_ > 0);
+  DCNT_CHECK(config_.flush_batch >= 1);
   const std::size_t w = resolve_thread_count(config_.workers);
   DCNT_CHECK_MSG(w == 1 || protocol_->shard_safe(),
                  "protocol declines sharded execution (shard_safe)");
+  if (config_.active_shards != 0) {
+    active_shards_ = std::min(config_.active_shards, w);
+  } else {
+    const std::size_t cores = std::thread::hardware_concurrency();
+    active_shards_ = std::min(w, cores == 0 ? w : cores);
+  }
+  if (active_shards_ == 0) active_shards_ = 1;
   protocol_->on_shard_start(w);
   Rng base(config_.seed);
   shards_.reserve(w);
   for (std::size_t i = 0; i < w; ++i) {
     shards_.push_back(
-        std::make_unique<Shard>(num_processors_, base.fork(i + 1)));
+        std::make_unique<Shard>(num_processors_, w, base.fork(i + 1)));
   }
   threads_.reserve(w);
   for (std::size_t i = 0; i < w; ++i) {
@@ -196,20 +228,27 @@ OpId ThreadedRuntime::begin_op(ProcessorId origin,
   ev.msg.dst = origin;
   ev.msg.op = static_cast<OpId>(op);
   ev.msg.args = std::move(args);
-  // The increment precedes the push (sequenced-before), so in_flight_
-  // can never read zero while this event is invisible.
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  shards_[shard_of(origin)]->mailbox.push(std::move(ev));
-  return static_cast<OpId>(op);
-}
-
-void ThreadedRuntime::finish_event() {
-  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Notify under the mutex so a waiter cannot check the predicate and
-    // sleep between our decrement and our notify.
-    std::lock_guard<std::mutex> lock(quiesce_mu_);
-    quiesce_cv_.notify_all();
+  const std::size_t dst_shard = shard_of(origin);
+  if (tl_worker_runtime == this) {
+    // On a worker thread (completion-driven issuance): defer the
+    // in-flight add and batch the start like any cross-shard event. The
+    // deferral is safe because this worker's current event has not been
+    // subtracted yet, so in_flight_ stays positive until flush_shard
+    // applies adds-then-subtracts.
+    Shard& me = *shards_[tl_worker_index];
+    ++me.pending_sends;
+    if (dst_shard == tl_worker_index) {
+      me.ready.push_back(std::move(ev));
+    } else {
+      me.stage(dst_shard, std::move(ev));
+    }
+  } else {
+    // The increment precedes the push (sequenced-before), so in_flight_
+    // can never read zero while this event is invisible.
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    shards_[dst_shard]->mailbox.push(std::move(ev));
   }
+  return static_cast<OpId>(op);
 }
 
 void ThreadedRuntime::wait_quiescent() {
@@ -237,11 +276,39 @@ Metrics ThreadedRuntime::merged_metrics() const {
   return out;
 }
 
+void ThreadedRuntime::reset_metrics() {
+  DCNT_CHECK_MSG(in_flight_.load(std::memory_order_acquire) == 0,
+                 "reset_metrics requires quiescence");
+  for (auto& shard : shards_) shard->metrics.reset();
+}
+
 void ThreadedRuntime::stop() {
   if (!stop_.exchange(true, std::memory_order_acq_rel)) {
     for (auto& shard : shards_) shard->mailbox.wake();
     for (auto& t : threads_) t.join();
     threads_.clear();
+  }
+}
+
+void ThreadedRuntime::flush_shard(Shard& shard) {
+  if (shard.pending_sends != 0) {
+    in_flight_.fetch_add(shard.pending_sends, std::memory_order_acq_rel);
+    shard.pending_sends = 0;
+  }
+  for (std::size_t dst : shard.outbox_dirty) {
+    shards_[dst]->mailbox.push_all(shard.outbox[dst]);
+  }
+  shard.outbox_dirty.clear();
+  shard.events_since_flush = 0;
+  if (shard.finished != 0) {
+    const std::int64_t n = shard.finished;
+    shard.finished = 0;
+    if (in_flight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+      // Notify under the mutex so a waiter cannot check the predicate
+      // and sleep between our decrement and our notify.
+      std::lock_guard<std::mutex> lock(quiesce_mu_);
+      quiesce_cv_.notify_all();
+    }
   }
 }
 
@@ -253,10 +320,13 @@ void ThreadedRuntime::process_event(Shard& shard, WorkerCtx& ctx,
   }
   ctx.run(ev);
   ++shard.clock;
-  finish_event();
+  ++shard.finished;
+  ++shard.events_since_flush;
 }
 
 void ThreadedRuntime::worker_main(std::size_t worker) {
+  tl_worker_runtime = this;
+  tl_worker_index = worker;
   Shard& shard = *shards_[worker];
   WorkerCtx ctx(this, &shard);
   while (!stop_.load(std::memory_order_acquire)) {
@@ -280,6 +350,8 @@ void ThreadedRuntime::worker_main(std::size_t worker) {
     }
     // 2. Run until dry: ready events first (handlers may append more),
     //    then any timer whose deadline the advancing clock has passed.
+    //    Cross-shard output is flushed every flush_batch events so
+    //    peers are fed even while this worker stays busy.
     bool ran = false;
     for (;;) {
       if (shard.ready_head < shard.ready.size()) {
@@ -287,6 +359,9 @@ void ThreadedRuntime::worker_main(std::size_t worker) {
         RuntimeEvent ev = std::move(shard.ready[shard.ready_head++]);
         process_event(shard, ctx, ev);
         ran = true;
+        if (shard.events_since_flush >= config_.flush_batch) {
+          flush_shard(shard);
+        }
         continue;
       }
       shard.ready.clear();
@@ -299,10 +374,17 @@ void ThreadedRuntime::worker_main(std::size_t worker) {
         shard.timers.pop_back();
         process_event(shard, ctx, ev);
         ran = true;
+        if (shard.events_since_flush >= config_.flush_batch) {
+          flush_shard(shard);
+        }
         continue;
       }
       break;
     }
+    // Dry point: hand off staged cross-shard events and settle the
+    // in-flight ledger before idling (a dirty outbox here would starve
+    // peers and could deadlock the quiescence wait).
+    flush_shard(shard);
     if (ran) continue;  // recheck the mailbox before considering idle
     // 3. Idle with armed timers: jump the clock (the simulator does the
     //    same across its global queue) so windows/timeouts fire rather
@@ -314,6 +396,7 @@ void ThreadedRuntime::worker_main(std::size_t worker) {
     // 4. Nothing to do: sleep until mail or stop.
     shard.mailbox.wait(stop_);
   }
+  tl_worker_runtime = nullptr;
 }
 
 }  // namespace dcnt

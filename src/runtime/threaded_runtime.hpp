@@ -4,13 +4,28 @@
 // load) but cannot measure the production consequence — a bottleneck
 // processor caps wall-clock inc/s. This runtime executes the *same*
 // Protocol implementations on real threads: the n processors are
-// sharded round-robin across W workers, each worker owns an MPSC
-// mailbox (mailbox.hpp) and delivers events only to its own
-// processors, and a cross-shard Context::send enqueues into the
-// destination's mailbox. Handlers for processors of different shards
+// sharded round-robin across the *active* shards — min(W, cores) by
+// default, because extra shards beyond the core count add context
+// switches without adding parallelism (RuntimeConfig::active_shards
+// pins the count for tests) — each worker owns an MPSC mailbox
+// (mailbox.hpp) and delivers events only to its own processors, and a
+// cross-shard Context::send enqueues into the destination's mailbox. Handlers for processors of different shards
 // run concurrently on one protocol object; Protocol::shard_safe()
 // documents why that is sound (state slicing + message-causality +
 // mailbox mutexes = happens-before for every conflicting access).
+//
+// Delivery is batched end to end (the combining-tree idea applied to
+// the substrate itself): cross-shard events accumulate in per-worker
+// outboxes — one vector per destination shard — and are flushed with a
+// single Mailbox::push_all per destination once per drain cycle (or
+// every flush_batch events, whichever comes first), so the mailbox
+// lock and any wake are paid per batch, not per message. The in-flight
+// counter is batched the same way: sends and finished events tally in
+// plain per-worker integers and hit the shared atomic once per cycle,
+// adds strictly before subtracts so the count never dips below truth.
+// All hot-path buffers (drain target, ready queue, outboxes) are
+// reused across cycles; after warm-up a drain cycle allocates nothing
+// beyond what the protocol's own messages carry.
 //
 // What carries over from the simulator, exactly:
 //   - message accounting: a non-local message with src != dst counts
@@ -19,6 +34,9 @@
 //     total_messages/max_load agree with the simulator whenever the
 //     protocol's message count is schedule-independent (asserted by
 //     tests/test_runtime_equivalence.cpp for sequential schedules).
+//     Batching changes none of this: it coalesces how events travel,
+//     never what is delivered (also pinned by those tests across
+//     flush_batch settings).
 //   - semantics hooks: start_inc/start_op runs at the origin's worker;
 //     complete() fires at whichever worker runs the completing handler.
 // What deliberately does not:
@@ -63,6 +81,23 @@ struct RuntimeConfig {
   /// pre-sized so completion never allocates or locks). Drivers that
   /// know their op count pass it exactly.
   std::size_t max_ops{1 << 16};
+  /// Outbox flush bound: cross-shard events are handed off when the
+  /// worker runs dry or after this many processed events, whichever is
+  /// first. 1 degenerates to per-event delivery (useful to prove the
+  /// coalescing is delivery-transparent — see
+  /// test_runtime_equivalence.cpp); larger values amortize the mailbox
+  /// lock harder at a bounded cost in cross-shard latency.
+  std::size_t flush_batch{64};
+  /// Shards that actually own processors. 0 = adaptive: min(workers,
+  /// hardware cores) — a host cannot execute more shards than cores in
+  /// parallel, so spreading processors across extra shards buys no
+  /// concurrency and pays a context switch per cross-shard hop (on a
+  /// single-core box an 8-worker run degenerates to scheduler thrash).
+  /// Workers beyond the active count own empty shards and park.
+  /// Explicit values are clamped to [1, workers]; tests that must
+  /// exercise true cross-shard delivery regardless of host size pin
+  /// this to `workers`.
+  std::size_t active_shards{0};
 };
 
 class ThreadedRuntime {
@@ -83,16 +118,21 @@ class ThreadedRuntime {
   ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
 
   std::size_t workers() const { return shards_.size(); }
+  /// Shards that own processors (<= workers); see
+  /// RuntimeConfig::active_shards.
+  std::size_t active_shards() const { return active_shards_; }
   std::size_t num_processors() const { return num_processors_; }
   const CounterProtocol& protocol() const { return *protocol_; }
 
   /// Not thread-safe against in-flight operations: install before the
-  /// first begin_*.
+  /// first begin_*, or between phases with the runtime quiescent.
   void set_completion(CompletionFn fn) { completion_ = std::move(fn); }
 
   /// Starts an operation at `origin`'s worker. Callable from any thread,
   /// including from inside a completion callback — the start always runs
-  /// on the owning worker, never inline on the caller.
+  /// on the owning worker, never inline on the caller (worker threads
+  /// route it through their own outbox, so completion-driven issuance
+  /// batches like any other cross-shard traffic).
   OpId begin_inc(ProcessorId origin) { return begin_op(origin, {}); }
   OpId begin_op(ProcessorId origin, std::vector<std::int64_t> args);
 
@@ -115,6 +155,13 @@ class ThreadedRuntime {
   /// Metrics. Requires quiescence.
   Metrics merged_metrics() const;
 
+  /// Zeroes every shard's load counters. Requires quiescence (which is
+  /// a full memory barrier in both directions: the workers' prior
+  /// writes are visible here, and this write reaches each worker
+  /// through the mailbox hand-off of its next event). Used by warmup
+  /// drivers so cold-start traffic never pollutes measured metrics.
+  void reset_metrics();
+
   /// Stops and joins the workers; abandons whatever is still queued.
   /// Idempotent; the destructor calls it.
   void stop();
@@ -129,26 +176,30 @@ class ThreadedRuntime {
   friend class WorkerCtx;
 
   std::size_t shard_of(ProcessorId p) const {
-    return static_cast<std::size_t>(p) % shards_.size();
+    return static_cast<std::size_t>(p) % active_shards_;
   }
   void worker_main(std::size_t worker);
   void process_event(Shard& shard, WorkerCtx& ctx, RuntimeEvent& ev);
-  /// Decrements the in-flight count; the release/acquire chain through
-  /// this one atomic is what makes quiescence a full memory barrier
-  /// (merged_metrics and protocol state reads after wait_quiescent()
-  /// see every handler's writes).
-  void finish_event();
+  /// Applies a shard's deferred in-flight accounting: pending sends are
+  /// added *before* outboxes flush (so counted events are never
+  /// invisible) and finished events are subtracted last (so the count
+  /// can only touch zero when everything really is done). The acq_rel
+  /// RMW chain through this one atomic is what makes quiescence a full
+  /// memory barrier (merged_metrics and protocol state reads after
+  /// wait_quiescent() see every handler's writes).
+  void flush_shard(Shard& shard);
 
   std::unique_ptr<CounterProtocol> protocol_;
   RuntimeConfig config_;
   std::size_t num_processors_;
+  std::size_t active_shards_{1};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
   CompletionFn completion_;
 
-  /// Events queued + timers pending + handlers running. Every mutation
-  /// is acq_rel so the RMW chain transfers visibility (see
-  /// finish_event).
+  /// Events queued + timers pending + handlers running. Updated in
+  /// batches per drain cycle (see flush_shard); single-event updates
+  /// only happen for pushes from non-worker threads.
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<bool> stop_{false};
 

@@ -52,7 +52,47 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
   DCNT_CHECK(ops > 0);
   DCNT_CHECK_MSG(rt.ops_started() == 0, "run_workload needs a fresh runtime");
 
-  LatencyRecorder recorder(ops);
+  if (options.warmup > 0) {
+    // Unrecorded closed-loop phase cycling through the initiators:
+    // wakes the workers, grows every reusable buffer to steady-state
+    // size, and faults in the op table. Quiesce, then zero the message
+    // metrics so the measured phase starts from a clean ledger on a hot
+    // runtime.
+    const std::size_t warmup = options.warmup;
+    std::atomic<std::size_t> wcursor{0};
+    std::atomic<std::size_t> wdone{0};
+    std::mutex wmu;
+    std::condition_variable wcv;
+    const auto wissue = [&] {
+      const std::size_t i = wcursor.fetch_add(1, std::memory_order_acq_rel);
+      if (i >= warmup) return;
+      rt.begin_inc(initiators[i % ops]);
+    };
+    rt.set_completion([&](OpId /*op*/, Value /*value*/) {
+      wissue();
+      if (wdone.fetch_add(1, std::memory_order_acq_rel) + 1 == warmup) {
+        std::lock_guard<std::mutex> lock(wmu);
+        wcv.notify_all();
+      }
+    });
+    const std::size_t clients = std::min(
+        warmup,
+        options.concurrency == 0 ? std::size_t{1} : options.concurrency);
+    for (std::size_t c = 0; c < clients; ++c) wissue();
+    {
+      std::unique_lock<std::mutex> lock(wmu);
+      wcv.wait(lock, [&] {
+        return wdone.load(std::memory_order_acquire) == warmup;
+      });
+    }
+    rt.wait_quiescent();
+    rt.set_completion(nullptr);
+    rt.reset_metrics();
+  }
+
+  // Measured ops occupy ids warmup..warmup+ops-1; recorder slots for
+  // the warmup range simply stay empty.
+  LatencyRecorder recorder(options.warmup + ops);
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> done{0};
   std::mutex mu;

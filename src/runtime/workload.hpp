@@ -56,6 +56,14 @@ struct WorkloadOptions {
   std::size_t concurrency{8};
   /// If > 0: open-loop issuance at this many ops/second.
   double open_rate{0.0};
+  /// Warmup operations issued (closed-loop, same concurrency, cycling
+  /// through the initiator sequence) and run to quiescence before the
+  /// measured phase. Excluded from the recorder and the rates, and the
+  /// runtime's metrics are reset afterwards — so cold-start costs
+  /// (thread wakeups, buffer growth, page faults) never pollute the
+  /// measured latencies, and message counts stay comparable to a
+  /// no-warmup run.
+  std::size_t warmup{0};
 };
 
 struct WorkloadResult {
@@ -70,7 +78,9 @@ struct WorkloadResult {
 /// be fresh: no operations started yet), waits for all completions,
 /// then runs the runtime to quiescence so the caller can read
 /// merged_metrics() and protocol state. Wall time covers first issue to
-/// last completion (not the trailing quiesce).
+/// last completion (not the trailing quiesce). With options.warmup > 0,
+/// that many unrecorded operations run (and quiesce) first; measured
+/// operations then occupy OpIds warmup..warmup+initiators.size()-1.
 WorkloadResult run_workload(ThreadedRuntime& rt,
                             const std::vector<ProcessorId>& initiators,
                             const WorkloadOptions& options = {});

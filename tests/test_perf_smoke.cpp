@@ -1,0 +1,125 @@
+// Perf smoke: the benchmark pipelines (bench_throughput's harness and
+// bench_net's cluster comparison) at tiny scale, pinning every
+// deterministic field to its checked-in baseline value. A refactor of
+// the runtime hot paths that silently changed protocol-level message
+// counts, broke warmup exclusion, or lost the write-coalescing
+// observable fails here in milliseconds instead of in a full benchmark
+// re-run. Timing fields are asserted only for sanity (> 0): wall-clock
+// numbers are not deterministic and belong in BENCH_*.json, not ctest.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/central.hpp"
+#include "harness/cluster.hpp"
+#include "harness/factory.hpp"
+#include "harness/throughput.hpp"
+
+namespace dcnt {
+namespace {
+
+// The central counter's measured traffic is schedule-independent: every
+// remote inc is exactly one request + one reply at the holder, so the
+// totals below must match BENCH_throughput.json's central rows exactly,
+// at every worker count and with or without warmup.
+TEST(PerfSmoke, ThroughputCentralMatchesCheckedInBaseline) {
+  for (const std::size_t workers : {1u, 8u}) {
+    ThroughputOptions options;
+    options.workers = workers;
+    options.ops = 256;  // the BENCH_throughput.json config: n=16, 16x
+    options.warmup = 32;
+    options.concurrency = 16;
+    options.seed = 7;
+    options.initiators = "roundrobin";
+    const ThroughputResult res =
+        run_throughput(std::make_unique<CentralCounter>(16), options);
+    ASSERT_TRUE(res.values_ok) << "W=" << workers;
+    EXPECT_EQ(res.ops, 256u);
+    // 15 of every 16 round-robin ops are remote, 2 messages each:
+    // 256 / 16 * 15 * 2 = 480 — the checked-in baseline value.
+    EXPECT_EQ(res.total_messages, 480) << "W=" << workers;
+    EXPECT_EQ(res.max_load, 480) << "W=" << workers;
+    EXPECT_EQ(res.bottleneck, 0) << "W=" << workers;
+    EXPECT_GT(res.ops_per_sec, 0.0);
+  }
+}
+
+// The tree's totals vary with delivery interleavings, but stay inside a
+// band around the k=3, T=12 baseline; the structural fields are exact.
+TEST(PerfSmoke, ThroughputTreeStaysInTheBaselineBand) {
+  ThroughputOptions options;
+  options.workers = 4;
+  options.ops = 648;  // n=81 at 8x, half the benchmark's 16x for speed
+  options.warmup = 32;
+  options.concurrency = 16;
+  options.seed = 7;
+  options.initiators = "roundrobin";
+  const ThroughputResult res =
+      run_throughput(make_counter(CounterKind::kTree, 81), options);
+  ASSERT_TRUE(res.values_ok);
+  EXPECT_EQ(res.n, 81u);
+  // Roughly 13 messages per op in the baseline; allow the interleaving
+  // band observed across seeds and worker counts (~±10%).
+  EXPECT_GT(res.total_messages, 7'000);
+  EXPECT_LT(res.total_messages, 10'500);
+  EXPECT_GT(res.max_load, 0);
+}
+
+// bench_net's shape at minimum scale: in-process vs TCP cluster on the
+// central counter, with warmup and the coalescing observable. The
+// protocol-level totals must agree between the runtimes and match the
+// closed-form count; the wire must show coalescing (never more kernel
+// writes than frames).
+TEST(PerfSmoke, NetCentralClusterMatchesInProcessTotals) {
+  const std::int64_t n = 8;
+  const std::size_t ops = 32;
+  const std::size_t warmup = 16;
+  // 28 of the 32 measured round-robin ops are remote: 56 messages.
+  const std::int64_t expected_total = 56;
+
+  ThroughputOptions topt;
+  topt.workers = 2;
+  topt.ops = ops;
+  topt.warmup = warmup;
+  topt.concurrency = 8;
+  topt.seed = 7;
+  const ThroughputResult inproc =
+      run_throughput(std::make_unique<CentralCounter>(n), topt);
+  ASSERT_TRUE(inproc.values_ok);
+  EXPECT_EQ(inproc.total_messages, expected_total);
+  EXPECT_EQ(inproc.max_load, expected_total);
+
+  net::ClusterOptions copt;
+  copt.counter = "central";
+  copt.min_processors = n;
+  copt.nodes = 2;
+  copt.ops = ops;
+  copt.warmup = warmup;
+  copt.concurrency = 8;
+  copt.seed = 7;
+  const net::ClusterResult cluster = net::run_cluster(copt);
+  ASSERT_TRUE(cluster.values_ok);
+  EXPECT_EQ(cluster.warmup, warmup);
+  EXPECT_EQ(cluster.total_messages, expected_total);
+  EXPECT_EQ(cluster.max_load, expected_total);
+  // Warmup exclusion on the wire: only the measured ops' remote
+  // messages cross node boundaries (n=8 over 2 nodes puts the holder's
+  // node at half the processors; 32 measured ops round-robin = 16
+  // cross-node requests + 16 replies... of which replies to same-node
+  // initiators stay local). The exact split is topology arithmetic;
+  // what must hold is that the reset left strictly fewer wire messages
+  // than a warmup-inclusive run (48 ops) could produce.
+  EXPECT_GT(cluster.wire_msgs_sent, 0);
+  EXPECT_LT(cluster.wire_msgs_sent, 2 * static_cast<std::int64_t>(ops));
+  // The coalescing observable: every kernel write moves at least one
+  // whole frame, so writes never exceed data frames plus the node's
+  // control-plane traffic (one Complete per measured op, plus a handful
+  // of Stats replies and time jumps during the quiescence barrier).
+  EXPECT_GT(cluster.wire_write_syscalls, 0);
+  EXPECT_LE(cluster.wire_write_syscalls,
+            cluster.wire_msgs_sent + static_cast<std::int64_t>(ops) + 64);
+  EXPECT_GT(cluster.wire_bytes_sent, 0);
+}
+
+}  // namespace
+}  // namespace dcnt

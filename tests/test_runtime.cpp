@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <thread>
@@ -48,6 +50,92 @@ TEST(Mailbox, MultiProducerDrainsEverythingExactlyOnce) {
   for (int tag = 0; tag < kProducers * kPerProducer; ++tag) {
     EXPECT_EQ(seen.count(tag), 1u) << tag;
   }
+}
+
+TEST(Mailbox, PushAllMovesWholeBatchesFromMultipleProducers) {
+  Mailbox box;
+  constexpr int kProducers = 4;
+  constexpr int kBatches = 100;
+  constexpr int kPerBatch = 20;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      std::vector<RuntimeEvent> batch;
+      for (int b = 0; b < kBatches; ++b) {
+        for (int i = 0; i < kPerBatch; ++i) {
+          RuntimeEvent ev;
+          ev.msg.tag = (p * kBatches + b) * kPerBatch + i;
+          batch.push_back(std::move(ev));
+        }
+        box.push_all(batch);
+        // The batch buffer comes back empty and reusable.
+        ASSERT_TRUE(batch.empty());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::multiset<int> seen;
+  std::vector<RuntimeEvent> out;
+  while (box.drain(out)) {
+    for (const auto& ev : out) seen.insert(ev.msg.tag);
+  }
+  constexpr int kTotal = kProducers * kBatches * kPerBatch;
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kTotal));
+  for (int tag = 0; tag < kTotal; ++tag) {
+    EXPECT_EQ(seen.count(tag), 1u) << tag;
+  }
+}
+
+TEST(Mailbox, PushAllOfEmptyBatchIsANoOp) {
+  Mailbox box;
+  std::vector<RuntimeEvent> empty;
+  box.push_all(empty);
+  std::vector<RuntimeEvent> out;
+  EXPECT_FALSE(box.drain(out));
+}
+
+// push_all must wake a parked owner: one wake per batch is the whole
+// point of the batched hand-off, so a lost wake here would deadlock a
+// dry worker forever.
+TEST(Mailbox, PushAllWakesAParkedOwner) {
+  Mailbox box;
+  std::atomic<bool> stop{false};
+  std::atomic<int> delivered{0};
+  std::thread owner([&] {
+    std::vector<RuntimeEvent> out;
+    for (;;) {
+      if (!box.wait(stop) && stop.load()) return;
+      while (box.drain(out)) {
+        delivered.fetch_add(static_cast<int>(out.size()));
+      }
+    }
+  });
+  std::vector<RuntimeEvent> batch(17);
+  // Outlast the spin phase so the owner is (very likely) parked on the
+  // condvar by the time the batch arrives; correctness does not depend
+  // on winning that race, only the coverage does.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.push_all(batch);
+  while (delivered.load() < 17) std::this_thread::yield();
+  stop.store(true);
+  box.wake();
+  owner.join();
+  EXPECT_EQ(delivered.load(), 17);
+}
+
+// The stop flag must win even when mail keeps arriving: wait() reports
+// mail, the caller drains and re-checks stop.
+TEST(Mailbox, WaitObservesStopWithoutMail) {
+  Mailbox box;
+  std::atomic<bool> stop{false};
+  std::thread owner([&] {
+    EXPECT_FALSE(box.wait(stop));  // no mail ever arrives
+    EXPECT_TRUE(stop.load());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  stop.store(true);
+  box.wake();
+  owner.join();
 }
 
 TEST(ThreadedRuntime, WaitQuiescentOnIdleRuntimeReturnsImmediately) {
@@ -116,6 +204,30 @@ TEST(ThreadedRuntime, ValuesArePermutationForEveryCounterAndWorkerCount) {
       EXPECT_GE(res.p99_us, res.p50_us);
     }
   }
+}
+
+// Warmup ops run first, complete, and leave no trace in the metrics:
+// the measured phase of a central run must show exactly the measured
+// ops' request/reply traffic, as if the warmup never happened.
+TEST(ThreadedRuntime, WarmupOpsAreExcludedFromMetricsAndLatency) {
+  const std::int64_t n = 8;
+  ThroughputOptions options;
+  options.workers = 2;
+  options.ops = 128;
+  options.warmup = 64;
+  options.concurrency = 8;
+  options.seed = 9;
+  options.initiators = "roundrobin";
+  const ThroughputResult res =
+      run_throughput(std::make_unique<CentralCounter>(n), options);
+  EXPECT_TRUE(res.values_ok);  // permutation over warmup + measured
+  EXPECT_EQ(res.ops, 128u);
+  EXPECT_EQ(res.warmup, 64u);
+  // Round-robin over n=8: 7 of every 8 measured ops are remote, each
+  // costing one request + one reply. Any warmup leakage would inflate
+  // this exact count.
+  EXPECT_EQ(res.total_messages, 2 * (128 / 8) * (n - 1));
+  EXPECT_GT(res.ops_per_sec, 0.0);
 }
 
 TEST(ThreadedRuntime, ZipfAndOpenLoopWorkloadsComplete) {

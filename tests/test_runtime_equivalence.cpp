@@ -26,9 +26,11 @@ namespace dcnt {
 namespace {
 
 void expect_backends_agree(CounterKind kind, std::int64_t min_n,
-                           std::size_t workers, std::uint64_t seed) {
+                           std::size_t workers, std::uint64_t seed,
+                           std::size_t flush_batch = 64) {
   SCOPED_TRACE(to_string(kind) + " W=" + std::to_string(workers) +
-               " seed=" + std::to_string(seed));
+               " seed=" + std::to_string(seed) +
+               " flush_batch=" + std::to_string(flush_batch));
   auto for_sim = make_counter(kind, min_n);
   const auto n = static_cast<std::int64_t>(for_sim->num_processors());
   const std::vector<ProcessorId> order = schedule_sequential(n);
@@ -39,8 +41,8 @@ void expect_backends_agree(CounterKind kind, std::int64_t min_n,
   const RunResult sim_result = run_sequential(sim, order);
   ASSERT_TRUE(sim_result.values_ok);
 
-  const RuntimeSequentialResult rt_result =
-      run_runtime_sequential(make_counter(kind, min_n), workers, order, seed);
+  const RuntimeSequentialResult rt_result = run_runtime_sequential(
+      make_counter(kind, min_n), workers, order, seed, flush_batch);
 
   // Both sequential drivers assert values 0,1,2,... internally; this
   // pins that they returned the same thing to the caller too.
@@ -77,6 +79,18 @@ TEST(RuntimeEquivalence, TreeCounterMatchesSimulatorExactly) {
 
 TEST(RuntimeEquivalence, StaticTreeMatchesSimulatorExactly) {
   expect_backends_agree(CounterKind::kStaticTree, 8, 4, 9);
+}
+
+// Outbox coalescing is delivery-transparent: whether cross-shard events
+// are handed over one at a time (flush_batch=1), in small clumps, or
+// only at the dry point (a batch bound far above anything a sequential
+// schedule accumulates), the values, every per-processor load, and the
+// per-op message attribution must still match the simulator exactly.
+TEST(RuntimeEquivalence, OutboxFlushBatchSizeIsObservablyTransparent) {
+  for (const std::size_t flush_batch : {1u, 4u, 1024u}) {
+    expect_backends_agree(CounterKind::kCentral, 12, 4, 7, flush_batch);
+    expect_backends_agree(CounterKind::kTree, 8, 4, 7, flush_batch);
+  }
 }
 
 // Longer sequential schedule on the tree: several incs per processor,

@@ -5,8 +5,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 #include <vector>
+
+#include "runtime/mailbox.hpp"
 
 namespace dcnt {
 namespace {
@@ -77,6 +80,46 @@ TEST(ThreadPool, PropagatesTheFirstException) {
   std::atomic<int> calls{0};
   pool.parallel_for_each(8, [&](std::size_t, std::size_t) { ++calls; });
   EXPECT_EQ(calls.load(), 8);
+}
+
+// Pool workers fanning batches out to per-destination mailboxes with
+// push_all — the exact shape of the runtime's cross-shard flush, with
+// the pool standing in for the worker threads. Every event must land in
+// the right mailbox exactly once, whatever the interleaving.
+TEST(ThreadPool, PushAllFanOutDeliversEverythingToTheRightMailbox) {
+  constexpr std::size_t kDests = 3;
+  constexpr std::size_t kSenders = 64;
+  constexpr int kPerDest = 40;
+  ThreadPool pool(4);
+  std::vector<Mailbox> boxes(kDests);
+  pool.parallel_for_each(kSenders, [&](std::size_t, std::size_t sender) {
+    // One outbox per destination, flushed once — the batched pattern.
+    std::vector<std::vector<RuntimeEvent>> outbox(kDests);
+    for (std::size_t d = 0; d < kDests; ++d) {
+      for (int i = 0; i < kPerDest; ++i) {
+        RuntimeEvent ev;
+        ev.msg.dst = static_cast<ProcessorId>(d);
+        ev.msg.tag = static_cast<std::int32_t>(sender * kPerDest + i);
+        outbox[d].push_back(std::move(ev));
+      }
+      boxes[d].push_all(outbox[d]);
+      EXPECT_TRUE(outbox[d].empty());
+    }
+  });
+  for (std::size_t d = 0; d < kDests; ++d) {
+    std::multiset<int> seen;
+    std::vector<RuntimeEvent> out;
+    while (boxes[d].drain(out)) {
+      for (const auto& ev : out) {
+        EXPECT_EQ(ev.msg.dst, static_cast<ProcessorId>(d));
+        seen.insert(ev.msg.tag);
+      }
+    }
+    ASSERT_EQ(seen.size(), kSenders * kPerDest);
+    for (int tag = 0; tag < static_cast<int>(kSenders) * kPerDest; ++tag) {
+      EXPECT_EQ(seen.count(tag), 1u) << "dest " << d << " tag " << tag;
+    }
+  }
 }
 
 TEST(ThreadPool, ResolveThreadCountHonorsEnvAndExplicit) {
