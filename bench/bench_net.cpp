@@ -22,9 +22,20 @@
 // event loop batches every frame queued in one drain round into a
 // single write() per peer.
 //
+// The cluster rows sweep `--pipelines` (closed-loop pipeline depth D:
+// each of the `--concurrency` slots keeps D ops outstanding). D=1 is
+// the classic one-op-per-slot closed loop; D>1 amortises the
+// per-wakeup syscall cost across a deeper in-flight window — the lever
+// the v2 reactor/threading work targets. Every depth is still verified
+// as an exact permutation. p50/p99 latency is per-op as stamped at the
+// controller, so at D>1 it includes queueing behind the same slot's
+// earlier ops.
+//
 //   $ bench_net [--counters=tree,central] [--n=16] [--nodes=4]
 //               [--ops_factor=16] [--concurrency=16] [--drop=0.05]
-//               [--warmup=64] [--seed=7] [--out=BENCH_net.json]
+//               [--pipelines=1,8] [--loops=1] [--shards_per_node=0]
+//               [--backend=] [--warmup=64] [--seed=7]
+//               [--out=BENCH_net.json]
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -45,6 +56,7 @@ namespace {
 struct NetRow {
   std::string counter;
   std::string mode;  ///< "inproc", "tcp", "udp", "udp-lossy"
+  std::size_t pipeline{1};  ///< closed-loop depth per slot (1 for inproc)
   std::size_t n{0};
   std::size_t parallelism{0};  ///< workers (inproc) or nodes (cluster)
   std::size_t ops{0};
@@ -82,10 +94,12 @@ NetRow from_throughput(const ThroughputResult& r) {
   return row;
 }
 
-NetRow from_cluster(const net::ClusterResult& r, const std::string& mode) {
+NetRow from_cluster(const net::ClusterResult& r, const std::string& mode,
+                    std::size_t pipeline) {
   NetRow row;
   row.counter = r.counter;
   row.mode = mode;
+  row.pipeline = pipeline;
   row.n = r.n;
   row.parallelism = r.nodes;
   row.ops = r.ops;
@@ -115,8 +129,8 @@ int main(int argc, char** argv) {
       argc, argv,
       "NET: socket cluster runtime vs in-process runtime at matched "
       "protocol/n/parallelism",
-      {"concurrency", "counters", "drop", "n", "nodes", "ops_factor", "out",
-       "seed", "warmup"});
+      {"backend", "concurrency", "counters", "drop", "loops", "n", "nodes",
+       "ops_factor", "out", "pipelines", "seed", "shards_per_node", "warmup"});
   const auto counters =
       parse_string_list(flags.get_string("counters", "tree,central"));
   const std::int64_t n = flags.get_int("n", 16);
@@ -125,11 +139,19 @@ int main(int argc, char** argv) {
   const auto concurrency =
       static_cast<std::size_t>(flags.get_int("concurrency", 16));
   const double drop = flags.get_double("drop", 0.05);
+  const auto pipelines = parse_int_list(flags.get_string("pipelines", "1,8"));
+  const auto loops = static_cast<std::uint32_t>(flags.get_int("loops", 1));
+  // Default 0 = inline drive (the event-loop thread runs the protocol
+  // shard itself): the fastest topology wherever nodes outnumber cores,
+  // and the configuration the checked-in BENCH_net.json is measured at.
+  const auto shards_per_node =
+      static_cast<std::uint32_t>(flags.get_int("shards_per_node", 0));
+  const std::string backend = flags.get_string("backend", "");
   const auto warmup = static_cast<std::size_t>(flags.get_int("warmup", 64));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const std::string out = flags.get_string("out", "BENCH_net.json");
 
-  Table table({"counter", "mode", "n", "par", "ops", "inc/s", "p50_us",
+  Table table({"counter", "mode", "pipe", "n", "par", "ops", "inc/s", "p50_us",
                "p99_us", "total_msgs", "max_load", "wire_msgs", "wr_B",
                "retx"});
   std::vector<NetRow> rows;
@@ -156,29 +178,36 @@ int main(int argc, char** argv) {
     inproc.counter = name;  // cluster rows carry the flag name; match it
     rows.push_back(inproc);
 
-    net::ClusterOptions copt;
-    copt.counter = name;
-    copt.min_processors = n;
-    copt.nodes = nodes;
-    copt.ops = static_cast<std::int64_t>(ops);
-    copt.concurrency = concurrency;
-    copt.warmup = warmup;
-    copt.seed = seed;
-    rows.push_back(from_cluster(net::run_cluster(copt), "tcp"));
+    for (const std::int64_t depth : pipelines) {
+      const auto d = static_cast<std::size_t>(depth > 0 ? depth : 1);
+      net::ClusterOptions copt;
+      copt.counter = name;
+      copt.min_processors = n;
+      copt.nodes = nodes;
+      copt.ops = static_cast<std::int64_t>(ops);
+      copt.concurrency = concurrency;
+      copt.pipeline = d;
+      copt.loops = loops;
+      copt.shards_per_node = shards_per_node;
+      copt.backend = backend;
+      copt.warmup = warmup;
+      copt.seed = seed;
+      rows.push_back(from_cluster(net::run_cluster(copt), "tcp", d));
 
-    copt.udp = true;
-    copt.drop_probability = 0.0;
-    rows.push_back(from_cluster(net::run_cluster(copt), "udp"));
+      copt.udp = true;
+      copt.drop_probability = 0.0;
+      rows.push_back(from_cluster(net::run_cluster(copt), "udp", d));
 
-    if (drop > 0.0) {
-      copt.drop_probability = drop;
-      // Faster retransmission clock: at the default 200us tick the
-      // first retry would wait ~3ms of wall time per lost datagram.
-      copt.tick_us = 100;
-      copt.retry.ack_timeout = 8;
-      copt.retry.max_timeout = 64;
-      copt.retry.max_attempts = 30;
-      rows.push_back(from_cluster(net::run_cluster(copt), "udp-lossy"));
+      if (drop > 0.0) {
+        copt.drop_probability = drop;
+        // Faster retransmission clock: at the default 200us tick the
+        // first retry would wait ~3ms of wall time per lost datagram.
+        copt.tick_us = 100;
+        copt.retry.ack_timeout = 8;
+        copt.retry.max_timeout = 64;
+        copt.retry.max_attempts = 30;
+        rows.push_back(from_cluster(net::run_cluster(copt), "udp-lossy", d));
+      }
     }
   }
 
@@ -186,6 +215,7 @@ int main(int argc, char** argv) {
     table.row()
         .add(r.counter)
         .add(r.mode)
+        .add(static_cast<std::int64_t>(r.pipeline))
         .add(static_cast<std::int64_t>(r.n))
         .add(static_cast<std::int64_t>(r.parallelism))
         .add(static_cast<std::int64_t>(r.ops))
@@ -209,6 +239,9 @@ int main(int argc, char** argv) {
   json.field("ops_factor", ops_factor);
   json.field("concurrency", concurrency);
   json.field("drop", drop, 3);
+  json.field("loops", loops);
+  json.field("shards_per_node", shards_per_node);
+  json.field("backend", backend.empty() ? "default" : backend);
   json.field("warmup", warmup);
   json.field("seed", seed);
   json.begin_array("runs");
@@ -216,6 +249,7 @@ int main(int argc, char** argv) {
     json.begin_object();
     json.field("counter", r.counter);
     json.field("mode", r.mode);
+    json.field("pipeline", r.pipeline);
     json.field("n", r.n);
     json.field("parallelism", r.parallelism);
     json.field("ops", r.ops);

@@ -43,7 +43,8 @@ ReliableTransport::ReliableTransport(const ReliableTransport& other)
     : inner_(other.inner_->clone_counter()),
       params_(other.params_),
       procs_(other.procs_),
-      stats_(other.stats_) {}
+      stats_(other.stats_),
+      unacked_(other.unacked_) {}
 
 ReliableTransport& ReliableTransport::operator=(
     const ReliableTransport& other) {
@@ -54,6 +55,7 @@ ReliableTransport& ReliableTransport::operator=(
   params_ = other.params_;
   procs_ = other.procs_;
   stats_ = other.stats_;
+  unacked_ = other.unacked_;
   return *this;
 }
 
@@ -99,6 +101,7 @@ void ReliableTransport::send_enveloped(Context& real, Message msg) {
   pending.attempts = 1;
   pending.next_timeout = params_.ack_timeout;
   channel.unacked.push_back(std::move(pending));
+  ++unacked_;
   ++stats_.data_messages;
 
   real.send_local(msg.src, kTagTimer, {msg.dst, seq}, params_.ack_timeout);
@@ -143,6 +146,7 @@ void ReliableTransport::handle_timer(Context& real, const Message& msg) {
   if (it->attempts >= params_.max_attempts) {
     ++stats_.messages_abandoned;
     unacked.erase(it);
+    --unacked_;
     // The failure-detector edge: tell the inner protocol. It runs in a
     // wrapped context so any reaction (e.g. a crash-handover trigger)
     // is itself sent reliably.
@@ -167,7 +171,10 @@ void ReliableTransport::handle_ack(const Message& msg) {
   const auto it =
       std::find_if(unacked.begin(), unacked.end(),
                    [seq](const PendingSend& p) { return p.seq == seq; });
-  if (it != unacked.end()) unacked.erase(it);
+  if (it != unacked.end()) {
+    unacked.erase(it);
+    --unacked_;
+  }
 }
 
 void ReliableTransport::handle_data(Context& real, const Message& msg) {

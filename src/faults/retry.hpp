@@ -39,6 +39,7 @@
 
 #include "sim/protocol.hpp"
 #include "sim/types.hpp"
+#include "support/relaxed.hpp"
 
 namespace dcnt {
 
@@ -52,15 +53,20 @@ struct RetryParams {
   int max_attempts{12};
 };
 
+/// RelaxedCounter, not int64: under the sharded runtime these are
+/// bumped from handlers at arbitrary processors concurrently; relaxed
+/// RMWs keep them race-free while staying copyable with the protocol
+/// state. Exact when read at quiescence (the runtime's in-flight
+/// acq_rel chain orders every handler's bumps before the reader).
 struct RetryStats {
-  std::int64_t data_messages{0};
-  std::int64_t acks_sent{0};
-  std::int64_t retransmissions{0};
-  std::int64_t timeouts_fired{0};
-  std::int64_t duplicates_suppressed{0};
+  RelaxedCounter data_messages{0};
+  RelaxedCounter acks_sent{0};
+  RelaxedCounter retransmissions{0};
+  RelaxedCounter timeouts_fired{0};
+  RelaxedCounter duplicates_suppressed{0};
   /// Messages abandoned after max_attempts (each triggers one
   /// on_peer_unreachable call at the sender).
-  std::int64_t messages_abandoned{0};
+  RelaxedCounter messages_abandoned{0};
 };
 
 class ReliableTransport final : public CounterProtocol {
@@ -86,22 +92,25 @@ class ReliableTransport final : public CounterProtocol {
   std::unique_ptr<CounterProtocol> clone_counter() const override;
   bool try_assign_from(const Protocol& other) override;
   std::string name() const override;
+  /// The transport's own state is sliced per processor exactly like a
+  /// shard-safe protocol's (handlers touch procs_[self] only; stats are
+  /// relaxed counters), so sharded execution is sound whenever the
+  /// inner protocol's is.
+  bool shard_safe() const override { return inner_->shard_safe(); }
+  void on_shard_start(std::size_t workers) override {
+    inner_->on_shard_start(workers);
+  }
 
   const RetryStats& stats() const { return stats_; }
   const RetryParams& params() const { return params_; }
   /// Envelopes currently awaiting an ack, summed over all channels. The
   /// cluster's distributed-quiescence barrier needs this to reach zero:
   /// a pending envelope means a retransmission timer is still armed and
-  /// more wire traffic is coming.
-  std::int64_t unacked_total() const {
-    std::int64_t n = 0;
-    for (const auto& proc : procs_) {
-      for (const auto& [peer, tx] : proc.tx) {
-        n += static_cast<std::int64_t>(tx.unacked.size());
-      }
-    }
-    return n;
-  }
+  /// more wire traffic is coming. Maintained as a counter (++ on
+  /// envelope creation, -- on ack/abandon) rather than recomputed by
+  /// walking the channel maps: the stats barrier reads it while worker
+  /// threads own those maps.
+  std::int64_t unacked_total() const { return unacked_.load(); }
   const CounterProtocol& inner() const { return *inner_; }
   CounterProtocol& mutable_inner() { return *inner_; }
 
@@ -161,6 +170,7 @@ class ReliableTransport final : public CounterProtocol {
   RetryParams params_;
   std::vector<ProcState> procs_;
   RetryStats stats_;
+  RelaxedCounter unacked_{0};
 };
 
 /// Convenience: a self-healing §4 tree counter behind the reliable

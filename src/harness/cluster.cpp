@@ -80,11 +80,18 @@ struct ChildReaper {
 
 class Controller {
  public:
-  explicit Controller(const ClusterOptions& opt) : opt_(opt) {}
+  explicit Controller(const ClusterOptions& opt)
+      : opt_(opt), loop_(backend_from_string(opt.backend)) {}
   ClusterResult run();
 
  private:
   enum class Phase { kHello, kReady, kRun, kQuiesce, kShutdown };
+
+  /// Ops kept outstanding per closed-loop slot; quiesce_between_ops
+  /// already forces a window of 1 at the call sites.
+  std::size_t pipeline_depth() const {
+    return opt_.pipeline > 0 ? opt_.pipeline : 1;
+  }
 
   void on_frame(int conn, const FrameView& frame);
   void issue_next();
@@ -173,7 +180,8 @@ void Controller::begin_measured_phase() {
   const std::size_t window =
       opt_.quiesce_between_ops
           ? 1
-          : std::max<std::size_t>(1, std::min(opt_.concurrency, ops_));
+          : std::max<std::size_t>(
+                1, std::min(opt_.concurrency * pipeline_depth(), ops_));
   for (std::size_t i = 0; i < window; ++i) issue_next();
 }
 
@@ -308,7 +316,9 @@ void Controller::on_frame(int conn, const FrameView& frame) {
           const std::size_t window =
               opt_.quiesce_between_ops
                   ? 1
-                  : std::max<std::size_t>(1, std::min(opt_.concurrency, total_));
+                  : std::max<std::size_t>(
+                        1,
+                        std::min(opt_.concurrency * pipeline_depth(), total_));
           for (std::size_t i = 0; i < window; ++i) issue_next();
         } else {
           open_t0_ns_ = LatencyRecorder::now_ns();
@@ -430,6 +440,12 @@ ClusterResult Controller::run() {
         "--ack_timeout=" + std::to_string(opt_.retry.ack_timeout),
         "--max_timeout=" + std::to_string(opt_.retry.max_timeout),
         "--max_attempts=" + std::to_string(opt_.retry.max_attempts),
+        "--loops=" + std::to_string(opt_.loops > 0 ? opt_.loops : 1),
+        // 0 passes through: the node reads it as inline drive.
+        "--shards=" + std::to_string(opt_.shards_per_node),
+        "--backend=" + opt_.backend,
+        // Exact op-table capacity: the controller knows the op count.
+        "--max_ops=" + std::to_string(total_),
     };
     reaper_.pids.push_back(spawn(args));
   }

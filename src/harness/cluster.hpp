@@ -50,6 +50,15 @@ struct ClusterOptions {
   std::uint64_t seed{1};
   /// Closed-loop in-flight window; used when open_rate == 0.
   std::size_t concurrency{8};
+  /// Pipeline depth: each closed-loop slot keeps this many operations
+  /// outstanding, so the effective in-flight window is
+  /// concurrency * pipeline (capped at ops). 1 reproduces the classic
+  /// one-op-per-slot closed loop. Depth > 1 departs from the paper's
+  /// one-op-at-a-time client model — values are still verified as a
+  /// permutation and the quiescence barrier still runs at phase
+  /// boundaries, but per-op latency now includes queueing behind the
+  /// same slot's earlier ops. quiesce_between_ops forces depth 1.
+  std::size_t pipeline{1};
   /// Run the quiescence barrier after every completion before issuing
   /// the next op (forces an effective concurrency of 1). This is the
   /// sequential schedule in the simulator's sense: an op's *entire*
@@ -81,6 +90,15 @@ struct ClusterOptions {
   double timeout_seconds{120.0};
   /// Override the dcnt_node binary path (tests, cross-directory runs).
   std::string node_binary;
+  /// Event-loop threads per node (peer links sharded by id % loops).
+  std::uint32_t loops{1};
+  /// Protocol worker shards per node's ThreadedRuntime. 0 = inline
+  /// drive: the node spawns no worker threads and its event loop runs
+  /// the single shard itself (requires loops == 1; see NodeConfig).
+  std::uint32_t shards_per_node{1};
+  /// Reactor backend for the nodes AND the controller: "" = platform
+  /// default, "epoll" or "poll" (the parity tests pin both).
+  std::string backend;
 };
 
 struct ClusterResult {

@@ -1,24 +1,247 @@
 #include "net/event_loop.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
 #include <cerrno>
+#include <cstdlib>
+#include <cstring>
 
 #include "support/check.hpp"
 
 namespace dcnt::net {
 
-int EventLoop::add_connection(Socket sock, FrameFn on_frame, CloseFn on_close) {
+namespace {
+
+// Normalized readiness bits, backend-independent.
+constexpr std::uint32_t kReadable = 1u;
+constexpr std::uint32_t kWritable = 2u;
+constexpr std::uint32_t kBroken = 4u;  ///< HUP/ERR — read path surfaces it
+
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  DCNT_CHECK(flags >= 0);
+  DCNT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+}  // namespace
+
+Backend default_backend() {
+  if (const char* env = std::getenv("DCNT_NET_BACKEND")) {
+    if (env[0] != '\0') return backend_from_string(env);
+  }
+#ifdef __linux__
+  return Backend::kEpoll;
+#else
+  return Backend::kPoll;
+#endif
+}
+
+Backend backend_from_string(const std::string& name) {
+  if (name.empty()) return default_backend();
+  if (name == "poll") return Backend::kPoll;
+  if (name == "epoll") return Backend::kEpoll;
+  DCNT_CHECK_MSG(false, "unknown event-loop backend (poll|epoll)");
+  return Backend::kPoll;
+}
+
+const char* backend_name(Backend backend) {
+  return backend == Backend::kEpoll ? "epoll" : "poll";
+}
+
+EventLoop::EventLoop(Backend backend) : backend_(backend) {
+#ifndef __linux__
+  // epoll is Linux-only; degrade silently so a Backend::kEpoll request
+  // from shared config still runs (parity tests pin poll explicitly).
+  backend_ = Backend::kPoll;
+#endif
+#ifdef __linux__
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    DCNT_CHECK(epoll_fd_ >= 0);
+  }
+  // eventfd: one fd serves both ends of the wakeup channel.
+  wake_read_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  DCNT_CHECK(wake_read_ >= 0);
+  wake_write_ = wake_read_;
+#else
+  int pipe_fds[2];
+  DCNT_CHECK(::pipe(pipe_fds) == 0);
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  make_nonblocking(wake_read_);
+  make_nonblocking(wake_write_);
+#endif
+  backend_add(wake_read_, kTagWakeup, false);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_write_ >= 0 && wake_write_ != wake_read_) ::close(wake_write_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+// --- backend plumbing -------------------------------------------------------
+
+void EventLoop::backend_add(int fd, int tag, bool want_out) {
+#ifdef __linux__
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+    ev.data.u64 = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
+    DCNT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+    return;
+  }
+#endif
+  (void)fd;
+  (void)tag;
+  (void)want_out;  // poll: the interest set is rebuilt per round
+}
+
+void EventLoop::backend_mod(int fd, int tag, bool want_out) {
+#ifdef __linux__
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+    ev.data.u64 = static_cast<std::uint64_t>(static_cast<std::int64_t>(tag));
+    DCNT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0);
+    return;
+  }
+#endif
+  (void)fd;
+  (void)tag;
+  (void)want_out;
+}
+
+void EventLoop::backend_del(int fd) {
+#ifdef __linux__
+  if (backend_ == Backend::kEpoll) {
+    // Ignore failure: the fd may already be gone (closed by the kernel
+    // after an error) — deregistration is then implicit.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
+  (void)fd;
+}
+
+bool EventLoop::backend_wait(int timeout_ms) {
+  ready_tags_.clear();
+  ready_events_.clear();
+#ifdef __linux__
+  if (backend_ == Backend::kEpoll) {
+    epoll_event events[64];
+    int rc;
+    do {
+      rc = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    DCNT_CHECK(rc >= 0);
+    for (int i = 0; i < rc; ++i) {
+      std::uint32_t mask = 0;
+      if (events[i].events & EPOLLIN) mask |= kReadable;
+      if (events[i].events & EPOLLOUT) mask |= kWritable;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) mask |= kBroken;
+      ready_tags_.push_back(
+          static_cast<int>(static_cast<std::int64_t>(events[i].data.u64)));
+      ready_events_.push_back(mask);
+    }
+    return rc > 0;
+  }
+#endif
+  // poll: rebuild the fd array each round. Scratch vectors keep their
+  // capacity, so steady state allocates nothing.
+  static thread_local std::vector<pollfd> fds;
+  fds.clear();
+  poll_tag_of_.clear();
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    Connection& c = *connections_[i];
+    if (!c.open) continue;
+    pollfd pfd{};
+    pfd.fd = c.sock.fd();
+    pfd.events = POLLIN;
+    if (c.out_head < c.outbound.size()) pfd.events |= POLLOUT;
+    fds.push_back(pfd);
+    poll_tag_of_.push_back(static_cast<int>(i));
+  }
+  if (listener_.valid()) {
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    poll_tag_of_.push_back(kTagListener);
+  }
+  if (udp_.valid()) {
+    fds.push_back({udp_.fd(), POLLIN, 0});
+    poll_tag_of_.push_back(kTagUdp);
+  }
+  fds.push_back({wake_read_, POLLIN, 0});
+  poll_tag_of_.push_back(kTagWakeup);
+
+  int rc;
+  do {
+    rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  DCNT_CHECK(rc >= 0);
+  if (rc == 0) return false;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    std::uint32_t mask = 0;
+    if (fds[i].revents & POLLIN) mask |= kReadable;
+    if (fds[i].revents & POLLOUT) mask |= kWritable;
+    if (fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) mask |= kBroken;
+    ready_tags_.push_back(poll_tag_of_[i]);
+    ready_events_.push_back(mask);
+  }
+  return true;
+}
+
+void EventLoop::notify() {
+  const std::uint64_t one = 1;
+  for (;;) {
+    const ssize_t n = ::write(wake_write_, &one, sizeof(one));
+    if (n >= 0) return;
+    if (errno == EINTR) continue;
+    // EAGAIN: the counter/pipe is already saturated with wakes — the
+    // loop is guaranteed to wake, which is all a notify promises.
+    return;
+  }
+}
+
+void EventLoop::drain_wakeup() {
+  std::uint8_t buf[64];
+  for (;;) {
+    const ssize_t n = ::read(wake_read_, buf, sizeof(buf));
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    return;  // EAGAIN: drained
+  }
+}
+
+// --- registration -----------------------------------------------------------
+
+int EventLoop::add_connection(Socket sock, FrameFn on_frame, CloseFn on_close,
+                              std::vector<std::uint8_t> residual) {
   DCNT_CHECK(sock.valid());
   auto conn = std::make_unique<Connection>();
   conn->sock = std::move(sock);
   conn->on_frame = std::move(on_frame);
   conn->on_close = std::move(on_close);
   conn->open = true;
+  if (!residual.empty()) {
+    conn->reader.feed(residual.data(), residual.size());
+    bytes_received_ += static_cast<std::int64_t>(residual.size());
+  }
   connections_.push_back(std::move(conn));
-  return static_cast<int>(connections_.size()) - 1;
+  const int id = static_cast<int>(connections_.size()) - 1;
+  backend_add(connections_.back()->sock.fd(), id, false);
+  // Frames completed by the residual were already consumed from the
+  // kernel — readiness will never re-announce them, so deliver now.
+  deliver_frames(id);
+  return id;
 }
 
 void EventLoop::add_listener(Socket sock, AcceptFn on_accept) {
@@ -26,6 +249,7 @@ void EventLoop::add_listener(Socket sock, AcceptFn on_accept) {
   DCNT_CHECK_MSG(!listener_.valid(), "one listener per loop");
   listener_ = std::move(sock);
   on_accept_ = std::move(on_accept);
+  backend_add(listener_.fd(), kTagListener, false);
 }
 
 void EventLoop::add_udp(Socket sock, DatagramFn on_datagram) {
@@ -33,6 +257,26 @@ void EventLoop::add_udp(Socket sock, DatagramFn on_datagram) {
   DCNT_CHECK_MSG(!udp_.valid(), "one UDP socket per loop");
   udp_ = std::move(sock);
   on_datagram_ = std::move(on_datagram);
+  backend_add(udp_.fd(), kTagUdp, false);
+}
+
+DetachedConn EventLoop::detach_connection(int conn) {
+  DCNT_CHECK_MSG(connected(conn), "detach of a closed connection");
+  Connection& c = *connections_[static_cast<std::size_t>(conn)];
+  DCNT_CHECK_MSG(c.out_head >= c.outbound.size(),
+                 "detach with unflushed outbound bytes");
+  backend_del(c.sock.fd());
+  c.open = false;
+  c.outbound.clear();
+  c.out_head = 0;
+  DetachedConn out;
+  out.residual = c.reader.take_buffered();
+  // The residual was counted into bytes_received_ when read here; the
+  // adopting loop will count it again on feed. Undo so per-loop sums
+  // stay exact.
+  bytes_received_ -= static_cast<std::int64_t>(out.residual.size());
+  out.sock = std::move(c.sock);
+  return out;
 }
 
 bool EventLoop::connected(int conn) const {
@@ -54,6 +298,8 @@ std::size_t EventLoop::open_connections() const {
   }
   return n;
 }
+
+// --- send path --------------------------------------------------------------
 
 void EventLoop::send(int conn, const std::vector<std::uint8_t>& frame) {
   DCNT_CHECK_MSG(connected(conn), "send on a closed connection");
@@ -103,38 +349,69 @@ std::size_t EventLoop::send_datagram_message(std::uint16_t port,
   return send_datagram(port, dgram_scratch_) ? n : 0;
 }
 
-void EventLoop::flush(Connection& c) {
+void EventLoop::flush(Connection& c, int conn) {
   while (c.out_head < c.outbound.size()) {
-    const ssize_t n =
-        ::send(c.sock.fd(), c.outbound.data() + c.out_head,
-               c.outbound.size() - c.out_head, MSG_NOSIGNAL);
+    ssize_t n;
+    do {
+      n = ::send(c.sock.fd(), c.outbound.data() + c.out_head,
+                 c.outbound.size() - c.out_head, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
     if (n > 0) {
       ++write_syscalls_;
       c.out_head += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    // EPIPE/ECONNRESET: the peer is gone; the next poll round surfaces
-    // it as a close event. Drop the backlog so we stop retrying.
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Kernel pushback: arm write-readiness for the residue (epoll
+      // keeps it armed in the kernel; poll re-arms per round anyway).
+      if (!c.want_out) {
+        c.want_out = true;
+        backend_mod(c.sock.fd(), conn, true);
+      }
+      return;
+    }
+    // EPIPE/ECONNRESET: the peer is gone; the next reactor round
+    // surfaces it as a close event. Drop the backlog so we stop
+    // retrying.
     c.outbound.clear();
     c.out_head = 0;
-    return;
+    break;
   }
   c.outbound.clear();
   c.out_head = 0;
+  if (c.want_out) {
+    c.want_out = false;
+    backend_mod(c.sock.fd(), conn, false);
+  }
 }
 
 void EventLoop::flush_all() {
-  for (auto& c : connections_) {
-    if (c->open && c->out_head < c->outbound.size()) flush(*c);
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    Connection& c = *connections_[i];
+    if (c.open && c.out_head < c.outbound.size()) {
+      flush(c, static_cast<int>(i));
+    }
   }
+}
+
+// --- receive path -----------------------------------------------------------
+
+std::size_t EventLoop::deliver_frames(int conn) {
+  Connection& c = *connections_[static_cast<std::size_t>(conn)];
+  std::size_t delivered = 0;
+  std::vector<std::uint8_t> payload;
+  // A callback may close or detach the connection mid-batch; re-check.
+  while (c.open && c.reader.pop(payload)) {
+    ++frames_received_;
+    ++delivered;
+    c.on_frame(conn, FrameView(payload.data(), payload.size()));
+  }
+  return delivered;
 }
 
 std::size_t EventLoop::read_ready(int conn) {
   Connection& c = *connections_[static_cast<std::size_t>(conn)];
   std::uint8_t buf[64 * 1024];
-  std::size_t delivered = 0;
   bool closed = false;
   for (;;) {
     const ssize_t n = ::recv(c.sock.fd(), buf, sizeof(buf), 0);
@@ -145,15 +422,15 @@ std::size_t EventLoop::read_ready(int conn) {
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    closed = true;  // EOF or hard error
+    // n == 0 (orderly EOF) or a hard error. ECONNRESET deserves the
+    // same treatment as EOF: on localhost it means the peer exited with
+    // bytes still in our send queue — shutdown order, not data loss,
+    // because the quiescence barrier certified emptiness first. Either
+    // way: deliver what is already buffered, then run the close path.
+    closed = true;
     break;
   }
-  std::vector<std::uint8_t> payload;
-  while (c.open && c.reader.pop(payload)) {
-    ++frames_received_;
-    ++delivered;
-    c.on_frame(conn, FrameView(payload.data(), payload.size()));
-  }
+  std::size_t delivered = deliver_frames(conn);
   if (closed) close_connection(conn);
   return delivered;
 }
@@ -162,82 +439,67 @@ void EventLoop::close_connection(int conn) {
   Connection& c = *connections_[static_cast<std::size_t>(conn)];
   if (!c.open) return;
   c.open = false;
+  backend_del(c.sock.fd());
   if (c.on_close) c.on_close(conn);
   c.sock.close();
 }
 
+void EventLoop::accept_pending() {
+  for (;;) {
+    Socket accepted = tcp_accept(listener_);
+    if (!accepted.valid()) break;
+    on_accept_(std::move(accepted));
+  }
+}
+
+std::size_t EventLoop::drain_udp() {
+  std::uint8_t buf[64 * 1024];
+  std::size_t delivered = 0;
+  int n;
+  while ((n = udp_recv(udp_, buf, sizeof(buf))) >= 0) {
+    // One frame per datagram: strip the length word, hand over the
+    // payload. A datagram truncated by the kernel would fail the
+    // FrameView checks; buffers are sized to prevent that.
+    if (n < 6) continue;  // runt datagram: treat as line noise
+    ++datagrams_received_;
+    FrameReader one;
+    one.feed(buf, static_cast<std::size_t>(n));
+    std::vector<std::uint8_t> payload;
+    while (one.pop(payload)) {
+      ++delivered;
+      on_datagram_(FrameView(payload.data(), payload.size()));
+    }
+  }
+  return delivered;
+}
+
 std::size_t EventLoop::run_once(int timeout_ms) {
   // Everything queued since the last round leaves now, coalesced into
-  // one write() per peer (modulo kernel pushback, which arms POLLOUT
-  // below for the residue).
+  // one write() per peer (modulo kernel pushback, which arms
+  // write-readiness for the residue).
   flush_all();
-  std::vector<pollfd> fds;
-  std::vector<int> conn_of;  // parallel to fds; -1 = listener, -2 = udp
-  fds.reserve(connections_.size() + 2);
-  for (std::size_t i = 0; i < connections_.size(); ++i) {
-    Connection& c = *connections_[i];
-    if (!c.open) continue;
-    pollfd pfd{};
-    pfd.fd = c.sock.fd();
-    pfd.events = POLLIN;
-    if (c.out_head < c.outbound.size()) pfd.events |= POLLOUT;
-    fds.push_back(pfd);
-    conn_of.push_back(static_cast<int>(i));
-  }
-  if (listener_.valid()) {
-    fds.push_back({listener_.fd(), POLLIN, 0});
-    conn_of.push_back(-1);
-  }
-  if (udp_.valid()) {
-    fds.push_back({udp_.fd(), POLLIN, 0});
-    conn_of.push_back(-2);
-  }
-  if (fds.empty()) return 0;
-
-  int rc;
-  do {
-    rc = ::poll(fds.data(), fds.size(), timeout_ms);
-  } while (rc < 0 && errno == EINTR);
-  DCNT_CHECK(rc >= 0);
-  if (rc == 0) return 0;
+  if (!backend_wait(timeout_ms)) return 0;
 
   std::size_t delivered = 0;
-  for (std::size_t i = 0; i < fds.size(); ++i) {
-    if (fds[i].revents == 0) continue;
-    const int tag = conn_of[i];
-    if (tag == -1) {
-      for (;;) {
-        Socket accepted = tcp_accept(listener_);
-        if (!accepted.valid()) break;
-        on_accept_(std::move(accepted));
-      }
+  for (std::size_t i = 0; i < ready_tags_.size(); ++i) {
+    const int tag = ready_tags_[i];
+    const std::uint32_t mask = ready_events_[i];
+    if (tag == kTagWakeup) {
+      drain_wakeup();
       continue;
     }
-    if (tag == -2) {
-      std::uint8_t buf[64 * 1024];
-      int n;
-      while ((n = udp_recv(udp_, buf, sizeof(buf))) >= 0) {
-        // One frame per datagram: strip the length word, hand over the
-        // payload. A datagram truncated by the kernel would fail the
-        // FrameView checks; buffers are sized to prevent that.
-        if (n < 6) continue;  // runt datagram: treat as line noise
-        ++datagrams_received_;
-        FrameReader one;
-        one.feed(buf, static_cast<std::size_t>(n));
-        std::vector<std::uint8_t> payload;
-        while (one.pop(payload)) {
-          ++delivered;
-          on_datagram_(FrameView(payload.data(), payload.size()));
-        }
-      }
+    if (tag == kTagListener) {
+      accept_pending();
+      continue;
+    }
+    if (tag == kTagUdp) {
+      delivered += drain_udp();
       continue;
     }
     Connection& c = *connections_[static_cast<std::size_t>(tag)];
     if (!c.open) continue;
-    if (fds[i].revents & POLLOUT) flush(c);
-    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-      delivered += read_ready(tag);
-    }
+    if (mask & kWritable) flush(c, tag);
+    if (mask & (kReadable | kBroken)) delivered += read_ready(tag);
   }
   // Frames the callbacks queued this round (acks, forwards, replies)
   // leave before the caller decides whether to sleep.

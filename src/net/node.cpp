@@ -1,10 +1,9 @@
 #include "net/node.hpp"
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <queue>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -12,6 +11,8 @@
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/threaded_runtime.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
 #include "support/check.hpp"
@@ -21,492 +22,861 @@ namespace dcnt::net {
 
 namespace {
 
-using WallClock = std::chrono::steady_clock;
-
-/// An armed Context::send_local wake-up. Ordered by wall deadline with a
-/// sequence tiebreak so same-deadline timers fire in arming order (the
-/// simulator's FIFO-per-timestamp rule).
-struct Timer {
-  WallClock::time_point wall_due;
-  std::uint64_t seq{0};
-  SimTime logical_due{0};
-  Message msg;
+/// One unit of work for an event-loop thread. Commands are handed over
+/// through a MailboxT<LoopCmd> (batched push_all from the runtime's
+/// remote sink, single push elsewhere) and processed strictly in FIFO
+/// order — the snapshot protocol below leans on that ordering.
+struct LoopCmd {
+  enum class Kind : std::uint8_t {
+    /// Put one protocol message on the wire (TCP queue or datagram).
+    kSendData,
+    /// Write a pre-encoded control-plane frame to the controller
+    /// connection. Loop 0 only (it owns the control connection).
+    kCtrlBytes,
+    /// Publish this loop's wire counters at `epoch` (see
+    /// NodeV2::stable_quiesce).
+    kSnapshot,
+    /// Adopt a peer connection accepted (and identified) by loop 0:
+    /// `sock` plus `bytes` of residual input read past the Hello.
+    kAdopt,
+    /// Dial peer `peer` at TCP port `port` and send our Hello.
+    kDial,
+    /// Install the cluster address table (UDP sends need peer ports).
+    kSetPeers,
+    /// Drain outbound backlog and exit the loop thread.
+    kStop,
+  };
+  Kind kind{Kind::kSendData};
+  Message msg;                      ///< kSendData
+  std::vector<std::uint8_t> bytes;  ///< kCtrlBytes frame / kAdopt residual
+  std::uint64_t epoch{0};           ///< kSnapshot
+  std::uint32_t peer{0};            ///< kAdopt / kDial
+  std::uint16_t port{0};            ///< kDial
+  Socket sock;                      ///< kAdopt
+  std::vector<PeerAddr> peers;      ///< kSetPeers
 };
 
-struct TimerLater {
-  bool operator()(const Timer& a, const Timer& b) const {
-    if (a.wall_due != b.wall_due) return a.wall_due > b.wall_due;
-    return a.seq > b.seq;
-  }
+/// A loop's wire counters at one snapshot epoch, composed by the owning
+/// loop thread and published release-ordered for the main thread.
+struct WireSnap {
+  std::int64_t wire_msgs_sent{0};
+  std::int64_t wire_msgs_received{0};
+  std::int64_t wire_bytes_sent{0};
+  std::int64_t wire_bytes_received{0};
+  std::int64_t injected_drops{0};
+  std::int64_t write_syscalls{0};
+  /// Commands still unhandled at snapshot time plus unflushed outbound
+  /// backlog: nonzero means this loop had not yet drained everything it
+  /// was asked to do, so the snapshot round must be retried.
+  std::int64_t pending{0};
 };
 
-/// The node process: protocol shard + sockets + event/timer loop. Also
-/// the Context its protocol handlers see — sends are routed by
-/// destination ownership (local queue vs wire), send_local becomes a
-/// wall-clock timer, complete becomes a frame to the controller.
-class NodeRuntime final : public Context {
+/// Events the loop threads raise for the coordinating main thread.
+struct MainEvent {
+  enum class Kind : std::uint8_t {
+    kPeersReceived,
+    kLinkUp,
+    kStatsRequest,
+    kTimeJump,
+    kMetricsReset,
+    kShutdown,
+    kCtrlClosed,
+  };
+  Kind kind{Kind::kLinkUp};
+};
+
+/// The v2 node process: `loops` reactor threads feeding a ThreadedRuntime
+/// of `shards` protocol workers, coordinated by the main thread (see the
+/// header comment in node.hpp for the full threading model).
+class NodeV2 {
  public:
-  explicit NodeRuntime(const NodeConfig& cfg)
-      : cfg_(cfg),
-        rng_(Rng(cfg.seed).fork(cfg.node_id + 1)),
-        // Distinct stream for the loss shim so dropping datagrams never
-        // perturbs the protocol's own randomness.
-        drop_rng_(Rng(mix64(cfg.seed ^ 0x10551055ull)).fork(cfg.node_id + 1)) {}
-
+  explicit NodeV2(const NodeConfig& cfg) : cfg_(cfg) {}
   int run();
 
-  // Context: ---------------------------------------------------------------
-  void send(Message msg) override;
-  void send_local(ProcessorId p, std::int32_t tag,
-                  std::vector<std::int64_t> args, SimTime delay) override;
-  void complete(OpId op, Value value) override;
-  SimTime now() const override { return clock_; }
-  Rng& rng() override { return rng_; }
-
  private:
-  bool owns(ProcessorId p) const {
-    return static_cast<std::uint32_t>(p) % cfg_.num_nodes == cfg_.node_id;
-  }
-  std::uint32_t owner(ProcessorId p) const {
-    return static_cast<std::uint32_t>(p) % cfg_.num_nodes;
-  }
+  struct LoopThread {
+    LoopThread(std::size_t index_in, Backend backend)
+        : index(index_in), loop(backend) {}
 
-  void build_protocol();
-  void on_ctrl_frame(const FrameView& frame);
-  void on_peer_accept(Socket accepted);
-  void on_peer_frame(int conn, const FrameView& frame);
-  void on_datagram(const FrameView& frame);
-  void maybe_ready();
-  void deliver(Message msg);
-  void deliver_start(const StartFrame& start);
-  void drain();
-  void time_jump();
-  void reset_metrics();
-  void send_stats();
-  int poll_timeout_ms() const;
+    const std::size_t index;
+    EventLoop loop;
+    MailboxT<LoopCmd> cmds;
+    /// True while the loop thread is inside (or committing to enter)
+    /// run_once's kernel wait; producers notify() only then. The
+    /// seq_cst fences on both sides make the classic sleep/wake race
+    /// impossible (see post_cmd / loop_main).
+    std::atomic<bool> in_wait{false};
 
-  NodeConfig cfg_;
-  Rng rng_;
-  Rng drop_rng_;
+    /// Snapshot slot: written by the loop thread, sequenced by the
+    /// epoch store/load pair.
+    WireSnap snap;
+    std::atomic<std::uint64_t> snap_epoch{0};
 
-  std::unique_ptr<CounterProtocol> protocol_;
-  ReliableTransport* transport_{nullptr};  ///< set in UDP mode
-  std::int64_t n_{0};
-  Metrics metrics_;
-
-  EventLoop loop_;
-  int ctrl_conn_{-1};
-  bool ctrl_closed_{false};
-  std::vector<PeerAddr> peers_;
-  std::vector<int> peer_conn_;  ///< node id -> connection id (TCP mesh)
-  std::size_t peer_links_{0};
-  bool ready_sent_{false};
-  bool stats_requested_{false};
-  bool time_jump_requested_{false};
-  bool shutdown_{false};
-
-  std::deque<Message> local_queue_;
-  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
-  std::uint64_t timer_seq_{0};
-
-  SimTime clock_{0};
-  bool in_handler_{false};
-  OpId current_op_{kNoOp};
-
-  std::int64_t events_{0};
-  std::int64_t wire_msgs_sent_{0};
-  std::int64_t wire_msgs_received_{0};
-  std::int64_t wire_bytes_sent_{0};
-  std::int64_t wire_bytes_received_{0};
-  std::int64_t injected_drops_{0};
-
-  /// Counter values captured at the last kMetricsReset; send_stats
-  /// reports deltas against these so warmup traffic never shows up in
-  /// the measured stats. events_processed stays monotone (a constant
-  /// offset), so the controller's stability barrier is unaffected.
-  struct Baseline {
-    std::int64_t events{0};
+    // Everything below is touched only by the owning loop thread (or by
+    // the main thread before the thread starts / after it joins).
+    std::vector<int> peer_conn;   ///< node id -> connection id (TCP)
+    std::vector<PeerAddr> peers;  ///< cluster address table (UDP sends)
+    Rng drop_rng{1};
     std::int64_t wire_msgs_sent{0};
     std::int64_t wire_msgs_received{0};
     std::int64_t wire_bytes_sent{0};
     std::int64_t wire_bytes_received{0};
     std::int64_t injected_drops{0};
-    std::int64_t write_syscalls{0};
+    /// Wire-arrived runtime events staged per destination shard, handed
+    /// to the runtime with one inject() per dirty shard.
+    std::vector<std::vector<RuntimeEvent>> inject_buf;
+    std::vector<std::size_t> inject_dirty;
+
+    std::thread thread;
+  };
+
+  void build_runtime();
+  void setup_loop0(std::uint16_t* tcp_port, std::uint16_t* udp_port);
+
+  // Loop-thread code:
+  void loop_main(LoopThread& lt);
+  void handle_cmd(LoopThread& lt, LoopCmd& cmd, std::size_t remaining,
+                  bool& stop);
+  void send_wire(LoopThread& lt, Message& msg);
+  void on_ctrl_frame(LoopThread& lt0, const FrameView& frame);
+  void on_peer_frame(LoopThread& lt, int conn, const FrameView& frame);
+  void on_datagram(LoopThread& lt, const FrameView& frame);
+  void stage_wire_message(LoopThread& lt, const FrameView& frame);
+  void stage_start(LoopThread& lt, StartFrame start);
+  void flush_inject(LoopThread& lt);
+
+  // Cross-thread handoff:
+  void post_cmd(LoopThread& lt, LoopCmd cmd);
+  void post_cmds(LoopThread& lt, std::vector<LoopCmd>& batch);
+  void post_ctrl(std::vector<std::uint8_t> frame);
+  void post_main(MainEvent::Kind kind) { main_events_.push(MainEvent{kind}); }
+
+  // Main-thread code:
+  void maybe_ready();
+  void stable_quiesce();
+  void send_stats();
+  void time_jump();
+  void handle_reset();
+
+  std::uint32_t owner_node(ProcessorId p) const {
+    return static_cast<std::uint32_t>(p) % cfg_.num_nodes;
+  }
+  std::size_t owner_loop(std::uint32_t node) const {
+    return node % loops_.size();
+  }
+
+  NodeConfig cfg_;
+  std::unique_ptr<ThreadedRuntime> runtime_;
+  ReliableTransport* transport_{nullptr};  ///< set in UDP mode
+  std::int64_t n_{0};
+  std::size_t shards_{1};
+  /// --shards=0: loop 0 drives the runtime's single shard itself.
+  bool inline_{false};
+
+  std::vector<std::unique_ptr<LoopThread>> loops_;
+  int ctrl_conn_{-1};
+
+  MailboxT<MainEvent> main_events_;
+  std::atomic<bool> never_stop_{false};
+
+  // Main-thread state:
+  bool peers_seen_{false};
+  std::size_t links_{0};
+  std::size_t expected_links_{0};
+  bool ready_sent_{false};
+  std::uint64_t epoch_{0};
+  /// Values captured by the last stable_quiesce(), all from one
+  /// validated idle window.
+  std::int64_t events_cache_{0};
+  std::int64_t timers_cache_{0};
+  std::int64_t unacked_cache_{0};
+  Metrics metrics_cache_{1};
+
+  /// Counter values captured at the last kMetricsReset; send_stats
+  /// reports deltas against these so warmup traffic never shows up in
+  /// the measured stats. events_processed stays monotone (a constant
+  /// offset), so the controller's stability barrier is unaffected.
+  /// Processor loads need no baseline: the runtime's shard metrics are
+  /// zeroed in place at reset.
+  struct Baseline {
+    std::int64_t events{0};
+    std::vector<WireSnap> snaps;  ///< one per loop
     std::int64_t retransmissions{0};
     std::int64_t duplicates_suppressed{0};
     std::int64_t messages_abandoned{0};
   } base_;
 };
 
-void NodeRuntime::build_protocol() {
+void NodeV2::build_runtime() {
   auto counter =
       make_counter(counter_kind_from_string(cfg_.counter), cfg_.min_processors);
   n_ = static_cast<std::int64_t>(counter->num_processors());
   if (cfg_.num_nodes > 1) {
     DCNT_CHECK_MSG(counter->shard_safe(),
                    "multi-node cluster requires a shard-safe protocol");
-    // Same contract as the threaded runtime: switch off cross-processor
-    // debug aids before any handler runs. Must reach the inner protocol,
-    // so it happens before the transport wrap.
-    counter->on_shard_start(cfg_.num_nodes);
   }
+  std::unique_ptr<CounterProtocol> protocol;
   if (cfg_.udp) {
     auto wrapped =
         std::make_unique<ReliableTransport>(std::move(counter), cfg_.retry);
     transport_ = wrapped.get();
-    protocol_ = std::move(wrapped);
+    protocol = std::move(wrapped);
   } else {
-    protocol_ = std::move(counter);
+    protocol = std::move(counter);
   }
-  metrics_ = Metrics(static_cast<std::size_t>(n_));
+
+  RuntimeConfig rc;
+  // --shards=0: inline drive. Loop 0's thread hosts the single protocol
+  // shard itself — no worker threads, so a message's receive->handle->
+  // send round trip never crosses a thread boundary. That is the right
+  // topology whenever the host cannot run loop and worker truly in
+  // parallel (one core, or more nodes than cores): every cross-thread
+  // hop there is a scheduler round trip added to per-op latency.
+  inline_ = cfg_.shards == 0;
+  if (inline_) {
+    DCNT_CHECK_MSG(cfg_.loops <= 1,
+                   "--shards=0 (inline drive) requires --loops=1");
+  }
+  rc.workers = inline_ ? 1 : cfg_.shards;
+  rc.inline_drive = inline_;
+  // Pinned, not adaptive: the cluster harness chose the shard count per
+  // node; silently collapsing to the core count would break the
+  // multi-shard smoke tests on small hosts.
+  rc.active_shards = rc.workers;
+  // Distinct per-node base seed so shard rng streams never collide
+  // across nodes (each runtime forks per-worker streams from this).
+  rc.seed = mix64(cfg_.seed + 0x9e3779b97f4a7c15ull * (cfg_.node_id + 1));
+  rc.max_ops = cfg_.max_ops > 0 ? static_cast<std::size_t>(cfg_.max_ops)
+                                : (std::size_t{1} << 16);
+  rc.cluster_nodes = cfg_.num_nodes;
+  rc.cluster_node_id = cfg_.node_id;
+  rc.wall_timers = true;
+  rc.tick_us = cfg_.tick_us;
+  runtime_ = std::make_unique<ThreadedRuntime>(std::move(protocol), rc);
+  shards_ = runtime_->active_shards();
+
+  runtime_->set_remote_sink([this](std::size_t, std::vector<Message>& out) {
+    // Worker thread: partition the batch by owning event loop, then one
+    // push_all (+ at most one wake) per loop touched.
+    thread_local std::vector<std::vector<LoopCmd>> stage;
+    stage.resize(loops_.size());
+    for (Message& msg : out) {
+      LoopCmd cmd;
+      cmd.kind = LoopCmd::Kind::kSendData;
+      cmd.msg = std::move(msg);
+      stage[owner_loop(owner_node(cmd.msg.dst))].push_back(std::move(cmd));
+    }
+    for (std::size_t li = 0; li < loops_.size(); ++li) {
+      if (!stage[li].empty()) post_cmds(*loops_[li], stage[li]);
+    }
+  });
+  runtime_->set_completion([this](OpId op, Value value) {
+    // Worker thread: completions are control-plane frames, always via
+    // loop 0.
+    LoopCmd cmd;
+    cmd.kind = LoopCmd::Kind::kCtrlBytes;
+    cmd.bytes = encode_complete(CompleteFrame{op, value});
+    post_cmd(*loops_[0], std::move(cmd));
+  });
 }
 
-void NodeRuntime::send(Message msg) {
-  DCNT_CHECK_MSG(in_handler_, "Context::send outside a handler");
-  DCNT_CHECK(!msg.local);
-  DCNT_CHECK(msg.src >= 0 && msg.src < n_);
-  DCNT_CHECK(msg.dst >= 0 && msg.dst < n_);
-  DCNT_CHECK_MSG(owns(msg.src), "handler sent on behalf of a remote processor");
-  if (msg.op == kNoOp) msg.op = current_op_;  // inherit from context
-  if (msg.src != msg.dst) {
-    metrics_.on_send(msg.src, msg.op, msg.size_words());
+// --- cross-thread handoff ---------------------------------------------------
+//
+// Producer side of the lost-wakeup defense: enqueue, seq_cst fence,
+// then notify only a loop observed in (or entering) its kernel wait.
+// The loop thread stores in_wait=true, fences, and re-checks pending()
+// before blocking, so either the producer sees in_wait and kicks the
+// eventfd, or the loop sees the new command and polls with timeout 0 —
+// the fences forbid the both-miss interleaving.
+
+void NodeV2::post_cmd(LoopThread& lt, LoopCmd cmd) {
+  lt.cmds.push(std::move(cmd));
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (lt.in_wait.load(std::memory_order_relaxed)) lt.loop.notify();
+}
+
+void NodeV2::post_cmds(LoopThread& lt, std::vector<LoopCmd>& batch) {
+  lt.cmds.push_all(batch);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (lt.in_wait.load(std::memory_order_relaxed)) lt.loop.notify();
+}
+
+void NodeV2::post_ctrl(std::vector<std::uint8_t> frame) {
+  LoopCmd cmd;
+  cmd.kind = LoopCmd::Kind::kCtrlBytes;
+  cmd.bytes = std::move(frame);
+  post_cmd(*loops_[0], std::move(cmd));
+}
+
+// --- loop-thread code -------------------------------------------------------
+
+void NodeV2::loop_main(LoopThread& lt) {
+  const bool drives = inline_ && lt.index == 0;
+  std::vector<LoopCmd> batch;
+  bool stop = false;
+  auto drain_cmds = [&] {
+    if (!lt.cmds.drain(batch)) return;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      handle_cmd(lt, batch[i], batch.size() - i - 1, stop);
+    }
+    // Events staged by command handlers (adopted-connection residual
+    // frames) must reach the runtime before this thread can block.
+    flush_inject(lt);
+  };
+  while (!stop) {
+    drain_cmds();
+    if (stop) break;
+    if (drives) {
+      // Inline drive: run the protocol shard on this very thread, then
+      // pick up what the handlers produced — their sends come back as
+      // kSendData commands on our own mailbox, and handling them now
+      // lets the frames join this round's coalesced kernel writes
+      // instead of waiting out a wakeup.
+      runtime_->drive();
+      drain_cmds();
+      if (stop) break;
+    }
+    int timeout_ms = 100;  // bounded: the ultimate lost-wakeup backstop
+    if (drives) {
+      // Due wall timers fire inside drive(), so clamp the kernel wait
+      // to the earliest armed deadline — the inline analogue of the
+      // threaded worker's mailbox.wait_until.
+      const std::int64_t wait_us = runtime_->inline_timer_wait_us();
+      if (wait_us >= 0 && wait_us < 1000 * timeout_ms) {
+        timeout_ms = static_cast<int>((wait_us + 999) / 1000);
+      }
+    }
+    lt.in_wait.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // in_flight covers the inline shard's mailbox: the main thread's
+    // injections (time-jump markers) bump it before pushing, and its
+    // post-fence in_wait check pairs with this pre-block re-check.
+    if (lt.cmds.pending() > 0 || (drives && runtime_->in_flight() > 0)) {
+      timeout_ms = 0;
+    }
+    lt.loop.run_once(timeout_ms);
+    lt.in_wait.store(false, std::memory_order_relaxed);
+    flush_inject(lt);
   }
-  if (owns(msg.dst)) {
-    local_queue_.push_back(std::move(msg));
-    return;
+  // Flush queued control/data bytes (the final Stats reply) before the
+  // destructors close the sockets.
+  while (lt.loop.backlog()) lt.loop.run_once(10);
+}
+
+void NodeV2::handle_cmd(LoopThread& lt, LoopCmd& cmd, std::size_t remaining,
+                        bool& stop) {
+  switch (cmd.kind) {
+    case LoopCmd::Kind::kSendData:
+      send_wire(lt, cmd.msg);
+      return;
+    case LoopCmd::Kind::kCtrlBytes:
+      DCNT_CHECK_MSG(lt.index == 0, "control frame routed to a data loop");
+      lt.loop.send(ctrl_conn_, std::move(cmd.bytes));
+      return;
+    case LoopCmd::Kind::kSnapshot: {
+      // Push everything this loop has been handed so far: staged
+      // injections into the runtime, queued outbound bytes into the
+      // kernel. Anything that cannot complete (kernel pushback, or the
+      // commands behind this one) is declared in `pending` so the main
+      // thread retries the round instead of trusting a short snapshot.
+      flush_inject(lt);
+      lt.loop.flush_all();
+      lt.snap.wire_msgs_sent = lt.wire_msgs_sent;
+      lt.snap.wire_msgs_received = lt.wire_msgs_received;
+      lt.snap.wire_bytes_sent = lt.wire_bytes_sent;
+      lt.snap.wire_bytes_received = lt.wire_bytes_received;
+      lt.snap.injected_drops = lt.injected_drops;
+      lt.snap.write_syscalls = lt.loop.write_syscalls();
+      lt.snap.pending = static_cast<std::int64_t>(remaining + lt.cmds.pending()) +
+                        (lt.loop.backlog() ? 1 : 0);
+      lt.snap_epoch.store(cmd.epoch, std::memory_order_release);
+      return;
+    }
+    case LoopCmd::Kind::kAdopt: {
+      const int conn = lt.loop.add_connection(
+          std::move(cmd.sock),
+          [this, &lt](int c, const FrameView& f) { on_peer_frame(lt, c, f); },
+          [](int) {}, std::move(cmd.bytes));
+      DCNT_CHECK(lt.peer_conn.at(cmd.peer) == -1);
+      lt.peer_conn[cmd.peer] = conn;
+      return;
+    }
+    case LoopCmd::Kind::kDial: {
+      Socket sock = tcp_connect(cmd.port, 15000);
+      const int conn = lt.loop.add_connection(
+          std::move(sock),
+          [this, &lt](int c, const FrameView& f) { on_peer_frame(lt, c, f); },
+          // Peers close their sockets as they shut down, possibly before
+          // our own Shutdown frame arrives; by then the quiescence
+          // barrier has certified no data in flight, so a close is never
+          // data loss.
+          [](int) {});
+      DCNT_CHECK(lt.peer_conn.at(cmd.peer) == -1);
+      lt.peer_conn[cmd.peer] = conn;
+      lt.loop.send(conn, encode_hello(HelloFrame{cfg_.node_id, 0, 0}));
+      post_main(MainEvent::Kind::kLinkUp);
+      return;
+    }
+    case LoopCmd::Kind::kSetPeers:
+      lt.peers = std::move(cmd.peers);
+      return;
+    case LoopCmd::Kind::kStop:
+      stop = true;
+      return;
   }
-  const PeerAddr& peer = peers_.at(owner(msg.dst));
+  DCNT_CHECK_MSG(false, "unhandled loop command");
+}
+
+void NodeV2::send_wire(LoopThread& lt, Message& msg) {
+  const std::uint32_t owner = owner_node(msg.dst);
   if (cfg_.udp) {
     if (cfg_.drop_probability > 0.0 &&
-        drop_rng_.next_double() < cfg_.drop_probability) {
-      ++injected_drops_;
+        lt.drop_rng.next_double() < cfg_.drop_probability) {
+      ++lt.injected_drops;
       return;
     }
     // A kernel refusal (full buffers) is just loss with extra steps; the
     // reliable transport's retransmission covers both.
-    const std::size_t sent = loop_.send_datagram_message(peer.udp_port, msg);
+    const std::size_t sent =
+        lt.loop.send_datagram_message(lt.peers.at(owner).udp_port, msg);
     if (sent != 0) {
-      ++wire_msgs_sent_;
-      wire_bytes_sent_ += static_cast<std::int64_t>(sent);
+      ++lt.wire_msgs_sent;
+      lt.wire_bytes_sent += static_cast<std::int64_t>(sent);
     }
     return;
   }
+  const int conn = lt.peer_conn.at(owner);
+  DCNT_CHECK_MSG(conn >= 0, "wire send before the peer link is up");
   // Encoded straight into the connection's outbound queue; the bytes
   // leave coalesced with everything else queued this drain round.
-  const std::size_t queued =
-      loop_.send_message(peer_conn_.at(peer.node_id), msg);
-  ++wire_msgs_sent_;
-  wire_bytes_sent_ += static_cast<std::int64_t>(queued);
+  const std::size_t queued = lt.loop.send_message(conn, msg);
+  ++lt.wire_msgs_sent;
+  lt.wire_bytes_sent += static_cast<std::int64_t>(queued);
 }
 
-void NodeRuntime::send_local(ProcessorId p, std::int32_t tag,
-                             std::vector<std::int64_t> args, SimTime delay) {
-  DCNT_CHECK(p >= 0 && p < n_);
-  DCNT_CHECK_MSG(owns(p), "send_local to a processor on another node");
-  DCNT_CHECK(delay >= 0);
-  Message msg;
-  msg.src = p;
-  msg.dst = p;
-  msg.tag = tag;
-  msg.op = current_op_;
-  msg.args = std::move(args);
-  msg.local = true;
-  Timer t;
-  t.wall_due =
-      WallClock::now() + std::chrono::microseconds(delay * cfg_.tick_us);
-  t.seq = timer_seq_++;
-  t.logical_due = clock_ + delay;
-  t.msg = std::move(msg);
-  timers_.push(std::move(t));
-}
-
-void NodeRuntime::complete(OpId op, Value value) {
-  loop_.send(ctrl_conn_, encode_complete(CompleteFrame{op, value}));
-}
-
-void NodeRuntime::deliver(Message msg) {
-  if (!msg.local && msg.src != msg.dst) {
-    metrics_.on_receive(msg.dst, msg.size_words());
-  }
-  DCNT_CHECK(!in_handler_);
-  in_handler_ = true;
-  current_op_ = msg.op;
-  protocol_->on_message(*this, msg);
-  in_handler_ = false;
-  current_op_ = kNoOp;
-  ++events_;
-  ++clock_;
-}
-
-void NodeRuntime::deliver_start(const StartFrame& start) {
-  DCNT_CHECK(start.origin >= 0 && start.origin < n_);
-  DCNT_CHECK_MSG(owns(start.origin),
-                 "Start frame routed to the wrong node");
-  DCNT_CHECK(!in_handler_);
-  in_handler_ = true;
-  current_op_ = start.op;
-  if (start.args.empty()) {
-    protocol_->start_inc(*this, start.origin, start.op);
-  } else {
-    protocol_->start_op(*this, start.origin, start.op, start.args);
-  }
-  in_handler_ = false;
-  current_op_ = kNoOp;
-  ++events_;
-  ++clock_;
-}
-
-void NodeRuntime::drain() {
-  for (;;) {
-    if (!local_queue_.empty()) {
-      Message msg = std::move(local_queue_.front());
-      local_queue_.pop_front();
-      deliver(std::move(msg));
-      continue;
-    }
-    if (!timers_.empty() && timers_.top().wall_due <= WallClock::now()) {
-      Timer t = timers_.top();
-      timers_.pop();
-      // The logical clock cannot jump at global idleness the way the
-      // simulator's does (no node sees the whole system); it jumps when
-      // the timer's wall deadline arrives instead, keeping deadline
-      // arithmetic against now() monotone.
-      if (clock_ < t.logical_due) clock_ = t.logical_due;
-      deliver(std::move(t.msg));
-      continue;
-    }
-    return;
-  }
-}
-
-void NodeRuntime::time_jump() {
-  // Fire the timers armed at this instant without waiting out their
-  // wall deadlines — the controller has certified the cluster idle
-  // (stable events, no unacked envelopes, no wire traffic in flight),
-  // which is exactly when the simulator would jump its clock. Timers
-  // armed by the cascades this triggers keep their wall deadlines; the
-  // controller re-evaluates and jumps again if the cluster settles with
-  // timers still pending.
-  std::size_t budget = timers_.size();
-  while (budget-- > 0 && !timers_.empty()) {
-    Timer t = timers_.top();
-    timers_.pop();
-    if (clock_ < t.logical_due) clock_ = t.logical_due;
-    deliver(std::move(t.msg));
-    drain();
-  }
-}
-
-void NodeRuntime::on_ctrl_frame(const FrameView& frame) {
+void NodeV2::on_ctrl_frame(LoopThread& lt0, const FrameView& frame) {
   switch (frame.type()) {
     case FrameType::kPeers: {
-      peers_ = decode_peers(frame).peers;
-      DCNT_CHECK(peers_.size() == cfg_.num_nodes);
-      peer_conn_.assign(cfg_.num_nodes, -1);
+      PeersFrame pf = decode_peers(frame);
+      DCNT_CHECK(pf.peers.size() == cfg_.num_nodes);
+      lt0.peers = pf.peers;
+      for (std::size_t li = 1; li < loops_.size(); ++li) {
+        LoopCmd cmd;
+        cmd.kind = LoopCmd::Kind::kSetPeers;
+        cmd.peers = pf.peers;
+        post_cmd(*loops_[li], std::move(cmd));
+      }
       if (!cfg_.udp) {
         // Deterministic mesh construction: node i dials every peer with
-        // a smaller id and sends a Hello to identify itself; larger ids
-        // dial us and we learn who they are from their Hello.
+        // a smaller id (each from the loop that will own the link) and
+        // sends a Hello to identify itself; larger ids dial us and we
+        // learn who they are from their Hello.
         for (std::uint32_t id = 0; id < cfg_.node_id; ++id) {
-          Socket sock = tcp_connect(peers_[id].tcp_port, 15000);
-          const int conn = loop_.add_connection(
-              std::move(sock),
-              [this](int c, const FrameView& f) { on_peer_frame(c, f); },
-              [](int) {});
-          peer_conn_[id] = conn;
-          ++peer_links_;
-          loop_.send(conn, encode_hello(HelloFrame{cfg_.node_id, 0, 0}));
+          const std::size_t owner = owner_loop(id);
+          if (owner == 0) {
+            Socket sock = tcp_connect(pf.peers[id].tcp_port, 15000);
+            const int conn = lt0.loop.add_connection(
+                std::move(sock),
+                [this, &lt0](int c, const FrameView& f) {
+                  on_peer_frame(lt0, c, f);
+                },
+                [](int) {});
+            DCNT_CHECK(lt0.peer_conn.at(id) == -1);
+            lt0.peer_conn[id] = conn;
+            lt0.loop.send(conn, encode_hello(HelloFrame{cfg_.node_id, 0, 0}));
+            post_main(MainEvent::Kind::kLinkUp);
+          } else {
+            LoopCmd cmd;
+            cmd.kind = LoopCmd::Kind::kDial;
+            cmd.peer = id;
+            cmd.port = pf.peers[id].tcp_port;
+            post_cmd(*loops_[owner], std::move(cmd));
+          }
         }
       }
-      maybe_ready();
+      post_main(MainEvent::Kind::kPeersReceived);
       return;
     }
     case FrameType::kStart:
-      deliver_start(decode_start(frame));
+      stage_start(lt0, decode_start(frame));
       return;
     case FrameType::kStatsRequest:
-      stats_requested_ = true;
+      post_main(MainEvent::Kind::kStatsRequest);
       return;
     case FrameType::kTimeJump:
-      time_jump_requested_ = true;
+      post_main(MainEvent::Kind::kTimeJump);
       return;
     case FrameType::kMetricsReset:
-      reset_metrics();
-      // Ack with a Ready frame: the controller must not issue measured
-      // Starts until every node has re-baselined, or a fast peer's
-      // first measured message could reach us ahead of our own reset
-      // (TCP orders per connection, not across them) and be absorbed
-      // into the baseline — leaving the global sent/received counts
-      // permanently skewed and the quiescence barrier unsatisfiable.
-      loop_.send(ctrl_conn_, encode_ready(ReadyFrame{cfg_.node_id}));
+      post_main(MainEvent::Kind::kMetricsReset);
       return;
     case FrameType::kShutdown:
-      shutdown_ = true;
+      post_main(MainEvent::Kind::kShutdown);
       return;
     default:
       DCNT_CHECK_MSG(false, "unexpected frame type on the control channel");
   }
 }
 
-void NodeRuntime::on_peer_accept(Socket accepted) {
-  loop_.add_connection(
-      std::move(accepted),
-      [this](int c, const FrameView& f) { on_peer_frame(c, f); },
-      // Peers close their sockets as they shut down, possibly before our
-      // own Shutdown frame arrives; by then the quiescence barrier has
-      // certified no data is in flight, so a close is never data loss.
-      [](int) {});
-}
-
-void NodeRuntime::on_peer_frame(int conn, const FrameView& frame) {
+void NodeV2::on_peer_frame(LoopThread& lt, int conn, const FrameView& frame) {
   if (frame.type() == FrameType::kHello) {
+    // Accepted connections are identified on loop 0, then handed to the
+    // loop that owns the peer. Commands are FIFO per loop, so the
+    // adoption is always processed before any kSendData for that peer
+    // (sends only start after the controller has collected every Ready).
+    DCNT_CHECK_MSG(lt.index == 0, "peer Hello outside the accepting loop");
     const HelloFrame hello = decode_hello(frame);
     DCNT_CHECK(hello.node_id < cfg_.num_nodes);
-    DCNT_CHECK(peer_conn_.at(hello.node_id) == -1);
-    peer_conn_[hello.node_id] = conn;
-    ++peer_links_;
-    maybe_ready();
+    const std::size_t owner = owner_loop(hello.node_id);
+    if (owner == 0) {
+      DCNT_CHECK(lt.peer_conn.at(hello.node_id) == -1);
+      lt.peer_conn[hello.node_id] = conn;
+    } else {
+      DetachedConn d = lt.loop.detach_connection(conn);
+      LoopCmd cmd;
+      cmd.kind = LoopCmd::Kind::kAdopt;
+      cmd.peer = hello.node_id;
+      cmd.sock = std::move(d.sock);
+      cmd.bytes = std::move(d.residual);
+      post_cmd(*loops_[owner], std::move(cmd));
+    }
+    post_main(MainEvent::Kind::kLinkUp);
     return;
   }
   DCNT_CHECK(frame.type() == FrameType::kMsg);
-  ++wire_msgs_received_;
-  wire_bytes_received_ += static_cast<std::int64_t>(frame.body_size()) + 6;
-  Message msg = decode_message(frame);
-  DCNT_CHECK(owns(msg.dst));
-  local_queue_.push_back(std::move(msg));
+  stage_wire_message(lt, frame);
 }
 
-void NodeRuntime::on_datagram(const FrameView& frame) {
+void NodeV2::on_datagram(LoopThread& lt, const FrameView& frame) {
   DCNT_CHECK(frame.type() == FrameType::kMsg);
-  ++wire_msgs_received_;
-  wire_bytes_received_ += static_cast<std::int64_t>(frame.body_size()) + 6;
+  stage_wire_message(lt, frame);
+}
+
+void NodeV2::stage_wire_message(LoopThread& lt, const FrameView& frame) {
+  ++lt.wire_msgs_received;
+  lt.wire_bytes_received += static_cast<std::int64_t>(frame.body_size()) + 6;
   Message msg = decode_message(frame);
-  DCNT_CHECK(owns(msg.dst));
-  local_queue_.push_back(std::move(msg));
+  DCNT_CHECK(runtime_->owns(msg.dst));
+  RuntimeEvent ev;
+  ev.kind = RuntimeEvent::Kind::kMessage;
+  const std::size_t shard = runtime_->shard_of(msg.dst);
+  ev.msg = std::move(msg);
+  if (lt.inject_buf[shard].empty()) lt.inject_dirty.push_back(shard);
+  lt.inject_buf[shard].push_back(std::move(ev));
 }
 
-void NodeRuntime::maybe_ready() {
-  if (ready_sent_ || peers_.empty()) return;
-  const std::size_t expected =
-      cfg_.udp ? 0 : static_cast<std::size_t>(cfg_.num_nodes) - 1;
-  if (peer_links_ < expected) return;
+void NodeV2::stage_start(LoopThread& lt, StartFrame start) {
+  DCNT_CHECK(start.origin >= 0 && start.origin < n_);
+  DCNT_CHECK_MSG(runtime_->owns(start.origin),
+                 "Start frame routed to the wrong node");
+  runtime_->register_external_op(start.op);
+  RuntimeEvent ev;
+  ev.kind = RuntimeEvent::Kind::kStart;
+  ev.msg.src = start.origin;
+  ev.msg.dst = start.origin;
+  ev.msg.op = start.op;
+  ev.msg.args = std::move(start.args);  // empty = plain inc
+  const std::size_t shard = runtime_->shard_of(start.origin);
+  if (lt.inject_buf[shard].empty()) lt.inject_dirty.push_back(shard);
+  lt.inject_buf[shard].push_back(std::move(ev));
+}
+
+void NodeV2::flush_inject(LoopThread& lt) {
+  for (std::size_t shard : lt.inject_dirty) {
+    runtime_->inject(shard, lt.inject_buf[shard]);
+  }
+  lt.inject_dirty.clear();
+}
+
+// --- main-thread code -------------------------------------------------------
+
+void NodeV2::maybe_ready() {
+  if (ready_sent_ || !peers_seen_ || links_ < expected_links_) return;
   ready_sent_ = true;
-  loop_.send(ctrl_conn_, encode_ready(ReadyFrame{cfg_.node_id}));
+  post_ctrl(encode_ready(ReadyFrame{cfg_.node_id}));
 }
 
-void NodeRuntime::reset_metrics() {
-  metrics_ = Metrics(static_cast<std::size_t>(n_));
-  base_.events = events_;
-  base_.wire_msgs_sent = wire_msgs_sent_;
-  base_.wire_msgs_received = wire_msgs_received_;
-  base_.wire_bytes_sent = wire_bytes_sent_;
-  base_.wire_bytes_received = wire_bytes_received_;
-  base_.injected_drops = injected_drops_;
-  base_.write_syscalls = loop_.write_syscalls();
-  if (transport_ != nullptr) {
-    const RetryStats& rs = transport_->stats();
-    base_.retransmissions = rs.retransmissions;
-    base_.duplicates_suppressed = rs.duplicates_suppressed;
-    base_.messages_abandoned = rs.messages_abandoned;
+/// The node-local half of the distributed quiescence barrier: spin until
+/// one validated window in which the runtime was idle AND every loop had
+/// drained its commands and outbound queues, capturing all stats-facing
+/// counters inside that window.
+///
+/// Validation order is the load-bearing part. Each round:
+///   1. wait for runtime quiescence, read events_processed (A);
+///   2. demand every loop's command queue empty (else new work is
+///      seconds away — yield and retry);
+///   3. post kSnapshot(epoch) to every loop; spin until all publish;
+///   4. read the armed-timer gauge, transport unacked, and the merged
+///      per-processor loads;
+///   5. re-verify: in_flight()==0, events_processed()==A, no loop has
+///      pending commands or declared a short snapshot. Any failure
+///      discards everything and retries.
+/// A window that passes step 5 provably overlapped no handler and no
+/// loop-side work: every handler holds in_flight>0 while running, and a
+/// timer that fired in between bumps in_flight before dropping the
+/// armed gauge, so either check 5 catches it or it never happened.
+/// Reported "received" counts therefore always refer to messages the
+/// runtime has fully processed — the property the controller's
+/// two-stable-rounds barrier leans on. Wire data still in the kernel
+/// (or a peer's queue) is caught by the controller's global
+/// sent==received check instead, never by a single node.
+void NodeV2::stable_quiesce() {
+  for (;;) {
+    runtime_->wait_quiescent();
+    const std::int64_t before = runtime_->events_processed();
+    bool busy = false;
+    for (auto& lt : loops_) busy = busy || lt->cmds.pending() > 0;
+    if (busy) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::uint64_t epoch = ++epoch_;
+    for (auto& lt : loops_) {
+      LoopCmd cmd;
+      cmd.kind = LoopCmd::Kind::kSnapshot;
+      cmd.epoch = epoch;
+      post_cmd(*lt, std::move(cmd));
+    }
+    for (auto& lt : loops_) {
+      while (lt->snap_epoch.load(std::memory_order_acquire) != epoch) {
+        std::this_thread::yield();
+      }
+    }
+    timers_cache_ = runtime_->timers_armed();
+    unacked_cache_ = transport_ != nullptr ? transport_->unacked_total() : 0;
+    metrics_cache_ = runtime_->merged_metrics_unchecked();
+    if (runtime_->in_flight() != 0) continue;
+    if (runtime_->events_processed() != before) continue;
+    busy = false;
+    for (auto& lt : loops_) {
+      busy = busy || lt->cmds.pending() > 0 || lt->snap.pending != 0;
+    }
+    if (busy) {
+      std::this_thread::yield();
+      continue;
+    }
+    events_cache_ = before;
+    return;
   }
 }
 
-void NodeRuntime::send_stats() {
+void NodeV2::send_stats() {
+  stable_quiesce();
   StatsFrame s;
   s.node_id = cfg_.node_id;
   // events_processed keeps its full monotone value (minus a constant
   // baseline) so the controller's two-stable-rounds comparison works
   // across a reset; the traffic counters are reported as deltas.
-  s.events_processed = events_ - base_.events;
-  s.wire_msgs_sent = wire_msgs_sent_ - base_.wire_msgs_sent;
-  s.wire_msgs_received = wire_msgs_received_ - base_.wire_msgs_received;
-  s.wire_bytes_sent = wire_bytes_sent_ - base_.wire_bytes_sent;
-  s.wire_bytes_received = wire_bytes_received_ - base_.wire_bytes_received;
-  s.injected_drops = injected_drops_ - base_.injected_drops;
-  s.wire_write_syscalls = loop_.write_syscalls() - base_.write_syscalls;
-  s.timers_armed = static_cast<std::int64_t>(timers_.size());
+  s.events_processed = events_cache_ - base_.events;
+  for (std::size_t li = 0; li < loops_.size(); ++li) {
+    const WireSnap& snap = loops_[li]->snap;
+    const WireSnap& base = base_.snaps[li];
+    s.wire_msgs_sent += snap.wire_msgs_sent - base.wire_msgs_sent;
+    s.wire_msgs_received += snap.wire_msgs_received - base.wire_msgs_received;
+    s.wire_bytes_sent += snap.wire_bytes_sent - base.wire_bytes_sent;
+    s.wire_bytes_received +=
+        snap.wire_bytes_received - base.wire_bytes_received;
+    s.injected_drops += snap.injected_drops - base.injected_drops;
+    s.wire_write_syscalls += snap.write_syscalls - base.write_syscalls;
+  }
+  s.timers_armed = timers_cache_;
   if (transport_ != nullptr) {
-    s.unacked = transport_->unacked_total();
+    s.unacked = unacked_cache_;
     const RetryStats& rs = transport_->stats();
     s.retransmissions = rs.retransmissions - base_.retransmissions;
-    s.duplicates_suppressed = rs.duplicates_suppressed - base_.duplicates_suppressed;
+    s.duplicates_suppressed =
+        rs.duplicates_suppressed - base_.duplicates_suppressed;
     s.messages_abandoned = rs.messages_abandoned - base_.messages_abandoned;
   }
   for (ProcessorId p = static_cast<ProcessorId>(cfg_.node_id); p < n_;
        p += static_cast<ProcessorId>(cfg_.num_nodes)) {
     ProcLoad load;
     load.pid = p;
-    load.sent = metrics_.sent(p);
-    load.received = metrics_.received(p);
-    load.words = metrics_.word_load(p);
+    load.sent = metrics_cache_.sent(p);
+    load.received = metrics_cache_.received(p);
+    load.words = metrics_cache_.word_load(p);
     s.loads.push_back(load);
   }
-  loop_.send(ctrl_conn_, encode_stats(s));
+  post_ctrl(encode_stats(s));
 }
 
-int NodeRuntime::poll_timeout_ms() const {
-  if (!local_queue_.empty()) return 0;
-  if (timers_.empty()) return 100;
-  const auto now = WallClock::now();
-  const auto due = timers_.top().wall_due;
-  if (due <= now) return 0;
-  const auto ms =
-      std::chrono::duration_cast<std::chrono::milliseconds>(due - now).count() +
-      1;
-  return static_cast<int>(ms < 100 ? ms : 100);
+void NodeV2::time_jump() {
+  // Fire the timers armed at this instant without waiting out their
+  // wall deadlines — the controller has certified the cluster idle
+  // (stable events, no unacked envelopes, no wire traffic in flight),
+  // which is exactly when the simulator would jump its clock. One
+  // marker per shard; each shard fires the timers armed when the marker
+  // arrives (timers re-armed by the cascades keep their wall deadlines;
+  // the controller re-evaluates and jumps again if the cluster settles
+  // with timers still pending).
+  std::vector<RuntimeEvent> evs;
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    RuntimeEvent ev;
+    ev.kind = RuntimeEvent::Kind::kFireTimers;
+    evs.clear();
+    evs.push_back(std::move(ev));
+    runtime_->inject(shard, evs);
+  }
+  if (inline_) {
+    // The markers sit in the shard mailbox, but the only thread that
+    // will ever drive them — loop 0 — may be parked in its kernel wait
+    // with no socket traffic due. Same Dekker pairing as post_cmd: the
+    // inject above bumped in_flight before pushing, so either loop 0's
+    // pre-block re-check sees it, or we see in_wait and kick the
+    // eventfd.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (loops_[0]->in_wait.load(std::memory_order_relaxed)) {
+      loops_[0]->loop.notify();
+    }
+  }
 }
 
-int NodeRuntime::run() {
-  build_protocol();
-  DCNT_CHECK_MSG(cfg_.ctrl_port != 0, "node needs --ctrl_port");
+void NodeV2::handle_reset() {
+  // The controller broadcasts a reset only when the whole cluster is
+  // certified idle, so nothing moves between the stable window captured
+  // here and the baseline stores below.
+  stable_quiesce();
+  runtime_->reset_metrics();
+  base_.events = events_cache_;
+  base_.snaps.resize(loops_.size());
+  for (std::size_t li = 0; li < loops_.size(); ++li) {
+    base_.snaps[li] = loops_[li]->snap;
+  }
+  if (transport_ != nullptr) {
+    const RetryStats& rs = transport_->stats();
+    base_.retransmissions = rs.retransmissions;
+    base_.duplicates_suppressed = rs.duplicates_suppressed;
+    base_.messages_abandoned = rs.messages_abandoned;
+  }
+  // Ack with a Ready frame: the controller must not issue measured
+  // Starts until every node has re-baselined, or a fast peer's first
+  // measured message could reach us ahead of our own reset (TCP orders
+  // per connection, not across them) and be absorbed into the baseline
+  // — leaving the global sent/received counts permanently skewed and
+  // the quiescence barrier unsatisfiable.
+  post_ctrl(encode_ready(ReadyFrame{cfg_.node_id}));
+}
+
+void NodeV2::setup_loop0(std::uint16_t* tcp_port, std::uint16_t* udp_port) {
+  LoopThread& lt0 = *loops_[0];
   Socket ctrl = tcp_connect(cfg_.ctrl_port, 15000);
-  ctrl_conn_ = loop_.add_connection(
+  ctrl_conn_ = lt0.loop.add_connection(
       std::move(ctrl),
-      [this](int, const FrameView& f) { on_ctrl_frame(f); },
-      [this](int) { ctrl_closed_ = true; });
-
-  std::uint16_t tcp_port = 0;
-  std::uint16_t udp_port = 0;
+      [this, &lt0](int, const FrameView& f) { on_ctrl_frame(lt0, f); },
+      [this](int) { post_main(MainEvent::Kind::kCtrlClosed); });
   if (!cfg_.udp && cfg_.num_nodes > 1) {
-    Socket listener = tcp_listen(&tcp_port);
-    loop_.add_listener(std::move(listener),
-                       [this](Socket s) { on_peer_accept(std::move(s)); });
+    Socket listener = tcp_listen(tcp_port);
+    lt0.loop.add_listener(std::move(listener), [this, &lt0](Socket s) {
+      // Identity unknown until the Hello arrives; until then the
+      // connection lives on loop 0.
+      lt0.loop.add_connection(
+          std::move(s),
+          [this, &lt0](int c, const FrameView& f) { on_peer_frame(lt0, c, f); },
+          [](int) {});
+    });
   }
   if (cfg_.udp) {
-    Socket udp = udp_bind(&udp_port);
-    loop_.add_udp(std::move(udp),
-                  [this](const FrameView& f) { on_datagram(f); });
+    // Every loop owns a send socket (datagram sends are loop-local);
+    // only loop 0's port is advertised, so all receives land there.
+    for (auto& lt : loops_) {
+      std::uint16_t port = 0;
+      Socket sock = udp_bind(&port);
+      LoopThread& ltr = *lt;
+      lt->loop.add_udp(std::move(sock), [this, &ltr](const FrameView& f) {
+        on_datagram(ltr, f);
+      });
+      if (lt->index == 0) *udp_port = port;
+    }
   }
-  loop_.send(ctrl_conn_,
-             encode_hello(HelloFrame{cfg_.node_id, tcp_port, udp_port}));
+}
 
-  while (!shutdown_) {
-    DCNT_CHECK_MSG(!ctrl_closed_, "controller connection lost");
-    drain();
-    if (time_jump_requested_) {
-      time_jump_requested_ = false;
-      time_jump();
-    }
-    if (stats_requested_) {
-      // Replying only after the drain means a Stats snapshot never
-      // reports a received wire message it has not yet processed — the
-      // property the controller's two-stable-rounds barrier leans on.
-      stats_requested_ = false;
-      send_stats();
-    }
-    if (shutdown_) break;
-    loop_.run_once(poll_timeout_ms());
+int NodeV2::run() {
+  DCNT_CHECK_MSG(cfg_.ctrl_port != 0, "node needs --ctrl_port");
+  build_runtime();
+
+  const std::size_t num_loops = cfg_.loops > 0 ? cfg_.loops : 1;
+  const Backend backend = backend_from_string(cfg_.backend);
+  base_.snaps.resize(num_loops);  // zero baselines until the first reset
+  loops_.reserve(num_loops);
+  for (std::size_t li = 0; li < num_loops; ++li) {
+    loops_.push_back(std::make_unique<LoopThread>(li, backend));
+    LoopThread& lt = *loops_.back();
+    lt.peer_conn.assign(cfg_.num_nodes, -1);
+    lt.inject_buf.resize(shards_);
+    // Distinct stream for the loss shim so dropping datagrams never
+    // perturbs the protocol's own randomness; forked per loop because
+    // each loop thread draws independently.
+    lt.drop_rng = Rng(mix64(cfg_.seed ^ 0x10551055ull))
+                      .fork(cfg_.node_id + 1)
+                      .fork(li + 1);
   }
-  // Flush any queued control-plane bytes (the final Stats reply) before
-  // the destructors close the sockets.
-  while (loop_.backlog()) loop_.run_once(10);
+
+  // All loop-0 plumbing happens before the threads start, so the
+  // single-owner-thread rule of EventLoop is never violated.
+  std::uint16_t tcp_port = 0;
+  std::uint16_t udp_port = 0;
+  setup_loop0(&tcp_port, &udp_port);
+  loops_[0]->loop.send(
+      ctrl_conn_, encode_hello(HelloFrame{cfg_.node_id, tcp_port, udp_port}));
+
+  for (auto& lt : loops_) {
+    LoopThread& ltr = *lt;
+    lt->thread = std::thread([this, &ltr] { loop_main(ltr); });
+  }
+
+  expected_links_ = (!cfg_.udp && cfg_.num_nodes > 1)
+                        ? static_cast<std::size_t>(cfg_.num_nodes) - 1
+                        : 0;
+
+  bool shutdown = false;
+  std::vector<MainEvent> evs;
+  while (!shutdown) {
+    main_events_.wait(never_stop_);
+    if (!main_events_.drain(evs)) continue;
+    for (const MainEvent& ev : evs) {
+      switch (ev.kind) {
+        case MainEvent::Kind::kPeersReceived:
+          peers_seen_ = true;
+          maybe_ready();
+          break;
+        case MainEvent::Kind::kLinkUp:
+          ++links_;
+          maybe_ready();
+          break;
+        case MainEvent::Kind::kStatsRequest:
+          send_stats();
+          break;
+        case MainEvent::Kind::kTimeJump:
+          time_jump();
+          break;
+        case MainEvent::Kind::kMetricsReset:
+          handle_reset();
+          break;
+        case MainEvent::Kind::kShutdown:
+          shutdown = true;
+          break;
+        case MainEvent::Kind::kCtrlClosed:
+          DCNT_CHECK_MSG(shutdown, "controller connection lost");
+          break;
+      }
+      if (shutdown) break;
+    }
+  }
+  // kStop rides behind any queued control bytes (the final Stats
+  // reply); each loop drains its outbound backlog before exiting.
+  for (auto& lt : loops_) {
+    LoopCmd cmd;
+    cmd.kind = LoopCmd::Kind::kStop;
+    post_cmd(*lt, std::move(cmd));
+  }
+  for (auto& lt : loops_) lt->thread.join();
+  runtime_->stop();
   return 0;
 }
 
 }  // namespace
 
 int run_node(const NodeConfig& config) {
-  NodeRuntime node(config);
+  NodeV2 node(config);
   return node.run();
 }
 

@@ -29,6 +29,12 @@ Usage: dcnt_node --ctrl_port=P --node=I --nodes=N [options]
   --ack_timeout=T   reliable-transport first timeout  (default 16 ticks)
   --max_timeout=T   reliable-transport backoff cap    (default 256 ticks)
   --max_attempts=A  transmissions before giving up    (default 12)
+  --loops=L         event-loop threads                (default 1)
+  --shards=S        protocol worker shards; 0 = inline:
+                    loop 0 drives the shard itself,
+                    no worker threads (needs --loops=1) (default 1)
+  --backend=B       reactor backend: epoll | poll     (default: platform)
+  --max_ops=M       operation-table capacity hint     (default 65536)
 )";
 
 }  // namespace
@@ -62,5 +68,9 @@ int main(int argc, char** argv) {
   cfg.retry.max_timeout = flags.get_int("max_timeout", cfg.retry.max_timeout);
   cfg.retry.max_attempts =
       static_cast<int>(flags.get_int("max_attempts", cfg.retry.max_attempts));
+  cfg.loops = static_cast<std::uint32_t>(flags.get_int("loops", 1));
+  cfg.shards = static_cast<std::uint32_t>(flags.get_int("shards", 1));
+  cfg.backend = flags.get_string("backend", "");
+  cfg.max_ops = flags.get_int("max_ops", 0);
   return dcnt::net::run_node(cfg);
 }

@@ -93,16 +93,22 @@ Socket tcp_connect(std::uint16_t port, int deadline_ms) {
 }
 
 Socket tcp_accept(const Socket& listener) {
-  const int fd = ::accept(listener.fd(), nullptr, nullptr);
-  if (fd < 0) {
-    DCNT_CHECK_MSG(errno == EAGAIN || errno == EWOULDBLOCK ||
-                       errno == EINTR || errno == ECONNABORTED,
-                   "accept failed");
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    // A signal mid-accept is not "nothing pending" — retry, or the
+    // readiness edge that announced this connection is lost until the
+    // next one arrives.
+    if (errno == EINTR) continue;
+    DCNT_CHECK_MSG(
+        errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED,
+        "accept failed");
     return Socket();
   }
-  set_nonblocking(fd);
-  set_nodelay(fd);
-  return Socket(fd);
 }
 
 Socket udp_bind(std::uint16_t* port) {

@@ -193,6 +193,18 @@ class FrameReader {
 
   std::size_t buffered_bytes() const { return buffer_.size() - head_; }
 
+  /// Moves out the unconsumed bytes (a partial frame, typically empty),
+  /// leaving the reader empty. Used when a connection migrates between
+  /// event loops: the old loop surrenders what it read past the last
+  /// complete frame so the adopting loop's reader can resume mid-stream.
+  std::vector<std::uint8_t> take_buffered() {
+    std::vector<std::uint8_t> out(buffer_.begin() + static_cast<long>(head_),
+                                  buffer_.end());
+    buffer_.clear();
+    head_ = 0;
+    return out;
+  }
+
  private:
   std::vector<std::uint8_t> buffer_;
   std::size_t head_{0};  ///< consumed prefix, compacted lazily

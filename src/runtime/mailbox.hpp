@@ -28,9 +28,16 @@
 // whichever runnable worker has the mail), and only then the condvar.
 // Senders consult owner_waiting_ under the mutex and notify only a
 // parked owner, so the notify-per-push storm is gone entirely.
+//
+// The queue is a template (MailboxT<T>) because the socket node reuses
+// the same batched MPSC hand-off in the other direction: runtime shards
+// stage outbound wire messages and completions into per-event-loop
+// queues, flushed with one push_all per batch. `Mailbox` remains the
+// RuntimeEvent instantiation the runtime workers own.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -49,6 +56,10 @@ struct RuntimeEvent {
     kMessage,  ///< deliver msg to msg.dst (network or self-addressed)
     kStart,    ///< run start_inc/start_op at msg.dst for msg.op
     kTimer,    ///< register a local timer at msg.dst, `delay` ticks out
+    /// Fire every armed timer on the receiving shard immediately (the
+    /// distributed time jump: only the cluster controller can certify
+    /// global idleness, so the node injects this on its command).
+    kFireTimers,
   };
   Kind kind{Kind::kMessage};
   Message msg;
@@ -68,11 +79,12 @@ struct MailboxIdlePolicy {
   static const MailboxIdlePolicy& instance();
 };
 
-class Mailbox {
+template <typename T>
+class MailboxT {
  public:
-  /// Multi-producer enqueue of a single event. Prefer push_all for
-  /// anything that can batch — this is one lock per event.
-  void push(RuntimeEvent ev) {
+  /// Multi-producer enqueue of a single item. Prefer push_all for
+  /// anything that can batch — this is one lock per item.
+  void push(T ev) {
     bool wake_owner;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -83,11 +95,11 @@ class Mailbox {
     if (wake_owner) cv_.notify_one();
   }
 
-  /// Multi-producer batched enqueue: moves every event out of `evs`
+  /// Multi-producer batched enqueue: moves every item out of `evs`
   /// under one lock acquisition and with at most one wake, then clears
   /// `evs` retaining its capacity so callers can reuse the buffer
   /// allocation-free across cycles. No-op on an empty batch.
-  void push_all(std::vector<RuntimeEvent>& evs) {
+  void push_all(std::vector<T>& evs) {
     if (evs.empty()) return;
     bool wake_owner;
     {
@@ -110,7 +122,7 @@ class Mailbox {
 
   /// Single-consumer batch drain: swaps the backlog into `out` (cleared
   /// first). Returns false if there was nothing.
-  bool drain(std::vector<RuntimeEvent>& out) {
+  bool drain(std::vector<T>& out) {
     out.clear();
     if (pending_.load(std::memory_order_acquire) == 0) return false;
     std::lock_guard<std::mutex> lock(mu_);
@@ -118,6 +130,15 @@ class Mailbox {
     std::swap(items_, out);
     pending_.store(0, std::memory_order_relaxed);
     return true;
+  }
+
+  /// Queued items, readable from any thread. A zero is trustworthy the
+  /// way the quiescence machinery needs it to be: producers store the
+  /// new size release-ordered after enqueueing, so a reader that
+  /// observes 0 after the producer's other effects sees a genuinely
+  /// drained queue.
+  std::size_t pending() const {
+    return pending_.load(std::memory_order_acquire);
   }
 
   /// Blocks until mail is present or `stop` becomes true, spinning per
@@ -145,6 +166,21 @@ class Mailbox {
     return !items_.empty();
   }
 
+  /// Deadline flavor for workers holding armed wall-clock timers: parks
+  /// immediately (no spin — the caller knows the next deadline is a real
+  /// duration away) until mail, stop, or the deadline. Returns true if
+  /// mail is present.
+  bool wait_until(const std::atomic<bool>& stop,
+                  std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    owner_waiting_ = true;
+    cv_.wait_until(lock, deadline, [&] {
+      return !items_.empty() || stop.load(std::memory_order_acquire);
+    });
+    owner_waiting_ = false;
+    return !items_.empty();
+  }
+
   /// Wakes a wait()-blocked owner so it can observe a stop flag. Takes
   /// the mutex so the wake cannot slip between the owner's predicate
   /// check and its sleep.
@@ -156,7 +192,7 @@ class Mailbox {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<RuntimeEvent> items_;
+  std::vector<T> items_;
   /// items_.size(), maintained under mu_ but readable lock-free by the
   /// owner's spin loop and fast-path drain check.
   std::atomic<std::size_t> pending_{0};
@@ -164,6 +200,10 @@ class Mailbox {
   /// wait(); guarded by mu_. Senders notify only when it is set.
   bool owner_waiting_{false};
 };
+
+/// The runtime workers' instantiation — the name the rest of the
+/// codebase has always used.
+using Mailbox = MailboxT<RuntimeEvent>;
 
 inline const MailboxIdlePolicy& MailboxIdlePolicy::instance() {
   static const MailboxIdlePolicy policy = [] {

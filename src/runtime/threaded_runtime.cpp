@@ -36,10 +36,21 @@ thread_local std::size_t tl_worker_index = 0;
 }  // namespace
 
 struct ThreadedRuntime::Shard {
-  Shard(std::size_t n, std::size_t num_shards, Rng shard_rng)
-      : outbox(num_shards), rng(shard_rng), metrics(n) {}
+  Shard(std::size_t idx, std::size_t n, std::size_t num_shards, Rng shard_rng)
+      : index(idx), outbox(num_shards), rng(shard_rng), metrics(n) {}
 
+  const std::size_t index;
   Mailbox mailbox;
+
+  /// Monotone count of events this shard has handled. Relaxed bumps by
+  /// the owner; exact for readers ordered after it through the
+  /// in-flight acq_rel chain (see ThreadedRuntime::events_processed).
+  std::atomic<std::int64_t> events_processed{0};
+  /// Armed wall-clock timers on this shard (wall_timers mode). The fire
+  /// path bumps in_flight_ BEFORE decrementing this, so an observer
+  /// that reads it between two in_flight()==0 observations cannot miss
+  /// a concurrent fire.
+  std::atomic<std::int64_t> timers_armed{0};
 
   // Owner-thread-only state below.
   std::vector<RuntimeEvent> batch;  ///< drain target, reused
@@ -51,6 +62,11 @@ struct ThreadedRuntime::Shard {
   /// cross-shard traffic allocates nothing here.
   std::vector<std::vector<RuntimeEvent>> outbox;
   std::vector<std::size_t> outbox_dirty;  ///< dsts with staged events
+  /// Messages addressed to processors another node owns (cluster mode),
+  /// staged until flush_shard hands them to the remote sink. These hold
+  /// no in-flight count: local accounting ends at the sink boundary and
+  /// the wire send/receive conservation check takes over.
+  std::vector<Message> remote_out;
   /// Deferred in_flight_ deltas: events created (sends, timers, starts
   /// issued from this worker) and events finished since the last flush.
   /// flush_shard applies adds before subtracts.
@@ -91,6 +107,14 @@ class ThreadedRuntime::WorkerCtx final : public Context {
     if (msg.src != msg.dst) {
       shard_->metrics.on_send(msg.src, msg.op, msg.size_words());
     }
+    if (!rt_->owns(msg.dst)) {
+      // Another node's processor: stage for the remote sink. The send
+      // was counted above (a remote dst is never the local src); the
+      // receive is counted by the destination node on delivery, so the
+      // cluster-wide ledger matches the simulator's.
+      shard_->remote_out.push_back(std::move(msg));
+      return;
+    }
     RuntimeEvent ev;
     ev.kind = RuntimeEvent::Kind::kMessage;
     const std::size_t dst_shard = rt_->shard_of(msg.dst);
@@ -116,20 +140,35 @@ class ThreadedRuntime::WorkerCtx final : public Context {
     msg.op = current_op_;
     msg.args = std::move(args);
     msg.local = true;
-    ++shard_->pending_sends;
+    DCNT_CHECK_MSG(rt_->owns(p), "send_local at a processor another node owns");
+    const bool wall = rt_->config_.wall_timers;
     const std::size_t dst_shard = rt_->shard_of(p);
     if (&*rt_->shards_[dst_shard] == shard_) {
       TimerEntry t;
-      t.due = shard_->clock + delay;
+      t.due = wall ? rt_->wall_now_us() + delay * rt_->config_.tick_us
+                   : shard_->clock + delay;
       t.seq = shard_->timer_seq++;
       t.msg = std::move(msg);
       shard_->timers.push_back(std::move(t));
       std::push_heap(shard_->timers.begin(), shard_->timers.end(),
                      TimerLater{});
+      if (wall) {
+        // Armed wall timers do NOT hold the in-flight count: the
+        // controller must be able to see "idle except for armed
+        // timers" to trigger the distributed time jump, and a timer
+        // pinning in_flight above zero would deadlock that very
+        // observation. The armed count is published separately.
+        shard_->timers_armed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++shard_->pending_sends;
+      }
     } else {
       // Protocols only arm timers at the handling processor today, but
       // the Context contract allows any p: ship the relative delay and
-      // let the owner anchor it to its own clock.
+      // let the owner anchor it to its own clock. The event holds
+      // in-flight during mailbox transit only; in wall mode the owner
+      // converts that hold into an armed-count on arrival.
+      ++shard_->pending_sends;
       RuntimeEvent ev;
       ev.kind = RuntimeEvent::Kind::kTimer;
       ev.msg = std::move(msg);
@@ -189,6 +228,10 @@ ThreadedRuntime::ThreadedRuntime(std::unique_ptr<CounterProtocol> protocol,
   num_processors_ = protocol_->num_processors();
   DCNT_CHECK(num_processors_ > 0);
   DCNT_CHECK(config_.flush_batch >= 1);
+  DCNT_CHECK(config_.cluster_nodes >= 1);
+  DCNT_CHECK(config_.cluster_node_id < config_.cluster_nodes);
+  DCNT_CHECK(config_.tick_us >= 1);
+  t0_ = std::chrono::steady_clock::now();
   const std::size_t w = resolve_thread_count(config_.workers);
   DCNT_CHECK_MSG(w == 1 || protocol_->shard_safe(),
                  "protocol declines sharded execution (shard_safe)");
@@ -204,7 +247,12 @@ ThreadedRuntime::ThreadedRuntime(std::unique_ptr<CounterProtocol> protocol,
   shards_.reserve(w);
   for (std::size_t i = 0; i < w; ++i) {
     shards_.push_back(
-        std::make_unique<Shard>(num_processors_, w, base.fork(i + 1)));
+        std::make_unique<Shard>(i, num_processors_, w, base.fork(i + 1)));
+  }
+  if (config_.inline_drive) {
+    DCNT_CHECK_MSG(w == 1, "inline_drive hosts exactly one shard");
+    inline_ctx_ = std::make_unique<WorkerCtx>(this, shards_[0].get());
+    return;  // no threads: the embedding thread calls drive()
   }
   threads_.reserve(w);
   for (std::size_t i = 0; i < w; ++i) {
@@ -276,6 +324,12 @@ Metrics ThreadedRuntime::merged_metrics() const {
   return out;
 }
 
+Metrics ThreadedRuntime::merged_metrics_unchecked() const {
+  Metrics out(num_processors_);
+  for (const auto& shard : shards_) out.merge_from(shard->metrics);
+  return out;
+}
+
 void ThreadedRuntime::reset_metrics() {
   DCNT_CHECK_MSG(in_flight_.load(std::memory_order_acquire) == 0,
                  "reset_metrics requires quiescence");
@@ -297,6 +351,14 @@ void ThreadedRuntime::flush_shard(Shard& shard) {
   }
   for (std::size_t dst : shard.outbox_dirty) {
     shards_[dst]->mailbox.push_all(shard.outbox[dst]);
+  }
+  // Remote messages leave strictly before the finished-subtraction
+  // below: an observer that sees in_flight hit zero is then guaranteed
+  // the sink already holds everything the handlers produced — the
+  // cluster node's quiescence report depends on exactly this ordering.
+  if (!shard.remote_out.empty()) {
+    remote_sink_(shard.index, shard.remote_out);
+    shard.remote_out.clear();
   }
   shard.outbox_dirty.clear();
   shard.events_since_flush = 0;
@@ -322,6 +384,109 @@ void ThreadedRuntime::process_event(Shard& shard, WorkerCtx& ctx,
   ++shard.clock;
   ++shard.finished;
   ++shard.events_since_flush;
+  shard.events_processed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadedRuntime::fire_timer(Shard& shard, WorkerCtx& ctx) {
+  // Order is load-bearing for the cluster stats barrier: the in-flight
+  // add precedes the armed-count decrement, so a reader that sees the
+  // armed count drop is guaranteed in_flight was already positive — a
+  // fire can never hide between "timers_armed stable" and "in_flight
+  // zero" observations. (Logical mode: armed timers already hold
+  // in-flight via pending_sends; the add would double-count.)
+  if (config_.wall_timers) {
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    shard.timers_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  std::pop_heap(shard.timers.begin(), shard.timers.end(), TimerLater{});
+  RuntimeEvent ev;
+  ev.kind = RuntimeEvent::Kind::kMessage;
+  ev.msg = std::move(shard.timers.back().msg);
+  shard.timers.pop_back();
+  process_event(shard, ctx, ev);
+}
+
+bool ThreadedRuntime::run_shard_pass(Shard& shard, WorkerCtx& ctx) {
+  const bool wall = config_.wall_timers;
+  bool ran = false;
+  // 1. Pull whatever has accumulated in the mailbox. Timer
+  //    registrations are anchored to this clock now; the rest joins
+  //    the ready queue in arrival order.
+  if (shard.mailbox.drain(shard.batch)) {
+    for (auto& ev : shard.batch) {
+      if (ev.kind == RuntimeEvent::Kind::kTimer) {
+        TimerEntry t;
+        t.seq = shard.timer_seq++;
+        t.msg = std::move(ev.msg);
+        if (wall) {
+          t.due = wall_now_us() + ev.delay * config_.tick_us;
+          // Convert the mailbox-transit in-flight hold into an
+          // armed-count: arm first, then release the hold, so the
+          // timer is never invisible to both gauges at once.
+          shard.timers_armed.fetch_add(1, std::memory_order_relaxed);
+          ++shard.finished;
+        } else {
+          t.due = shard.clock + ev.delay;
+        }
+        shard.timers.push_back(std::move(t));
+        std::push_heap(shard.timers.begin(), shard.timers.end(),
+                       TimerLater{});
+      } else {
+        shard.ready.push_back(std::move(ev));
+      }
+    }
+  }
+  // 2. Run until dry: ready events first (handlers may append more),
+  //    then any timer whose deadline the advancing clock has passed.
+  //    Cross-shard output is flushed every flush_batch events so
+  //    peers are fed even while this worker stays busy.
+  for (;;) {
+    if (shard.ready_head < shard.ready.size()) {
+      // Move out: the handler may push_back and reallocate `ready`.
+      RuntimeEvent ev = std::move(shard.ready[shard.ready_head++]);
+      if (ev.kind == RuntimeEvent::Kind::kFireTimers) {
+        // The distributed time jump: the controller certified global
+        // idleness, so every armed deadline is unreachable any other
+        // way. Budget = the count at the marker, not "until empty":
+        // a fired retransmit handler re-arms its next attempt, and
+        // firing that too would melt the backoff schedule. The
+        // marker itself is bookkeeping, not progress — finished++
+        // (balancing its injection hold) without events_processed.
+        std::size_t budget = shard.timers.size();
+        while (budget-- > 0) {
+          fire_timer(shard, ctx);
+          if (shard.events_since_flush >= config_.flush_batch) {
+            flush_shard(shard);
+          }
+        }
+        ++shard.finished;
+      } else {
+        process_event(shard, ctx, ev);
+      }
+      ran = true;
+      if (shard.events_since_flush >= config_.flush_batch) {
+        flush_shard(shard);
+      }
+      continue;
+    }
+    shard.ready.clear();
+    shard.ready_head = 0;
+    if (!shard.timers.empty() &&
+        shard.timers.front().due <= (wall ? wall_now_us() : shard.clock)) {
+      fire_timer(shard, ctx);
+      ran = true;
+      if (shard.events_since_flush >= config_.flush_batch) {
+        flush_shard(shard);
+      }
+      continue;
+    }
+    break;
+  }
+  // Dry point: hand off staged cross-shard events and settle the
+  // in-flight ledger before idling (a dirty outbox here would starve
+  // peers and could deadlock the quiescence wait).
+  flush_shard(shard);
+  return ran;
 }
 
 void ThreadedRuntime::worker_main(std::size_t worker) {
@@ -329,67 +494,22 @@ void ThreadedRuntime::worker_main(std::size_t worker) {
   tl_worker_index = worker;
   Shard& shard = *shards_[worker];
   WorkerCtx ctx(this, &shard);
+  const bool wall = config_.wall_timers;
   while (!stop_.load(std::memory_order_acquire)) {
-    // 1. Pull whatever has accumulated in the mailbox. Timer
-    //    registrations are anchored to this clock now; the rest joins
-    //    the ready queue in arrival order.
-    if (shard.mailbox.drain(shard.batch)) {
-      for (auto& ev : shard.batch) {
-        if (ev.kind == RuntimeEvent::Kind::kTimer) {
-          TimerEntry t;
-          t.due = shard.clock + ev.delay;
-          t.seq = shard.timer_seq++;
-          t.msg = std::move(ev.msg);
-          shard.timers.push_back(std::move(t));
-          std::push_heap(shard.timers.begin(), shard.timers.end(),
-                         TimerLater{});
-        } else {
-          shard.ready.push_back(std::move(ev));
-        }
-      }
-    }
-    // 2. Run until dry: ready events first (handlers may append more),
-    //    then any timer whose deadline the advancing clock has passed.
-    //    Cross-shard output is flushed every flush_batch events so
-    //    peers are fed even while this worker stays busy.
-    bool ran = false;
-    for (;;) {
-      if (shard.ready_head < shard.ready.size()) {
-        // Move out: the handler may push_back and reallocate `ready`.
-        RuntimeEvent ev = std::move(shard.ready[shard.ready_head++]);
-        process_event(shard, ctx, ev);
-        ran = true;
-        if (shard.events_since_flush >= config_.flush_batch) {
-          flush_shard(shard);
-        }
-        continue;
-      }
-      shard.ready.clear();
-      shard.ready_head = 0;
-      if (!shard.timers.empty() && shard.timers.front().due <= shard.clock) {
-        std::pop_heap(shard.timers.begin(), shard.timers.end(), TimerLater{});
-        RuntimeEvent ev;
-        ev.kind = RuntimeEvent::Kind::kMessage;
-        ev.msg = std::move(shard.timers.back().msg);
-        shard.timers.pop_back();
-        process_event(shard, ctx, ev);
-        ran = true;
-        if (shard.events_since_flush >= config_.flush_batch) {
-          flush_shard(shard);
-        }
-        continue;
-      }
-      break;
-    }
-    // Dry point: hand off staged cross-shard events and settle the
-    // in-flight ledger before idling (a dirty outbox here would starve
-    // peers and could deadlock the quiescence wait).
-    flush_shard(shard);
-    if (ran) continue;  // recheck the mailbox before considering idle
-    // 3. Idle with armed timers: jump the clock (the simulator does the
-    //    same across its global queue) so windows/timeouts fire rather
-    //    than deadlock a drained system.
+    // Recheck the mailbox after any productive pass before idling.
+    if (run_shard_pass(shard, ctx)) continue;
     if (!shard.timers.empty()) {
+      if (wall) {
+        // 3a. Wall timers: a dry shard may still be owed wire traffic,
+        //     so the clock must not jump — park until the earliest real
+        //     deadline (or mail, or stop).
+        shard.mailbox.wait_until(
+            stop_, t0_ + std::chrono::microseconds(shard.timers.front().due));
+        continue;
+      }
+      // 3b. Logical timers: jump the clock (the simulator does the same
+      //     across its global queue) so windows/timeouts fire rather
+      //     than deadlock a drained system.
       shard.clock = shard.timers.front().due;
       continue;
     }
@@ -397,6 +517,77 @@ void ThreadedRuntime::worker_main(std::size_t worker) {
     shard.mailbox.wait(stop_);
   }
   tl_worker_runtime = nullptr;
+}
+
+bool ThreadedRuntime::drive() {
+  DCNT_CHECK_MSG(config_.inline_drive,
+                 "drive() is only for inline_drive runtimes");
+  Shard& shard = *shards_[0];
+  // The caller's thread IS the worker for the duration of the pass, so
+  // handler re-entry (begin_op from a completion callback) takes the
+  // deferred-batch path exactly as it would on a spawned worker.
+  tl_worker_runtime = this;
+  tl_worker_index = 0;
+  bool any = run_shard_pass(shard, *inline_ctx_);
+  // Logical-clock mode has no kernel deadline to park on: a dry shard
+  // jumps to the next timer due and keeps going, as the threaded
+  // worker's step 3b does. (The cluster node runs wall timers; its due
+  // timers fire inside the pass because the driving loop clamps its
+  // kernel wait to inline_timer_wait_us.)
+  while (!config_.wall_timers && !shard.timers.empty()) {
+    shard.clock = shard.timers.front().due;
+    if (!run_shard_pass(shard, *inline_ctx_)) break;
+    any = true;
+  }
+  tl_worker_runtime = nullptr;
+  return any;
+}
+
+std::int64_t ThreadedRuntime::inline_timer_wait_us() const {
+  DCNT_CHECK_MSG(config_.inline_drive,
+                 "inline_timer_wait_us() is only for inline_drive runtimes");
+  const Shard& shard = *shards_[0];
+  if (shard.timers.empty()) return -1;
+  const std::int64_t wait = shard.timers.front().due - wall_now_us();
+  return wait > 0 ? wait : 0;
+}
+
+void ThreadedRuntime::inject(std::size_t shard, std::vector<RuntimeEvent>& evs) {
+  if (evs.empty()) return;
+  DCNT_CHECK(shard < active_shards_);
+  // Add-before-push: in_flight_ can never read zero while the batch is
+  // invisible to the worker.
+  in_flight_.fetch_add(static_cast<std::int64_t>(evs.size()),
+                       std::memory_order_acq_rel);
+  shards_[shard]->mailbox.push_all(evs);
+}
+
+void ThreadedRuntime::register_external_op(OpId op) {
+  DCNT_CHECK(op >= 0);
+  const std::size_t want = static_cast<std::size_t>(op) + 1;
+  DCNT_CHECK_MSG(want <= config_.max_ops,
+                 "operation table full (raise RuntimeConfig::max_ops)");
+  std::size_t cur = next_op_.load(std::memory_order_acquire);
+  while (cur < want && !next_op_.compare_exchange_weak(
+                           cur, want, std::memory_order_acq_rel,
+                           std::memory_order_acquire)) {
+  }
+}
+
+std::int64_t ThreadedRuntime::events_processed() const {
+  std::int64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->events_processed.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::int64_t ThreadedRuntime::timers_armed() const {
+  std::int64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->timers_armed.load(std::memory_order_relaxed);
+  }
+  return sum;
 }
 
 }  // namespace dcnt

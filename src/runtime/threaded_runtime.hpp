@@ -54,6 +54,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -98,6 +99,40 @@ struct RuntimeConfig {
   /// exercise true cross-shard delivery regardless of host size pin
   /// this to `workers`.
   std::size_t active_shards{0};
+
+  // --- cluster hosting (socket runtime, src/net/node.cpp) ---
+  /// Number of node processes sharing the processor space. 1 = the
+  /// whole protocol runs in this process (the historical behavior;
+  /// nothing below applies). N>1: this runtime owns only processors
+  /// with p % cluster_nodes == cluster_node_id; a handler's send() to a
+  /// non-owned processor is diverted to the remote sink instead of a
+  /// local mailbox.
+  std::size_t cluster_nodes{1};
+  std::size_t cluster_node_id{0};
+  /// Timers keyed to the wall clock instead of the per-shard logical
+  /// clock. In-process, a dry worker can safely jump its clock to the
+  /// next deadline — all work lives in its mailbox. A cluster node
+  /// cannot: a locally-dry shard may still be owed wire messages, so
+  /// firing a retransmit timer early would forge loss. With wall_timers
+  /// a send_local delay becomes delay*tick_us of real time, armed
+  /// timers do NOT hold the in-flight count (reported separately so the
+  /// controller can distinguish "working" from "armed"), and the
+  /// distributed idle-jump arrives as an injected kFireTimers event
+  /// when the controller has certified global idleness.
+  bool wall_timers{false};
+  /// Wall microseconds per logical delay tick (wall_timers only).
+  std::int64_t tick_us{200};
+  /// Host the single shard on the CALLER's thread instead of spawning a
+  /// worker: no threads are created, and the owner drives the shard by
+  /// calling drive() whenever events may be pending. All other
+  /// machinery — mailbox injection, remote sink, completion callbacks,
+  /// the in-flight ledger, wall timers, kFireTimers markers — behaves
+  /// identically, so the cluster node can flip between topologies
+  /// without touching protocol or barrier code. Requires workers == 1.
+  /// This is the degenerate topology for hosts where an extra thread
+  /// per node buys no parallelism, only scheduler latency on every
+  /// loop<->worker hand-off (a single-core box most of all).
+  bool inline_drive{false};
 };
 
 class ThreadedRuntime {
@@ -106,6 +141,15 @@ class ThreadedRuntime {
   /// and before the runtime considers the event finished — so a
   /// closed-loop driver may start the next operation from inside it.
   using CompletionFn = std::function<void(OpId op, Value value)>;
+  /// Receives a batch of messages addressed to processors this node
+  /// does not own (cluster mode). Called on the worker thread at flush
+  /// points, strictly before the worker's in-flight subtraction — so a
+  /// quiescence observer that later sees in_flight()==0 is guaranteed
+  /// the sink has already been handed every message the handlers
+  /// produced. The sink must move the messages out (the vector is
+  /// reused); it typically stages them into per-event-loop queues.
+  using RemoteSinkFn =
+      std::function<void(std::size_t worker, std::vector<Message>& out)>;
 
   /// Spawns the workers immediately; they sleep until events arrive.
   /// Requires protocol->shard_safe() when resolving to more than one
@@ -127,6 +171,42 @@ class ThreadedRuntime {
   /// Not thread-safe against in-flight operations: install before the
   /// first begin_*, or between phases with the runtime quiescent.
   void set_completion(CompletionFn fn) { completion_ = std::move(fn); }
+  /// Cluster mode only; same installation rule as set_completion.
+  void set_remote_sink(RemoteSinkFn fn) { remote_sink_ = std::move(fn); }
+
+  /// Does this runtime host processor p? Always true when
+  /// cluster_nodes == 1.
+  bool owns(ProcessorId p) const {
+    return static_cast<std::size_t>(p) % config_.cluster_nodes ==
+           config_.cluster_node_id;
+  }
+
+  /// Cluster-mode event injection: hands a batch of externally-produced
+  /// events (wire arrivals, controller-assigned op starts, kFireTimers
+  /// markers) to one shard's mailbox. The in-flight add happens before
+  /// the push, so a quiescence observer can never see zero while the
+  /// batch is invisible. Clears `evs` retaining capacity. Callable from
+  /// any non-worker thread.
+  void inject(std::size_t shard, std::vector<RuntimeEvent>& evs);
+
+  /// Cluster mode: the controller assigns global OpIds, so ops hosted
+  /// here arrive with their id already chosen. Raises the internal
+  /// next-op watermark so complete()'s bounds check accepts them.
+  void register_external_op(OpId op);
+
+  /// Monotone progress counter: every handled event (message delivery,
+  /// op start, timer firing) across all shards. kFireTimers markers
+  /// are bookkeeping, not progress, and do not count. Exact once the
+  /// reader has observed in_flight() == 0 (the acq_rel chain through
+  /// the in-flight counter orders every worker's bump before that
+  /// observation); merely advisory while work is moving.
+  std::int64_t events_processed() const;
+  /// Armed wall-clock timers across all shards (wall_timers mode).
+  /// These do NOT hold the in-flight count.
+  std::int64_t timers_armed() const;
+  std::int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
 
   /// Starts an operation at `origin`'s worker. Callable from any thread,
   /// including from inside a completion callback — the start always runs
@@ -155,6 +235,14 @@ class ThreadedRuntime {
   /// Metrics. Requires quiescence.
   Metrics merged_metrics() const;
 
+  /// merged_metrics without the quiescence assertion, for the cluster
+  /// node's validated-snapshot barrier: the caller reads while it
+  /// BELIEVES the runtime is idle, then re-verifies (in_flight()==0 and
+  /// events_processed() unchanged) and discards the read on failure. A
+  /// read that survives the recheck provably overlapped no handler, so
+  /// it equals what merged_metrics would have returned.
+  Metrics merged_metrics_unchecked() const;
+
   /// Zeroes every shard's load counters. Requires quiescence (which is
   /// a full memory barrier in both directions: the workers' prior
   /// writes are visible here, and this write reaches each worker
@@ -166,6 +254,32 @@ class ThreadedRuntime {
   /// Idempotent; the destructor calls it.
   void stop();
 
+  /// Inline-drive mode only: runs the shard until dry on the calling
+  /// thread — drains the mailbox, processes ready events and due
+  /// timers, flushes cross-shard/remote/in-flight accounting. The owner
+  /// thread must call this whenever in_flight() > 0 (and at wall-timer
+  /// deadlines; see inline_timer_wait_us). Returns whether any event
+  /// was processed.
+  bool drive();
+  /// Inline-drive mode only, owner thread only: microseconds until the
+  /// earliest armed wall timer would fire, 0 if already due, -1 if no
+  /// timer is armed. The driving loop clamps its kernel wait to this —
+  /// the inline analogue of the threaded worker's mailbox.wait_until.
+  std::int64_t inline_timer_wait_us() const;
+
+  /// Which shard owns processor p. In cluster mode the owned processor
+  /// ids form the arithmetic sequence {node_id, node_id+N, ...}; the
+  /// division folds that sequence onto 0,1,2,... before the round-robin
+  /// split, so owned processors spread evenly across shards (a plain
+  /// p % active_shards would alias the node stride with the shard
+  /// stride and can pile every owned processor onto shard 0). Public
+  /// because the cluster node's event-loop threads stage wire-arrived
+  /// events per destination shard before inject().
+  std::size_t shard_of(ProcessorId p) const {
+    return (static_cast<std::size_t>(p) / config_.cluster_nodes) %
+           active_shards_;
+  }
+
  private:
   /// One worker's world. Everything here except the mailbox is touched
   /// only by the owning thread.
@@ -174,12 +288,22 @@ class ThreadedRuntime {
   /// worker's shard (clock, rng, metrics, timer heap) and current op.
   class WorkerCtx;
   friend class WorkerCtx;
-
-  std::size_t shard_of(ProcessorId p) const {
-    return static_cast<std::size_t>(p) % active_shards_;
+  std::int64_t wall_now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
   }
   void worker_main(std::size_t worker);
+  /// One non-blocking pass over a shard: drain the mailbox, run ready
+  /// events and due timers until dry, flush. The shared body of the
+  /// threaded worker loop and the inline drive() entry point. Returns
+  /// whether any event was processed.
+  bool run_shard_pass(Shard& shard, WorkerCtx& ctx);
   void process_event(Shard& shard, WorkerCtx& ctx, RuntimeEvent& ev);
+  /// Pops and runs the earliest armed timer. Wall mode: bumps in-flight
+  /// BEFORE decrementing the armed gauge (fire-visibility ordering the
+  /// cluster stats barrier relies on).
+  void fire_timer(Shard& shard, WorkerCtx& ctx);
   /// Applies a shard's deferred in-flight accounting: pending sends are
   /// added *before* outboxes flush (so counted events are never
   /// invisible) and finished events are subtracted last (so the count
@@ -195,7 +319,13 @@ class ThreadedRuntime {
   std::size_t active_shards_{1};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
+  /// Persistent handler context for inline drive (threaded workers keep
+  /// theirs on their own stacks).
+  std::unique_ptr<WorkerCtx> inline_ctx_;
   CompletionFn completion_;
+  RemoteSinkFn remote_sink_;
+  /// Wall-timer epoch: timer deadlines are microseconds since this.
+  std::chrono::steady_clock::time_point t0_;
 
   /// Events queued + timers pending + handlers running. Updated in
   /// batches per drain cycle (see flush_shard); single-event updates

@@ -130,6 +130,167 @@ TEST(Cluster, SingleNodeRunsAnyCounter) {
   EXPECT_EQ(r.wire_msgs_sent, 0);  // no peers to talk to
 }
 
+TEST(Cluster, BackendParityPollVsEpoll) {
+  // The reactor backend is an implementation detail: the same 4-node
+  // tree workload under poll and under epoll must produce the same
+  // sorted value multiset (each a permutation of 0..ops-1) and the same
+  // protocol-level message totals. m_p is a protocol quantity — the
+  // readiness mechanism must not be observable in it. (Per-run message
+  // counts for the dynamic tree carry the O(1)-per-handover slack
+  // documented above, so totals are compared with that tolerance.)
+  ClusterOptions opt = base_options();
+  opt.counter = "tree";
+  opt.ops = 48;
+  opt.backend = "poll";
+  const ClusterResult poll_r = run_cluster(opt);
+  opt.backend = "epoll";
+  const ClusterResult epoll_r = run_cluster(opt);
+  EXPECT_TRUE(poll_r.values_ok);
+  EXPECT_TRUE(epoll_r.values_ok);
+  std::vector<Value> pv = poll_r.values;
+  std::vector<Value> ev = epoll_r.values;
+  std::sort(pv.begin(), pv.end());
+  std::sort(ev.begin(), ev.end());
+  EXPECT_EQ(pv, ev);  // both exactly 0..warmup+ops-1
+  const std::int64_t diff = poll_r.total_messages > epoll_r.total_messages
+                                ? poll_r.total_messages - epoll_r.total_messages
+                                : epoll_r.total_messages - poll_r.total_messages;
+  // O(1) forwarding slack per handover; 48 ops retire more roles than
+  // the 24-op sequential test above, so the band scales with it (and
+  // sanitizer timing shifts which handovers race, so it is generous —
+  // genuine lost or duplicated traffic diverges by far more or wedges
+  // the quiescence barrier outright).
+  EXPECT_LE(diff, 32);
+
+  // central's per-op traffic is a single causal chain: its m_p totals
+  // must match exactly across backends, per processor.
+  opt.counter = "central";
+  opt.min_processors = 16;
+  opt.quiesce_between_ops = true;
+  opt.ops = 24;
+  opt.backend = "poll";
+  const ClusterResult cp = run_cluster(opt);
+  opt.backend = "epoll";
+  const ClusterResult ce = run_cluster(opt);
+  EXPECT_EQ(cp.values, ce.values);
+  EXPECT_EQ(cp.load, ce.load);
+  EXPECT_EQ(cp.total_messages, ce.total_messages);
+}
+
+TEST(Cluster, MultiLoopMultiShardTcp) {
+  // v2 topology smoke: 2 nodes x 2 event loops x 2 runtime shards per
+  // node, TCP. Exercises connection adoption (peer links sharded across
+  // loops), the loop->runtime inject path, the per-loop wire-counter
+  // snapshots in the stats barrier, and multi-shard quiescence.
+  ClusterOptions opt = base_options();
+  opt.counter = "tree";
+  opt.nodes = 2;
+  opt.loops = 2;
+  opt.shards_per_node = 2;
+  opt.ops = 48;
+  const ClusterResult r = run_cluster(opt);
+  EXPECT_TRUE(r.values_ok);
+  EXPECT_GT(r.wire_msgs_sent, 0);
+  EXPECT_EQ(r.wire_msgs_sent, r.wire_msgs_received);
+}
+
+TEST(Cluster, MultiLoopMultiShardUdp) {
+  // Same topology over the datagram plane: every loop owns its own
+  // send socket and drop RNG; only loop 0's port is advertised.
+  ClusterOptions opt = base_options();
+  opt.counter = "central";
+  opt.nodes = 2;
+  opt.loops = 2;
+  opt.shards_per_node = 2;
+  opt.ops = 48;
+  opt.udp = true;
+  opt.tick_us = 100;
+  const ClusterResult r = run_cluster(opt);
+  EXPECT_TRUE(r.values_ok);
+  EXPECT_GT(r.wire_msgs_sent, 0);
+  EXPECT_EQ(r.injected_drops, 0);
+}
+
+TEST(Cluster, InlineDriveTcp) {
+  // shards_per_node=0: the node spawns no protocol worker threads; its
+  // event-loop thread drives the single runtime shard itself between
+  // reactor passes. The degenerate topology for single-core hosts —
+  // same protocol, same barrier code, no cross-thread hop per message.
+  ClusterOptions opt = base_options();
+  opt.counter = "tree";
+  opt.nodes = 2;
+  opt.shards_per_node = 0;
+  opt.ops = 48;
+  const ClusterResult r = run_cluster(opt);
+  EXPECT_TRUE(r.values_ok);
+  EXPECT_GT(r.wire_msgs_sent, 0);
+  EXPECT_EQ(r.wire_msgs_sent, r.wire_msgs_received);
+}
+
+TEST(Cluster, InlineDriveUdpLossyFiresTimersInline) {
+  // The inline path's timer machinery: retransmission timers are armed
+  // by the reliable transport and must fire from the driving loop's own
+  // clamped kernel wait (no worker thread exists to park on the
+  // deadline), and the controller's time jump must wake the loop even
+  // when no socket traffic is due.
+  ClusterOptions opt = base_options();
+  opt.counter = "central";
+  opt.nodes = 2;
+  opt.shards_per_node = 0;
+  opt.ops = 48;
+  opt.udp = true;
+  opt.drop_probability = 0.15;
+  opt.tick_us = 100;
+  opt.retry.ack_timeout = 8;
+  opt.retry.max_timeout = 64;
+  opt.retry.max_attempts = 30;
+  const ClusterResult r = run_cluster(opt);
+  EXPECT_TRUE(r.values_ok);
+  EXPECT_GT(r.injected_drops, 0);
+  EXPECT_GT(r.retransmissions, 0);
+  EXPECT_EQ(r.messages_abandoned, 0);
+}
+
+TEST(Cluster, PipelinedClosedLoopKeepsInvariants) {
+  // --pipeline D multiplies the closed-loop window: every invariant the
+  // D=1 runs check must survive D=8 — exact value permutation, the
+  // quiescence barrier converging, and conservation (TCP wire sends ==
+  // receives; m_p totals unchanged for chain protocols, see below).
+  ClusterOptions opt = base_options();
+  opt.counter = "tree";
+  opt.ops = 96;
+  opt.concurrency = 8;
+  opt.pipeline = 8;
+  const ClusterResult r = run_cluster(opt);
+  EXPECT_TRUE(r.values_ok);
+  EXPECT_EQ(r.ops, 96u);
+  EXPECT_EQ(r.wire_msgs_sent, r.wire_msgs_received);
+  EXPECT_GT(r.quiesce_rounds, 0);
+}
+
+TEST(Cluster, PipelineDepthDoesNotChangeCentralMessageCount) {
+  // For the central counter every inc costs exactly 2 messages
+  // regardless of interleaving, so m_p totals are pipeline-invariant:
+  // depth changes only WHEN messages fly, never HOW MANY. This is the
+  // cluster-side statement of the paper's accounting — the bottleneck
+  // quantity is a property of the protocol, not of the client's
+  // concurrency structure.
+  ClusterOptions opt = base_options();
+  opt.counter = "central";
+  opt.min_processors = 16;
+  opt.ops = 64;
+  opt.pipeline = 1;
+  const ClusterResult d1 = run_cluster(opt);
+  opt.pipeline = 8;
+  const ClusterResult d8 = run_cluster(opt);
+  EXPECT_TRUE(d1.values_ok);
+  EXPECT_TRUE(d8.values_ok);
+  EXPECT_EQ(d1.total_messages, d8.total_messages);
+  EXPECT_EQ(d1.max_load, d8.max_load);
+  EXPECT_EQ(d1.bottleneck, 0);
+  EXPECT_EQ(d8.bottleneck, 0);
+}
+
 TEST(Cluster, UdpLossyRecoversThroughReliableTransport) {
   ClusterOptions opt = base_options();
   opt.counter = "tree";

@@ -121,5 +121,50 @@ TEST(PerfSmoke, NetCentralClusterMatchesInProcessTotals) {
   EXPECT_GT(cluster.wire_bytes_sent, 0);
 }
 
+// m_p transport- and pipeline-invariance at the BENCH_net.json scale
+// (central, n=16, 4 nodes, 256 measured ops): the TCP plane reports the
+// protocol's own count (240 remote incs x 2 = 480), the UDP plane
+// doubles it (every protocol message rides a Data envelope answered by
+// an Ack, both protocol messages in the paper's currency = 960), and
+// pipeline depth changes neither — D only reorders when messages fly,
+// never how many. These are the numbers EXPERIMENTS.md quotes; a
+// runtime change that shifts them must update both deliberately.
+TEST(PerfSmoke, NetCentralMpPinnedAcrossTransportAndPipeline) {
+  net::ClusterOptions copt;
+  copt.counter = "central";
+  copt.min_processors = 16;
+  copt.nodes = 4;
+  copt.ops = 256;
+  copt.warmup = 32;
+  copt.concurrency = 16;
+  copt.seed = 7;
+
+  const net::ClusterResult tcp = net::run_cluster(copt);
+  ASSERT_TRUE(tcp.values_ok);
+  EXPECT_EQ(tcp.total_messages, 480);
+  EXPECT_EQ(tcp.max_load, 480);
+  EXPECT_EQ(tcp.bottleneck, 0);
+
+  copt.pipeline = 8;
+  const net::ClusterResult tcp_d8 = net::run_cluster(copt);
+  ASSERT_TRUE(tcp_d8.values_ok);
+  EXPECT_EQ(tcp_d8.total_messages, 480);
+  EXPECT_EQ(tcp_d8.max_load, 480);
+
+  copt.pipeline = 1;
+  copt.udp = true;
+  // A clean loopback channel never needs a retransmission, but a
+  // too-tight ack timeout can fire spuriously under queueing delay and
+  // inflate m_p with retransmitted Data/duplicate Acks; widen it so the
+  // 960 pin measures the transport's steady-state cost, not its timer.
+  copt.retry.ack_timeout = 128;
+  const net::ClusterResult udp = net::run_cluster(copt);
+  ASSERT_TRUE(udp.values_ok);
+  EXPECT_EQ(udp.retransmissions, 0);
+  EXPECT_EQ(udp.total_messages, 960);
+  EXPECT_EQ(udp.max_load, 960);
+  EXPECT_EQ(udp.bottleneck, 0);
+}
+
 }  // namespace
 }  // namespace dcnt
