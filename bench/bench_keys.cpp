@@ -1,0 +1,338 @@
+// KEYS — counter-as-a-service: the multi-key fabric (service/) over the
+// threaded runtime and the socket cluster.
+//
+// The paper's bound is per counter: a single exact counter has a
+// processor carrying m_p >= Omega(k) messages, no matter how it is
+// implemented. The fabric multiplexes `keys` independent counters over
+// one processor set, rotating each key's instance so distinct keys pin
+// their bottleneck on distinct processors. This bench measures both
+// halves of that claim at once:
+//
+//   - aggregate inc/s grows with the worker/shard count at large
+//     keyspaces (the fabric scales),
+//   - the hottest key's per-key max_p stays within a small constant
+//     factor of the same counter run with keys=1 at equal ops — no
+//     amount of keyspace sharding relaxes the per-key Omega(k) price.
+//
+// Every row verifies the per-key contract internally (each key's
+// returned values are an exact permutation of 0..ops_k-1), so a row
+// completing is itself a correctness check. The `inproc-lru` row caps
+// the directory so the LRU cold tier does real work (evict to durable
+// value, rehydrate on next touch); its counters are reported. The tcp
+// rows run the real 4-process cluster with batched keyed Starts
+// (kStartBatch) and coalesced completions (kCompleteBatch).
+//
+//   $ bench_keys [--counter=central] [--n=16] [--keys_list=1,1000,100000]
+//                [--key_skews=0,0.99] [--workers_list=1,4] [--ops=0]
+//                [--key_capacity=0] [--concurrency=16] [--warmup=64]
+//                [--nodes=4] [--cluster_keys=256] [--batch=16] [--seed=7]
+//                [--quick] [--out=BENCH_keys.json]
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/cluster.hpp"
+#include "harness/factory.hpp"
+#include "harness/throughput.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+using namespace dcnt;
+
+namespace {
+
+struct KeyRow {
+  std::string mode;  ///< "inproc", "inproc-lru", "tcp"
+  std::size_t keys{1};
+  std::string key_dist;
+  double key_skew{0.0};
+  std::size_t parallelism{0};  ///< workers (inproc) or nodes (tcp)
+  std::size_t batch{1};        ///< tcp rows: schedule entries per frame
+  std::size_t ops{0};
+  std::size_t key_capacity{0};
+  double ops_per_sec{0.0};
+  double p50_us{0.0};
+  double p99_us{0.0};
+  std::int64_t total_messages{0};
+  std::int64_t max_load{0};
+  std::int64_t hot_key{-1};
+  std::int64_t hot_key_ops{0};
+  std::int64_t hot_key_max_load{0};
+  /// The normalized per-key bottleneck: the hot key's max_p divided by
+  /// its op count. The paper's claim is that this stays Omega(1) per op
+  /// (a constant for central) regardless of how many other keys share
+  /// the fabric.
+  double hot_key_load_per_op{0.0};
+  std::size_t keys_touched{0};
+  std::size_t live_instances{0};
+  std::int64_t lru_hits{0};
+  std::int64_t lru_misses{0};
+  std::int64_t lru_evicts{0};
+  std::int64_t lru_rehydrates{0};
+  std::int64_t wire_msgs{0};
+};
+
+KeyRow from_keyed_throughput(const KeyedThroughputResult& r,
+                             const std::string& key_dist, double skew,
+                             std::size_t capacity, const std::string& mode) {
+  KeyRow row;
+  row.mode = mode;
+  row.keys = r.keys;
+  row.key_dist = key_dist;
+  row.key_skew = skew;
+  row.parallelism = r.base.workers;
+  row.ops = r.base.ops;
+  row.key_capacity = capacity;
+  row.ops_per_sec = r.base.ops_per_sec;
+  row.p50_us = r.base.p50_us;
+  row.p99_us = r.base.p99_us;
+  row.total_messages = r.base.total_messages;
+  row.max_load = r.base.max_load;
+  row.hot_key = r.hot_key;
+  row.hot_key_ops = r.hot_key_ops;
+  row.hot_key_max_load = r.hot_key_max_load;
+  if (r.hot_key_ops > 0) {
+    row.hot_key_load_per_op = static_cast<double>(r.hot_key_max_load) /
+                              static_cast<double>(r.hot_key_ops);
+  }
+  row.keys_touched = r.keys_touched;
+  row.live_instances = r.live_instances;
+  row.lru_hits = r.lru_hits;
+  row.lru_misses = r.lru_misses;
+  row.lru_evicts = r.lru_evicts;
+  row.lru_rehydrates = r.lru_rehydrates;
+  return row;
+}
+
+KeyRow from_cluster(const net::ClusterResult& r, const std::string& key_dist,
+                    double skew, std::size_t batch, std::size_t capacity) {
+  KeyRow row;
+  row.mode = "tcp";
+  row.keys = r.keys;
+  row.key_dist = key_dist;
+  row.key_skew = skew;
+  row.parallelism = r.nodes;
+  row.batch = batch;
+  row.ops = r.ops;
+  row.key_capacity = capacity;
+  row.ops_per_sec = r.ops_per_sec;
+  row.p50_us = r.p50_us;
+  row.p99_us = r.p99_us;
+  row.total_messages = r.total_messages;
+  row.max_load = r.max_load;
+  row.hot_key = r.hot_key;
+  row.hot_key_ops = r.hot_key_ops;
+  row.hot_key_max_load = r.hot_key_max_load;
+  if (r.hot_key_ops > 0) {
+    row.hot_key_load_per_op = static_cast<double>(r.hot_key_max_load) /
+                              static_cast<double>(r.hot_key_ops);
+  }
+  row.keys_touched = r.keys_touched;
+  row.lru_hits = r.lru_hits;
+  row.lru_misses = r.lru_misses;
+  row.lru_evicts = r.lru_evicts;
+  row.lru_rehydrates = r.lru_rehydrates;
+  row.wire_msgs = r.wire_msgs_sent;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = parse_bench_flags(
+      argc, argv,
+      "KEYS: multi-key counter fabric — aggregate inc/s scales with shards "
+      "while every key keeps paying the per-key bottleneck",
+      {"batch", "cluster_keys", "concurrency", "counter", "key_capacity",
+       "key_skews", "keys_list", "n", "nodes", "ops", "out", "quick", "seed",
+       "warmup", "workers_list"});
+  const bool quick = flags.get_bool("quick", false);
+  const std::string counter = flags.get_string("counter", "central");
+  const std::int64_t n = flags.get_int("n", quick ? 8 : 16);
+  auto keys_list =
+      parse_int_list(flags.get_string("keys_list", quick ? "1,64" : "1,1000,100000"));
+  auto key_skews =
+      parse_double_list(flags.get_string("key_skews", quick ? "0.99" : "0,0.99"));
+  auto workers_list =
+      parse_int_list(flags.get_string("workers_list", quick ? "2" : "1,4"));
+  const std::int64_t ops_flag = flags.get_int("ops", 0);
+  const auto key_capacity =
+      static_cast<std::size_t>(flags.get_int("key_capacity", 0));
+  const auto concurrency =
+      static_cast<std::size_t>(flags.get_int("concurrency", 16));
+  const auto warmup =
+      static_cast<std::size_t>(flags.get_int("warmup", quick ? 16 : 64));
+  const auto nodes =
+      static_cast<std::uint32_t>(flags.get_int("nodes", quick ? 2 : 4));
+  const auto cluster_keys =
+      static_cast<std::size_t>(flags.get_int("cluster_keys", quick ? 16 : 256));
+  const auto batch = static_cast<std::size_t>(flags.get_int("batch", 16));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const std::string out = flags.get_string("out", "BENCH_keys.json");
+
+  const CounterKind kind = counter_kind_from_string(counter);
+  const std::size_t procs = make_counter(kind, n)->num_processors();
+  // Ops per row: enough to touch a large keyspace several times over,
+  // bounded so the 100k-key row stays seconds, not minutes.
+  const auto ops_for = [&](std::size_t keys) {
+    if (ops_flag > 0) return static_cast<std::size_t>(ops_flag);
+    const std::size_t floor_ops = (quick ? 4 : 16) * procs;
+    const std::size_t by_keys = std::min<std::size_t>(4 * keys, 200000);
+    return std::max(floor_ops, by_keys);
+  };
+  const auto dist_for = [](double skew) {
+    return skew > 0.0 ? std::string("zipf") : std::string("uniform");
+  };
+
+  std::vector<KeyRow> rows;
+  for (const std::int64_t keys64 : keys_list) {
+    const auto keys = static_cast<std::size_t>(keys64 > 0 ? keys64 : 1);
+    for (const double skew : key_skews) {
+      for (const std::int64_t w : workers_list) {
+        ThroughputOptions topt;
+        topt.workers = static_cast<std::size_t>(w > 0 ? w : 1);
+        topt.ops = ops_for(keys);
+        topt.concurrency = concurrency;
+        topt.warmup = warmup;
+        topt.seed = seed;
+        // active_shards stays adaptive (min(workers, cores)) like the
+        // other wall-clock benches: on a small host W > 1 degrades
+        // gracefully instead of paying forced cross-shard hops; the
+        // keyed tests pin it instead.
+        KeyedOptions kopt;
+        kopt.keys = keys;
+        kopt.key_dist = dist_for(skew);
+        kopt.key_skew = skew;
+        kopt.key_capacity = key_capacity;
+        rows.push_back(from_keyed_throughput(
+            run_keyed_throughput(make_counter(kind, n), topt, kopt),
+            kopt.key_dist, skew, key_capacity, "inproc"));
+      }
+    }
+  }
+
+  // LRU cold tier at work: cap the directory well below the largest
+  // keyspace so the skewed stream keeps evicting cold keys to their
+  // durable values and rehydrating them on the next touch.
+  {
+    const auto keys =
+        static_cast<std::size_t>(*std::max_element(keys_list.begin(), keys_list.end()));
+    if (keys > 1) {
+      const double skew = key_skews.back();
+      const std::size_t capacity = std::max<std::size_t>(16, keys / 8);
+      ThroughputOptions topt;
+      topt.workers =
+          static_cast<std::size_t>(workers_list.back() > 0 ? workers_list.back() : 1);
+      topt.ops = ops_for(keys);
+      topt.concurrency = concurrency;
+      topt.warmup = warmup;
+      topt.seed = seed;
+      KeyedOptions kopt;
+      kopt.keys = keys;
+      kopt.key_dist = dist_for(skew);
+      kopt.key_skew = skew;
+      kopt.key_capacity = capacity;
+      rows.push_back(from_keyed_throughput(
+          run_keyed_throughput(make_counter(kind, n), topt, kopt),
+          kopt.key_dist, skew, capacity, "inproc-lru"));
+    }
+  }
+
+  // The real cluster: batched keyed Starts out, coalesced completions
+  // back, per-key values verified as exact permutations across 4
+  // processes, per-key loads merged from chunked kKeyedStats reports.
+  std::vector<std::size_t> cluster_batches{1};
+  if (batch > 1) cluster_batches.push_back(batch);
+  std::vector<std::size_t> cluster_keyspaces{1};
+  if (cluster_keys > 1) cluster_keyspaces.push_back(cluster_keys);
+  for (const std::size_t b : cluster_batches) {
+    for (const std::size_t keys : cluster_keyspaces) {
+      if (b == 1 && keys == 1) continue;  // covered by the batch sweep
+      net::ClusterOptions copt;
+      copt.counter = counter;
+      copt.min_processors = n;
+      copt.nodes = nodes;
+      copt.ops = std::min<std::size_t>(std::max<std::size_t>(4 * keys, 256),
+                                       quick ? 256 : 2048);
+      copt.concurrency = 8;
+      copt.warmup = warmup;
+      copt.seed = seed;
+      copt.keys = keys;
+      copt.key_dist = "zipf";
+      copt.key_skew = 0.99;
+      copt.batch = b;
+      rows.push_back(
+          from_cluster(net::run_cluster(copt), "zipf", 0.99, b, 0));
+    }
+  }
+
+  Table table({"mode", "keys", "dist", "par", "batch", "ops", "cap", "inc/s",
+               "p99_us", "max_load", "hot_ops", "hk_max", "hk/op", "touched",
+               "evict", "rehyd"});
+  for (const KeyRow& r : rows) {
+    table.row()
+        .add(r.mode)
+        .add(static_cast<std::int64_t>(r.keys))
+        .add(r.key_dist)
+        .add(static_cast<std::int64_t>(r.parallelism))
+        .add(static_cast<std::int64_t>(r.batch))
+        .add(static_cast<std::int64_t>(r.ops))
+        .add(static_cast<std::int64_t>(r.key_capacity))
+        .add(r.ops_per_sec, 0)
+        .add(r.p99_us, 1)
+        .add(r.max_load)
+        .add(r.hot_key_ops)
+        .add(r.hot_key_max_load)
+        .add(r.hot_key_load_per_op, 2)
+        .add(static_cast<std::int64_t>(r.keys_touched))
+        .add(r.lru_evicts)
+        .add(r.lru_rehydrates);
+  }
+  table.print(std::cout,
+              "KEYS: multi-key fabric — aggregate scales, every key still "
+              "pays its own bottleneck (all rows verified per key)");
+
+  JsonWriter json(out);
+  json.field("bench", "keys");
+  json.field("counter", counter);
+  json.field("n", n);
+  json.field("concurrency", concurrency);
+  json.field("warmup", warmup);
+  json.field("nodes", nodes);
+  json.field("batch", batch);
+  json.field("seed", seed);
+  json.begin_array("runs");
+  for (const KeyRow& r : rows) {
+    json.begin_object();
+    json.field("mode", r.mode);
+    json.field("keys", r.keys);
+    json.field("key_dist", r.key_dist);
+    json.field("key_skew", r.key_skew, 2);
+    json.field("parallelism", r.parallelism);
+    json.field("batch", r.batch);
+    json.field("ops", r.ops);
+    json.field("key_capacity", r.key_capacity);
+    json.field("ops_per_sec", r.ops_per_sec, 1);
+    json.field("p50_us", r.p50_us, 2);
+    json.field("p99_us", r.p99_us, 2);
+    json.field("total_messages", r.total_messages);
+    json.field("max_load", r.max_load);
+    json.field("hot_key", r.hot_key);
+    json.field("hot_key_ops", r.hot_key_ops);
+    json.field("hot_key_max_load", r.hot_key_max_load);
+    json.field("hot_key_load_per_op", r.hot_key_load_per_op, 3);
+    json.field("keys_touched", r.keys_touched);
+    json.field("live_instances", r.live_instances);
+    json.field("lru_hits", r.lru_hits);
+    json.field("lru_misses", r.lru_misses);
+    json.field("lru_evicts", r.lru_evicts);
+    json.field("lru_rehydrates", r.lru_rehydrates);
+    json.field("wire_msgs", r.wire_msgs);
+    json.end_object();
+  }
+  json.end_array();
+  return 0;
+}

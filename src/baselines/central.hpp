@@ -36,6 +36,14 @@ class CentralCounter final : public CounterProtocol {
   /// touch nothing. The textbook shard-safe protocol.
   bool shard_safe() const override { return true; }
 
+  /// The counter collapses to value_ between ops (origins keep no state
+  /// across ops; non-holder processors never touch value_), so the
+  /// service fabric may evict an instance at any per-key-quiescent
+  /// moment and rebuild it from the durable value.
+  bool service_evictable() const override { return true; }
+  Value service_value() const override { return value_; }
+  void service_rehydrate(Value value) override { value_ = value; }
+
   Value value() const { return value_; }
   ProcessorId holder() const { return holder_; }
 

@@ -90,6 +90,9 @@ void ReliableTransport::send_enveloped(Context& real, Message msg) {
   envelope.dst = msg.dst;
   envelope.tag = kTagData;
   envelope.op = msg.op;
+  // The key rides the envelope so the keyed wire path (and per-key load
+  // accounting) survives the at-least-once layer; acks stay keyless.
+  envelope.key = msg.key;
   envelope.args.reserve(msg.args.size() + 2);
   envelope.args.push_back(seq);
   envelope.args.push_back(msg.tag);
@@ -202,6 +205,7 @@ void ReliableTransport::handle_data(Context& real, const Message& msg) {
   inner.dst = self;
   inner.tag = static_cast<std::int32_t>(msg.args.at(1));
   inner.op = msg.op;
+  inner.key = msg.key;
   inner.args.assign(msg.args.begin() + 2, msg.args.end());
   EnvelopeCtx wrapped(*this, real);
   inner_->on_message(wrapped, inner);

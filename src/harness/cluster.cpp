@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "harness/factory.hpp"
@@ -85,7 +87,7 @@ class Controller {
   ClusterResult run();
 
  private:
-  enum class Phase { kHello, kReady, kRun, kQuiesce, kShutdown };
+  enum class Phase { kHello, kReady, kRun, kQuiesce, kKeyedStats, kShutdown };
 
   /// Ops kept outstanding per closed-loop slot; quiesce_between_ops
   /// already forces a window of 1 at the call sites.
@@ -93,8 +95,21 @@ class Controller {
     return opt_.pipeline > 0 ? opt_.pipeline : 1;
   }
 
+  bool keyed() const { return opt_.keys > 0; }
+  /// Schedule entries per issuance unit. Batching is a closed-loop
+  /// multi-key construct: quiesce_between_ops needs one op in flight and
+  /// the open-loop clock paces individual ops, so both force 1.
+  std::size_t batch_size() const {
+    if (!keyed() || opt_.quiesce_between_ops || opt_.open_rate > 0.0) return 1;
+    return std::max<std::size_t>(1, opt_.batch);
+  }
+
   void on_frame(int conn, const FrameView& frame);
   void issue_next();
+  void on_complete(OpId op, Value value);
+  void maybe_issue_after_completion();
+  void begin_keyed_stats();
+  void on_keyed_stats(const KeyedStatsFrame& ks);
   void begin_measured_phase();
   void begin_stats_round();
   void on_stats_round_complete();
@@ -118,6 +133,26 @@ class Controller {
   /// frame can race a node's own reset (see node.cpp).
   std::size_t reset_acks_pending_{0};
   std::vector<ProcessorId> initiators_;
+  /// Multi-key mode: which key each op (by id) addresses.
+  std::vector<KeyId> keys_;
+  /// Completions since the last batch issuance; a fresh batch goes out
+  /// once a full batch's worth of slots has freed (see issue_next).
+  std::size_t issue_credits_{0};
+  /// Reused per-node kStartBatch staging (batched issuance).
+  std::vector<StartBatchFrame> batch_scratch_;
+  /// Keyed-stats collection (multi-key mode, after the final barrier):
+  /// nodes whose last chunk is still outstanding, the hot key chosen
+  /// from the measured schedule, and the merged per-key accounting.
+  std::size_t keyed_stats_pending_{0};
+  KeyId hot_key_{kNoKey};
+  std::int64_t hot_key_ops_{0};
+  std::vector<std::int64_t> hot_key_load_;  ///< per processor, hot key only
+  std::int64_t hot_key_sent_{0};
+  std::unordered_set<KeyId> keys_touched_;
+  std::int64_t lru_hits_{0};
+  std::int64_t lru_misses_{0};
+  std::int64_t lru_evicts_{0};
+  std::int64_t lru_rehydrates_{0};
 
   Phase phase_{Phase::kHello};
   WallClock::time_point deadline_;
@@ -157,22 +192,66 @@ void Controller::check_deadline() const {
   DCNT_CHECK_MSG(false, "cluster run exceeded its wall-clock budget");
 }
 
+/// Issues one unit of work: a single op, or — multi-key batched mode —
+/// up to batch_size() consecutive schedule entries partitioned by owning
+/// node into one kStartBatch frame each. Latency is stamped at batch
+/// send, so a deep batch's later entries include their queueing time.
 void Controller::issue_next() {
-  if (issued_ >= total_) return;
-  if (warming_up_ && issued_ >= warmup_) return;  // measured ops wait
-  const OpId op = static_cast<OpId>(issued_++);
-  const ProcessorId origin = initiators_[static_cast<std::size_t>(op)];
-  const std::uint32_t node = static_cast<std::uint32_t>(origin) % opt_.nodes;
-  if (static_cast<std::size_t>(op) >= warmup_) {
-    const std::int64_t t = LatencyRecorder::now_ns();
-    if (t_first_issue_ns_ == 0) t_first_issue_ns_ = t;
-    recorder_->on_issue(op, t);
+  const std::size_t limit = warming_up_ ? warmup_ : total_;  // measured ops wait
+  if (issued_ >= limit) return;
+  const std::size_t count = std::min(batch_size(), limit - issued_);
+  const std::int64_t t = LatencyRecorder::now_ns();
+  const auto stamp = [&](OpId op) {
+    if (static_cast<std::size_t>(op) >= warmup_) {
+      if (t_first_issue_ns_ == 0) t_first_issue_ns_ = t;
+      recorder_->on_issue(op, t);
+    }
+  };
+  if (count == 1) {
+    const OpId op = static_cast<OpId>(issued_++);
+    const auto idx = static_cast<std::size_t>(op);
+    const ProcessorId origin = initiators_[idx];
+    const std::uint32_t node = static_cast<std::uint32_t>(origin) % opt_.nodes;
+    stamp(op);
+    // Keyed single-op issuance rides the plain Start frame with the key
+    // as the op's one argument word.
+    std::vector<std::int64_t> args;
+    if (keyed()) args.push_back(keys_[idx]);
+    loop_.send(conn_of_node_.at(node),
+               encode_start(StartFrame{op, origin, std::move(args)}));
+    return;
   }
-  loop_.send(conn_of_node_.at(node), encode_start(StartFrame{op, origin, {}}));
+  batch_scratch_.resize(opt_.nodes);
+  for (StartBatchFrame& f : batch_scratch_) f.ops.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const OpId op = static_cast<OpId>(issued_++);
+    const auto idx = static_cast<std::size_t>(op);
+    const ProcessorId origin = initiators_[idx];
+    const std::uint32_t node = static_cast<std::uint32_t>(origin) % opt_.nodes;
+    stamp(op);
+    batch_scratch_[node].ops.push_back(StartBatchEntry{op, origin, keys_[idx]});
+  }
+  for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+    if (batch_scratch_[id].ops.empty()) continue;
+    loop_.send(conn_of_node_.at(id), encode_start_batch(batch_scratch_[id]));
+  }
+}
+
+/// Closed-loop reissue at batch granularity: one completion frees one
+/// slot; a new batch goes out once a whole batch's worth has freed (or
+/// immediately when nothing is left in flight, so a short tail can
+/// never strand credits below the threshold).
+void Controller::maybe_issue_after_completion() {
+  ++issue_credits_;
+  if (issue_credits_ >= batch_size() || issued_ == completed_) {
+    issue_credits_ = 0;
+    issue_next();
+  }
 }
 
 void Controller::begin_measured_phase() {
   DCNT_CHECK(phase_ == Phase::kRun);
+  issue_credits_ = 0;
   if (opt_.open_rate > 0.0) {
     open_t0_ns_ = LatencyRecorder::now_ns();
     return;
@@ -262,6 +341,13 @@ void Controller::on_stats_round_complete() {
       issue_next();
       return;
     }
+    if (keyed()) {
+      // One end-of-run collection pass: per-key loads and LRU counters
+      // are a report, not part of the barrier, so they are fetched once
+      // after the cluster is certified idle and before Shutdown.
+      begin_keyed_stats();
+      return;
+    }
     phase_ = Phase::kShutdown;
     return;
   }
@@ -327,40 +413,27 @@ void Controller::on_frame(int conn, const FrameView& frame) {
       return;
     }
     case FrameType::kComplete: {
-      DCNT_CHECK(phase_ == Phase::kRun);
       const CompleteFrame done = decode_complete(frame);
-      const auto idx = static_cast<std::size_t>(done.op);
-      DCNT_CHECK(done.op >= 0 && idx < total_);
-      DCNT_CHECK_MSG(!value_seen_[idx], "operation completed twice");
-      value_seen_[idx] = true;
-      values_[idx] = done.value;
-      if (idx >= warmup_) {
-        const std::int64_t t = LatencyRecorder::now_ns();
-        recorder_->on_complete(done.op, t);
-        t_last_complete_ns_ = t;
+      on_complete(done.op, done.value);
+      return;
+    }
+    case FrameType::kCompleteBatch: {
+      // Keyed nodes coalesce every completion of a drain round into one
+      // frame. The control channel is our own node binary, so a
+      // malformed batch is a bug, not corruption to survive.
+      CompleteBatchFrame batch;
+      DCNT_CHECK_MSG(decode_complete_batch(frame, &batch),
+                     "malformed CompleteBatch at the controller");
+      for (const CompleteBatchEntry& e : batch.completions) {
+        on_complete(e.op, e.value);
       }
-      ++completed_;
-      if (opt_.quiesce_between_ops) {
-        phase_ = Phase::kQuiesce;
-        begin_stats_round();
-        return;
-      }
-      if (warming_up_) {
-        // Keep the warmup window full; the last warmup completion
-        // triggers the reset barrier instead of a new op.
-        if (completed_ == warmup_) {
-          phase_ = Phase::kQuiesce;
-          begin_stats_round();
-        } else {
-          issue_next();
-        }
-        return;
-      }
-      if (opt_.open_rate <= 0.0) issue_next();
-      if (completed_ == total_) {
-        phase_ = Phase::kQuiesce;
-        begin_stats_round();
-      }
+      return;
+    }
+    case FrameType::kKeyedStats: {
+      KeyedStatsFrame ks;
+      DCNT_CHECK_MSG(decode_keyed_stats(frame, &ks),
+                     "malformed KeyedStats at the controller");
+      on_keyed_stats(ks);
       return;
     }
     case FrameType::kStats: {
@@ -373,6 +446,90 @@ void Controller::on_frame(int conn, const FrameView& frame) {
     }
     default:
       DCNT_CHECK_MSG(false, "unexpected frame type at the controller");
+  }
+}
+
+void Controller::on_complete(OpId op, Value value) {
+  DCNT_CHECK(phase_ == Phase::kRun);
+  const auto idx = static_cast<std::size_t>(op);
+  DCNT_CHECK(op >= 0 && idx < total_);
+  DCNT_CHECK_MSG(!value_seen_[idx], "operation completed twice");
+  value_seen_[idx] = true;
+  values_[idx] = value;
+  if (idx >= warmup_) {
+    const std::int64_t t = LatencyRecorder::now_ns();
+    recorder_->on_complete(op, t);
+    t_last_complete_ns_ = t;
+  }
+  ++completed_;
+  if (opt_.quiesce_between_ops) {
+    phase_ = Phase::kQuiesce;
+    begin_stats_round();
+    return;
+  }
+  if (warming_up_) {
+    // Keep the warmup window full; the last warmup completion
+    // triggers the reset barrier instead of a new op.
+    if (completed_ == warmup_) {
+      phase_ = Phase::kQuiesce;
+      begin_stats_round();
+    } else {
+      maybe_issue_after_completion();
+    }
+    return;
+  }
+  if (opt_.open_rate <= 0.0) maybe_issue_after_completion();
+  if (completed_ == total_) {
+    phase_ = Phase::kQuiesce;
+    begin_stats_round();
+  }
+}
+
+void Controller::begin_keyed_stats() {
+  phase_ = Phase::kKeyedStats;
+  keyed_stats_pending_ = opt_.nodes;
+  hot_key_load_.assign(static_cast<std::size_t>(n_), 0);
+  // The hot key is a property of the measured schedule (ties to the
+  // smallest id); the nodes' reports then fill in its message loads.
+  std::unordered_map<KeyId, std::int64_t> ops_by_key;
+  for (std::size_t i = warmup_; i < total_; ++i) ++ops_by_key[keys_[i]];
+  for (const auto& [key, count] : ops_by_key) {
+    if (count > hot_key_ops_ || (count == hot_key_ops_ && key < hot_key_)) {
+      hot_key_ = key;
+      hot_key_ops_ = count;
+    }
+  }
+  const std::vector<std::uint8_t> frame = encode_keyed_stats_request();
+  for (std::uint32_t id = 0; id < opt_.nodes; ++id) {
+    loop_.send(conn_of_node_[id], frame);
+  }
+}
+
+void Controller::on_keyed_stats(const KeyedStatsFrame& ks) {
+  DCNT_CHECK(phase_ == Phase::kKeyedStats);
+  DCNT_CHECK(ks.node_id < opt_.nodes);
+  DCNT_CHECK(keyed_stats_pending_ > 0);
+  for (const KeyProcLoad& load : ks.loads) {
+    // Each (key, processor) slice is reported by exactly one node — the
+    // processor's owner — so accumulation is an exact merge.
+    DCNT_CHECK(load.pid >= 0 && load.pid < n_);
+    DCNT_CHECK(static_cast<std::uint32_t>(load.pid) % opt_.nodes ==
+               ks.node_id);
+    keys_touched_.insert(load.key);
+    if (load.key == hot_key_) {
+      hot_key_load_[static_cast<std::size_t>(load.pid)] +=
+          load.sent + load.received;
+      hot_key_sent_ += load.sent;
+    }
+  }
+  if (ks.last) {
+    // LRU counters ride in every chunk of a node's report; count them
+    // once, from the last.
+    lru_hits_ += ks.lru_hits;
+    lru_misses_ += ks.lru_misses;
+    lru_evicts_ += ks.lru_evicts;
+    lru_rehydrates_ += ks.lru_rehydrates;
+    if (--keyed_stats_pending_ == 0) phase_ = Phase::kShutdown;
   }
 }
 
@@ -398,6 +555,10 @@ ClusterResult Controller::run() {
       DCNT_CHECK_MSG(probe->shard_safe(),
                      "multi-node cluster requires a shard-safe protocol");
     }
+    if (opt_.keys > 0 && opt_.key_capacity > 0) {
+      DCNT_CHECK_MSG(probe->service_evictable(),
+                     "key_capacity requires a service-evictable counter");
+    }
   }
   ops_ = opt_.ops != 0 ? opt_.ops : static_cast<std::size_t>(8 * n_);
   DCNT_CHECK(ops_ > 0);
@@ -406,6 +567,11 @@ ClusterResult Controller::run() {
   warming_up_ = warmup_ > 0;
   initiators_ = make_initiators(opt_.initiators, opt_.zipf_s, n_,
                                 static_cast<std::int64_t>(total_), opt_.seed);
+  if (keyed()) {
+    keys_ = make_keys(opt_.key_dist, opt_.key_skew,
+                      static_cast<std::int64_t>(opt_.keys),
+                      static_cast<std::int64_t>(total_), opt_.seed);
+  }
   values_.assign(total_, -1);
   value_seen_.assign(total_, false);
   // Sized by op id; the warmup slots simply stay empty.
@@ -447,6 +613,10 @@ ClusterResult Controller::run() {
         // Exact op-table capacity: the controller knows the op count.
         "--max_ops=" + std::to_string(total_),
     };
+    if (keyed()) {
+      args.push_back("--keys=" + std::to_string(opt_.keys));
+      args.push_back("--key_capacity=" + std::to_string(opt_.key_capacity));
+    }
     reaper_.pids.push_back(spawn(args));
   }
 
@@ -523,18 +693,51 @@ ClusterResult Controller::run() {
     }
   }
 
-  std::vector<Value> sorted = values_;
-  std::sort(sorted.begin(), sorted.end());
-  out.values_ok = true;
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    if (sorted[i] != static_cast<Value>(i)) {
-      out.values_ok = false;
-      break;
+  if (keyed()) {
+    // Per-key contract (warmup ops included — they consumed that key's
+    // low values): within each key, the returned values are an exact
+    // permutation of 0..ops_k-1. The global permutation check does not
+    // apply across independent counters.
+    std::unordered_map<KeyId, std::vector<Value>> by_key;
+    for (std::size_t i = 0; i < total_; ++i) by_key[keys_[i]].push_back(values_[i]);
+    out.values_ok = true;
+    for (auto& [key, vals] : by_key) {
+      std::sort(vals.begin(), vals.end());
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        if (vals[i] != static_cast<Value>(i)) out.values_ok = false;
+      }
     }
+    DCNT_CHECK_MSG(out.values_ok,
+                   "some key's values are not a permutation of 0..ops_k-1");
+  } else {
+    std::vector<Value> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    out.values_ok = true;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i] != static_cast<Value>(i)) {
+        out.values_ok = false;
+        break;
+      }
+    }
+    DCNT_CHECK_MSG(out.values_ok,
+                   "cluster values are not a permutation of 0..ops-1");
   }
-  DCNT_CHECK_MSG(out.values_ok,
-                 "cluster values are not a permutation of 0..ops-1");
   out.values = std::move(values_);
+  if (keyed()) {
+    out.keys = opt_.keys;
+    out.key_of_op = std::move(keys_);
+    out.hot_key = hot_key_;
+    out.hot_key_ops = hot_key_ops_;
+    for (const std::int64_t load : hot_key_load_) {
+      out.hot_key_max_load = std::max(out.hot_key_max_load, load);
+    }
+    out.hot_key_messages = hot_key_sent_;
+    out.keys_touched = keys_touched_.size();
+    out.lru_hits = lru_hits_;
+    out.lru_misses = lru_misses_;
+    out.lru_evicts = lru_evicts_;
+    out.lru_rehydrates = lru_rehydrates_;
+  }
 
   out.wall_seconds =
       static_cast<double>(t_last_complete_ns_ - t_first_issue_ns_) / 1e9;

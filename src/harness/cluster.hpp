@@ -99,6 +99,25 @@ struct ClusterOptions {
   /// Reactor backend for the nodes AND the controller: "" = platform
   /// default, "epoll" or "poll" (the parity tests pin both).
   std::string backend;
+  /// > 0: multi-key mode — every node wraps its counter in a
+  /// service/MultiCounter fabric and each op addresses one of this many
+  /// keys (StartFrame args = {key}); the per-key contract (each key's
+  /// values form a permutation of 0..ops_k-1) replaces the global one.
+  std::size_t keys{0};
+  /// Key distribution: "roundrobin" | "uniform" | "zipf" (key 0
+  /// hottest), salted independently of the initiator stream.
+  std::string key_dist{"zipf"};
+  double key_skew{0.99};
+  /// LRU cap on live per-key instances per node (0 = unbounded;
+  /// requires a service-evictable counter).
+  std::size_t key_capacity{0};
+  /// Multi-key batched RPC: issue this many consecutive schedule
+  /// entries as one kStartBatch frame per touched node, with the
+  /// closed-loop window counted in batches (concurrency * pipeline of
+  /// them). Nodes coalesce the replies into kCompleteBatch frames per
+  /// drain round regardless. 1 = unbatched keyed Starts; forced to 1
+  /// under quiesce_between_ops and open-loop issuance.
+  std::size_t batch{1};
 };
 
 struct ClusterResult {
@@ -144,6 +163,27 @@ struct ClusterResult {
   int quiesce_rounds{0};
   /// Per-op returned values, warmup ops first (size warmup + ops).
   std::vector<Value> values;
+
+  // Multi-key mode (ClusterOptions::keys > 0; zero otherwise):
+  std::size_t keys{0};
+  /// Which key each op addressed (size warmup + ops) — pairs with
+  /// `values` for per-key verification.
+  std::vector<KeyId> key_of_op;
+  /// Key with the most *measured* ops (ties to the smallest id), and
+  /// its per-key message accounting merged from the nodes' kKeyedStats
+  /// reports: max_p m_p restricted to that key's traffic — the paper's
+  /// bottleneck measured per key inside the fabric.
+  KeyId hot_key{kNoKey};
+  std::int64_t hot_key_ops{0};
+  std::int64_t hot_key_max_load{0};
+  std::int64_t hot_key_messages{0};
+  /// Keys that moved at least one measured message, cluster-wide.
+  std::size_t keys_touched{0};
+  /// LRU tier counters summed across the nodes' directories.
+  std::int64_t lru_hits{0};
+  std::int64_t lru_misses{0};
+  std::int64_t lru_evicts{0};
+  std::int64_t lru_rehydrates{0};
 };
 
 ClusterResult run_cluster(const ClusterOptions& options);

@@ -85,4 +85,33 @@ std::vector<ProcessorId> make_initiators(const std::string& distribution,
   return {};
 }
 
+std::vector<KeyId> make_keys(const std::string& distribution, double zipf_s,
+                             std::int64_t keys, std::int64_t ops,
+                             std::uint64_t seed) {
+  DCNT_CHECK(keys > 0 && ops >= 0);
+  // Distinct salt from make_initiators: the key stream must be
+  // independent of the initiator stream at the same seed.
+  Rng rng(mix64(seed ^ 0x2c6f51e9u));
+  if (distribution == "roundrobin") {
+    std::vector<KeyId> order(static_cast<std::size_t>(ops));
+    for (std::int64_t i = 0; i < ops; ++i) {
+      order[static_cast<std::size_t>(i)] = static_cast<KeyId>(i % keys);
+    }
+    return order;
+  }
+  std::vector<ProcessorId> drawn;
+  if (distribution == "uniform") {
+    drawn = schedule_uniform(keys, ops, rng);
+  } else if (distribution == "zipf") {
+    drawn = schedule_zipf(keys, ops, zipf_s, rng);
+  } else {
+    DCNT_CHECK_MSG(false, "unknown key distribution");
+  }
+  std::vector<KeyId> order(drawn.size());
+  for (std::size_t i = 0; i < drawn.size(); ++i) {
+    order[i] = static_cast<KeyId>(drawn[i]);
+  }
+  return order;
+}
+
 }  // namespace dcnt

@@ -49,4 +49,16 @@ std::vector<ProcessorId> make_initiators(const std::string& distribution,
                                          double zipf_s, std::int64_t n,
                                          std::int64_t ops, std::uint64_t seed);
 
+/// Key schedule for the multi-key service fabric: which counter each
+/// operation addresses. Same named distributions as make_initiators —
+/// "roundrobin" (i % keys), "uniform", or "zipf" with skew `zipf_s`
+/// (key 0 hottest) — but salted differently, so a Zipf keyspace crossed
+/// with Zipf initiators at one seed does not correlate hot keys with
+/// hot initiators. Seeded by value for the same reason as
+/// make_initiators: inproc and cluster runs at one seed must drive the
+/// identical (initiator, key) sequence.
+std::vector<KeyId> make_keys(const std::string& distribution, double zipf_s,
+                             std::int64_t keys, std::int64_t ops,
+                             std::uint64_t seed);
+
 }  // namespace dcnt

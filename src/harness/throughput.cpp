@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "harness/schedule.hpp"
 #include "runtime/threaded_runtime.hpp"
 #include "runtime/workload.hpp"
+#include "service/multi_counter.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -83,6 +85,107 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   out.bottleneck = metrics.bottleneck();
   out.mean_load = 2.0 * static_cast<double>(metrics.total_messages()) /
                   static_cast<double>(n);
+  return out;
+}
+
+KeyedThroughputResult run_keyed_throughput(
+    std::unique_ptr<CounterProtocol> prototype,
+    const ThroughputOptions& options, const KeyedOptions& keyed) {
+  DCNT_CHECK(prototype != nullptr);
+  DCNT_CHECK(keyed.keys > 0);
+  const auto n = static_cast<std::int64_t>(prototype->num_processors());
+  const std::size_t ops =
+      options.ops != 0 ? options.ops : static_cast<std::size_t>(8 * n);
+
+  service::MultiCounterOptions mc;
+  mc.seed = options.seed;
+  mc.capacity = keyed.key_capacity;
+  auto fabric =
+      std::make_unique<service::MultiCounter>(std::move(prototype), mc);
+  const service::MultiCounter* fabric_view = fabric.get();
+
+  KeyedThroughputResult out;
+  out.keys = keyed.keys;
+  out.base.counter = fabric->name();
+  out.base.n = static_cast<std::size_t>(n);
+  out.base.ops = ops;
+  out.base.warmup = options.warmup;
+
+  RuntimeConfig config;
+  config.workers = options.workers;
+  config.seed = options.seed;
+  config.max_ops = options.warmup + ops;
+  config.active_shards = options.active_shards;
+  config.flush_batch = options.flush_batch;
+  ThreadedRuntime rt(std::move(fabric), config);
+  out.base.workers = rt.workers();
+
+  const auto initiators =
+      make_initiators(options.initiators, options.zipf_s, n,
+                      static_cast<std::int64_t>(ops), options.seed);
+  WorkloadOptions wl;
+  wl.concurrency = options.concurrency;
+  wl.open_rate = options.open_rate;
+  wl.warmup = options.warmup;
+  wl.keys = make_keys(keyed.key_dist, keyed.key_skew,
+                      static_cast<std::int64_t>(keyed.keys),
+                      static_cast<std::int64_t>(ops), options.seed);
+  const WorkloadResult run = run_workload(rt, initiators, wl);
+
+  // Per-key contract: within each key (warmup ops included — they
+  // consumed that key's low values) the returned values are an exact
+  // permutation of 0..ops_k-1.
+  const std::size_t total = options.warmup + ops;
+  std::unordered_map<KeyId, std::vector<Value>> by_key;
+  std::unordered_map<KeyId, std::int64_t> ops_by_key;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto v = rt.result(static_cast<OpId>(i));
+    DCNT_CHECK_MSG(v.has_value(), "operation never completed");
+    by_key[run.key_of_op.at(i)].push_back(*v);
+    ++ops_by_key[run.key_of_op.at(i)];
+  }
+  out.base.values_ok = true;
+  for (auto& [key, values] : by_key) {
+    if (!is_permutation_of_iota(values)) out.base.values_ok = false;
+  }
+  DCNT_CHECK_MSG(out.base.values_ok,
+                 "some key's values are not a permutation of 0..ops_k-1");
+  rt.protocol().check_quiescent(total);
+
+  out.base.wall_seconds = run.wall_seconds;
+  out.base.ops_per_sec = run.ops_per_sec;
+  const Summary& lat = run.latency_ns;
+  if (lat.count() > 0) {
+    out.base.mean_us = lat.mean() / 1e3;
+    out.base.p50_us = static_cast<double>(lat.percentile(50)) / 1e3;
+    out.base.p95_us = static_cast<double>(lat.percentile(95)) / 1e3;
+    out.base.p99_us = static_cast<double>(lat.percentile(99)) / 1e3;
+  }
+
+  const Metrics metrics = rt.merged_metrics();
+  out.base.total_messages = metrics.total_messages();
+  out.base.max_load = metrics.max_load();
+  out.base.bottleneck = metrics.bottleneck();
+  out.base.mean_load = 2.0 * static_cast<double>(metrics.total_messages()) /
+                       static_cast<double>(n);
+  out.keys_touched = metrics.key_loads().size();
+  for (const auto& [key, count] : ops_by_key) {
+    if (count > out.hot_key_ops ||
+        (count == out.hot_key_ops && key < out.hot_key)) {
+      out.hot_key = key;
+      out.hot_key_ops = count;
+    }
+  }
+  if (out.hot_key != kNoKey) {
+    out.hot_key_max_load = metrics.key_max_load(out.hot_key);
+    out.hot_key_messages = metrics.key_total_messages(out.hot_key);
+  }
+  const auto lru = fabric_view->lru_stats();
+  out.lru_hits = lru.hits;
+  out.lru_misses = lru.misses;
+  out.lru_evicts = lru.evicts;
+  out.lru_rehydrates = lru.rehydrates;
+  out.live_instances = fabric_view->directory().live_instances();
   return out;
 }
 

@@ -77,6 +77,51 @@ struct ThroughputResult {
 ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
                                 const ThroughputOptions& options = {});
 
+/// Keyspace shape for run_keyed_throughput: the fabric multiplexes
+/// `keys` counters over the protocol's processor set, ops drawn from
+/// `key_dist` over keys crossed with ThroughputOptions::initiators over
+/// processors.
+struct KeyedOptions {
+  std::size_t keys{1};
+  /// "roundrobin", "uniform" or "zipf" (key 0 hottest).
+  std::string key_dist{"zipf"};
+  double key_skew{0.99};
+  /// LRU capacity for live per-key instances; 0 = unbounded.
+  std::size_t key_capacity{0};
+};
+
+struct KeyedThroughputResult {
+  /// Aggregate rates / loads / latencies over all keys. values_ok here
+  /// reports the *per-key* contract: each key's returned values form an
+  /// exact permutation of 0..ops_k-1 (also DCNT_CHECKed).
+  ThroughputResult base;
+  std::size_t keys{0};
+  /// Key with the most operations (ties to the smallest key id).
+  KeyId hot_key{kNoKey};
+  std::int64_t hot_key_ops{0};
+  /// max_p m_p restricted to the hot key's traffic — the paper's
+  /// bottleneck measured per key inside the fabric.
+  std::int64_t hot_key_max_load{0};
+  std::int64_t hot_key_messages{0};
+  /// Keys that moved at least one message.
+  std::size_t keys_touched{0};
+  /// LRU tier counters (service/KeyDirectory).
+  std::int64_t lru_hits{0};
+  std::int64_t lru_misses{0};
+  std::int64_t lru_evicts{0};
+  std::int64_t lru_rehydrates{0};
+  std::size_t live_instances{0};
+};
+
+/// Multi-key sibling of run_throughput: wraps `prototype` in a
+/// service/MultiCounter (routing seed = options.seed), drives the keyed
+/// workload, verifies every key's values are a permutation of
+/// 0..ops_k-1 plus the fabric's check_quiescent, and reports aggregate
+/// rates, the hot key's per-key bottleneck load, and LRU counters.
+KeyedThroughputResult run_keyed_throughput(
+    std::unique_ptr<CounterProtocol> prototype,
+    const ThroughputOptions& options, const KeyedOptions& keyed);
+
 struct RuntimeSequentialResult {
   std::vector<Value> values;
   Metrics metrics;

@@ -1,5 +1,6 @@
 #include "net/node.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "net/wire.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/threaded_runtime.hpp"
+#include "service/multi_counter.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
 #include "support/check.hpp"
@@ -33,6 +35,10 @@ struct LoopCmd {
     /// Write a pre-encoded control-plane frame to the controller
     /// connection. Loop 0 only (it owns the control connection).
     kCtrlBytes,
+    /// Stage one completed op (multi-key mode). Loop 0 accumulates
+    /// these and flushes one kCompleteBatch frame per drain round —
+    /// the reply half of the batched multi-key RPC.
+    kComplete,
     /// Publish this loop's wire counters at `epoch` (see
     /// NodeV2::stable_quiesce).
     kSnapshot,
@@ -49,6 +55,8 @@ struct LoopCmd {
   Kind kind{Kind::kSendData};
   Message msg;                      ///< kSendData
   std::vector<std::uint8_t> bytes;  ///< kCtrlBytes frame / kAdopt residual
+  OpId op{kNoOp};                   ///< kComplete
+  Value value{0};                   ///< kComplete
   std::uint64_t epoch{0};           ///< kSnapshot
   std::uint32_t peer{0};            ///< kAdopt / kDial
   std::uint16_t port{0};            ///< kDial
@@ -77,6 +85,7 @@ struct MainEvent {
     kPeersReceived,
     kLinkUp,
     kStatsRequest,
+    kKeyedStatsRequest,
     kTimeJump,
     kMetricsReset,
     kShutdown,
@@ -122,6 +131,13 @@ class NodeV2 {
     std::int64_t wire_bytes_sent{0};
     std::int64_t wire_bytes_received{0};
     std::int64_t injected_drops{0};
+    /// Malformed kKeyedMsg frames dropped by the hardened decoder (the
+    /// fabric data plane rejects instead of aborting).
+    std::int64_t keyed_rejects{0};
+    /// Completions staged by kComplete commands (loop 0, multi-key
+    /// mode), flushed as one kCompleteBatch per drain round.
+    CompleteBatchFrame complete_buf;
+    std::vector<std::uint8_t> complete_scratch;
     /// Wire-arrived runtime events staged per destination shard, handed
     /// to the runtime with one inject() per dirty shard.
     std::vector<std::vector<RuntimeEvent>> inject_buf;
@@ -144,6 +160,7 @@ class NodeV2 {
   void stage_wire_message(LoopThread& lt, const FrameView& frame);
   void stage_start(LoopThread& lt, StartFrame start);
   void flush_inject(LoopThread& lt);
+  void flush_completes(LoopThread& lt);
 
   // Cross-thread handoff:
   void post_cmd(LoopThread& lt, LoopCmd cmd);
@@ -155,6 +172,7 @@ class NodeV2 {
   void maybe_ready();
   void stable_quiesce();
   void send_stats();
+  void send_keyed_stats();
   void time_jump();
   void handle_reset();
 
@@ -168,6 +186,8 @@ class NodeV2 {
   NodeConfig cfg_;
   std::unique_ptr<ThreadedRuntime> runtime_;
   ReliableTransport* transport_{nullptr};  ///< set in UDP mode
+  service::MultiCounter* fabric_{nullptr};  ///< set when cfg_.keys > 0
+  bool keyed_{false};                       ///< cfg_.keys > 0
   std::int64_t n_{0};
   std::size_t shards_{1};
   /// --shards=0: loop 0 drives the runtime's single shard itself.
@@ -215,8 +235,26 @@ void NodeV2::build_runtime() {
     DCNT_CHECK_MSG(counter->shard_safe(),
                    "multi-node cluster requires a shard-safe protocol");
   }
+  keyed_ = cfg_.keys > 0;
+  if (keyed_) {
+    // Multi-key mode: the fabric multiplexes cfg_.keys instances of the
+    // counter over the same processor set. Its routing seed must be the
+    // *shared* base seed — offset(key) has to agree on every node, or
+    // the two ends of a keyed message would translate inner argument
+    // words with different rotations. (The runtime below still gets the
+    // per-node mixed seed for its rng streams.)
+    service::MultiCounterOptions mc;
+    mc.seed = cfg_.seed;
+    mc.capacity = static_cast<std::size_t>(cfg_.key_capacity);
+    auto fabric =
+        std::make_unique<service::MultiCounter>(std::move(counter), mc);
+    fabric_ = fabric.get();
+    counter = std::move(fabric);
+  }
   std::unique_ptr<CounterProtocol> protocol;
   if (cfg_.udp) {
+    // Transport outermost: the fabric's keyed sends get enveloped (the
+    // envelope carries msg.key, so retransmissions stay keyed frames).
     auto wrapped =
         std::make_unique<ReliableTransport>(std::move(counter), cfg_.retry);
     transport_ = wrapped.get();
@@ -272,10 +310,17 @@ void NodeV2::build_runtime() {
   });
   runtime_->set_completion([this](OpId op, Value value) {
     // Worker thread: completions are control-plane frames, always via
-    // loop 0.
+    // loop 0. Multi-key mode stages them instead: loop 0 coalesces all
+    // completions of a drain round into one kCompleteBatch frame.
     LoopCmd cmd;
-    cmd.kind = LoopCmd::Kind::kCtrlBytes;
-    cmd.bytes = encode_complete(CompleteFrame{op, value});
+    if (keyed_) {
+      cmd.kind = LoopCmd::Kind::kComplete;
+      cmd.op = op;
+      cmd.value = value;
+    } else {
+      cmd.kind = LoopCmd::Kind::kCtrlBytes;
+      cmd.bytes = encode_complete(CompleteFrame{op, value});
+    }
     post_cmd(*loops_[0], std::move(cmd));
   });
 }
@@ -322,6 +367,8 @@ void NodeV2::loop_main(LoopThread& lt) {
     // Events staged by command handlers (adopted-connection residual
     // frames) must reach the runtime before this thread can block.
     flush_inject(lt);
+    // Completions staged this round leave as one kCompleteBatch frame.
+    flush_completes(lt);
   };
   while (!stop) {
     drain_cmds();
@@ -373,6 +420,11 @@ void NodeV2::handle_cmd(LoopThread& lt, LoopCmd& cmd, std::size_t remaining,
       DCNT_CHECK_MSG(lt.index == 0, "control frame routed to a data loop");
       lt.loop.send(ctrl_conn_, std::move(cmd.bytes));
       return;
+    case LoopCmd::Kind::kComplete:
+      DCNT_CHECK_MSG(lt.index == 0, "completion routed to a data loop");
+      lt.complete_buf.completions.push_back(
+          CompleteBatchEntry{cmd.op, cmd.value});
+      return;
     case LoopCmd::Kind::kSnapshot: {
       // Push everything this loop has been handed so far: staged
       // injections into the runtime, queued outbound bytes into the
@@ -380,6 +432,7 @@ void NodeV2::handle_cmd(LoopThread& lt, LoopCmd& cmd, std::size_t remaining,
       // commands behind this one) is declared in `pending` so the main
       // thread retries the round instead of trusting a short snapshot.
       flush_inject(lt);
+      flush_completes(lt);
       lt.loop.flush_all();
       lt.snap.wire_msgs_sent = lt.wire_msgs_sent;
       lt.snap.wire_msgs_received = lt.wire_msgs_received;
@@ -437,8 +490,10 @@ void NodeV2::send_wire(LoopThread& lt, Message& msg) {
     }
     // A kernel refusal (full buffers) is just loss with extra steps; the
     // reliable transport's retransmission covers both.
-    const std::size_t sent =
-        lt.loop.send_datagram_message(lt.peers.at(owner).udp_port, msg);
+    const std::uint16_t port = lt.peers.at(owner).udp_port;
+    const std::size_t sent = msg.key != kNoKey
+                                 ? lt.loop.send_datagram_keyed_message(port, msg)
+                                 : lt.loop.send_datagram_message(port, msg);
     if (sent != 0) {
       ++lt.wire_msgs_sent;
       lt.wire_bytes_sent += static_cast<std::int64_t>(sent);
@@ -448,8 +503,11 @@ void NodeV2::send_wire(LoopThread& lt, Message& msg) {
   const int conn = lt.peer_conn.at(owner);
   DCNT_CHECK_MSG(conn >= 0, "wire send before the peer link is up");
   // Encoded straight into the connection's outbound queue; the bytes
-  // leave coalesced with everything else queued this drain round.
-  const std::size_t queued = lt.loop.send_message(conn, msg);
+  // leave coalesced with everything else queued this drain round. A
+  // message owned by a key travels as the fabric's kKeyedMsg envelope.
+  const std::size_t queued = msg.key != kNoKey
+                                 ? lt.loop.send_keyed_message(conn, msg)
+                                 : lt.loop.send_message(conn, msg);
   ++lt.wire_msgs_sent;
   lt.wire_bytes_sent += static_cast<std::int64_t>(queued);
 }
@@ -500,8 +558,24 @@ void NodeV2::on_ctrl_frame(LoopThread& lt0, const FrameView& frame) {
     case FrameType::kStart:
       stage_start(lt0, decode_start(frame));
       return;
+    case FrameType::kStartBatch: {
+      // One frame, many keyed ops: split into individual Start events
+      // here (each entry may target a different owned origin/shard).
+      // The control channel is our own controller, so a malformed batch
+      // is a bug, not wire corruption to survive.
+      StartBatchFrame batch;
+      DCNT_CHECK_MSG(decode_start_batch(frame, &batch),
+                     "malformed StartBatch on the control channel");
+      for (StartBatchEntry& e : batch.ops) {
+        stage_start(lt0, StartFrame{e.op, e.origin, {e.key}});
+      }
+      return;
+    }
     case FrameType::kStatsRequest:
       post_main(MainEvent::Kind::kStatsRequest);
+      return;
+    case FrameType::kKeyedStatsRequest:
+      post_main(MainEvent::Kind::kKeyedStatsRequest);
       return;
     case FrameType::kTimeJump:
       post_main(MainEvent::Kind::kTimeJump);
@@ -542,19 +616,35 @@ void NodeV2::on_peer_frame(LoopThread& lt, int conn, const FrameView& frame) {
     post_main(MainEvent::Kind::kLinkUp);
     return;
   }
-  DCNT_CHECK(frame.type() == FrameType::kMsg);
+  DCNT_CHECK(frame.type() == FrameType::kMsg ||
+             frame.type() == FrameType::kKeyedMsg);
   stage_wire_message(lt, frame);
 }
 
 void NodeV2::on_datagram(LoopThread& lt, const FrameView& frame) {
-  DCNT_CHECK(frame.type() == FrameType::kMsg);
+  DCNT_CHECK(frame.type() == FrameType::kMsg ||
+             frame.type() == FrameType::kKeyedMsg);
   stage_wire_message(lt, frame);
 }
 
 void NodeV2::stage_wire_message(LoopThread& lt, const FrameView& frame) {
   ++lt.wire_msgs_received;
   lt.wire_bytes_received += static_cast<std::int64_t>(frame.body_size()) + 6;
-  Message msg = decode_message(frame);
+  Message msg;
+  if (frame.type() == FrameType::kKeyedMsg) {
+    // The fabric data plane is decoded by the hardened non-aborting
+    // path: a mangled frame is dropped and counted, never fatal. (Under
+    // UDP the reliable transport retransmits it; on TCP it cannot occur
+    // short of memory corruption, and the quiescence barrier would
+    // expose the loss as a sent/received mismatch rather than a hang
+    // going unnoticed.)
+    if (!decode_keyed_message(frame, &msg)) {
+      ++lt.keyed_rejects;
+      return;
+    }
+  } else {
+    msg = decode_message(frame);
+  }
   DCNT_CHECK(runtime_->owns(msg.dst));
   RuntimeEvent ev;
   ev.kind = RuntimeEvent::Kind::kMessage;
@@ -585,6 +675,16 @@ void NodeV2::flush_inject(LoopThread& lt) {
     runtime_->inject(shard, lt.inject_buf[shard]);
   }
   lt.inject_dirty.clear();
+}
+
+void NodeV2::flush_completes(LoopThread& lt) {
+  if (lt.complete_buf.completions.empty()) return;
+  // Every completion a worker posted since the last flush leaves as one
+  // kCompleteBatch control frame, encoded into a reused scratch buffer.
+  lt.complete_scratch.clear();
+  append_complete_batch(lt.complete_scratch, lt.complete_buf);
+  lt.loop.send(ctrl_conn_, lt.complete_scratch);
+  lt.complete_buf.completions.clear();
 }
 
 // --- main-thread code -------------------------------------------------------
@@ -697,6 +797,46 @@ void NodeV2::send_stats() {
     s.loads.push_back(load);
   }
   post_ctrl(encode_stats(s));
+}
+
+/// End-of-run per-key report (multi-key mode): re-certify a stable idle
+/// window, then stream this node's (key, processor) load slices to the
+/// controller in kKeyedStats chunks, sorted by (key, pid) and capped at
+/// kKeyedStatsChunk entries each so a 100k-key run never exceeds
+/// kMaxFramePayload. The LRU tier counters ride in every chunk (the
+/// controller reads them from the last). Per-key loads are reported as
+/// absolute post-reset values — reset_metrics zeroed the key maps in
+/// place, so no baseline subtraction is needed.
+void NodeV2::send_keyed_stats() {
+  DCNT_CHECK_MSG(fabric_ != nullptr,
+                 "keyed stats requested from a node without --keys");
+  stable_quiesce();
+  std::vector<KeyProcLoad> flat;
+  for (const auto& [key, per_proc] : metrics_cache_.key_loads()) {
+    for (const auto& [pid, load] : per_proc) {
+      flat.push_back(KeyProcLoad{key, pid, load.sent, load.received});
+    }
+  }
+  std::sort(flat.begin(), flat.end(),
+            [](const KeyProcLoad& a, const KeyProcLoad& b) {
+              return a.key != b.key ? a.key < b.key : a.pid < b.pid;
+            });
+  const service::KeyDirectoryStats lru = fabric_->lru_stats();
+  std::size_t sent = 0;
+  do {
+    KeyedStatsFrame chunk;
+    chunk.node_id = cfg_.node_id;
+    chunk.lru_hits = lru.hits;
+    chunk.lru_misses = lru.misses;
+    chunk.lru_evicts = lru.evicts;
+    chunk.lru_rehydrates = lru.rehydrates;
+    const std::size_t take = std::min(kKeyedStatsChunk, flat.size() - sent);
+    chunk.loads.assign(flat.begin() + static_cast<std::ptrdiff_t>(sent),
+                       flat.begin() + static_cast<std::ptrdiff_t>(sent + take));
+    sent += take;
+    chunk.last = sent == flat.size();
+    post_ctrl(encode_keyed_stats(chunk));
+  } while (sent < flat.size());  // zero slices still sends one last-chunk
 }
 
 void NodeV2::time_jump() {
@@ -844,6 +984,9 @@ int NodeV2::run() {
           break;
         case MainEvent::Kind::kStatsRequest:
           send_stats();
+          break;
+        case MainEvent::Kind::kKeyedStatsRequest:
+          send_keyed_stats();
           break;
         case MainEvent::Kind::kTimeJump:
           time_jump();

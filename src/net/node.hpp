@@ -94,6 +94,17 @@ struct NodeConfig {
   /// Upper bound on operation ids the controller will issue (capacity
   /// hint for the runtime's completion tables; 0 = default 1<<16).
   std::int64_t max_ops{0};
+  /// > 0: multi-key mode — wrap the counter in a service/MultiCounter
+  /// fabric of this many keys. The node then accepts keyed Starts
+  /// (StartFrame args = {key}, or batched kStartBatch), speaks the
+  /// kKeyedMsg data plane between peers, coalesces completions into
+  /// kCompleteBatch frames, and answers kKeyedStatsRequest with per-key
+  /// loads. The fabric's routing seed is the shared `seed`, identical on
+  /// every node, so key -> rotation agrees cluster-wide.
+  std::int64_t keys{0};
+  /// LRU capacity for live per-key instances (multi-key mode;
+  /// 0 = unbounded). Requires a service-evictable inner counter.
+  std::int64_t key_capacity{0};
 };
 
 /// Runs the node until the controller sends Shutdown. Returns the

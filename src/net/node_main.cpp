@@ -35,6 +35,10 @@ Usage: dcnt_node --ctrl_port=P --node=I --nodes=N [options]
                     no worker threads (needs --loops=1) (default 1)
   --backend=B       reactor backend: epoll | poll     (default: platform)
   --max_ops=M       operation-table capacity hint     (default 65536)
+  --keys=K          multi-key mode: K-counter service fabric
+                    over the shard (0 = single counter) (default 0)
+  --key_capacity=C  LRU cap on live per-key instances;
+                    0 = unbounded (multi-key mode)     (default 0)
 )";
 
 }  // namespace
@@ -72,5 +76,7 @@ int main(int argc, char** argv) {
   cfg.shards = static_cast<std::uint32_t>(flags.get_int("shards", 1));
   cfg.backend = flags.get_string("backend", "");
   cfg.max_ops = flags.get_int("max_ops", 0);
+  cfg.keys = flags.get_int("keys", 0);
+  cfg.key_capacity = flags.get_int("key_capacity", 0);
   return dcnt::net::run_node(cfg);
 }

@@ -88,6 +88,69 @@ class BodyReader {
   std::size_t pos_{0};
 };
 
+/// Non-aborting cousin of BodyReader for the hardened keyed decoders:
+/// every take reports truncation instead of DCNT_CHECKing, so a mangled
+/// keyed frame is rejected, never fatal.
+class SafeReader {
+ public:
+  SafeReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool u8(std::uint8_t* v) {
+    const std::uint8_t* p = take(1);
+    if (!p) return false;
+    *v = p[0];
+    return true;
+  }
+
+  bool u32(std::uint32_t* v) {
+    const std::uint8_t* p = take(4);
+    if (!p) return false;
+    std::uint32_t x = 0;
+    for (int i = 3; i >= 0; --i) x = (x << 8) | p[i];
+    *v = x;
+    return true;
+  }
+
+  bool u64(std::uint64_t* v) {
+    const std::uint8_t* p = take(8);
+    if (!p) return false;
+    std::uint64_t x = 0;
+    for (int i = 7; i >= 0; --i) x = (x << 8) | p[i];
+    *v = x;
+    return true;
+  }
+
+  bool i32(std::int32_t* v) {
+    std::uint32_t x;
+    if (!u32(&x)) return false;
+    *v = static_cast<std::int32_t>(x);
+    return true;
+  }
+
+  bool i64(std::int64_t* v) {
+    std::uint64_t x;
+    if (!u64(&x)) return false;
+    *v = static_cast<std::int64_t>(x);
+    return true;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* take(std::size_t n) {
+    if (pos_ + n > size_) return nullptr;
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
 /// Starts a frame: length placeholder + header. finish_frame backfills
 /// the length.
 std::vector<std::uint8_t> begin_frame(FrameType type) {
@@ -219,17 +282,115 @@ std::vector<std::uint8_t> encode_metrics_reset() {
   return finish_frame(begin_frame(FrameType::kMetricsReset));
 }
 
+std::vector<std::uint8_t> encode_keyed_message(const Message& msg) {
+  std::vector<std::uint8_t> out;
+  append_keyed_message(out, msg);
+  return out;
+}
+
+std::size_t append_keyed_message(std::vector<std::uint8_t>& out,
+                                 const Message& msg) {
+  DCNT_CHECK_MSG(msg.key != kNoKey, "keyed frame requires a key");
+  const std::size_t start = out.size();
+  put_u32(out, 0);  // payload length, backpatched below
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(FrameType::kKeyedMsg));
+  put_i64(out, msg.key);
+  put_i32(out, msg.src);
+  put_i32(out, msg.dst);
+  put_i32(out, msg.tag);
+  put_i64(out, msg.op);
+  put_u32(out, static_cast<std::uint32_t>(msg.args.size()));
+  for (const std::int64_t a : msg.args) put_i64(out, a);
+  const std::size_t payload = out.size() - start - 4;
+  DCNT_CHECK_MSG(payload <= kMaxFramePayload, "frame payload too large");
+  for (int i = 0; i < 4; ++i) {
+    out[start + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload >> (8 * i));
+  }
+  return out.size() - start;
+}
+
+std::vector<std::uint8_t> encode_start_batch(const StartBatchFrame& f) {
+  auto out = begin_frame(FrameType::kStartBatch);
+  put_u32(out, static_cast<std::uint32_t>(f.ops.size()));
+  for (const StartBatchEntry& e : f.ops) {
+    put_i64(out, e.op);
+    put_i32(out, e.origin);
+    put_i64(out, e.key);
+  }
+  return finish_frame(std::move(out));
+}
+
+std::vector<std::uint8_t> encode_complete_batch(const CompleteBatchFrame& f) {
+  std::vector<std::uint8_t> out;
+  append_complete_batch(out, f);
+  return out;
+}
+
+std::size_t append_complete_batch(std::vector<std::uint8_t>& out,
+                                  const CompleteBatchFrame& f) {
+  const std::size_t start = out.size();
+  put_u32(out, 0);  // payload length, backpatched below
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(FrameType::kCompleteBatch));
+  put_u32(out, static_cast<std::uint32_t>(f.completions.size()));
+  for (const CompleteBatchEntry& e : f.completions) {
+    put_i64(out, e.op);
+    put_i64(out, e.value);
+  }
+  const std::size_t payload = out.size() - start - 4;
+  DCNT_CHECK_MSG(payload <= kMaxFramePayload, "frame payload too large");
+  for (int i = 0; i < 4; ++i) {
+    out[start + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload >> (8 * i));
+  }
+  return out.size() - start;
+}
+
+std::vector<std::uint8_t> encode_keyed_stats(const KeyedStatsFrame& f) {
+  DCNT_CHECK_MSG(f.loads.size() <= kKeyedStatsChunk,
+                 "keyed stats chunk too large");
+  auto out = begin_frame(FrameType::kKeyedStats);
+  put_u32(out, f.node_id);
+  put_u8(out, f.last ? 1 : 0);
+  put_i64(out, f.lru_hits);
+  put_i64(out, f.lru_misses);
+  put_i64(out, f.lru_evicts);
+  put_i64(out, f.lru_rehydrates);
+  put_u32(out, static_cast<std::uint32_t>(f.loads.size()));
+  for (const KeyProcLoad& l : f.loads) {
+    put_i64(out, l.key);
+    put_i32(out, l.pid);
+    put_i64(out, l.sent);
+    put_i64(out, l.received);
+  }
+  return finish_frame(std::move(out));
+}
+
+std::vector<std::uint8_t> encode_keyed_stats_request() {
+  return finish_frame(begin_frame(FrameType::kKeyedStatsRequest));
+}
+
 FrameView::FrameView(const std::uint8_t* data, std::size_t size)
     : data_(data), size_(size) {
   DCNT_CHECK_MSG(size_ >= 2, "frame shorter than its header");
-  DCNT_CHECK_MSG(data_[0] == kWireVersion, "wire version mismatch");
+  DCNT_CHECK_MSG(data_[0] == kWireVersion || data_[0] == kWireVersionV1,
+                 "wire version mismatch");
 }
 
 FrameType FrameView::type() const {
   const std::uint8_t t = data_[1];
-  DCNT_CHECK_MSG(t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-                     t <= static_cast<std::uint8_t>(FrameType::kMetricsReset),
-                 "unknown frame type");
+  // A frame may only use types its own stamped version defines: v1
+  // stops at kMetricsReset, v2 adds the keyed envelope.
+  const std::uint8_t last = version() == kWireVersionV1
+                                ? static_cast<std::uint8_t>(
+                                      FrameType::kMetricsReset)
+                                : static_cast<std::uint8_t>(
+                                      FrameType::kKeyedStatsRequest);
+  DCNT_CHECK_MSG(
+      t >= static_cast<std::uint8_t>(FrameType::kHello) && t <= last,
+      "unknown frame type");
   return static_cast<FrameType>(t);
 }
 
@@ -337,6 +498,100 @@ StatsFrame decode_stats(const FrameView& frame) {
   }
   r.expect_end();
   return f;
+}
+
+bool decode_keyed_message(const FrameView& frame, Message* out) {
+  DCNT_CHECK(frame.type() == FrameType::kKeyedMsg);
+  SafeReader r(frame.body(), frame.body_size());
+  Message msg;
+  std::int64_t key;
+  std::uint32_t argc;
+  if (!r.i64(&key) || key < 0) return false;
+  if (!r.i32(&msg.src) || !r.i32(&msg.dst) || !r.i32(&msg.tag) ||
+      !r.i64(&msg.op)) {
+    return false;
+  }
+  if (!r.u32(&argc)) return false;
+  // Bound argc by the bytes actually present before reserving.
+  if (static_cast<std::size_t>(argc) * 8 != r.remaining()) return false;
+  msg.key = key;
+  msg.args.reserve(argc);
+  for (std::uint32_t i = 0; i < argc; ++i) {
+    std::int64_t a;
+    if (!r.i64(&a)) return false;
+    msg.args.push_back(a);
+  }
+  if (!r.at_end()) return false;
+  *out = std::move(msg);
+  return true;
+}
+
+bool decode_start_batch(const FrameView& frame, StartBatchFrame* out) {
+  DCNT_CHECK(frame.type() == FrameType::kStartBatch);
+  SafeReader r(frame.body(), frame.body_size());
+  std::uint32_t count;
+  if (!r.u32(&count)) return false;
+  if (static_cast<std::size_t>(count) * 20 != r.remaining()) return false;
+  StartBatchFrame f;
+  f.ops.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    StartBatchEntry e;
+    if (!r.i64(&e.op) || !r.i32(&e.origin) || !r.i64(&e.key)) return false;
+    if (e.op < 0 || e.origin < 0 || e.key < 0) return false;
+    f.ops.push_back(e);
+  }
+  if (!r.at_end()) return false;
+  *out = std::move(f);
+  return true;
+}
+
+bool decode_complete_batch(const FrameView& frame, CompleteBatchFrame* out) {
+  DCNT_CHECK(frame.type() == FrameType::kCompleteBatch);
+  SafeReader r(frame.body(), frame.body_size());
+  std::uint32_t count;
+  if (!r.u32(&count)) return false;
+  if (static_cast<std::size_t>(count) * 16 != r.remaining()) return false;
+  CompleteBatchFrame f;
+  f.completions.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CompleteBatchEntry e;
+    if (!r.i64(&e.op) || !r.i64(&e.value)) return false;
+    f.completions.push_back(e);
+  }
+  if (!r.at_end()) return false;
+  *out = std::move(f);
+  return true;
+}
+
+bool decode_keyed_stats(const FrameView& frame, KeyedStatsFrame* out) {
+  DCNT_CHECK(frame.type() == FrameType::kKeyedStats);
+  SafeReader r(frame.body(), frame.body_size());
+  KeyedStatsFrame f;
+  std::uint8_t last;
+  std::uint32_t count;
+  if (!r.u32(&f.node_id) || !r.u8(&last)) return false;
+  if (last > 1) return false;
+  f.last = last == 1;
+  if (!r.i64(&f.lru_hits) || !r.i64(&f.lru_misses) || !r.i64(&f.lru_evicts) ||
+      !r.i64(&f.lru_rehydrates)) {
+    return false;
+  }
+  if (!r.u32(&count)) return false;
+  if (count > kKeyedStatsChunk) return false;
+  if (static_cast<std::size_t>(count) * 28 != r.remaining()) return false;
+  f.loads.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    KeyProcLoad l;
+    if (!r.i64(&l.key) || !r.i32(&l.pid) || !r.i64(&l.sent) ||
+        !r.i64(&l.received)) {
+      return false;
+    }
+    if (l.key < 0 || l.pid < 0) return false;
+    f.loads.push_back(l);
+  }
+  if (!r.at_end()) return false;
+  *out = std::move(f);
+  return true;
 }
 
 void FrameReader::feed(const std::uint8_t* data, std::size_t size) {

@@ -22,7 +22,16 @@
 // (kMaxFramePayload, per-field underflow checks) and a malformed or
 // version-mismatched frame aborts the process (DCNT_CHECK) — peers are
 // our own binaries on localhost, so corruption is a bug, not an attack
-// to survive.
+// to survive. The v2 *keyed* frames (below) are the exception: they are
+// the service fabric's data plane, and their decoders reject (return
+// false) instead of aborting, so a node can drop-and-count a mangled
+// keyed frame without taking the whole cluster down with it.
+//
+// Versioning: kWireVersion is 2 since the keyed envelope landed. v1
+// frames (types 1..11) still decode byte-identically — FrameView
+// accepts both versions and only rejects a type outside the sending
+// version's vocabulary, so a v1 peer's traffic stays readable (the
+// back-compat test in test_wire pins this).
 #pragma once
 
 #include <cstdint>
@@ -34,7 +43,9 @@
 
 namespace dcnt::net {
 
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+/// The pre-keyed-envelope format; still decoded (types 1..11 only).
+inline constexpr std::uint8_t kWireVersionV1 = 1;
 /// Upper bound on one frame's payload; protects against a corrupt
 /// length word committing us to a gigabyte read.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
@@ -59,6 +70,25 @@ enum class FrameType : std::uint8_t {
   /// quiescent barrier after the warmup phase, so cold-start traffic
   /// never appears in the measured stats.
   kMetricsReset = 11,
+
+  // --- v2: the service fabric's keyed envelope (wire version 2) ---
+
+  /// node -> node: one protocol Message plus the counter key it belongs
+  /// to. kMsg with a key_id prefix; the multi-key fabric's data plane.
+  kKeyedMsg = 12,
+  /// controller -> node: a batch of keyed op starts for processors this
+  /// node owns, split into individual kStart events at the receiver.
+  kStartBatch = 13,
+  /// node -> controller: completions coalesced per drain round — the
+  /// reply half of the batched multi-key RPC.
+  kCompleteBatch = 14,
+  /// node -> controller: per-key per-processor loads + LRU tier
+  /// counters, chunked so 100k-key runs never exceed kMaxFramePayload.
+  kKeyedStats = 15,
+  /// controller -> node: report keyed stats now (sent once, after the
+  /// final quiescence barrier — per-key loads are an end-of-run report,
+  /// not part of the barrier).
+  kKeyedStatsRequest = 16,
 };
 
 struct HelloFrame {
@@ -133,6 +163,53 @@ struct StatsFrame {
   std::vector<ProcLoad> loads;
 };
 
+/// One keyed op start inside a kStartBatch.
+struct StartBatchEntry {
+  OpId op{kNoOp};
+  ProcessorId origin{kNoProcessor};
+  KeyId key{0};
+};
+
+struct StartBatchFrame {
+  std::vector<StartBatchEntry> ops;
+};
+
+/// One completion inside a kCompleteBatch.
+struct CompleteBatchEntry {
+  OpId op{kNoOp};
+  Value value{0};
+};
+
+struct CompleteBatchFrame {
+  std::vector<CompleteBatchEntry> completions;
+};
+
+/// One (key, processor) load slice inside a kKeyedStats chunk.
+struct KeyProcLoad {
+  KeyId key{0};
+  ProcessorId pid{kNoProcessor};
+  std::int64_t sent{0};
+  std::int64_t received{0};
+};
+
+/// One chunk of a node's per-key report. Chunked because a 100k-key run
+/// has too many (key, processor) slices for a single frame; `last`
+/// marks the final chunk. The LRU counters ride in every chunk (the
+/// controller reads them from the last one).
+struct KeyedStatsFrame {
+  std::uint32_t node_id{0};
+  bool last{true};
+  std::int64_t lru_hits{0};
+  std::int64_t lru_misses{0};
+  std::int64_t lru_evicts{0};
+  std::int64_t lru_rehydrates{0};
+  std::vector<KeyProcLoad> loads;
+};
+
+/// Max (key, processor) slices per kKeyedStats chunk: 28 bytes each,
+/// comfortably under kMaxFramePayload with header room to spare.
+inline constexpr std::size_t kKeyedStatsChunk = 16384;
+
 // --- encoding -------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_hello(const HelloFrame& f);
@@ -153,16 +230,34 @@ std::vector<std::uint8_t> encode_shutdown();
 std::vector<std::uint8_t> encode_time_jump();
 std::vector<std::uint8_t> encode_metrics_reset();
 
+// v2 keyed envelope. append_* are the zero-allocation hot paths,
+// mirroring append_message: encode straight into the connection's
+// outbound queue.
+std::vector<std::uint8_t> encode_keyed_message(const Message& msg);
+/// Appends one complete kKeyedMsg frame carrying msg.key; requires
+/// msg.key != kNoKey. Returns bytes appended.
+std::size_t append_keyed_message(std::vector<std::uint8_t>& out,
+                                 const Message& msg);
+std::vector<std::uint8_t> encode_start_batch(const StartBatchFrame& f);
+std::vector<std::uint8_t> encode_complete_batch(const CompleteBatchFrame& f);
+/// Appends one complete kCompleteBatch frame. Returns bytes appended.
+std::size_t append_complete_batch(std::vector<std::uint8_t>& out,
+                                  const CompleteBatchFrame& f);
+std::vector<std::uint8_t> encode_keyed_stats(const KeyedStatsFrame& f);
+std::vector<std::uint8_t> encode_keyed_stats_request();
+
 // --- decoding -------------------------------------------------------------
 
 /// A complete frame's payload (version + type + body, the length word
-/// stripped). `type()` DCNT_CHECKs the version so every decode path
-/// rejects foreign frames.
+/// stripped). The constructor DCNT_CHECKs the version (v1 and v2 both
+/// accepted); `type()` additionally rejects types outside the frame's
+/// own version's vocabulary, so a v1-stamped keyed frame aborts.
 class FrameView {
  public:
   FrameView(const std::uint8_t* data, std::size_t size);
 
   FrameType type() const;
+  std::uint8_t version() const { return data_[0]; }
   /// Body bytes (after version + type).
   const std::uint8_t* body() const { return data_ + 2; }
   std::size_t body_size() const { return size_ - 2; }
@@ -179,6 +274,16 @@ StartFrame decode_start(const FrameView& frame);
 CompleteFrame decode_complete(const FrameView& frame);
 Message decode_message(const FrameView& frame);
 StatsFrame decode_stats(const FrameView& frame);
+
+// v2 keyed decoders: hardened, non-aborting. Each validates the body
+// completely (field bounds, key_id >= 0, exact length) and returns
+// false on any malformation — the caller drops and counts the frame.
+// They still DCNT_CHECK the frame *type*: dispatching the wrong type
+// here is a local bug, not wire corruption.
+bool decode_keyed_message(const FrameView& frame, Message* out);
+bool decode_start_batch(const FrameView& frame, StartBatchFrame* out);
+bool decode_complete_batch(const FrameView& frame, CompleteBatchFrame* out);
+bool decode_keyed_stats(const FrameView& frame, KeyedStatsFrame* out);
 
 /// Incremental frame extractor for a TCP byte stream (also used one
 /// datagram at a time for UDP, where the kernel preserves boundaries).

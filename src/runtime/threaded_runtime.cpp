@@ -105,7 +105,7 @@ class ThreadedRuntime::WorkerCtx final : public Context {
     DCNT_CHECK(!msg.local);
     if (msg.op == kNoOp) msg.op = current_op_;
     if (msg.src != msg.dst) {
-      shard_->metrics.on_send(msg.src, msg.op, msg.size_words());
+      shard_->metrics.on_send(msg.src, msg.op, msg.size_words(), msg.key);
     }
     if (!rt_->owns(msg.dst)) {
       // Another node's processor: stage for the remote sink. The send
@@ -378,7 +378,7 @@ void ThreadedRuntime::process_event(Shard& shard, WorkerCtx& ctx,
                                     RuntimeEvent& ev) {
   if (ev.kind == RuntimeEvent::Kind::kMessage && !ev.msg.local &&
       ev.msg.src != ev.msg.dst) {
-    shard.metrics.on_receive(ev.msg.dst, ev.msg.size_words());
+    shard.metrics.on_receive(ev.msg.dst, ev.msg.size_words(), ev.msg.key);
   }
   ctx.run(ev);
   ++shard.clock;

@@ -51,6 +51,20 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
   const std::size_t ops = initiators.size();
   DCNT_CHECK(ops > 0);
   DCNT_CHECK_MSG(rt.ops_started() == 0, "run_workload needs a fresh runtime");
+  const bool keyed = !options.keys.empty();
+  DCNT_CHECK_MSG(!keyed || options.keys.size() == ops,
+                 "keys must pair 1:1 with initiators");
+  std::vector<KeyId> key_of_op;
+  if (keyed) key_of_op.assign(options.warmup + ops, kNoKey);
+  // Issues schedule entry i in [0, ops) — plain inc or keyed op — and
+  // returns its OpId, recording the op -> key mapping for keyed runs.
+  const auto begin_entry = [&](std::size_t i) {
+    if (!keyed) return rt.begin_inc(initiators[i]);
+    const KeyId key = options.keys[i];
+    const OpId op = rt.begin_op(initiators[i], {key});
+    key_of_op[static_cast<std::size_t>(op)] = key;
+    return op;
+  };
 
   if (options.warmup > 0) {
     // Unrecorded closed-loop phase cycling through the initiators:
@@ -66,7 +80,7 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
     const auto wissue = [&] {
       const std::size_t i = wcursor.fetch_add(1, std::memory_order_acq_rel);
       if (i >= warmup) return;
-      rt.begin_inc(initiators[i % ops]);
+      begin_entry(i % ops);
     };
     rt.set_completion([&](OpId /*op*/, Value /*value*/) {
       wissue();
@@ -105,7 +119,7 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
     const std::size_t i = cursor.fetch_add(1, std::memory_order_acq_rel);
     if (i >= ops) return;
     const std::int64_t t0 = LatencyRecorder::now_ns();
-    const OpId op = rt.begin_inc(initiators[i]);
+    const OpId op = begin_entry(i);
     recorder.on_issue(op, t0);
   };
 
@@ -158,6 +172,7 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
         static_cast<double>(ops) / result.wall_seconds;
   }
   result.latency_ns = recorder.summary_ns();
+  result.key_of_op = std::move(key_of_op);
   return result;
 }
 

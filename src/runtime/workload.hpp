@@ -64,6 +64,12 @@ struct WorkloadOptions {
   /// measured latencies, and message counts stay comparable to a
   /// no-warmup run.
   std::size_t warmup{0};
+  /// Multi-key fabric workload: when non-empty (size must equal the
+  /// initiator count), op i runs begin_op(initiators[i], {keys[i]})
+  /// instead of a plain inc — the keyed entry point of
+  /// service/MultiCounter. Warmup cycles through the keys exactly as it
+  /// cycles through the initiators.
+  std::vector<KeyId> keys;
 };
 
 struct WorkloadResult {
@@ -72,6 +78,11 @@ struct WorkloadResult {
   double ops_per_sec{0.0};
   /// Completion latency per op, nanoseconds.
   Summary latency_ns;
+  /// Keyed runs only: key_of_op[op] is the key OpId `op` counted on
+  /// (size warmup + ops — concurrent issuance means OpId order need not
+  /// match the schedule index, so the mapping is recorded at issue
+  /// time). Empty for plain runs.
+  std::vector<KeyId> key_of_op;
 };
 
 /// Issues one operation per entry of `initiators` into `rt` (which must

@@ -18,6 +18,11 @@ struct Message {
   ProcessorId dst{kNoProcessor};
   std::int32_t tag{0};
   OpId op{kNoOp};
+  /// Counter key this message belongs to (multi-key service fabric);
+  /// kNoKey for classic single-counter traffic. Carried on the wire in
+  /// a keyed envelope (kKeyedMsg) so per-key load accounting survives
+  /// the cluster path.
+  KeyId key{kNoKey};
   std::vector<std::int64_t> args;
 
   /// True for self-addressed scheduling aids (timeouts). Local messages

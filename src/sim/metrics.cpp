@@ -11,7 +11,7 @@ Metrics::Metrics(std::size_t num_processors)
       received_(num_processors, 0),
       words_(num_processors, 0) {}
 
-void Metrics::on_send(ProcessorId p, OpId op, std::size_t words) {
+void Metrics::on_send(ProcessorId p, OpId op, std::size_t words, KeyId key) {
   ++sent_.at(to_idx(p));
   ++total_messages_;
   total_words_ += static_cast<std::int64_t>(words);
@@ -23,11 +23,29 @@ void Metrics::on_send(ProcessorId p, OpId op, std::size_t words) {
     if (idx >= per_op_messages_.size()) per_op_messages_.resize(idx + 1, 0);
     ++per_op_messages_[idx];
   }
+  if (key != kNoKey) ++key_loads_[key][p].sent;
 }
 
-void Metrics::on_receive(ProcessorId p, std::size_t words) {
+void Metrics::on_receive(ProcessorId p, std::size_t words, KeyId key) {
   ++received_.at(to_idx(p));
   words_.at(to_idx(p)) += static_cast<std::int64_t>(words);
+  if (key != kNoKey) ++key_loads_[key][p].received;
+}
+
+std::int64_t Metrics::key_max_load(KeyId key) const {
+  const auto it = key_loads_.find(key);
+  if (it == key_loads_.end()) return 0;
+  std::int64_t best = 0;
+  for (const auto& [p, kl] : it->second) best = std::max(best, kl.total());
+  return best;
+}
+
+std::int64_t Metrics::key_total_messages(KeyId key) const {
+  const auto it = key_loads_.find(key);
+  if (it == key_loads_.end()) return 0;
+  std::int64_t total = 0;
+  for (const auto& [p, kl] : it->second) total += kl.sent;
+  return total;
 }
 
 std::int64_t Metrics::max_word_load() const {
@@ -82,6 +100,14 @@ void Metrics::merge_from(const Metrics& other) {
   total_messages_ += other.total_messages_;
   total_words_ += other.total_words_;
   max_message_words_ = std::max(max_message_words_, other.max_message_words_);
+  for (const auto& [key, per_proc] : other.key_loads_) {
+    auto& mine = key_loads_[key];
+    for (const auto& [p, kl] : per_proc) {
+      auto& slot = mine[p];
+      slot.sent += kl.sent;
+      slot.received += kl.received;
+    }
+  }
 }
 
 void Metrics::reset() {
@@ -90,6 +116,7 @@ void Metrics::reset() {
   std::fill(words_.begin(), words_.end(), 0);
   max_message_words_ = 0;
   per_op_messages_.clear();
+  key_loads_.clear();
   total_messages_ = 0;
   total_words_ = 0;
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -14,13 +15,29 @@
 
 namespace dcnt {
 
+/// Per-key slice of a processor's load: messages sent/received by one
+/// processor on behalf of one counter key.
+struct KeyLoad {
+  std::int64_t sent{0};
+  std::int64_t received{0};
+  std::int64_t total() const { return sent + received; }
+};
+
 class Metrics {
  public:
+  /// key -> (processor -> load slice). Sparse: only (key, processor)
+  /// pairs that actually moved messages appear.
+  using KeyLoadMap =
+      std::unordered_map<KeyId, std::unordered_map<ProcessorId, KeyLoad>>;
+
   Metrics() = default;
   explicit Metrics(std::size_t num_processors);
 
-  void on_send(ProcessorId p, OpId op, std::size_t words);
-  void on_receive(ProcessorId p, std::size_t words);
+  /// `key` attributes the message to one counter of the multi-key
+  /// fabric; kNoKey (the default, and what all pre-fabric callers pass)
+  /// keeps the global counters only.
+  void on_send(ProcessorId p, OpId op, std::size_t words, KeyId key = kNoKey);
+  void on_receive(ProcessorId p, std::size_t words, KeyId key = kNoKey);
 
   std::size_t num_processors() const { return sent_.size(); }
 
@@ -61,6 +78,14 @@ class Metrics {
     return per_op_messages_;
   }
 
+  /// Per-key per-processor loads (empty unless keyed traffic ran).
+  const KeyLoadMap& key_loads() const { return key_loads_; }
+  /// max_p m_p^k — the paper's bottleneck restricted to key k's traffic.
+  /// Returns 0 for keys that never moved a message.
+  std::int64_t key_max_load(KeyId key) const;
+  /// Total messages attributed to key k.
+  std::int64_t key_total_messages(KeyId key) const;
+
   /// Element-wise accumulation of another Metrics over the same
   /// processor set: the threaded runtime counts loads per worker shard
   /// and merges them here at quiescence, so reports read one Metrics
@@ -76,6 +101,7 @@ class Metrics {
   std::vector<std::int64_t> received_;
   std::vector<std::int64_t> words_;
   std::vector<std::int64_t> per_op_messages_;
+  KeyLoadMap key_loads_;
   std::int64_t total_messages_{0};
   std::int64_t total_words_{0};
   std::int64_t max_message_words_{0};

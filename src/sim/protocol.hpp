@@ -118,6 +118,22 @@ class Protocol {
   /// Hook for protocol-internal sanity checks at quiescence; the harness
   /// calls this between operations. Default: nothing to check.
   virtual void check_quiescent(std::size_t /*ops_completed*/) const {}
+
+  /// Service-fabric hooks (src/service/multi_counter.hpp). A protocol is
+  /// *evictable* when, at any quiescent-per-key moment, its entire
+  /// durable state collapses to one Value — so the fabric's LRU tier may
+  /// destroy the instance and later rebuild it from service_value() via
+  /// service_rehydrate(). That requires all non-value state to be
+  /// strictly per-op scratch (nothing parked between ops at any
+  /// processor). Central qualifies; the tree's shape and the combining
+  /// funnel's residue do not. Default: not evictable — the fabric then
+  /// keeps every touched instance resident.
+  virtual bool service_evictable() const { return false; }
+  /// Durable value for eviction. Only meaningful if service_evictable().
+  virtual Value service_value() const { return 0; }
+  /// Seed a freshly constructed instance with a previously evicted
+  /// value. Only meaningful if service_evictable().
+  virtual void service_rehydrate(Value value) { (void)value; }
 };
 
 /// A distributed counter: the abstract data type of the paper (§2).

@@ -143,7 +143,7 @@ void Simulator::send(Message msg) {
           : msg.dst;
   RecordId rec = kNoRecord;
   if (counted) {
-    metrics_.on_send(msg.src, msg.op, msg.size_words());
+    metrics_.on_send(msg.src, msg.op, msg.size_words(), msg.key);
     Message hop_view = msg;
     hop_view.dst = first_hop;  // trace records physical hops
     rec = trace_.on_send(current_parent_, hop_view, msg.op, now_);
@@ -291,7 +291,7 @@ void Simulator::deliver(Event ev) {
   ++deliveries_;
   const bool counted = !ev.msg.local && ev.msg.src != ev.msg.dst;
   if (counted) {
-    metrics_.on_receive(ev.at, ev.msg.size_words());
+    metrics_.on_receive(ev.at, ev.msg.size_words(), ev.msg.key);
     trace_.on_deliver(ev.record, now_);
   }
   if (ev.at != ev.msg.dst) {
@@ -302,7 +302,7 @@ void Simulator::deliver(Event ev) {
     DCNT_CHECK_MSG(ev.ttl > 0, "routing loop (ttl exhausted)");
     const ProcessorId next =
         config_.topology->next_hop(ev.at, ev.msg.dst);
-    metrics_.on_send(ev.at, ev.msg.op, ev.msg.size_words());
+    metrics_.on_send(ev.at, ev.msg.op, ev.msg.size_words(), ev.msg.key);
     RecordId rec = kNoRecord;
     if (trace_.enabled()) {
       Message hop_view = ev.msg;

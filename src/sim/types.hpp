@@ -25,7 +25,13 @@ using SimTime = std::int64_t;
 /// Counter values.
 using Value = std::int64_t;
 
+/// Identifier of one named counter in the multi-key service fabric
+/// (src/service/). kNoKey marks single-counter traffic — everything
+/// predating the fabric — which keeps the classic paths byte-identical.
+using KeyId = std::int64_t;
+
 inline constexpr ProcessorId kNoProcessor = -1;
 inline constexpr OpId kNoOp = -1;
+inline constexpr KeyId kNoKey = -1;
 
 }  // namespace dcnt

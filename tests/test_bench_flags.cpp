@@ -73,5 +73,34 @@ TEST(BenchFlagsDeath, UnknownFlagExitsTwoAndNamesIt) {
               testing::ExitedWithCode(2), "unknown flag --sede");
 }
 
+// bench_keys's flag vocabulary: the multi-key sweep flags parse through
+// (lists split, bare --quick reads as a boolean)...
+TEST(BenchFlags, KeysBenchFlagsParseThrough) {
+  const std::vector<std::string> known = {
+      "batch", "cluster_keys", "concurrency", "counter", "key_capacity",
+      "key_skews", "keys_list", "n", "nodes", "ops", "out", "quick", "seed",
+      "warmup", "workers_list"};
+  Argv args({"bench_keys", "--keys_list=1,1000,100000", "--key_skews=0,0.99",
+             "--batch=16", "--key_capacity=64", "--quick"});
+  const Flags flags =
+      parse_bench_flags(args.argc(), args.argv(), "keys bench", known);
+  EXPECT_EQ(parse_int_list(flags.get_string("keys_list", "")),
+            (std::vector<std::int64_t>{1, 1000, 100000}));
+  EXPECT_EQ(parse_double_list(flags.get_string("key_skews", "")),
+            (std::vector<double>{0.0, 0.99}));
+  EXPECT_EQ(flags.get_int("batch", 1), 16);
+  EXPECT_EQ(flags.get_int("key_capacity", 0), 64);
+  EXPECT_TRUE(flags.get_bool("quick", false));
+}
+
+// ...and a typo'd keyed flag fails loudly instead of silently running
+// the default sweep.
+TEST(BenchFlagsDeath, KeysBenchRejectsTypodKeyFlag) {
+  const std::vector<std::string> known = {"batch", "key_skews", "keys_list"};
+  Argv args({"bench_keys", "--key_skew=0.99"});
+  EXPECT_EXIT(parse_bench_flags(args.argc(), args.argv(), "keys bench", known),
+              testing::ExitedWithCode(2), "unknown flag --key_skew");
+}
+
 }  // namespace
 }  // namespace dcnt

@@ -9,8 +9,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <unordered_map>
 
 #include "harness/cluster.hpp"
+#include "harness/factory.hpp"
+#include "harness/throughput.hpp"
 
 namespace dcnt::net {
 namespace {
@@ -305,6 +308,157 @@ TEST(Cluster, UdpLossyRecoversThroughReliableTransport) {
   const ClusterResult r = run_cluster(opt);
   EXPECT_TRUE(r.values_ok);
   // The shim really dropped datagrams, and retransmission really ran.
+  EXPECT_GT(r.injected_drops, 0);
+  EXPECT_GT(r.retransmissions, 0);
+  EXPECT_EQ(r.messages_abandoned, 0);
+}
+
+TEST(Cluster, KeyedFourNodesTcpBatched) {
+  // The multi-key fabric across 4 real processes: batched keyed Starts
+  // (kStartBatch) out, coalesced kCompleteBatch replies back, per-key
+  // values verified as exact permutations of 0..ops_k-1 inside
+  // run_cluster, per-key loads merged from the chunked kKeyedStats
+  // reports.
+  ClusterOptions opt = base_options();
+  opt.counter = "central";
+  opt.min_processors = 16;
+  opt.ops = 96;
+  opt.keys = 32;
+  opt.key_dist = "zipf";
+  opt.key_skew = 0.99;
+  opt.batch = 8;
+  const ClusterResult r = run_cluster(opt);
+  EXPECT_TRUE(r.values_ok);
+  EXPECT_EQ(r.keys, 32u);
+  EXPECT_EQ(r.key_of_op.size(), 96u);
+  EXPECT_GE(r.hot_key, 0);
+  EXPECT_GT(r.hot_key_ops, 0);
+  EXPECT_GT(r.hot_key_max_load, 0);
+  EXPECT_GT(r.keys_touched, 1u);
+  EXPECT_EQ(r.wire_msgs_sent, r.wire_msgs_received);
+}
+
+TEST(Cluster, KeyedBatchSizeDoesNotChangePerKeyLoads) {
+  // Batching is an RPC transport optimization: how many schedule
+  // entries share a frame must not change WHAT the protocol does. For
+  // central every inc costs the same messages regardless of
+  // interleaving, so the per-key bottleneck numbers and the totals must
+  // be identical across batch sizes.
+  ClusterOptions opt = base_options();
+  opt.counter = "central";
+  opt.min_processors = 16;
+  opt.ops = 64;
+  opt.keys = 16;
+  opt.batch = 1;
+  const ClusterResult b1 = run_cluster(opt);
+  opt.batch = 8;
+  const ClusterResult b8 = run_cluster(opt);
+  EXPECT_TRUE(b1.values_ok);
+  EXPECT_TRUE(b8.values_ok);
+  EXPECT_EQ(b1.key_of_op, b8.key_of_op);  // schedule is seed-determined
+  EXPECT_EQ(b1.hot_key, b8.hot_key);
+  EXPECT_EQ(b1.hot_key_ops, b8.hot_key_ops);
+  EXPECT_EQ(b1.hot_key_max_load, b8.hot_key_max_load);
+  EXPECT_EQ(b1.hot_key_messages, b8.hot_key_messages);
+  EXPECT_EQ(b1.total_messages, b8.total_messages);
+  EXPECT_EQ(b1.max_load, b8.max_load);
+  EXPECT_EQ(b1.keys_touched, b8.keys_touched);
+}
+
+TEST(Cluster, KeyedSequentialTcpDeterministicWithLru) {
+  // Satellite of the LRU determinism contract, TCP half: same (seed,
+  // schedule) driven sequentially over the real cluster must reproduce
+  // the identical completion values AND the identical eviction activity
+  // — each node's directory makes the same decisions in the same order,
+  // so the summed counters match run to run.
+  ClusterOptions opt = base_options();
+  opt.counter = "central";
+  opt.min_processors = 16;
+  opt.nodes = 2;
+  opt.ops = 48;
+  opt.keys = 8;
+  opt.key_capacity = 2;
+  opt.quiesce_between_ops = true;
+  const ClusterResult a = run_cluster(opt);
+  const ClusterResult b = run_cluster(opt);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.key_of_op, b.key_of_op);
+  EXPECT_EQ(a.load, b.load);
+  EXPECT_GT(a.lru_evicts, 0);  // capacity 2 over 8 keys must evict
+  EXPECT_GT(a.lru_rehydrates, 0);
+  EXPECT_EQ(a.lru_hits, b.lru_hits);
+  EXPECT_EQ(a.lru_misses, b.lru_misses);
+  EXPECT_EQ(a.lru_evicts, b.lru_evicts);
+  EXPECT_EQ(a.lru_rehydrates, b.lru_rehydrates);
+  // Sequential keyed completions arrive in issue order: op i's value is
+  // its key's running count at that point.
+  std::unordered_map<KeyId, Value> next;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(a.values[i], next[a.key_of_op[i]]++) << "op " << i;
+  }
+}
+
+TEST(Cluster, KeyedTcpMatchesInprocPerKeyBottleneck) {
+  // Same (seed, schedule), same fabric — once in-process on the
+  // threaded runtime, once as a 4-process TCP cluster. The hot key and
+  // its per-key message accounting are schedule properties for central,
+  // so the two runtimes must agree number for number: the paper's
+  // per-key bottleneck is invariant to where the processors live.
+  const std::size_t ops = 64;
+  const std::uint64_t seed = 7;
+
+  ThroughputOptions topt;
+  topt.workers = 2;
+  topt.ops = ops;
+  topt.concurrency = 8;
+  topt.seed = seed;
+  KeyedOptions kopt;
+  kopt.keys = 16;
+  kopt.key_dist = "zipf";
+  kopt.key_skew = 0.99;
+  const KeyedThroughputResult inproc = run_keyed_throughput(
+      make_counter(CounterKind::kCentral, 16), topt, kopt);
+
+  ClusterOptions copt = base_options();
+  copt.counter = "central";
+  copt.min_processors = 16;
+  copt.ops = ops;
+  copt.seed = seed;
+  copt.keys = 16;
+  copt.key_dist = "zipf";
+  copt.key_skew = 0.99;
+  copt.batch = 4;
+  const ClusterResult cluster = run_cluster(copt);
+
+  EXPECT_EQ(cluster.hot_key, inproc.hot_key);
+  EXPECT_EQ(cluster.hot_key_ops, inproc.hot_key_ops);
+  EXPECT_EQ(cluster.hot_key_max_load, inproc.hot_key_max_load);
+  EXPECT_EQ(cluster.hot_key_messages, inproc.hot_key_messages);
+  EXPECT_EQ(cluster.keys_touched, inproc.keys_touched);
+  EXPECT_EQ(cluster.total_messages, inproc.base.total_messages);
+  EXPECT_EQ(cluster.max_load, inproc.base.max_load);
+}
+
+TEST(Cluster, KeyedUdpLossyKeepsEnvelopeKeyed) {
+  // The keyed envelope rides inside the reliable transport's Data
+  // frames, so a dropped datagram's retransmission must still carry its
+  // key — otherwise the receiver would misroute the inner message to
+  // key 0 and some key's values would no longer form a permutation
+  // (run_cluster aborts on that).
+  ClusterOptions opt = base_options();
+  opt.counter = "central";
+  opt.min_processors = 16;
+  opt.nodes = 2;
+  opt.ops = 48;
+  opt.keys = 8;
+  opt.udp = true;
+  opt.drop_probability = 0.15;
+  opt.tick_us = 100;
+  opt.retry.ack_timeout = 8;
+  opt.retry.max_timeout = 64;
+  opt.retry.max_attempts = 30;
+  const ClusterResult r = run_cluster(opt);
+  EXPECT_TRUE(r.values_ok);
   EXPECT_GT(r.injected_drops, 0);
   EXPECT_GT(r.retransmissions, 0);
   EXPECT_EQ(r.messages_abandoned, 0);

@@ -83,5 +83,84 @@ TEST(Metrics, ResetClearsEverything) {
   EXPECT_TRUE(m.per_op_messages().empty());
 }
 
+TEST(Metrics, KeyedSendsTrackPerKeySlices) {
+  Metrics m(4);
+  m.on_send(0, 0, 2, /*key=*/7);
+  m.on_receive(1, 2, /*key=*/7);
+  m.on_send(0, 1, 1, /*key=*/9);
+  m.on_send(2, 2, 1);  // unkeyed: global only
+  EXPECT_EQ(m.key_max_load(7), 1);
+  EXPECT_EQ(m.key_total_messages(7), 1);
+  EXPECT_EQ(m.key_total_messages(9), 1);
+  EXPECT_EQ(m.key_max_load(12345), 0);  // untouched key
+  // Global counters see keyed and unkeyed traffic alike.
+  EXPECT_EQ(m.total_messages(), 3);
+  EXPECT_EQ(m.load(0), 2);
+  // Only touched (key, processor) pairs materialize.
+  ASSERT_EQ(m.key_loads().size(), 2u);
+  EXPECT_EQ(m.key_loads().at(7).at(0).sent, 1);
+  EXPECT_EQ(m.key_loads().at(7).at(1).received, 1);
+}
+
+TEST(Metrics, KeyedMergeIsAssociative) {
+  // The threaded runtime merges per-shard Metrics at quiescence and the
+  // cluster controller merges per-node reports; neither controls the
+  // merge order, so the keyed maps must accumulate associatively:
+  // (A + B) + C == A + (B + C), including keys absent from some shards.
+  const auto make = [](int which) {
+    Metrics m(4);
+    if (which == 0) {
+      m.on_send(0, 0, 1, 5);
+      m.on_receive(1, 1, 5);
+      m.on_send(2, 1, 1, 6);
+    } else if (which == 1) {
+      m.on_send(1, 2, 1, 5);
+      m.on_send(3, 3, 2, 8);
+    } else {
+      m.on_receive(0, 1, 6);
+      m.on_receive(3, 2, 8);
+      m.on_send(1, 4, 1, 5);
+    }
+    return m;
+  };
+  Metrics left = make(0);
+  left.merge_from(make(1));
+  left.merge_from(make(2));
+
+  Metrics bc = make(1);
+  bc.merge_from(make(2));
+  Metrics right = make(0);
+  right.merge_from(bc);
+
+  for (const KeyId key : {5, 6, 8, 99}) {
+    EXPECT_EQ(left.key_max_load(key), right.key_max_load(key)) << key;
+    EXPECT_EQ(left.key_total_messages(key), right.key_total_messages(key))
+        << key;
+  }
+  ASSERT_EQ(left.key_loads().size(), right.key_loads().size());
+  for (const auto& [key, per_pid] : left.key_loads()) {
+    const auto& other = right.key_loads().at(key);
+    ASSERT_EQ(per_pid.size(), other.size()) << key;
+    for (const auto& [pid, slice] : per_pid) {
+      EXPECT_EQ(slice.sent, other.at(pid).sent) << key << "/" << pid;
+      EXPECT_EQ(slice.received, other.at(pid).received) << key << "/" << pid;
+    }
+  }
+  EXPECT_EQ(left.total_messages(), right.total_messages());
+  EXPECT_EQ(left.max_load(), right.max_load());
+}
+
+TEST(Metrics, ResetClearsKeyedSlices) {
+  Metrics m(2);
+  m.on_send(0, 0, 1, 3);
+  m.reset();
+  EXPECT_EQ(m.key_max_load(3), 0);
+  // Post-reset keyed traffic is absolute, not baseline-relative: the
+  // cluster's metrics reset zeroes the slices in place so per-key
+  // reports need no baseline subtraction.
+  m.on_send(0, 1, 1, 3);
+  EXPECT_EQ(m.key_total_messages(3), 1);
+}
+
 }  // namespace
 }  // namespace dcnt

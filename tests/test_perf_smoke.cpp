@@ -14,6 +14,7 @@
 #include "harness/cluster.hpp"
 #include "harness/factory.hpp"
 #include "harness/throughput.hpp"
+#include "service/multi_counter.hpp"
 
 namespace dcnt {
 namespace {
@@ -164,6 +165,87 @@ TEST(PerfSmoke, NetCentralMpPinnedAcrossTransportAndPipeline) {
   EXPECT_EQ(udp.total_messages, 960);
   EXPECT_EQ(udp.max_load, 960);
   EXPECT_EQ(udp.bottleneck, 0);
+}
+
+// The fabric's headline pin: a key's bottleneck inside the multi-key
+// fabric is EXACTLY the single-counter bottleneck at equal ops. keys=1
+// routes every op of the BENCH_throughput.json config through the
+// fabric, and the hot key's per-key max_p must reproduce the 480 the
+// bare central counter pins above — wrapping, rotation and keyed
+// metrics add zero and remove zero messages.
+TEST(PerfSmoke, KeyedSingleKeyMatchesSingleCounterBaseline) {
+  ThroughputOptions options;
+  options.workers = 4;
+  options.ops = 256;
+  options.warmup = 32;
+  options.concurrency = 16;
+  options.seed = 7;
+  options.initiators = "roundrobin";
+  KeyedOptions keyed;
+  keyed.keys = 1;
+  keyed.key_dist = "roundrobin";
+  const KeyedThroughputResult res = run_keyed_throughput(
+      std::make_unique<CentralCounter>(16), options, keyed);
+  ASSERT_TRUE(res.base.values_ok);
+  EXPECT_EQ(res.hot_key, 0);
+  // 15 of every 16 round-robin ops are remote, 2 messages each — the
+  // identical closed form as the single-counter pin.
+  EXPECT_EQ(res.hot_key_max_load, 480);
+  EXPECT_EQ(res.hot_key_messages, 480);
+  EXPECT_EQ(res.base.total_messages, 480);
+  EXPECT_EQ(res.base.max_load, 480);
+  EXPECT_EQ(res.keys_touched, 1u);
+  EXPECT_EQ(res.live_instances, 1u);
+  EXPECT_EQ(res.lru_evicts, 0);
+}
+
+// Multi-key pin with closed-form arithmetic: round-robin keys over
+// round-robin initiators gives key k origins {k, k+4, k+8, k+12} (64
+// measured ops each), and an op is message-free exactly when its fabric
+// origin IS the key's rotated holder. offset(key) is a pure function of
+// (seed, key) — query it from a fresh fabric — so every key's expected
+// load is computable and the measured totals must match it exactly.
+TEST(PerfSmoke, KeyedMultiKeyLoadsMatchClosedForm) {
+  const std::int64_t n = 16;
+  const std::size_t keys = 4;
+  const std::size_t ops = 1024;  // 256 measured ops per key
+  ThroughputOptions options;
+  options.workers = 4;
+  options.ops = ops;
+  options.warmup = 32;
+  options.concurrency = 16;
+  options.seed = 7;
+  options.initiators = "roundrobin";
+  KeyedOptions keyed;
+  keyed.keys = keys;
+  keyed.key_dist = "roundrobin";
+  const KeyedThroughputResult res = run_keyed_throughput(
+      std::make_unique<CentralCounter>(n), options, keyed);
+  ASSERT_TRUE(res.base.values_ok);
+  EXPECT_EQ(res.keys_touched, keys);
+
+  // Reconstruct the routing with the same (seed, key) mix the run used.
+  service::MultiCounterOptions mc;
+  mc.seed = options.seed;
+  const service::MultiCounter probe(std::make_unique<CentralCounter>(n), mc);
+  std::int64_t expected_total = 0;
+  std::int64_t expected_hot_load = 0;
+  for (std::size_t k = 0; k < keys; ++k) {
+    const ProcessorId holder = probe.offset_of(static_cast<KeyId>(k));
+    // Key k's measured origins are {k, k+4, k+8, k+12}, 64 ops each;
+    // the holder origin (if among them) contributes local, message-free
+    // ops.
+    const std::int64_t local =
+        (static_cast<std::size_t>(holder) % keys) == k ? 64 : 0;
+    const std::int64_t remote = 256 - local;
+    expected_total += 2 * remote;
+    // Ties in ops go to the smallest key: key 0 is the reported hot key.
+    if (k == 0) expected_hot_load = 2 * remote;
+  }
+  EXPECT_EQ(res.hot_key, 0);
+  EXPECT_EQ(res.hot_key_max_load, expected_hot_load);
+  EXPECT_EQ(res.hot_key_messages, expected_hot_load);
+  EXPECT_EQ(res.base.total_messages, expected_total);
 }
 
 }  // namespace

@@ -184,5 +184,265 @@ TEST(Wire, RejectsTrailingBytes) {
   EXPECT_DEATH(decode_ready(v), "trailing bytes");
 }
 
+// --- v2 keyed envelope ----------------------------------------------------
+
+TEST(Wire, KeyedMessageRoundTrip) {
+  Message msg;
+  msg.src = 3;
+  msg.dst = 11;
+  msg.tag = 1'000'001;
+  msg.op = 1234;
+  msg.key = 99'999;
+  msg.args = {17, 0, -3};
+  const auto encoded = encode_keyed_message(msg);
+  Message out;
+  ASSERT_TRUE(decode_keyed_message(view(encoded), &out));
+  EXPECT_EQ(out.key, 99'999);
+  EXPECT_EQ(out.src, 3);
+  EXPECT_EQ(out.dst, 11);
+  EXPECT_EQ(out.tag, 1'000'001);
+  EXPECT_EQ(out.op, 1234);
+  EXPECT_EQ(out.args, msg.args);
+  EXPECT_FALSE(out.local);
+
+  // The zero-allocation append path emits byte-identical frames.
+  std::vector<std::uint8_t> appended;
+  EXPECT_EQ(append_keyed_message(appended, msg), encoded.size());
+  EXPECT_EQ(appended, encoded);
+}
+
+TEST(Wire, StartBatchRoundTrip) {
+  StartBatchFrame in;
+  in.ops.push_back(StartBatchEntry{7, 2, 0});
+  in.ops.push_back(StartBatchEntry{8, 5, 99'999});
+  in.ops.push_back(StartBatchEntry{9, 0, 1});
+  StartBatchFrame out;
+  ASSERT_TRUE(decode_start_batch(view(encode_start_batch(in)), &out));
+  ASSERT_EQ(out.ops.size(), 3u);
+  EXPECT_EQ(out.ops[0].op, 7);
+  EXPECT_EQ(out.ops[1].origin, 5);
+  EXPECT_EQ(out.ops[1].key, 99'999);
+  EXPECT_EQ(out.ops[2].key, 1);
+}
+
+TEST(Wire, CompleteBatchRoundTrip) {
+  CompleteBatchFrame in;
+  in.completions.push_back(CompleteBatchEntry{7, 0});
+  in.completions.push_back(CompleteBatchEntry{8, -5});
+  const auto encoded = encode_complete_batch(in);
+  CompleteBatchFrame out;
+  ASSERT_TRUE(decode_complete_batch(view(encoded), &out));
+  ASSERT_EQ(out.completions.size(), 2u);
+  EXPECT_EQ(out.completions[0].op, 7);
+  EXPECT_EQ(out.completions[1].value, -5);
+
+  std::vector<std::uint8_t> appended;
+  EXPECT_EQ(append_complete_batch(appended, in), encoded.size());
+  EXPECT_EQ(appended, encoded);
+}
+
+TEST(Wire, KeyedStatsRoundTrip) {
+  KeyedStatsFrame in;
+  in.node_id = 2;
+  in.last = false;
+  in.lru_hits = 10;
+  in.lru_misses = 4;
+  in.lru_evicts = 3;
+  in.lru_rehydrates = 1;
+  in.loads.push_back(KeyProcLoad{0, 1, 5, 6});
+  in.loads.push_back(KeyProcLoad{99'999, 14, 1, 0});
+  KeyedStatsFrame out;
+  ASSERT_TRUE(decode_keyed_stats(view(encode_keyed_stats(in)), &out));
+  EXPECT_EQ(out.node_id, 2u);
+  EXPECT_FALSE(out.last);
+  EXPECT_EQ(out.lru_hits, 10);
+  EXPECT_EQ(out.lru_rehydrates, 1);
+  ASSERT_EQ(out.loads.size(), 2u);
+  EXPECT_EQ(out.loads[1].key, 99'999);
+  EXPECT_EQ(out.loads[1].pid, 14);
+}
+
+TEST(Wire, KeyedStatsRequestIsBodyless) {
+  EXPECT_EQ(view(encode_keyed_stats_request()).type(),
+            FrameType::kKeyedStatsRequest);
+}
+
+// The hardened decoders: every truncation of a valid keyed frame must
+// be *rejected* (return false), never aborted on and never misread —
+// a mangled fabric frame is dropped and counted, not fatal.
+TEST(Wire, KeyedDecodersRejectEveryTruncation) {
+  Message msg;
+  msg.src = 1;
+  msg.dst = 2;
+  msg.tag = 3;
+  msg.op = 4;
+  msg.key = 5;
+  msg.args = {6, 7};
+  StartBatchFrame sb;
+  sb.ops.push_back(StartBatchEntry{1, 2, 3});
+  sb.ops.push_back(StartBatchEntry{4, 5, 6});
+  CompleteBatchFrame cb;
+  cb.completions.push_back(CompleteBatchEntry{1, 2});
+  KeyedStatsFrame ks;
+  ks.node_id = 1;
+  ks.loads.push_back(KeyProcLoad{1, 2, 3, 4});
+
+  const auto check_truncations = [](const std::vector<std::uint8_t>& encoded,
+                                    auto decode) {
+    // Skip len word; body starts after version+type (offset 6). Every
+    // proper prefix of the body must be rejected.
+    for (std::size_t len = 2; len + 4 < encoded.size(); ++len) {
+      const FrameView v(encoded.data() + 4, len);
+      EXPECT_FALSE(decode(v)) << "accepted truncation at " << len;
+    }
+    // One trailing byte must be rejected too (exact-length contract).
+    std::vector<std::uint8_t> padded(encoded.begin() + 4, encoded.end());
+    padded.push_back(0);
+    EXPECT_FALSE(decode(FrameView(padded.data(), padded.size())));
+  };
+
+  check_truncations(encode_keyed_message(msg), [](const FrameView& v) {
+    Message out;
+    return decode_keyed_message(v, &out);
+  });
+  check_truncations(encode_start_batch(sb), [](const FrameView& v) {
+    StartBatchFrame out;
+    return decode_start_batch(v, &out);
+  });
+  check_truncations(encode_complete_batch(cb), [](const FrameView& v) {
+    CompleteBatchFrame out;
+    return decode_complete_batch(v, &out);
+  });
+  check_truncations(encode_keyed_stats(ks), [](const FrameView& v) {
+    KeyedStatsFrame out;
+    return decode_keyed_stats(v, &out);
+  });
+}
+
+TEST(Wire, KeyedMessageRejectsNegativeKey) {
+  Message msg;
+  msg.key = 5;
+  msg.src = 0;
+  msg.dst = 1;
+  auto encoded = encode_keyed_message(msg);
+  // key is the first i64 of the body (offset 6 = 4 len + ver + type);
+  // force its sign bit.
+  encoded[6 + 7] = 0x80;
+  Message out;
+  EXPECT_FALSE(decode_keyed_message(view(encoded), &out));
+}
+
+TEST(Wire, StartBatchRejectsOversizedCount) {
+  StartBatchFrame sb;
+  sb.ops.push_back(StartBatchEntry{1, 2, 3});
+  auto encoded = encode_start_batch(sb);
+  // count is the first u32 of the body; claim more entries than the
+  // body carries.
+  encoded[6] = 0xff;
+  encoded[7] = 0xff;
+  StartBatchFrame out;
+  EXPECT_FALSE(decode_start_batch(view(encoded), &out));
+}
+
+// Seeded mutation fuzz: random byte flips in valid keyed frames must
+// either decode (the flip hit a don't-care encoding of a valid value)
+// or be rejected — never abort, never read out of bounds (ASan-clean
+// in the sanitizer CI job).
+TEST(Wire, KeyedDecoderFuzzNeverAborts) {
+  Message msg;
+  msg.src = 2;
+  msg.dst = 9;
+  msg.tag = 77;
+  msg.op = 123;
+  msg.key = 4'000;
+  msg.args = {1, 2, 3, 4};
+  StartBatchFrame sb;
+  for (int i = 0; i < 5; ++i)
+    sb.ops.push_back(StartBatchEntry{i, i % 3, i * 100});
+  KeyedStatsFrame ks;
+  ks.node_id = 3;
+  for (int i = 0; i < 4; ++i) ks.loads.push_back(KeyProcLoad{i, i, i, i});
+
+  const std::vector<std::vector<std::uint8_t>> seeds = {
+      encode_keyed_message(msg), encode_start_batch(sb),
+      encode_keyed_stats(ks)};
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 2000; ++round) {
+    auto frame = seeds[next() % seeds.size()];
+    // Flip 1-4 bytes anywhere past the length word except version/type
+    // (those are covered by the FrameView version/type tests).
+    const int flips = 1 + static_cast<int>(next() % 4);
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t pos = 6 + next() % (frame.size() - 6);
+      frame[pos] = static_cast<std::uint8_t>(next());
+    }
+    const FrameView v(frame.data() + 4, frame.size() - 4);
+    Message m;
+    StartBatchFrame sbo;
+    KeyedStatsFrame kso;
+    switch (v.type()) {
+      case FrameType::kKeyedMsg:
+        (void)decode_keyed_message(v, &m);
+        break;
+      case FrameType::kStartBatch:
+        (void)decode_start_batch(v, &sbo);
+        break;
+      case FrameType::kKeyedStats:
+        (void)decode_keyed_stats(v, &kso);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+// --- wire-version back-compat ---------------------------------------------
+
+// A v1 peer's traffic stays readable: the v1 frame vocabulary (types
+// 1..11) is byte-identical under version byte 1, so restamping a
+// current frame as v1 must decode to the same values.
+TEST(Wire, V1FramesStillDecode) {
+  auto ready = encode_ready(ReadyFrame{3});
+  ready[4] = kWireVersionV1;
+  EXPECT_EQ(decode_ready(view(ready)).node_id, 3u);
+
+  Message msg;
+  msg.src = 1;
+  msg.dst = 2;
+  msg.tag = 42;
+  msg.op = 7;
+  msg.args = {5, -5};
+  auto wire_msg = encode_message(msg);
+  wire_msg[4] = kWireVersionV1;
+  const Message out = decode_message(view(wire_msg));
+  EXPECT_EQ(out.tag, 42);
+  EXPECT_EQ(out.args, msg.args);
+
+  StartFrame start{9, 4, {11}};
+  auto wire_start = encode_start(start);
+  wire_start[4] = kWireVersionV1;
+  EXPECT_EQ(decode_start(view(wire_start)).args,
+            (std::vector<std::int64_t>{11}));
+}
+
+// ...but the keyed vocabulary is v2-only: a keyed frame stamped v1 is
+// outside version 1's type range and dies as an unknown type.
+TEST(Wire, V1StampedKeyedFrameRejected) {
+  Message msg;
+  msg.key = 1;
+  msg.src = 0;
+  msg.dst = 1;
+  auto frame = encode_keyed_message(msg);
+  frame[4] = kWireVersionV1;
+  const FrameView v(frame.data() + 4, frame.size() - 4);
+  EXPECT_DEATH(v.type(), "unknown frame type");
+}
+
 }  // namespace
 }  // namespace dcnt::net
