@@ -26,7 +26,13 @@
 //                [--key_skews=0,0.99] [--workers_list=1,4] [--ops=0]
 //                [--key_capacity=0] [--concurrency=16] [--warmup=64]
 //                [--nodes=4] [--cluster_keys=256] [--batch=16] [--seed=7]
+//                [--open_rate=0] [--shape=constant] [--slo_us=0]
 //                [--quick] [--out=BENCH_keys.json]
+//
+// With --open_rate > 0 (on by default under --quick) an "inproc-open"
+// row drives the fabric open-loop on the deterministic arrival
+// timeline, with latency measured from scheduled arrival and SLO
+// attainment at --slo_us.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -56,6 +62,13 @@ struct KeyRow {
   double ops_per_sec{0.0};
   double p50_us{0.0};
   double p99_us{0.0};
+  /// Open-loop rows ("inproc-open"): offered rate, deep tail and SLO
+  /// attainment with latency measured from scheduled arrival.
+  double rate{0.0};
+  double p999_us{0.0};
+  double max_us{0.0};
+  double slo_attainment{0.0};
+  bool hdr_recorder{false};
   std::int64_t total_messages{0};
   std::int64_t max_load{0};
   std::int64_t hot_key{-1};
@@ -89,6 +102,10 @@ KeyRow from_keyed_throughput(const KeyedThroughputResult& r,
   row.ops_per_sec = r.base.ops_per_sec;
   row.p50_us = r.base.p50_us;
   row.p99_us = r.base.p99_us;
+  row.p999_us = r.base.p999_us;
+  row.max_us = r.base.max_us;
+  row.slo_attainment = r.base.slo_attainment;
+  row.hdr_recorder = r.base.hdr_recorder;
   row.total_messages = r.base.total_messages;
   row.max_load = r.base.max_load;
   row.hot_key = r.hot_key;
@@ -147,8 +164,8 @@ int main(int argc, char** argv) {
       "KEYS: multi-key counter fabric — aggregate inc/s scales with shards "
       "while every key keeps paying the per-key bottleneck",
       {"batch", "cluster_keys", "concurrency", "counter", "key_capacity",
-       "key_skews", "keys_list", "n", "nodes", "ops", "out", "quick", "seed",
-       "warmup", "workers_list"});
+       "key_skews", "keys_list", "n", "nodes", "open_rate", "ops", "out",
+       "quick", "seed", "shape", "slo_us", "warmup", "workers_list"});
   const bool quick = flags.get_bool("quick", false);
   const std::string counter = flags.get_string("counter", "central");
   const std::int64_t n = flags.get_int("n", quick ? 8 : 16);
@@ -171,6 +188,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("cluster_keys", quick ? 16 : 256));
   const auto batch = static_cast<std::size_t>(flags.get_int("batch", 16));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  // Open-loop keyed row: the traffic engine against the fabric, latency
+  // from scheduled arrival. --quick keeps it in the smoke path.
+  const double open_rate =
+      flags.get_double("open_rate", quick ? 20000.0 : 0.0);
+  const std::string shape = flags.get_string("shape", "constant");
+  const double slo_us = flags.get_double("slo_us", quick ? 1000.0 : 0.0);
   const std::string out = flags.get_string("out", "BENCH_keys.json");
 
   const CounterKind kind = counter_kind_from_string(counter);
@@ -239,6 +262,32 @@ int main(int argc, char** argv) {
           run_keyed_throughput(make_counter(kind, n), topt, kopt),
           kopt.key_dist, skew, capacity, "inproc-lru"));
     }
+  }
+
+  // Open-loop keyed row: the fabric under offered load at the largest
+  // swept keyspace, tails measured from scheduled arrival.
+  if (open_rate > 0.0) {
+    const auto keys = static_cast<std::size_t>(
+        *std::max_element(keys_list.begin(), keys_list.end()));
+    const double skew = key_skews.back();
+    ThroughputOptions topt;
+    topt.workers = static_cast<std::size_t>(
+        workers_list.back() > 0 ? workers_list.back() : 1);
+    topt.ops = ops_for(keys);
+    topt.warmup = warmup;
+    topt.seed = seed;
+    topt.open_rate = open_rate;
+    topt.shape = shape;
+    topt.slo_us = slo_us;
+    KeyedOptions kopt;
+    kopt.keys = keys;
+    kopt.key_dist = dist_for(skew);
+    kopt.key_skew = skew;
+    KeyRow row = from_keyed_throughput(
+        run_keyed_throughput(make_counter(kind, n), topt, kopt),
+        kopt.key_dist, skew, 0, "inproc-open");
+    row.rate = open_rate;
+    rows.push_back(row);
   }
 
   // The real cluster: batched keyed Starts out, coalesced completions
@@ -318,6 +367,15 @@ int main(int argc, char** argv) {
     json.field("ops_per_sec", r.ops_per_sec, 1);
     json.field("p50_us", r.p50_us, 2);
     json.field("p99_us", r.p99_us, 2);
+    if (r.mode == "inproc-open") {
+      json.field("rate", r.rate, 1);
+      json.field("shape", shape);
+      json.field("p999_us", r.p999_us, 2);
+      json.field("max_us", r.max_us, 2);
+      json.field("slo_us", slo_us, 1);
+      json.field("slo_attainment", r.slo_attainment, 6);
+      json.field("hdr_recorder", r.hdr_recorder ? 1 : 0);
+    }
     json.field("total_messages", r.total_messages);
     json.field("max_load", r.max_load);
     json.field("hot_key", r.hot_key);

@@ -31,10 +31,20 @@
 // controller, so at D>1 it includes queueing behind the same slot's
 // earlier ops.
 //
+// With --rates set, each counter also runs open-loop "tcp-open" rows:
+// the controller paces Starts on a deterministic arrival timeline
+// (--shape/--period/--amplitude/--duty) and stamps latency from each
+// op's *scheduled* arrival, so queueing in the mesh counts against the
+// tail (coordinated-omission-free); --slo_us adds attainment and
+// --duration caps the run by wall clock instead of op count.
+//
 //   $ bench_net [--counters=tree,central] [--n=16] [--nodes=4]
 //               [--ops_factor=16] [--concurrency=16] [--drop=0.05]
 //               [--pipelines=1,8] [--loops=1] [--shards_per_node=0]
 //               [--backend=] [--warmup=64] [--seed=7]
+//               [--rates=] [--shape=constant] [--period=1]
+//               [--amplitude=0.5] [--duty=0.5] [--duration=0]
+//               [--slo_us=0] [--exact_cap=65536]
 //               [--out=BENCH_net.json]
 #include <cstdio>
 #include <iostream>
@@ -75,6 +85,14 @@ struct NetRow {
   /// Wire bytes per kernel write() — how much frame coalescing the
   /// deferred-flush event loop achieved (0 for the in-process rows).
   double bytes_per_write{0.0};
+  /// Open-loop rows ("tcp-open"): offered rate, deep tails measured
+  /// from scheduled arrival, and SLO attainment.
+  double rate{0.0};
+  double p999_us{0.0};
+  double p9999_us{0.0};
+  double max_us{0.0};
+  double slo_attainment{0.0};
+  bool hdr_recorder{false};
 };
 
 NetRow from_throughput(const ThroughputResult& r) {
@@ -115,6 +133,11 @@ NetRow from_cluster(const net::ClusterResult& r, const std::string& mode,
   row.retransmissions = r.retransmissions;
   row.wire_bytes = r.wire_bytes_sent;
   row.write_syscalls = r.wire_write_syscalls;
+  row.p999_us = r.p999_us;
+  row.p9999_us = r.p9999_us;
+  row.max_us = r.max_us;
+  row.slo_attainment = r.slo_attainment;
+  row.hdr_recorder = r.hdr_recorder;
   if (r.wire_write_syscalls > 0) {
     row.bytes_per_write = static_cast<double>(r.wire_bytes_sent) /
                           static_cast<double>(r.wire_write_syscalls);
@@ -129,8 +152,10 @@ int main(int argc, char** argv) {
       argc, argv,
       "NET: socket cluster runtime vs in-process runtime at matched "
       "protocol/n/parallelism",
-      {"backend", "concurrency", "counters", "drop", "loops", "n", "nodes",
-       "ops_factor", "out", "pipelines", "seed", "shards_per_node", "warmup"});
+      {"amplitude", "backend", "concurrency", "counters", "drop", "duration",
+       "duty", "exact_cap", "loops", "n", "nodes", "ops_factor", "out",
+       "period", "pipelines", "rates", "seed", "shape", "shards_per_node",
+       "slo_us", "warmup"});
   const auto counters =
       parse_string_list(flags.get_string("counters", "tree,central"));
   const std::int64_t n = flags.get_int("n", 16);
@@ -150,6 +175,18 @@ int main(int argc, char** argv) {
   const auto warmup = static_cast<std::size_t>(flags.get_int("warmup", 64));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const std::string out = flags.get_string("out", "BENCH_net.json");
+  // Open-loop cluster rows (--rates non-empty): the controller paces
+  // Start frames on the deterministic arrival timeline and stamps
+  // latency from scheduled arrival — queueing in the mesh counts.
+  const auto rates = parse_double_list(flags.get_string("rates", ""));
+  const std::string shape = flags.get_string("shape", "constant");
+  const double period = flags.get_double("period", 1.0);
+  const double amplitude = flags.get_double("amplitude", 0.5);
+  const double duty = flags.get_double("duty", 0.5);
+  const double duration = flags.get_double("duration", 0.0);
+  const double slo_us = flags.get_double("slo_us", 0.0);
+  const auto exact_cap =
+      static_cast<std::size_t>(flags.get_int("exact_cap", 1 << 16));
 
   Table table({"counter", "mode", "pipe", "n", "par", "ops", "inc/s", "p50_us",
                "p99_us", "total_msgs", "max_load", "wire_msgs", "wr_B",
@@ -209,6 +246,31 @@ int main(int argc, char** argv) {
         rows.push_back(from_cluster(net::run_cluster(copt), "udp-lossy", d));
       }
     }
+
+    // Open-loop rows on the TCP plane: one per offered rate.
+    for (const double rate : rates) {
+      net::ClusterOptions copt;
+      copt.counter = name;
+      copt.min_processors = n;
+      copt.nodes = nodes;
+      copt.ops = static_cast<std::int64_t>(ops);
+      copt.loops = loops;
+      copt.shards_per_node = shards_per_node;
+      copt.backend = backend;
+      copt.warmup = warmup;
+      copt.seed = seed;
+      copt.open_rate = rate;
+      copt.shape = shape;
+      copt.period_s = period;
+      copt.amplitude = amplitude;
+      copt.duty = duty;
+      copt.duration_s = duration;
+      copt.slo_us = slo_us;
+      copt.exact_cap = exact_cap;
+      NetRow row = from_cluster(net::run_cluster(copt), "tcp-open", 1);
+      row.rate = rate;
+      rows.push_back(row);
+    }
   }
 
   for (const NetRow& r : rows) {
@@ -258,6 +320,16 @@ int main(int argc, char** argv) {
     json.field("mean_us", r.mean_us, 2);
     json.field("p50_us", r.p50_us, 2);
     json.field("p99_us", r.p99_us, 2);
+    if (r.mode == "tcp-open") {
+      json.field("rate", r.rate, 1);
+      json.field("shape", shape);
+      json.field("p999_us", r.p999_us, 2);
+      json.field("p9999_us", r.p9999_us, 2);
+      json.field("max_us", r.max_us, 2);
+      json.field("slo_us", slo_us, 1);
+      json.field("slo_attainment", r.slo_attainment, 6);
+      json.field("hdr_recorder", r.hdr_recorder ? 1 : 0);
+    }
     json.field("total_messages", r.total_messages);
     json.field("max_load", r.max_load);
     json.field("wire_msgs", r.wire_msgs);

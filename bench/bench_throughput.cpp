@@ -23,15 +23,36 @@
 // also emitted to the JSON, so a scaling regression is visible right in
 // the baseline trajectory.
 //
+// Open-loop traffic-engine rows (--rates non-empty): each counter runs
+// the open-loop generator at every rate in --rates, on a deterministic
+// arrival timeline (--shape=constant|burst|diurnal), with latency
+// measured from each op's *scheduled* arrival — coordinated omission
+// cannot hide a backlog. Rows report p50..p99.99 + max plus SLO
+// attainment (--slo_us) and land in an "open_loop" JSON array. Large
+// runs (> --exact_cap ops) record into the O(buckets) HDR histogram.
+// --open_ops_list sweeps run length at fixed rate: at a rate above
+// capacity, p99 growing with run length is the open-loop saturation
+// signature the closed loop structurally cannot show.
+//
 // Flags: --counters=tree,central,combining,diffracting
 //        --workers_list=1,2,4,8 (0 = auto: --threads, DCNT_THREADS, or
 //        all cores) --n=16 --ops_factor=16 --concurrency=16
 //        --warmup=256 --dist=roundrobin|uniform|zipf --zipf_s=0.9
 //        --open_rate=0 --seed=7 --out=BENCH_throughput.json
+//        --rates= --open_ops_list=1000000 --open_workers=0
+//        --open_counters= (default: --counters; the checked-in baseline
+//        restricts open rows to central, whose cost per outstanding op
+//        is flat — a tree hit with a 10^5-op backlog thrashes, which is
+//        a finding, not a baseline)
+//        --shape=constant --period=1 --amplitude=0.5 --duty=0.5
+//        --duration=0 --slo_us=0 --exact_cap=65536
+//        --quick (tiny closed+open sweep for the ctest smoke)
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "traffic/recorder.hpp"
 
 #include "bench_util.hpp"
 #include "harness/factory.hpp"
@@ -46,21 +67,54 @@ int main(int argc, char** argv) {
   const Flags flags = parse_bench_flags(
       argc, argv,
       "THRU: wall-clock inc throughput on the threaded runtime",
-      {"concurrency", "counters", "dist", "n", "open_rate", "ops_factor", "out", "seed", "threads", "warmup", "workers_list", "zipf_s"});
-  const auto counters = parse_string_list(
-      flags.get_string("counters", "tree,central,combining,diffracting"));
-  const auto workers_list =
-      parse_int_list(flags.get_string("workers_list", "1,2,4,8"));
-  const std::int64_t n = flags.get_int("n", 16);
-  const std::int64_t ops_factor = flags.get_int("ops_factor", 16);
+      {"amplitude", "concurrency", "counters", "dist", "duration", "duty",
+       "exact_cap", "n", "open_counters", "open_ops_list", "open_rate",
+       "open_workers", "ops_factor", "out", "period", "quick", "rates",
+       "seed", "shape", "slo_us", "threads", "warmup", "workers_list",
+       "zipf_s"});
+  const bool quick = flags.get_bool("quick", false);
+  const auto counters = parse_string_list(flags.get_string(
+      "counters", quick ? "tree,central" : "tree,central,combining,diffracting"));
+  const auto workers_list = parse_int_list(
+      flags.get_string("workers_list", quick ? "1,2" : "1,2,4,8"));
+  const std::int64_t n = flags.get_int("n", quick ? 8 : 16);
+  const std::int64_t ops_factor = flags.get_int("ops_factor", quick ? 2 : 16);
   const auto concurrency =
-      static_cast<std::size_t>(flags.get_int("concurrency", 16));
+      static_cast<std::size_t>(flags.get_int("concurrency", quick ? 8 : 16));
   const std::string dist = flags.get_string("dist", "roundrobin");
   const double zipf_s = flags.get_double("zipf_s", 0.9);
   const double open_rate = flags.get_double("open_rate", 0.0);
-  const auto warmup = static_cast<std::size_t>(flags.get_int("warmup", 256));
+  const auto warmup =
+      static_cast<std::size_t>(flags.get_int("warmup", quick ? 64 : 256));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   const std::string out = flags.get_string("out", "BENCH_throughput.json");
+  // Open-loop traffic-engine sweep. --quick exercises the whole path —
+  // constant and burst shapes, SLO accounting, and the HDR recorder
+  // (exact_cap forced under the op count) — in well under a second.
+  const auto rates = parse_double_list(
+      flags.get_string("rates", quick ? "20000" : ""));
+  // Open rows may target a subset of the closed-sweep counters: the
+  // over-saturation series needs a counter whose per-outstanding-op
+  // cost is flat (central), while the closed sweep keeps them all.
+  const auto open_counters = parse_string_list(
+      flags.get_string("open_counters", flags.get_string(
+          "counters", quick ? "tree,central"
+                            : "tree,central,combining,diffracting")));
+  const auto open_ops_list = parse_int_list(
+      flags.get_string("open_ops_list", quick ? "4000" : "1000000"));
+  const auto open_workers =
+      static_cast<std::size_t>(flags.get_int("open_workers", 0));
+  const std::string shape = flags.get_string("shape", "constant");
+  const double period = flags.get_double("period", 1.0);
+  const double amplitude = flags.get_double("amplitude", 0.5);
+  const double duty = flags.get_double("duty", 0.5);
+  const double duration = flags.get_double("duration", 0.0);
+  const double slo_us = flags.get_double("slo_us", quick ? 1000.0 : 0.0);
+  const auto exact_cap = static_cast<std::size_t>(flags.get_int(
+      "exact_cap",
+      quick ? 1024
+            : static_cast<std::int64_t>(
+                  dcnt::traffic::TailRecorder::kDefaultExactCap)));
 
   Table table({"counter", "n", "W", "ops", "inc/s", "p50_us", "p95_us",
                "p99_us", "max_load", "total_msgs"});
@@ -131,6 +185,72 @@ int main(int argc, char** argv) {
               << row.w_lo << " = " << row.hi / row.lo << "x\n";
   }
 
+  // Open-loop traffic-engine rows: every (counter, rate, op-budget)
+  // triple runs the scheduled-arrival generator; --quick adds a burst
+  // row so both modulated shapes stay exercised in the smoke.
+  struct OpenRow {
+    ThroughputResult res;
+    double rate{0.0};
+    std::string shape;
+    std::size_t requested{0};
+  };
+  std::vector<OpenRow> open_rows;
+  if (!rates.empty()) {
+    Table open_table({"counter", "rate/s", "shape", "ops", "inc/s", "p50_us",
+                      "p99_us", "p999_us", "p9999_us", "max_us", "slo%",
+                      "hdr"});
+    std::vector<std::string> shapes{shape};
+    if (quick && shape == "constant") shapes.push_back("burst");
+    for (const std::string& name : open_counters) {
+      const CounterKind kind = counter_kind_from_string(name);
+      for (const double rate : rates) {
+        for (const std::int64_t open_ops : open_ops_list) {
+          for (const std::string& shape_name : shapes) {
+            auto protocol = make_counter(kind, n);
+            if (open_workers > 1 && !protocol->shard_safe()) continue;
+            ThroughputOptions options;
+            options.workers = open_workers;
+            options.ops = static_cast<std::size_t>(open_ops);
+            options.concurrency = concurrency;
+            options.open_rate = rate;
+            options.shape = shape_name;
+            options.period_s = period;
+            options.amplitude = amplitude;
+            options.duty = duty;
+            options.duration_s = duration;
+            options.slo_us = slo_us;
+            options.exact_cap = exact_cap;
+            options.initiators = dist;
+            options.zipf_s = zipf_s;
+            options.seed = seed;
+            options.warmup = warmup;
+            const ThroughputResult res =
+                run_throughput(std::move(protocol), options);
+            open_rows.push_back(OpenRow{res, rate, shape_name,
+                                        static_cast<std::size_t>(open_ops)});
+            open_table.row()
+                .add(res.counter)
+                .add(rate, 0)
+                .add(shape_name)
+                .add(static_cast<std::int64_t>(res.ops))
+                .add(res.ops_per_sec, 0)
+                .add(res.p50_us, 1)
+                .add(res.p99_us, 1)
+                .add(res.p999_us, 1)
+                .add(res.p9999_us, 1)
+                .add(res.max_us, 1)
+                .add(100.0 * res.slo_attainment, 2)
+                .add(res.hdr_recorder ? "y" : "n");
+          }
+        }
+      }
+    }
+    open_table.print(
+        std::cout,
+        "THRU-OPEN: open-loop tails, latency from scheduled arrival "
+        "(coordinated-omission-free; every run verified exact)");
+  }
+
   JsonWriter json(out);
   json.field("bench", "throughput");
   json.field("dist", dist);
@@ -156,6 +276,38 @@ int main(int argc, char** argv) {
     json.field("total_messages", r.total_messages);
     json.field("max_load", r.max_load);
     json.field("bottleneck", r.bottleneck);
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_array("open_loop");
+  for (const OpenRow& row : open_rows) {
+    const ThroughputResult& r = row.res;
+    json.begin_object();
+    json.field("counter", r.counter);
+    json.field("n", r.n);
+    json.field("workers", r.workers);
+    json.field("rate", row.rate, 1);
+    json.field("shape", row.shape);
+    json.field("ops_requested", row.requested);
+    json.field("ops", r.ops);
+    json.field("wall_seconds", r.wall_seconds, 4);
+    json.field("ops_per_sec", r.ops_per_sec, 1);
+    json.field("mean_us", r.mean_us, 2);
+    json.field("p50_us", r.p50_us, 2);
+    json.field("p95_us", r.p95_us, 2);
+    json.field("p99_us", r.p99_us, 2);
+    json.field("p999_us", r.p999_us, 2);
+    json.field("p9999_us", r.p9999_us, 2);
+    json.field("max_us", r.max_us, 2);
+    json.field("slo_us", r.slo_us, 1);
+    json.field("slo_ok", r.slo_ok);
+    json.field("slo_den", r.slo_den);
+    json.field("slo_attainment", r.slo_attainment, 6);
+    json.field("hdr_recorder", r.hdr_recorder ? 1 : 0);
+    json.field("hdr_overflow", r.hdr_overflow);
+    json.field("record_threads", r.record_threads);
+    json.field("total_messages", r.total_messages);
+    json.field("max_load", r.max_load);
     json.end_object();
   }
   json.end_array();

@@ -8,6 +8,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,14 +20,16 @@
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
-#include "runtime/workload.hpp"
 #include "support/check.hpp"
+#include "traffic/recorder.hpp"
+#include "traffic/shape.hpp"
 
 namespace dcnt::net {
 
 namespace {
 
 using WallClock = std::chrono::steady_clock;
+using traffic::TailRecorder;
 
 std::string find_node_binary(const std::string& override_path) {
   if (!override_path.empty()) return override_path;
@@ -105,9 +109,10 @@ class Controller {
   }
 
   void on_frame(int conn, const FrameView& frame);
-  void issue_next();
+  void issue_next(std::int64_t sched_ns = -1);
   void on_complete(OpId op, Value value);
   void maybe_issue_after_completion();
+  void maybe_finish_run();
   void begin_keyed_stats();
   void on_keyed_stats(const KeyedStatsFrame& ks);
   void begin_measured_phase();
@@ -166,10 +171,21 @@ class Controller {
   std::size_t completed_{0};
   std::vector<Value> values_;
   std::vector<bool> value_seen_;
-  std::unique_ptr<LatencyRecorder> recorder_;
+  std::unique_ptr<TailRecorder> recorder_;
   std::int64_t t_first_issue_ns_{0};
   std::int64_t t_last_complete_ns_{0};
   std::int64_t open_t0_ns_{0};
+  /// Open loop: the measured phase's deterministic arrival timeline and
+  /// the next scheduled offset it handed out (not yet issued).
+  std::unique_ptr<traffic::ArrivalTimeline> timeline_;
+  std::int64_t next_arrival_off_{0};
+  /// Measured-phase budget in ns (duration_s; INT64_MAX when unset) and
+  /// the wall deadline the closed loop stops reissuing at.
+  std::int64_t budget_ns_{0};
+  std::int64_t run_deadline_ns_{0};
+  /// Latched once nothing more will be issued (schedule exhausted or
+  /// the duration budget hit); the run ends when completed_ == issued_.
+  bool no_more_{false};
 
   int quiesce_rounds_{0};
   bool round_in_flight_{false};
@@ -196,15 +212,27 @@ void Controller::check_deadline() const {
 /// up to batch_size() consecutive schedule entries partitioned by owning
 /// node into one kStartBatch frame each. Latency is stamped at batch
 /// send, so a deep batch's later entries include their queueing time.
-void Controller::issue_next() {
+/// `sched_ns` >= 0 (open loop) stamps that scheduled arrival time
+/// instead of the send time, so backlog the controller accumulated
+/// counts against the op — the coordinated-omission-free measurement.
+void Controller::issue_next(std::int64_t sched_ns) {
   const std::size_t limit = warming_up_ ? warmup_ : total_;  // measured ops wait
-  if (issued_ >= limit) return;
+  if (issued_ >= limit) {
+    if (!warming_up_) no_more_ = true;
+    return;
+  }
+  const std::int64_t t = TailRecorder::now_ns();
+  // Closed-loop duration budget: past the deadline, decline instead of
+  // reissuing (the open loop bounds itself by scheduled offsets).
+  if (!warming_up_ && sched_ns < 0 && t >= run_deadline_ns_) {
+    no_more_ = true;
+    return;
+  }
   const std::size_t count = std::min(batch_size(), limit - issued_);
-  const std::int64_t t = LatencyRecorder::now_ns();
   const auto stamp = [&](OpId op) {
     if (static_cast<std::size_t>(op) >= warmup_) {
       if (t_first_issue_ns_ == 0) t_first_issue_ns_ = t;
-      recorder_->on_issue(op, t);
+      recorder_->on_issue(op, sched_ns >= 0 ? sched_ns : t);
     }
   };
   if (count == 1) {
@@ -252,8 +280,16 @@ void Controller::maybe_issue_after_completion() {
 void Controller::begin_measured_phase() {
   DCNT_CHECK(phase_ == Phase::kRun);
   issue_credits_ = 0;
+  const std::int64_t now = TailRecorder::now_ns();
+  run_deadline_ns_ = budget_ns_ == std::numeric_limits<std::int64_t>::max()
+                         ? budget_ns_
+                         : now + budget_ns_;
   if (opt_.open_rate > 0.0) {
-    open_t0_ns_ = LatencyRecorder::now_ns();
+    open_t0_ns_ = now;
+    timeline_ = std::make_unique<traffic::ArrivalTimeline>(
+        traffic::make_shape(opt_.shape, opt_.open_rate, opt_.period_s,
+                            opt_.amplitude, opt_.duty));
+    next_arrival_off_ = timeline_->next_ns();
     return;
   }
   const std::size_t window =
@@ -262,6 +298,22 @@ void Controller::begin_measured_phase() {
           : std::max<std::size_t>(
                 1, std::min(opt_.concurrency * pipeline_depth(), ops_));
   for (std::size_t i = 0; i < window; ++i) issue_next();
+  // A zero-length budget can decline the whole window; certify the
+  // (empty) run through the barrier rather than hanging.
+  maybe_finish_run();
+}
+
+/// End of the measured phase: nothing more will be issued and every
+/// issued op completed — hand off to the quiescence barrier. Reissues
+/// happen before this check in on_complete, so completed_ == issued_
+/// means no measured work is in flight anywhere.
+void Controller::maybe_finish_run() {
+  if (phase_ != Phase::kRun || warming_up_) return;
+  if (issued_ >= total_) no_more_ = true;
+  if (no_more_ && completed_ == issued_) {
+    phase_ = Phase::kQuiesce;
+    begin_stats_round();
+  }
 }
 
 void Controller::begin_stats_round() {
@@ -333,13 +385,16 @@ void Controller::on_stats_round_complete() {
       phase_ = Phase::kRun;
       return;
     }
-    if (opt_.quiesce_between_ops && completed_ < total_) {
+    if (opt_.quiesce_between_ops && completed_ < total_ && !no_more_) {
       // Mid-run barrier: the previous op's activity has fully settled;
       // resume the workload with the next one.
       prev_round_.clear();
       phase_ = Phase::kRun;
       issue_next();
-      return;
+      if (issued_ > completed_) return;
+      // The reissue declined (duration budget hit): the settled barrier
+      // we just ran doubles as the end-of-run barrier; fall through.
+      phase_ = Phase::kQuiesce;
     }
     if (keyed()) {
       // One end-of-run collection pass: per-key loads and LRU counters
@@ -396,7 +451,7 @@ void Controller::on_frame(int conn, const FrameView& frame) {
       ++ready_count_;
       if (ready_count_ == opt_.nodes) {
         phase_ = Phase::kRun;
-        if (warming_up_ || opt_.open_rate <= 0.0) {
+        if (warming_up_) {
           // Warmup always runs closed-loop, even ahead of an open-loop
           // measured phase; the open-loop clock starts after the reset.
           const std::size_t window =
@@ -407,7 +462,7 @@ void Controller::on_frame(int conn, const FrameView& frame) {
                         std::min(opt_.concurrency * pipeline_depth(), total_));
           for (std::size_t i = 0; i < window; ++i) issue_next();
         } else {
-          open_t0_ns_ = LatencyRecorder::now_ns();
+          begin_measured_phase();
         }
       }
       return;
@@ -457,7 +512,7 @@ void Controller::on_complete(OpId op, Value value) {
   value_seen_[idx] = true;
   values_[idx] = value;
   if (idx >= warmup_) {
-    const std::int64_t t = LatencyRecorder::now_ns();
+    const std::int64_t t = TailRecorder::now_ns();
     recorder_->on_complete(op, t);
     t_last_complete_ns_ = t;
   }
@@ -479,10 +534,7 @@ void Controller::on_complete(OpId op, Value value) {
     return;
   }
   if (opt_.open_rate <= 0.0) maybe_issue_after_completion();
-  if (completed_ == total_) {
-    phase_ = Phase::kQuiesce;
-    begin_stats_round();
-  }
+  maybe_finish_run();
 }
 
 void Controller::begin_keyed_stats() {
@@ -492,7 +544,7 @@ void Controller::begin_keyed_stats() {
   // The hot key is a property of the measured schedule (ties to the
   // smallest id); the nodes' reports then fill in its message loads.
   std::unordered_map<KeyId, std::int64_t> ops_by_key;
-  for (std::size_t i = warmup_; i < total_; ++i) ++ops_by_key[keys_[i]];
+  for (std::size_t i = warmup_; i < issued_; ++i) ++ops_by_key[keys_[i]];
   for (const auto& [key, count] : ops_by_key) {
     if (count > hot_key_ops_ || (count == hot_key_ops_ && key < hot_key_)) {
       hot_key_ = key;
@@ -574,8 +626,13 @@ ClusterResult Controller::run() {
   }
   values_.assign(total_, -1);
   value_seen_.assign(total_, false);
+  budget_ns_ = opt_.duration_s > 0.0
+                   ? static_cast<std::int64_t>(opt_.duration_s * 1e9)
+                   : std::numeric_limits<std::int64_t>::max();
+  run_deadline_ns_ = std::numeric_limits<std::int64_t>::max();
   // Sized by op id; the warmup slots simply stay empty.
-  recorder_ = std::make_unique<LatencyRecorder>(total_);
+  recorder_ = std::make_unique<TailRecorder>(
+      total_, static_cast<std::int64_t>(opt_.slo_us * 1e3), opt_.exact_cap);
   conn_of_node_.assign(opt_.nodes, -1);
   hellos_.assign(opt_.nodes, std::nullopt);
 
@@ -624,14 +681,22 @@ ClusterResult Controller::run() {
     check_deadline();
     DCNT_CHECK_MSG(!child_died_, "a node process died mid-run");
     if (phase_ == Phase::kRun && !warming_up_ && opt_.open_rate > 0.0 &&
-        issued_ < total_) {
-      const double per_op_ns = 1e9 / opt_.open_rate;
-      while (issued_ < total_ &&
-             LatencyRecorder::now_ns() - open_t0_ns_ >=
-                 static_cast<std::int64_t>(
-                     per_op_ns * static_cast<double>(issued_ - warmup_))) {
-        issue_next();
+        !no_more_) {
+      // Walk the arrival timeline: issue every arrival that is due (all
+      // at once if the controller fell behind — never skipped; the
+      // scheduled-time stamp charges the lateness to the op), stop at
+      // the first one scheduled past the duration budget.
+      const std::int64_t now = TailRecorder::now_ns();
+      while (issued_ < total_) {
+        if (next_arrival_off_ >= budget_ns_) {
+          no_more_ = true;
+          break;
+        }
+        if (now - open_t0_ns_ < next_arrival_off_) break;
+        issue_next(open_t0_ns_ + next_arrival_off_);
+        next_arrival_off_ = timeline_->next_ns();
       }
+      maybe_finish_run();
     }
     if (phase_ == Phase::kQuiesce && !round_in_flight_ &&
         WallClock::now() >= next_round_at_) {
@@ -658,12 +723,15 @@ ClusterResult Controller::run() {
     pid = 0;  // reaped; the ChildReaper must not touch it
   }
 
-  // Merge and verify.
+  // Merge and verify. Ops are issued in id order, so a duration-cut run
+  // completed exactly ids 0..issued_-1; everything below verifies and
+  // reports over that prefix.
+  values_.resize(issued_);
   ClusterResult out;
   out.counter = opt_.counter;
   out.n = static_cast<std::size_t>(n_);
   out.nodes = opt_.nodes;
-  out.ops = ops_;
+  out.ops = issued_ - warmup_;
   out.warmup = warmup_;
   out.quiesce_rounds = quiesce_rounds_;
   out.load.assign(static_cast<std::size_t>(n_), 0);
@@ -699,7 +767,7 @@ ClusterResult Controller::run() {
     // permutation of 0..ops_k-1. The global permutation check does not
     // apply across independent counters.
     std::unordered_map<KeyId, std::vector<Value>> by_key;
-    for (std::size_t i = 0; i < total_; ++i) by_key[keys_[i]].push_back(values_[i]);
+    for (std::size_t i = 0; i < issued_; ++i) by_key[keys_[i]].push_back(values_[i]);
     out.values_ok = true;
     for (auto& [key, vals] : by_key) {
       std::sort(vals.begin(), vals.end());
@@ -725,6 +793,7 @@ ClusterResult Controller::run() {
   out.values = std::move(values_);
   if (keyed()) {
     out.keys = opt_.keys;
+    keys_.resize(issued_);
     out.key_of_op = std::move(keys_);
     out.hot_key = hot_key_;
     out.hot_key_ops = hot_key_ops_;
@@ -742,15 +811,22 @@ ClusterResult Controller::run() {
   out.wall_seconds =
       static_cast<double>(t_last_complete_ns_ - t_first_issue_ns_) / 1e9;
   if (out.wall_seconds > 0.0) {
-    out.ops_per_sec = static_cast<double>(ops_) / out.wall_seconds;
+    out.ops_per_sec = static_cast<double>(out.ops) / out.wall_seconds;
   }
-  const Summary lat = recorder_->summary_ns();
-  if (lat.count() > 0) {
-    out.mean_us = lat.mean() / 1e3;
-    out.p50_us = static_cast<double>(lat.percentile(50)) / 1e3;
-    out.p95_us = static_cast<double>(lat.percentile(95)) / 1e3;
-    out.p99_us = static_cast<double>(lat.percentile(99)) / 1e3;
-  }
+  const traffic::TrafficStats lat = recorder_->stats();
+  out.mean_us = lat.mean_us;
+  out.p50_us = lat.p50_us;
+  out.p95_us = lat.p95_us;
+  out.p99_us = lat.p99_us;
+  out.p999_us = lat.p999_us;
+  out.p9999_us = lat.p9999_us;
+  out.max_us = lat.max_us;
+  out.slo_us = static_cast<double>(lat.slo_ns) / 1e3;
+  out.slo_den = lat.count;
+  out.slo_ok = lat.slo_ok;
+  out.slo_attainment = lat.slo_attainment;
+  out.hdr_recorder = !lat.exact;
+  out.hdr_overflow = lat.hdr_overflow;
   return out;
 }
 

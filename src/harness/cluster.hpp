@@ -75,8 +75,28 @@ struct ClusterOptions {
   /// enough even for chains: the next Start would race leftover
   /// maintenance messages across nodes.
   bool quiesce_between_ops{false};
-  /// If > 0: open-loop issuance at this many ops/second.
+  /// If > 0: open-loop issuance at this mean rate (ops/second) on a
+  /// deterministic arrival timeline; latency is measured from each op's
+  /// scheduled arrival (coordinated-omission-free, DESIGN.md §14).
   double open_rate{0.0};
+  /// Open-loop rate shape: "constant", "burst" or "diurnal"
+  /// (traffic/shape.hpp); period/amplitude/duty parameterize it.
+  std::string shape{"constant"};
+  double period_s{1.0};
+  double amplitude{0.5};
+  double duty{0.5};
+  /// > 0: measured-phase wall-clock budget in seconds. Open loop stops
+  /// issuing arrivals scheduled past the budget; closed loop stops
+  /// reissuing once the deadline passes. Either way every issued op
+  /// completes and the quiescence barrier still runs. `ops` becomes a
+  /// cap rather than a target.
+  double duration_s{0.0};
+  /// > 0: latency SLO threshold in microseconds; the result reports the
+  /// fraction of measured ops at or under it.
+  double slo_us{0.0};
+  /// Runs with more ops than this record latency into the O(buckets)
+  /// HDR histogram instead of exact per-op slots.
+  std::size_t exact_cap{1 << 16};
   /// Data plane: false = TCP mesh, true = lossy UDP behind the reliable
   /// transport.
   bool udp{false};
@@ -124,6 +144,8 @@ struct ClusterResult {
   std::string counter;
   std::size_t n{0};
   std::uint32_t nodes{0};
+  /// Measured ops issued and completed (< the requested count when
+  /// duration_s cut the schedule short).
   std::size_t ops{0};
   std::size_t warmup{0};
   /// Values (warmup + measured together) form a permutation of
@@ -136,6 +158,19 @@ struct ClusterResult {
   double p50_us{0.0};
   double p95_us{0.0};
   double p99_us{0.0};
+  double p999_us{0.0};
+  double p9999_us{0.0};
+  double max_us{0.0};
+  /// SLO attainment (slo_us > 0 in the options): slo_ok completions at
+  /// or under the threshold out of slo_den measured ops.
+  double slo_us{0.0};
+  std::int64_t slo_den{0};
+  std::int64_t slo_ok{0};
+  double slo_attainment{0.0};
+  /// True when latency came from the O(buckets) HDR histogram;
+  /// hdr_overflow counts samples that saturated its top bucket.
+  bool hdr_recorder{false};
+  std::int64_t hdr_overflow{0};
 
   /// Protocol-level message accounting, merged across nodes — the same
   /// m_p the simulator and threaded runtime report.

@@ -23,6 +23,42 @@ bool is_permutation_of_iota(std::vector<Value> values) {
   return true;
 }
 
+WorkloadOptions make_workload_options(const ThroughputOptions& options) {
+  WorkloadOptions wl;
+  wl.concurrency = options.concurrency;
+  if (options.open_rate > 0.0) {
+    wl.shape = traffic::make_shape(options.shape, options.open_rate,
+                                   options.period_s, options.amplitude,
+                                   options.duty);
+  }
+  wl.duration_s = options.duration_s;
+  wl.slo_ns = static_cast<std::int64_t>(options.slo_us * 1e3);
+  wl.exact_cap = options.exact_cap;
+  wl.warmup = options.warmup;
+  return wl;
+}
+
+void fill_latency(ThroughputResult& out, const WorkloadResult& run) {
+  out.ops = run.ops;
+  out.wall_seconds = run.wall_seconds;
+  out.ops_per_sec = run.ops_per_sec;
+  const traffic::TrafficStats& t = run.traffic;
+  out.mean_us = t.mean_us;
+  out.p50_us = t.p50_us;
+  out.p95_us = t.p95_us;
+  out.p99_us = t.p99_us;
+  out.p999_us = t.p999_us;
+  out.p9999_us = t.p9999_us;
+  out.max_us = t.max_us;
+  out.slo_us = static_cast<double>(t.slo_ns) / 1e3;
+  out.slo_den = t.count;
+  out.slo_ok = t.slo_ok;
+  out.slo_attainment = t.slo_attainment;
+  out.hdr_recorder = !t.exact;
+  out.hdr_overflow = t.hdr_overflow;
+  out.record_threads = t.record_threads;
+}
+
 }  // namespace
 
 ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
@@ -50,15 +86,14 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   const auto initiators =
       make_initiators(options.initiators, options.zipf_s, n,
                       static_cast<std::int64_t>(ops), options.seed);
-  WorkloadOptions wl;
-  wl.concurrency = options.concurrency;
-  wl.open_rate = options.open_rate;
-  wl.warmup = options.warmup;
+  const WorkloadOptions wl = make_workload_options(options);
   const WorkloadResult run = run_workload(rt, initiators, wl);
 
   // Warmup ops take part in the permutation too (they consumed counter
-  // values before the measured phase), so verify over the full range.
-  const std::size_t total = options.warmup + ops;
+  // values before the measured phase), so verify over the full range of
+  // issued ops — a duration-cut run completes a prefix of the schedule,
+  // and any completed prefix must still be an exact permutation.
+  const std::size_t total = options.warmup + run.ops;
   std::vector<Value> values(total);
   for (std::size_t i = 0; i < total; ++i) {
     const auto v = rt.result(static_cast<OpId>(i));
@@ -69,15 +104,7 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   DCNT_CHECK_MSG(out.values_ok, "values are not a permutation of 0..m-1");
   rt.protocol().check_quiescent(total);
 
-  out.wall_seconds = run.wall_seconds;
-  out.ops_per_sec = run.ops_per_sec;
-  const Summary& lat = run.latency_ns;
-  if (lat.count() > 0) {
-    out.mean_us = lat.mean() / 1e3;
-    out.p50_us = static_cast<double>(lat.percentile(50)) / 1e3;
-    out.p95_us = static_cast<double>(lat.percentile(95)) / 1e3;
-    out.p99_us = static_cast<double>(lat.percentile(99)) / 1e3;
-  }
+  fill_latency(out, run);
 
   const Metrics metrics = rt.merged_metrics();
   out.total_messages = metrics.total_messages();
@@ -123,10 +150,7 @@ KeyedThroughputResult run_keyed_throughput(
   const auto initiators =
       make_initiators(options.initiators, options.zipf_s, n,
                       static_cast<std::int64_t>(ops), options.seed);
-  WorkloadOptions wl;
-  wl.concurrency = options.concurrency;
-  wl.open_rate = options.open_rate;
-  wl.warmup = options.warmup;
+  WorkloadOptions wl = make_workload_options(options);
   wl.keys = make_keys(keyed.key_dist, keyed.key_skew,
                       static_cast<std::int64_t>(keyed.keys),
                       static_cast<std::int64_t>(ops), options.seed);
@@ -134,8 +158,9 @@ KeyedThroughputResult run_keyed_throughput(
 
   // Per-key contract: within each key (warmup ops included — they
   // consumed that key's low values) the returned values are an exact
-  // permutation of 0..ops_k-1.
-  const std::size_t total = options.warmup + ops;
+  // permutation of 0..ops_k-1. Holds for any completed schedule prefix,
+  // so a duration-cut run verifies over the ops actually issued.
+  const std::size_t total = options.warmup + run.ops;
   std::unordered_map<KeyId, std::vector<Value>> by_key;
   std::unordered_map<KeyId, std::int64_t> ops_by_key;
   for (std::size_t i = 0; i < total; ++i) {
@@ -152,15 +177,7 @@ KeyedThroughputResult run_keyed_throughput(
                  "some key's values are not a permutation of 0..ops_k-1");
   rt.protocol().check_quiescent(total);
 
-  out.base.wall_seconds = run.wall_seconds;
-  out.base.ops_per_sec = run.ops_per_sec;
-  const Summary& lat = run.latency_ns;
-  if (lat.count() > 0) {
-    out.base.mean_us = lat.mean() / 1e3;
-    out.base.p50_us = static_cast<double>(lat.percentile(50)) / 1e3;
-    out.base.p95_us = static_cast<double>(lat.percentile(95)) / 1e3;
-    out.base.p99_us = static_cast<double>(lat.percentile(99)) / 1e3;
-  }
+  fill_latency(out.base, run);
 
   const Metrics metrics = rt.merged_metrics();
   out.base.total_messages = metrics.total_messages();

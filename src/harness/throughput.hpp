@@ -34,8 +34,23 @@ struct ThroughputOptions {
   std::size_t ops{0};
   /// Closed-loop clients (ignored when open_rate > 0).
   std::size_t concurrency{16};
-  /// > 0: open-loop issuance at this rate (ops/sec).
+  /// > 0: open-loop issuance at this mean rate (ops/sec), latency
+  /// measured from scheduled arrival time (coordinated-omission-free).
   double open_rate{0.0};
+  /// Open-loop rate shape: "constant", "burst" or "diurnal"
+  /// (traffic/shape.hpp); period/amplitude/duty parameterize it.
+  std::string shape{"constant"};
+  double period_s{1.0};
+  double amplitude{0.5};
+  double duty{0.5};
+  /// > 0: wall-clock budget in seconds — the run issues only the
+  /// schedule prefix that fits, then drains (ops becomes a cap).
+  double duration_s{0.0};
+  /// > 0: SLO threshold in microseconds; results report attainment.
+  double slo_us{0.0};
+  /// Runs larger than this switch from exact per-op latency storage to
+  /// the O(buckets) HDR histogram.
+  std::size_t exact_cap{1 << 16};
   /// Initiator choice: "roundrobin", "uniform", or "zipf".
   std::string initiators{"roundrobin"};
   /// Zipf skew (initiators == "zipf"); processor 0 hottest.
@@ -56,6 +71,8 @@ struct ThroughputResult {
   std::string counter;
   std::size_t n{0};
   std::size_t workers{0};
+  /// Measured ops issued and completed (< the requested count when
+  /// duration_s cut the schedule short).
   std::size_t ops{0};
   std::size_t warmup{0};
   double wall_seconds{0.0};
@@ -64,6 +81,21 @@ struct ThroughputResult {
   double p50_us{0.0};
   double p95_us{0.0};
   double p99_us{0.0};
+  double p999_us{0.0};
+  double p9999_us{0.0};
+  double max_us{0.0};
+  /// SLO attainment (slo_us > 0 in the options): fraction of completed
+  /// ops at or under the threshold, denominator slo_den.
+  double slo_us{0.0};
+  std::int64_t slo_den{0};
+  std::int64_t slo_ok{0};
+  double slo_attainment{0.0};
+  /// True when latency came from the O(buckets) HDR histogram rather
+  /// than exact per-op storage; hdr_overflow counts saturated samples.
+  bool hdr_recorder{false};
+  std::int64_t hdr_overflow{0};
+  /// Distinct threads that completed measured ops.
+  std::size_t record_threads{0};
   std::int64_t total_messages{0};
   std::int64_t max_load{0};
   ProcessorId bottleneck{kNoProcessor};

@@ -1,7 +1,9 @@
 #include "runtime/workload.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -9,41 +11,7 @@
 
 namespace dcnt {
 
-LatencyRecorder::LatencyRecorder(std::size_t max_ops)
-    : issue_ns_(max_ops), latency_ns_(max_ops, -1) {}
-
-std::int64_t LatencyRecorder::now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-void LatencyRecorder::on_issue(OpId op, std::int64_t t_ns) {
-  DCNT_CHECK(op >= 0 && static_cast<std::size_t>(op) < issue_ns_.size());
-  DCNT_CHECK(t_ns != 0);  // 0 is the "not yet stored" sentinel
-  issue_ns_[static_cast<std::size_t>(op)].store(t_ns,
-                                                std::memory_order_release);
-}
-
-void LatencyRecorder::on_complete(OpId op, std::int64_t t_ns) {
-  DCNT_CHECK(op >= 0 && static_cast<std::size_t>(op) < issue_ns_.size());
-  // The issuer stamps before begin_inc and stores right after it
-  // returns; if the op completed in between, spin out the tiny window.
-  std::int64_t issued;
-  while ((issued = issue_ns_[static_cast<std::size_t>(op)].load(
-              std::memory_order_acquire)) == 0) {
-    std::this_thread::yield();
-  }
-  latency_ns_[static_cast<std::size_t>(op)] = t_ns - issued;
-}
-
-Summary LatencyRecorder::summary_ns() const {
-  Summary s;
-  for (const auto l : latency_ns_) {
-    if (l >= 0) s.add(l);
-  }
-  return s;
-}
+using traffic::TailRecorder;
 
 WorkloadResult run_workload(ThreadedRuntime& rt,
                             const std::vector<ProcessorId>& initiators,
@@ -104,47 +72,94 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
     rt.reset_metrics();
   }
 
-  // Measured ops occupy ids warmup..warmup+ops-1; recorder slots for
+  // The open-loop shape: an explicit shape wins, the legacy open_rate
+  // knob means "constant at that rate".
+  traffic::RateShape shape = options.shape;
+  if (shape.rate <= 0.0 && options.open_rate > 0.0) {
+    shape.kind = traffic::RateShape::Kind::kConstant;
+    shape.rate = options.open_rate;
+  }
+  const bool open_loop = shape.rate > 0.0;
+  const std::int64_t budget_ns =
+      options.duration_s > 0.0
+          ? static_cast<std::int64_t>(options.duration_s * 1e9)
+          : std::numeric_limits<std::int64_t>::max();
+
+  // Measured ops occupy ids warmup..warmup+issued-1; recorder slots for
   // the warmup range simply stay empty.
-  LatencyRecorder recorder(options.warmup + ops);
+  TailRecorder recorder(options.warmup + ops, options.slo_ns,
+                        options.exact_cap);
+  // Coordination atomics deliberately use the default (seq_cst) order:
+  // the finish condition below leans on the single total order across
+  // `no_more`, `issued` and `done`.
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> issued{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<bool> no_more{open_loop};  // closed loop: set by decliners
   std::mutex mu;
   std::condition_variable cv;
   std::atomic<std::int64_t> last_completion_ns{0};
 
-  // Issues the next initiator, from the driver thread or from inside a
-  // completion callback; no-op once the sequence is exhausted.
+  const auto epoch = std::chrono::steady_clock::now();
+  const std::int64_t epoch_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          epoch.time_since_epoch())
+          .count();
+  const std::int64_t deadline_ns = budget_ns == std::numeric_limits<std::int64_t>::max()
+                                       ? budget_ns
+                                       : epoch_ns + budget_ns;
+
+  // Closed loop: issues the next initiator, from the driver thread or
+  // from inside a completion callback; declines (and latches no_more)
+  // once the sequence is exhausted or the deadline passed. The stamp is
+  // the send time, which for a closed-loop client IS its scheduled time
+  // (it cannot want an op before the previous one completed).
   const auto issue_next = [&] {
-    const std::size_t i = cursor.fetch_add(1, std::memory_order_acq_rel);
-    if (i >= ops) return;
-    const std::int64_t t0 = LatencyRecorder::now_ns();
+    if (TailRecorder::now_ns() >= deadline_ns) {
+      no_more.store(true);
+      return;
+    }
+    const std::size_t i = cursor.fetch_add(1);
+    if (i >= ops) {
+      no_more.store(true);
+      return;
+    }
+    issued.fetch_add(1);
+    const std::int64_t t0 = TailRecorder::now_ns();
     const OpId op = begin_entry(i);
     recorder.on_issue(op, t0);
   };
 
-  const bool open_loop = options.open_rate > 0.0;
+  // Finish when nothing more will be issued and every issued op is
+  // done. Reissues happen before done++ in the callback, so done ==
+  // issued implies no reissue is mid-flight: any callback that has not
+  // yet bumped `done` has its op still counted in issued - done.
   rt.set_completion([&](OpId op, Value /*value*/) {
-    const std::int64_t t = LatencyRecorder::now_ns();
+    const std::int64_t t = TailRecorder::now_ns();
     recorder.on_complete(op, t);
     // Closed loop: this client immediately issues its next operation.
     if (!open_loop) issue_next();
-    if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == ops) {
-      last_completion_ns.store(t, std::memory_order_release);
+    const std::size_t d = done.fetch_add(1) + 1;
+    if (no_more.load() && d == issued.load()) {
+      last_completion_ns.store(t);
       std::lock_guard<std::mutex> lock(mu);
       cv.notify_all();
     }
   });
 
-  const std::int64_t t_start = LatencyRecorder::now_ns();
   if (open_loop) {
-    const double period_ns = 1e9 / options.open_rate;
-    const auto epoch = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < ops; ++i) {
-      std::this_thread::sleep_until(
-          epoch + std::chrono::nanoseconds(static_cast<std::int64_t>(
-                      period_ns * static_cast<double>(i))));
-      issue_next();
+    // Single driver walking the deterministic arrival timeline. Every
+    // arrival inside the budget is issued — late if the driver fell
+    // behind (sleep_until returns immediately for past deadlines), with
+    // the lateness charged to the op via its scheduled-time stamp.
+    traffic::ArrivalTimeline timeline(shape);
+    for (std::size_t n = 0; n < ops; ++n) {
+      const std::int64_t offset = timeline.next_ns();
+      if (offset >= budget_ns) break;
+      std::this_thread::sleep_until(epoch + std::chrono::nanoseconds(offset));
+      issued.fetch_add(1);
+      const OpId op = begin_entry(n);
+      recorder.on_issue(op, epoch_ns + offset);
     }
   } else {
     const std::size_t clients = std::min(
@@ -154,9 +169,7 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
 
   {
     std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] {
-      return done.load(std::memory_order_acquire) == ops;
-    });
+    cv.wait(lock, [&] { return no_more.load() && done.load() == issued.load(); });
   }
   // Let stragglers (stale combining-window timers and the like) drain
   // so the caller can read metrics and protocol state.
@@ -164,14 +177,16 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
   rt.set_completion(nullptr);
 
   WorkloadResult result;
-  result.ops = ops;
-  const std::int64_t t_end = last_completion_ns.load(std::memory_order_acquire);
-  result.wall_seconds = static_cast<double>(t_end - t_start) / 1e9;
+  result.ops = issued.load();
+  const std::int64_t t_end = last_completion_ns.load();
+  if (t_end > 0) {
+    result.wall_seconds = static_cast<double>(t_end - epoch_ns) / 1e9;
+  }
   if (result.wall_seconds > 0.0) {
     result.ops_per_sec =
-        static_cast<double>(ops) / result.wall_seconds;
+        static_cast<double>(result.ops) / result.wall_seconds;
   }
-  result.latency_ns = recorder.summary_ns();
+  result.traffic = recorder.stats();
   result.key_of_op = std::move(key_of_op);
   return result;
 }

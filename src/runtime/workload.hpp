@@ -5,57 +5,58 @@
 //     operation the moment its previous one completes (issuance rides
 //     the completion callback, so the offered load self-regulates to
 //     the service rate — the classic saturation benchmark);
-//   - open loop: a driver thread issues at a fixed target rate
-//     regardless of completions (exposes queueing delay; the honest
-//     latency-under-load shape).
+//   - open loop: a driver thread issues on a deterministic arrival
+//     timeline (traffic/shape.hpp: constant, burst or diurnal rate)
+//     regardless of completions. Latency is measured from each op's
+//     *scheduled* arrival time, not from when the driver got around to
+//     sending it, so a backlogged system is charged for the queueing
+//     delay it caused — the coordinated-omission-free measurement
+//     (DESIGN.md §14). The driver never skips an arrival: if it falls
+//     behind it issues late, and the lateness lands in the latency.
 // Who initiates is the caller's choice: pass any initiator sequence
 // (harness/schedule.hpp generates round-robin, uniform and Zipf ones).
 //
-// LatencyRecorder stamps issue/completion with steady_clock and feeds
-// support/Summary, so p50/p95/p99 come out of the same machinery the
-// simulator's load reports use.
+// Runs stop on whichever bound hits first: the initiator sequence
+// running out (op-count budget) or `duration_s` of wall clock
+// (open loop: arrivals scheduled past the budget are not issued;
+// closed loop: clients stop reissuing once the deadline passes).
+// Either way every issued op runs to completion before returning.
+//
+// Latency lands in a traffic::TailRecorder: exact per-op storage for
+// small runs, an HDR-style O(buckets) histogram for large ones, with
+// p50..p99.99, max and SLO attainment in the result either way.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "runtime/threaded_runtime.hpp"
 #include "sim/types.hpp"
-#include "support/stats.hpp"
+#include "traffic/recorder.hpp"
+#include "traffic/shape.hpp"
 
 namespace dcnt {
 
-class LatencyRecorder {
- public:
-  explicit LatencyRecorder(std::size_t max_ops);
-
-  /// steady_clock, in nanoseconds since an arbitrary epoch.
-  static std::int64_t now_ns();
-
-  /// Called by the issuer, immediately after begin_inc returned `op`
-  /// with `t_ns` stamped immediately before. The slot is atomic because
-  /// the completion can race this call (the op may finish on a worker
-  /// before the issuer stores the stamp).
-  void on_issue(OpId op, std::int64_t t_ns);
-
-  /// Called from the completion callback. Waits (nanoseconds, in
-  /// practice) for the racing on_issue store if needed.
-  void on_complete(OpId op, std::int64_t t_ns);
-
-  /// Latencies of completed ops, in ns.
-  Summary summary_ns() const;
-
- private:
-  std::vector<std::atomic<std::int64_t>> issue_ns_;  ///< 0 = not issued
-  std::vector<std::int64_t> latency_ns_;             ///< -1 = not completed
-};
-
 struct WorkloadOptions {
-  /// Closed-loop clients; used when open_rate == 0.
+  /// Closed-loop clients; used when no open-loop rate is set.
   std::size_t concurrency{8};
-  /// If > 0: open-loop issuance at this many ops/second.
+  /// Legacy shorthand: if > 0 (and shape.rate == 0), open-loop issuance
+  /// at this constant rate (ops/second).
   double open_rate{0.0};
+  /// Open-loop arrival shape; shape.rate > 0 selects open loop and
+  /// takes precedence over open_rate.
+  traffic::RateShape shape{};
+  /// If > 0: wall-clock budget in seconds. The run issues only the
+  /// schedule prefix that fits (open loop: arrivals scheduled before
+  /// the budget; closed loop: no reissues after the deadline), then
+  /// drains. 0 = run the whole initiator sequence.
+  double duration_s{0.0};
+  /// If > 0: latency SLO threshold in nanoseconds; the result's traffic
+  /// stats report the fraction of completed ops at or under it.
+  std::int64_t slo_ns{0};
+  /// Runs with more potential ops than this record into the HDR
+  /// histogram instead of exact per-op latency slots.
+  std::size_t exact_cap{traffic::TailRecorder::kDefaultExactCap};
   /// Warmup operations issued (closed-loop, same concurrency, cycling
   /// through the initiator sequence) and run to quiescence before the
   /// measured phase. Excluded from the recorder and the rates, and the
@@ -73,25 +74,30 @@ struct WorkloadOptions {
 };
 
 struct WorkloadResult {
+  /// Measured operations issued and completed (every issued op runs to
+  /// completion). Equals the initiator count unless duration_s cut the
+  /// schedule short.
   std::size_t ops{0};
   double wall_seconds{0.0};
   double ops_per_sec{0.0};
-  /// Completion latency per op, nanoseconds.
-  Summary latency_ns;
+  /// Tail latency, SLO attainment and recorder accounting. Open-loop
+  /// latencies are measured from scheduled arrival time.
+  traffic::TrafficStats traffic;
   /// Keyed runs only: key_of_op[op] is the key OpId `op` counted on
-  /// (size warmup + ops — concurrent issuance means OpId order need not
-  /// match the schedule index, so the mapping is recorded at issue
-  /// time). Empty for plain runs.
+  /// (size warmup + initiator count — concurrent issuance means OpId
+  /// order need not match the schedule index, so the mapping is
+  /// recorded at issue time). Empty for plain runs.
   std::vector<KeyId> key_of_op;
 };
 
-/// Issues one operation per entry of `initiators` into `rt` (which must
-/// be fresh: no operations started yet), waits for all completions,
-/// then runs the runtime to quiescence so the caller can read
-/// merged_metrics() and protocol state. Wall time covers first issue to
-/// last completion (not the trailing quiesce). With options.warmup > 0,
-/// that many unrecorded operations run (and quiesce) first; measured
-/// operations then occupy OpIds warmup..warmup+initiators.size()-1.
+/// Issues up to one operation per entry of `initiators` into `rt`
+/// (which must be fresh: no operations started yet), waits for all
+/// issued completions, then runs the runtime to quiescence so the
+/// caller can read merged_metrics() and protocol state. Wall time
+/// covers first issue to last completion (not the trailing quiesce).
+/// With options.warmup > 0, that many unrecorded operations run (and
+/// quiesce) first; measured operations then occupy OpIds
+/// warmup..warmup+result.ops-1.
 WorkloadResult run_workload(ThreadedRuntime& rt,
                             const std::vector<ProcessorId>& initiators,
                             const WorkloadOptions& options = {});

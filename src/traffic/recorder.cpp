@@ -1,0 +1,130 @@
+#include "traffic/recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace dcnt::traffic {
+
+namespace {
+
+/// Process-wide thread registry: each thread gets a stable small id on
+/// first recording, folded onto the per-recorder slot array. Collisions
+/// (more than kThreadSlots distinct threads) only blur the per-thread
+/// split, never the totals.
+std::size_t thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id % TailRecorder::kThreadSlots;
+}
+
+}  // namespace
+
+TailRecorder::TailRecorder(std::size_t max_ops, std::int64_t slo_ns,
+                           std::size_t exact_cap)
+    : issue_ns_(max_ops), slo_ns_(slo_ns) {
+  if (max_ops > exact_cap) {
+    hist_ = std::make_unique<LogHistogram>();
+  } else {
+    latency_ns_.assign(max_ops, -1);
+  }
+}
+
+std::int64_t TailRecorder::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TailRecorder::on_issue(OpId op, std::int64_t scheduled_ns) {
+  DCNT_CHECK(op >= 0 && static_cast<std::size_t>(op) < issue_ns_.size());
+  DCNT_CHECK(scheduled_ns != 0);  // 0 is the "not yet stored" sentinel
+  issue_ns_[static_cast<std::size_t>(op)].store(scheduled_ns,
+                                                std::memory_order_release);
+}
+
+void TailRecorder::on_complete(OpId op, std::int64_t t_ns) {
+  DCNT_CHECK(op >= 0 && static_cast<std::size_t>(op) < issue_ns_.size());
+  // The issuer stamps the scheduled time and stores right after begin_*
+  // returns; if the op completed in between, spin out the tiny window.
+  std::int64_t scheduled;
+  while ((scheduled = issue_ns_[static_cast<std::size_t>(op)].load(
+              std::memory_order_acquire)) == 0) {
+    std::this_thread::yield();
+  }
+  const std::int64_t latency = std::max<std::int64_t>(t_ns - scheduled, 0);
+  if (exact_mode()) {
+    latency_ns_[static_cast<std::size_t>(op)] = latency;
+  } else {
+    hist_->record(latency);
+  }
+  tally(latency);
+}
+
+void TailRecorder::record(std::int64_t latency_ns) {
+  if (exact_mode()) {
+    const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    DCNT_CHECK_MSG(i < latency_ns_.size(), "exact recorder overflow");
+    latency_ns_[i] = std::max<std::int64_t>(latency_ns, 0);
+  } else {
+    hist_->record(std::max<std::int64_t>(latency_ns, 0));
+  }
+  tally(latency_ns);
+}
+
+void TailRecorder::tally(std::int64_t latency_ns) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (slo_ns_ <= 0 || latency_ns <= slo_ns_) {
+    slo_ok_.fetch_add(1, std::memory_order_relaxed);
+  }
+  per_thread_[thread_slot()].v.fetch_add(1, std::memory_order_relaxed);
+}
+
+const LogHistogram& TailRecorder::histogram() const {
+  DCNT_CHECK_MSG(hist_ != nullptr, "histogram() is HDR-mode only");
+  return *hist_;
+}
+
+TrafficStats TailRecorder::stats() const {
+  TrafficStats out;
+  out.slo_ns = slo_ns_;
+  out.exact = exact_mode();
+  out.count = recorded_.load(std::memory_order_acquire);
+  out.slo_ok = slo_ok_.load(std::memory_order_relaxed);
+  for (const PaddedCount& c : per_thread_) {
+    if (c.v.load(std::memory_order_relaxed) > 0) ++out.record_threads;
+  }
+  if (out.count == 0) return out;
+  out.slo_attainment =
+      static_cast<double>(out.slo_ok) / static_cast<double>(out.count);
+  if (exact_mode()) {
+    // Every writer clamps to >= 0, so -1 is unambiguously "never
+    // completed" and skipping it cannot drop a real sample.
+    Summary s;
+    for (const std::int64_t l : latency_ns_) {
+      if (l >= 0) s.add(l);
+    }
+    out.mean_us = s.mean() / 1e3;
+    out.p50_us = static_cast<double>(s.percentile(50)) / 1e3;
+    out.p95_us = static_cast<double>(s.percentile(95)) / 1e3;
+    out.p99_us = static_cast<double>(s.percentile(99)) / 1e3;
+    out.p999_us = static_cast<double>(s.percentile(99.9)) / 1e3;
+    out.p9999_us = static_cast<double>(s.percentile(99.99)) / 1e3;
+    out.max_us = static_cast<double>(s.max()) / 1e3;
+  } else {
+    out.mean_us = hist_->mean() / 1e3;
+    out.p50_us = static_cast<double>(hist_->percentile(50)) / 1e3;
+    out.p95_us = static_cast<double>(hist_->percentile(95)) / 1e3;
+    out.p99_us = static_cast<double>(hist_->percentile(99)) / 1e3;
+    out.p999_us = static_cast<double>(hist_->percentile(99.9)) / 1e3;
+    out.p9999_us = static_cast<double>(hist_->percentile(99.99)) / 1e3;
+    out.max_us = static_cast<double>(hist_->max()) / 1e3;
+    out.hdr_overflow = hist_->overflow();
+  }
+  return out;
+}
+
+}  // namespace dcnt::traffic

@@ -1,0 +1,134 @@
+// TailRecorder: the latency recorder of the traffic engine
+// (DESIGN.md §14), shared by the threaded-runtime workload driver and
+// the socket cluster controller.
+//
+// Two storage modes, chosen once at construction from the run size:
+//   - exact (small runs): one latency slot per op; stats() computes
+//     nearest-rank percentiles over the raw samples, byte-for-byte what
+//     the old LatencyRecorder reported. The reference the HDR mode is
+//     tested against.
+//   - hdr (large runs): a LogHistogram — O(buckets) storage however
+//     many ops run, ~1% relative error on every percentile, mergeable
+//     across workers and nodes. 10^6–10^7-op open-loop runs use this.
+//
+// Timestamps: on_issue stores the op's *scheduled* time (open loop: the
+// arrival timeline's epoch + offset; closed loop: the send time, which
+// IS the scheduled time — a closed-loop client cannot want an op before
+// its previous one completed). on_complete measures against that stamp,
+// so an open-loop run charges a backlogged system for every nanosecond
+// between when the op should have arrived and when it finished —
+// coordinated omission, by construction, cannot hide.
+//
+// SLO attainment: the threshold comparison happens on the raw latency
+// before any bucketing, so slo_ok / count is exact in both modes. The
+// denominator is every completed op (scheduled arrivals that never
+// completed would be caught by the harness' permutation check aborting,
+// not silently dropped from the fraction).
+//
+// Per-thread counters: completions are tallied per recording thread
+// (cache-line-padded slots, thread-registered on first use), so a run
+// reports how many threads actually completed ops — the NVSL-harness
+// style per-worker op counter, without threading worker ids through
+// every completion callback.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "support/stats.hpp"
+#include "traffic/histogram.hpp"
+
+namespace dcnt::traffic {
+
+/// Everything a bench row reports about a run's latency tail. All
+/// latencies in microseconds (the tables' unit).
+struct TrafficStats {
+  std::int64_t count{0};
+  double mean_us{0.0};
+  double p50_us{0.0};
+  double p95_us{0.0};
+  double p99_us{0.0};
+  double p999_us{0.0};
+  double p9999_us{0.0};
+  double max_us{0.0};
+  /// SLO threshold in ns (0 = no SLO configured: slo_ok == count and
+  /// attainment == 1 vacuously).
+  std::int64_t slo_ns{0};
+  std::int64_t slo_ok{0};
+  /// slo_ok / count; 0 when count == 0.
+  double slo_attainment{0.0};
+  /// HDR mode: recordings that saturated the top bucket (0 in exact
+  /// mode; max_us stays exact either way).
+  std::int64_t hdr_overflow{0};
+  /// Distinct threads that recorded completions.
+  std::size_t record_threads{0};
+  /// True when the run used exact per-op storage.
+  bool exact{true};
+};
+
+class TailRecorder {
+ public:
+  /// Runs at or below this many op slots record exactly; larger runs
+  /// switch to the HDR histogram. 2^16 slots of exact storage is ~1 MB
+  /// transient at percentile time — past that, tails come from buckets.
+  static constexpr std::size_t kDefaultExactCap = std::size_t{1} << 16;
+  static constexpr std::size_t kThreadSlots = 64;
+
+  explicit TailRecorder(std::size_t max_ops, std::int64_t slo_ns = 0,
+                        std::size_t exact_cap = kDefaultExactCap);
+
+  /// steady_clock, nanoseconds since an arbitrary epoch.
+  static std::int64_t now_ns();
+
+  bool exact_mode() const { return hist_ == nullptr; }
+  std::int64_t slo_ns() const { return slo_ns_; }
+
+  /// Called by the issuer with the op's scheduled time, immediately
+  /// after begin_* returned `op`. The slot is atomic because the
+  /// completion can race this store (the op may finish on a worker
+  /// before the issuer gets back from begin_*).
+  void on_issue(OpId op, std::int64_t scheduled_ns);
+
+  /// Called from the completion callback; spins out the tiny
+  /// issue-store race if needed, then records t_ns - scheduled.
+  void on_complete(OpId op, std::int64_t t_ns);
+
+  /// Direct recording of a known latency — the merge path (per-worker
+  /// histograms folding into one) and the tests. Instances use either
+  /// the on_issue/on_complete op API or record(), never both: in exact
+  /// mode record() appends at a cursor that would collide with op
+  /// slots.
+  void record(std::int64_t latency_ns);
+
+  /// Percentiles, SLO attainment and per-thread accounting over
+  /// everything recorded. Call after the run (or between phases).
+  TrafficStats stats() const;
+
+  /// HDR mode only: the underlying histogram (merge target / test
+  /// introspection). Aborts in exact mode.
+  const LogHistogram& histogram() const;
+
+ private:
+  void tally(std::int64_t latency_ns);
+
+  std::vector<std::atomic<std::int64_t>> issue_ns_;  ///< 0 = not issued
+  /// Exact mode: latency slot per op, -1 = not completed. Empty in HDR
+  /// mode.
+  std::vector<std::int64_t> latency_ns_;
+  std::atomic<std::size_t> cursor_{0};  ///< exact-mode record() appends
+  std::unique_ptr<LogHistogram> hist_;  ///< HDR mode only
+  std::int64_t slo_ns_;
+  std::atomic<std::int64_t> slo_ok_{0};
+  std::atomic<std::int64_t> recorded_{0};
+
+  struct alignas(64) PaddedCount {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::array<PaddedCount, kThreadSlots> per_thread_{};
+};
+
+}  // namespace dcnt::traffic

@@ -1,0 +1,107 @@
+#include "traffic/shape.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dcnt::traffic {
+
+namespace {
+
+/// A modulated phase may dip to zero offered load (amplitude = 1); the
+/// timeline still needs finite inter-arrival gaps, so the instantaneous
+/// rate never drops below this fraction of the mean.
+constexpr double kRateFloorFraction = 1e-3;
+
+}  // namespace
+
+double RateShape::rate_at(double t_s) const {
+  DCNT_CHECK(rate > 0.0);
+  double r = rate;
+  switch (kind) {
+    case Kind::kConstant:
+      break;
+    case Kind::kBurst: {
+      // Square wave preserving the mean: duty*high + (1-duty)*low =
+      // rate with low = rate*(1-amplitude).
+      const double phase = t_s / period_s - std::floor(t_s / period_s);
+      const double low = rate * (1.0 - amplitude);
+      const double high = rate * (1.0 + amplitude * (1.0 - duty) / duty);
+      r = phase < duty ? high : low;
+      break;
+    }
+    case Kind::kDiurnal:
+      r = rate * (1.0 + amplitude * std::sin(2.0 * M_PI * t_s / period_s));
+      break;
+  }
+  return std::max(r, rate * kRateFloorFraction);
+}
+
+std::string RateShape::describe() const {
+  char buf[128];
+  switch (kind) {
+    case Kind::kConstant:
+      std::snprintf(buf, sizeof(buf), "constant");
+      break;
+    case Kind::kBurst:
+      std::snprintf(buf, sizeof(buf), "burst(T=%g,a=%g,d=%g)", period_s,
+                    amplitude, duty);
+      break;
+    case Kind::kDiurnal:
+      std::snprintf(buf, sizeof(buf), "diurnal(T=%g,a=%g)", period_s,
+                    amplitude);
+      break;
+  }
+  return buf;
+}
+
+RateShape make_shape(const std::string& kind, double rate, double period_s,
+                     double amplitude, double duty) {
+  RateShape shape;
+  if (kind == "constant" || kind.empty()) {
+    shape.kind = RateShape::Kind::kConstant;
+  } else if (kind == "burst") {
+    shape.kind = RateShape::Kind::kBurst;
+  } else if (kind == "diurnal") {
+    shape.kind = RateShape::Kind::kDiurnal;
+  } else {
+    DCNT_CHECK_MSG(false, "unknown rate shape (constant|burst|diurnal)");
+  }
+  shape.rate = rate;
+  DCNT_CHECK_MSG(period_s > 0.0, "shape period must be positive");
+  shape.period_s = period_s;
+  DCNT_CHECK_MSG(amplitude >= 0.0 && amplitude <= 1.0,
+                 "shape amplitude must be in [0, 1]");
+  shape.amplitude = amplitude;
+  DCNT_CHECK_MSG(duty > 0.0 && duty < 1.0, "burst duty must be in (0, 1)");
+  shape.duty = duty;
+  return shape;
+}
+
+ArrivalTimeline::ArrivalTimeline(const RateShape& shape) : shape_(shape) {
+  DCNT_CHECK_MSG(shape.rate > 0.0, "an arrival timeline needs a rate");
+}
+
+std::int64_t ArrivalTimeline::next_ns() {
+  if (shape_.kind == RateShape::Kind::kConstant) {
+    // Closed form: no drift however many arrivals are drawn.
+    const double period_ns = 1e9 / shape_.rate;
+    return static_cast<std::int64_t>(period_ns *
+                                     static_cast<double>(index_++));
+  }
+  if (index_++ == 0) return 0;
+  t_ns_ += 1e9 / shape_.rate_at(t_ns_ / 1e9);
+  return static_cast<std::int64_t>(t_ns_);
+}
+
+std::size_t count_arrivals(const RateShape& shape, double duration_s,
+                           std::size_t cap) {
+  DCNT_CHECK(duration_s > 0.0);
+  const auto budget_ns = static_cast<std::int64_t>(duration_s * 1e9);
+  ArrivalTimeline timeline(shape);
+  std::size_t n = 0;
+  while (n < cap && timeline.next_ns() < budget_ns) ++n;
+  return n;
+}
+
+}  // namespace dcnt::traffic

@@ -1,0 +1,82 @@
+// Offered-load shapes and the deterministic arrival timeline behind
+// open-loop generation (DESIGN.md §14).
+//
+// An open-loop run is defined by WHEN each operation should arrive, not
+// by when the system got around to sending it. RateShape describes the
+// target rate as a function of time — constant, burst (square wave) or
+// diurnal (sinusoid), all preserving the requested mean rate — and
+// ArrivalTimeline integrates it into a strictly increasing sequence of
+// scheduled arrival offsets. The timeline is a pure function of the
+// shape parameters: the same shape yields the identical schedule on
+// every run and on every host, which is what makes scheduled-op counts
+// pinnable in tests and lets a completion handler treat the scheduled
+// time as ground truth.
+//
+// Coordinated omission: latency measured from the scheduled arrival
+// (not from the moment the generator finally sent the op) charges a
+// stalled system for the backlog it caused. The generator never skips
+// an arrival — if it falls behind it issues late, and the lateness is
+// part of the op's measured latency, exactly as a real client's request
+// would have queued.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dcnt::traffic {
+
+struct RateShape {
+  enum class Kind { kConstant, kBurst, kDiurnal };
+
+  Kind kind{Kind::kConstant};
+  /// Mean offered rate, ops/second. > 0 selects open-loop generation.
+  double rate{0.0};
+  /// Cycle length for burst and diurnal shapes.
+  double period_s{1.0};
+  /// Modulation depth in [0, 1]. Burst: the low phase runs at
+  /// rate*(1-amplitude) and the high phase at whatever preserves the
+  /// mean given `duty`. Diurnal: rate*(1 + amplitude*sin(2*pi*t/T)).
+  double amplitude{0.5};
+  /// Burst only: fraction of each period spent in the high phase.
+  double duty{0.5};
+
+  /// Instantaneous target rate at time t (seconds since the run epoch).
+  /// Never returns 0 — a zero-rate phase would schedule the next
+  /// arrival at infinity — so the floor is a small fraction of `rate`.
+  double rate_at(double t_s) const;
+
+  /// "constant" / "burst" / "diurnal" with the parameters, for tables
+  /// and BENCH JSONs.
+  std::string describe() const;
+};
+
+/// Builds a shape from the bench-flag vocabulary: kind is "constant",
+/// "burst" or "diurnal" (anything else aborts), the rest pass through.
+RateShape make_shape(const std::string& kind, double rate, double period_s,
+                     double amplitude, double duty);
+
+/// The deterministic arrival sequence: offsets in nanoseconds from the
+/// run epoch, first arrival at 0, strictly increasing afterwards.
+/// Constant shapes compute offsets in closed form (no accumulated
+/// drift); modulated shapes integrate dt = 1/rate_at(t) step by step.
+class ArrivalTimeline {
+ public:
+  explicit ArrivalTimeline(const RateShape& shape);
+
+  /// Scheduled offset of the next arrival, consuming it.
+  std::int64_t next_ns();
+
+ private:
+  RateShape shape_;
+  std::size_t index_{0};  ///< arrivals handed out so far
+  double t_ns_{0.0};      ///< modulated shapes: current offset
+};
+
+/// Arrivals the timeline schedules strictly before `duration_s`, capped
+/// at `cap` (duration runs size their op tables with this). A pure
+/// function of (shape, duration), pinned exactly in test_perf_smoke.
+std::size_t count_arrivals(const RateShape& shape, double duration_s,
+                           std::size_t cap);
+
+}  // namespace dcnt::traffic

@@ -15,6 +15,7 @@
 #include "harness/factory.hpp"
 #include "harness/throughput.hpp"
 #include "service/multi_counter.hpp"
+#include "traffic/shape.hpp"
 
 namespace dcnt {
 namespace {
@@ -246,6 +247,76 @@ TEST(PerfSmoke, KeyedMultiKeyLoadsMatchClosedForm) {
   EXPECT_EQ(res.hot_key_max_load, expected_hot_load);
   EXPECT_EQ(res.hot_key_messages, expected_hot_load);
   EXPECT_EQ(res.base.total_messages, expected_total);
+}
+
+// The arrival timeline is a pure function of the shape: scheduled-op
+// counts for the constant and burst shapes are exact integers that any
+// IEEE-754 host reproduces (only division and floor are involved —
+// diurnal goes through libm's sin and is deliberately NOT pinned).
+// These are the op-table sizes a duration-bounded open-loop run
+// allocates; a drifting integrator or an off-by-one at the budget edge
+// shows up here before it shows up as a mysterious BENCH row change.
+TEST(PerfSmoke, TrafficScheduledArrivalCountsPinned) {
+  // 20 kops/s for 50 ms: arrivals at i * 50 µs strictly before the
+  // budget — exactly 1000, closed form, no drift.
+  const traffic::RateShape constant =
+      traffic::make_shape("constant", 20'000, 1.0, 0.5, 0.5);
+  EXPECT_EQ(traffic::count_arrivals(constant, 0.05, 1 << 20), 1'000u);
+
+  // Full-amplitude burst (duty 0.5): the high phase runs at 2x for the
+  // first 5 ms (201 arrivals, endpoints included), then the floored
+  // low phase schedules the next arrival 50 ms out — past the budget.
+  const traffic::RateShape burst =
+      traffic::make_shape("burst", 20'000, 0.01, 1.0, 0.5);
+  EXPECT_EQ(traffic::count_arrivals(burst, 0.05, 1 << 20), 201u);
+
+  // A gentler burst over whole periods lands on mean-rate * duration
+  // plus the t=0 arrival: 150 kops/s * 0.1 s + 1.
+  const traffic::RateShape burst2 =
+      traffic::make_shape("burst", 150'000, 0.02, 0.5, 0.25);
+  EXPECT_EQ(traffic::count_arrivals(burst2, 0.1, 1 << 20), 15'001u);
+
+  // The cap binds exactly.
+  EXPECT_EQ(traffic::count_arrivals(constant, 0.05, 170), 170u);
+}
+
+// Open-loop traffic fields at the checked-in baseline scale: the open
+// loop reorders WHEN ops are issued, never WHICH ops run, so the
+// central counter's schedule-independent message totals match the
+// closed-loop 480 pin exactly; and the SLO denominator is every
+// completed measured op — identical in exact and HDR recorder modes,
+// so switching storage can never shift the attainment fraction's base.
+TEST(PerfSmoke, ThroughputOpenLoopTrafficFieldsPinned) {
+  ThroughputOptions options;
+  options.workers = 2;
+  options.ops = 256;
+  options.warmup = 32;
+  options.concurrency = 16;
+  options.seed = 7;
+  options.initiators = "roundrobin";
+  options.open_rate = 200'000;  // well over capacity is fine: never skips
+  options.shape = "constant";
+  options.slo_us = 1'000;
+
+  for (const std::size_t exact_cap : {std::size_t{1} << 16, std::size_t{64}}) {
+    options.exact_cap = exact_cap;
+    const ThroughputResult res =
+        run_throughput(std::make_unique<CentralCounter>(16), options);
+    ASSERT_TRUE(res.values_ok) << "cap=" << exact_cap;
+    // The generator never drops a scheduled arrival: all 256 issue and
+    // complete, and every one of them is in the SLO denominator.
+    EXPECT_EQ(res.ops, 256u) << "cap=" << exact_cap;
+    EXPECT_EQ(res.slo_den, 256) << "cap=" << exact_cap;
+    EXPECT_GE(res.slo_ok, 0);
+    EXPECT_LE(res.slo_ok, res.slo_den);
+    // Storage mode follows the cap: 288 op slots vs 64.
+    EXPECT_EQ(res.hdr_recorder, exact_cap < 288) << "cap=" << exact_cap;
+    // Same 15-of-16-remote closed form as the closed-loop pin above.
+    EXPECT_EQ(res.total_messages, 480) << "cap=" << exact_cap;
+    EXPECT_EQ(res.max_load, 480) << "cap=" << exact_cap;
+    EXPECT_GT(res.p99_us, 0.0);
+    EXPECT_GE(res.max_us, res.p99_us);
+  }
 }
 
 }  // namespace

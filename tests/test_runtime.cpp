@@ -171,7 +171,8 @@ TEST(ThreadedRuntime, CentralLoadAccountingIsExact) {
     const WorkloadResult run = run_workload(rt, initiators, wl);
     EXPECT_EQ(run.ops, ops);
     EXPECT_GT(run.ops_per_sec, 0.0);
-    EXPECT_EQ(run.latency_ns.count(), ops);
+    EXPECT_EQ(static_cast<std::size_t>(run.traffic.count), ops);
+    EXPECT_TRUE(run.traffic.exact);  // small run: exact per-op storage
 
     const Metrics m = rt.merged_metrics();
     EXPECT_EQ(m.total_messages(), 2 * remote);
