@@ -32,7 +32,10 @@
 // With --open_rate > 0 (on by default under --quick) an "inproc-open"
 // row drives the fabric open-loop on the deterministic arrival
 // timeline, with latency measured from scheduled arrival and SLO
-// attainment at --slo_us.
+// attainment at --slo_us — plus a "tcp-open" row doing the same against
+// the real socket cluster (keyed Starts paced per op; the controller
+// forces batch=1 in the open loop, so queueing in the mesh counts
+// against the tail, coordinated-omission-free).
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -138,6 +141,10 @@ KeyRow from_cluster(const net::ClusterResult& r, const std::string& key_dist,
   row.ops_per_sec = r.ops_per_sec;
   row.p50_us = r.p50_us;
   row.p99_us = r.p99_us;
+  row.p999_us = r.p999_us;
+  row.max_us = r.max_us;
+  row.slo_attainment = r.slo_attainment;
+  row.hdr_recorder = r.hdr_recorder;
   row.total_messages = r.total_messages;
   row.max_load = r.max_load;
   row.hot_key = r.hot_key;
@@ -318,6 +325,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Open-loop keyed row on the real cluster: same arrival timeline as
+  // the inproc-open row, but the Starts cross actual sockets. Batch is
+  // forced to 1 by the controller (pacing is per op), so the comparison
+  // against the batched closed-loop tcp rows prices what coalescing
+  // buys and what open-loop pacing costs.
+  if (open_rate > 0.0) {
+    net::ClusterOptions copt;
+    copt.counter = counter;
+    copt.min_processors = n;
+    copt.nodes = nodes;
+    copt.ops = quick ? 256 : 2048;
+    copt.warmup = warmup;
+    copt.seed = seed;
+    copt.keys = cluster_keys;
+    copt.key_dist = "zipf";
+    copt.key_skew = 0.99;
+    copt.open_rate = open_rate;
+    copt.shape = shape;
+    copt.slo_us = slo_us;
+    KeyRow row = from_cluster(net::run_cluster(copt), "zipf", 0.99, 1, 0);
+    row.mode = "tcp-open";
+    row.rate = open_rate;
+    rows.push_back(row);
+  }
+
   Table table({"mode", "keys", "dist", "par", "batch", "ops", "cap", "inc/s",
                "p99_us", "max_load", "hot_ops", "hk_max", "hk/op", "touched",
                "evict", "rehyd"});
@@ -367,7 +399,7 @@ int main(int argc, char** argv) {
     json.field("ops_per_sec", r.ops_per_sec, 1);
     json.field("p50_us", r.p50_us, 2);
     json.field("p99_us", r.p99_us, 2);
-    if (r.mode == "inproc-open") {
+    if (r.mode == "inproc-open" || r.mode == "tcp-open") {
       json.field("rate", r.rate, 1);
       json.field("shape", shape);
       json.field("p999_us", r.p999_us, 2);

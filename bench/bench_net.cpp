@@ -31,6 +31,17 @@
 // controller, so at D>1 it includes queueing behind the same slot's
 // earlier ops.
 //
+// With --inflight_list set (default 1,8,64,256), each counter also runs
+// "tcp-conc" rows: the concurrency plane's closed-loop window sweep on
+// the real TCP mesh. Each of the --concurrency slots keeps F ops
+// outstanding (window = concurrency * F), the controller records every
+// op's (invoke, response, value) triple in a history buffer, and
+// check_linearizable runs over the real socket history after quiesce —
+// the lin/viol columns are measured, not assumed. Serializing counters
+// (tree, central, combining, elastic) must come back linearizable at
+// every F; balancer-based ones (diffracting, counting networks) are
+// only quiescent-consistent and may not.
+//
 // With --rates set, each counter also runs open-loop "tcp-open" rows:
 // the controller paces Starts on a deterministic arrival timeline
 // (--shape/--period/--amplitude/--duty) and stamps latency from each
@@ -40,12 +51,14 @@
 //
 //   $ bench_net [--counters=tree,central] [--n=16] [--nodes=4]
 //               [--ops_factor=16] [--concurrency=16] [--drop=0.05]
-//               [--pipelines=1,8] [--loops=1] [--shards_per_node=0]
+//               [--pipelines=1,8] [--inflight_list=1,8,64,256]
+//               [--loops=1] [--shards_per_node=0]
 //               [--backend=] [--warmup=64] [--seed=7]
 //               [--rates=] [--shape=constant] [--period=1]
 //               [--amplitude=0.5] [--duty=0.5] [--duration=0]
 //               [--slo_us=0] [--exact_cap=65536]
 //               [--out=BENCH_net.json]
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -55,6 +68,7 @@
 #include "harness/cluster.hpp"
 #include "harness/factory.hpp"
 #include "harness/throughput.hpp"
+#include "support/check.hpp"
 #include "support/flags.hpp"
 #include "support/table.hpp"
 
@@ -65,8 +79,9 @@ namespace {
 /// One row of the comparison, whichever runtime produced it.
 struct NetRow {
   std::string counter;
-  std::string mode;  ///< "inproc", "tcp", "udp", "udp-lossy"
+  std::string mode;  ///< "inproc", "tcp", "udp", "udp-lossy", "tcp-conc"
   std::size_t pipeline{1};  ///< closed-loop depth per slot (1 for inproc)
+  std::size_t inflight{0};  ///< tcp-conc rows: F ops outstanding per slot
   std::size_t n{0};
   std::size_t parallelism{0};  ///< workers (inproc) or nodes (cluster)
   std::size_t ops{0};
@@ -93,6 +108,11 @@ struct NetRow {
   double max_us{0.0};
   double slo_attainment{0.0};
   bool hdr_recorder{false};
+  /// Linearizability verdict over the run's real recorded history
+  /// (concurrent::check_linearizable; lin_checked says it ran).
+  bool lin_checked{false};
+  bool linearizable{false};
+  std::int64_t lin_violations{0};
 };
 
 NetRow from_throughput(const ThroughputResult& r) {
@@ -109,6 +129,9 @@ NetRow from_throughput(const ThroughputResult& r) {
   row.p99_us = r.p99_us;
   row.total_messages = r.total_messages;
   row.max_load = r.max_load;
+  row.lin_checked = r.lin_checked;
+  row.linearizable = r.linearizable;
+  row.lin_violations = r.lin_violations;
   return row;
 }
 
@@ -138,6 +161,9 @@ NetRow from_cluster(const net::ClusterResult& r, const std::string& mode,
   row.max_us = r.max_us;
   row.slo_attainment = r.slo_attainment;
   row.hdr_recorder = r.hdr_recorder;
+  row.lin_checked = r.lin_checked;
+  row.linearizable = r.linearizable;
+  row.lin_violations = r.lin_violations;
   if (r.wire_write_syscalls > 0) {
     row.bytes_per_write = static_cast<double>(r.wire_bytes_sent) /
                           static_cast<double>(r.wire_write_syscalls);
@@ -153,9 +179,9 @@ int main(int argc, char** argv) {
       "NET: socket cluster runtime vs in-process runtime at matched "
       "protocol/n/parallelism",
       {"amplitude", "backend", "concurrency", "counters", "drop", "duration",
-       "duty", "exact_cap", "loops", "n", "nodes", "ops_factor", "out",
-       "period", "pipelines", "rates", "seed", "shape", "shards_per_node",
-       "slo_us", "warmup"});
+       "duty", "exact_cap", "inflight_list", "loops", "n", "nodes",
+       "ops_factor", "out", "period", "pipelines", "rates", "seed", "shape",
+       "shards_per_node", "slo_us", "warmup"});
   const auto counters =
       parse_string_list(flags.get_string("counters", "tree,central"));
   const std::int64_t n = flags.get_int("n", 16);
@@ -165,6 +191,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("concurrency", 16));
   const double drop = flags.get_double("drop", 0.05);
   const auto pipelines = parse_int_list(flags.get_string("pipelines", "1,8"));
+  // tcp-conc window sweep (empty disables): F outstanding ops per slot,
+  // linearizability checked over the real socket history.
+  const auto inflight_list =
+      parse_int_list(flags.get_string("inflight_list", "1,8,64,256"));
   const auto loops = static_cast<std::uint32_t>(flags.get_int("loops", 1));
   // Default 0 = inline drive (the event-loop thread runs the protocol
   // shard itself): the fastest topology wherever nodes outnumber cores,
@@ -189,8 +219,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("exact_cap", 1 << 16));
 
   Table table({"counter", "mode", "pipe", "n", "par", "ops", "inc/s", "p50_us",
-               "p99_us", "total_msgs", "max_load", "wire_msgs", "wr_B",
-               "retx"});
+               "p99_us", "total_msgs", "max_load", "wire_msgs", "wr_B", "retx",
+               "lin", "viol"});
   std::vector<NetRow> rows;
 
   for (const std::string& name : counters) {
@@ -247,6 +277,35 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Concurrency-plane rows on the TCP plane: each client slot keeps F
+    // ops outstanding; the op count is scaled so every window refills a
+    // few times, and the linearizability verdict comes from the real
+    // socket history (serializing counters must pass at every F).
+    for (const std::int64_t f : inflight_list) {
+      const auto inflight = static_cast<std::size_t>(f > 0 ? f : 1);
+      const std::size_t window = concurrency * inflight;
+      net::ClusterOptions copt;
+      copt.counter = name;
+      copt.min_processors = n;
+      copt.nodes = nodes;
+      copt.ops = static_cast<std::int64_t>(std::max(ops, 4 * window));
+      copt.concurrency = concurrency;
+      copt.inflight = inflight;
+      copt.loops = loops;
+      copt.shards_per_node = shards_per_node;
+      copt.backend = backend;
+      copt.warmup = warmup;
+      copt.seed = seed;
+      NetRow row = from_cluster(net::run_cluster(copt), "tcp-conc", inflight);
+      row.inflight = inflight;
+      DCNT_CHECK_MSG(row.lin_checked, "tcp-conc row without a lin verdict");
+      if (expected_linearizable(kind)) {
+        DCNT_CHECK_MSG(row.linearizable,
+                       "serializing counter failed linearizability on TCP");
+      }
+      rows.push_back(row);
+    }
+
     // Open-loop rows on the TCP plane: one per offered rate.
     for (const double rate : rates) {
       net::ClusterOptions copt;
@@ -288,7 +347,9 @@ int main(int argc, char** argv) {
         .add(r.max_load)
         .add(r.wire_msgs)
         .add(r.bytes_per_write, 1)
-        .add(r.retransmissions);
+        .add(r.retransmissions)
+        .add(r.lin_checked ? (r.linearizable ? "y" : "NO") : "-")
+        .add(r.lin_violations);
   }
   table.print(std::cout,
               "NET: in-process runtime vs multi-process socket cluster "
@@ -330,6 +391,13 @@ int main(int argc, char** argv) {
       json.field("slo_attainment", r.slo_attainment, 6);
       json.field("hdr_recorder", r.hdr_recorder ? 1 : 0);
     }
+    if (r.mode == "tcp-conc") {
+      json.field("inflight", r.inflight);
+      json.field("window", r.inflight * concurrency);
+    }
+    json.field("lin_checked", r.lin_checked ? 1 : 0);
+    json.field("linearizable", r.linearizable ? 1 : 0);
+    json.field("lin_violations", r.lin_violations);
     json.field("total_messages", r.total_messages);
     json.field("max_load", r.max_load);
     json.field("wire_msgs", r.wire_msgs);

@@ -34,6 +34,19 @@
 // capacity, p99 growing with run length is the open-loop saturation
 // signature the closed loop structurally cannot show.
 //
+// Concurrency-plane rows (CONC, --inflight_list non-empty): closed-loop
+// runs where every client slot keeps --inflight ops outstanding (window
+// = concurrency * inflight), the per-op (invoke, response, value)
+// history is captured live, and check_linearizable runs over it after
+// quiescence. The table re-ranks the counters as the overlap deepens
+// and reports each row's linearizability verdict: serializing counters
+// (tree, central, combining) must show zero violations at every depth
+// (enforced — the row aborts otherwise), while the diffracting tree is
+// only quiescently consistent and MAY invert real-time order. The
+// section ends with elastic-tree rows: a scripted k=2 -> k=3 migration
+// fires mid-run and the run completing proves value exactness across
+// the resize (resz column = completed migrations, enforced >= 1).
+//
 // Flags: --counters=tree,central,combining,diffracting
 //        --workers_list=1,2,4,8 (0 = auto: --threads, DCNT_THREADS, or
 //        all cores) --n=16 --ops_factor=16 --concurrency=16
@@ -55,8 +68,10 @@
 #include "traffic/recorder.hpp"
 
 #include "bench_util.hpp"
+#include "concurrent/elastic_tree.hpp"
 #include "harness/factory.hpp"
 #include "harness/throughput.hpp"
+#include "support/check.hpp"
 #include "support/flags.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -67,11 +82,11 @@ int main(int argc, char** argv) {
   const Flags flags = parse_bench_flags(
       argc, argv,
       "THRU: wall-clock inc throughput on the threaded runtime",
-      {"amplitude", "concurrency", "counters", "dist", "duration", "duty",
-       "exact_cap", "n", "open_counters", "open_ops_list", "open_rate",
-       "open_workers", "ops_factor", "out", "period", "quick", "rates",
-       "seed", "shape", "slo_us", "threads", "warmup", "workers_list",
-       "zipf_s"});
+      {"amplitude", "conc_counters", "conc_workers", "concurrency",
+       "counters", "dist", "duration", "duty", "exact_cap", "inflight_list",
+       "n", "open_counters", "open_ops_list", "open_rate", "open_workers",
+       "ops_factor", "out", "period", "quick", "rates", "seed", "shape",
+       "slo_us", "threads", "warmup", "workers_list", "zipf_s"});
   const bool quick = flags.get_bool("quick", false);
   const auto counters = parse_string_list(flags.get_string(
       "counters", quick ? "tree,central" : "tree,central,combining,diffracting"));
@@ -115,6 +130,15 @@ int main(int argc, char** argv) {
       quick ? 1024
             : static_cast<std::int64_t>(
                   dcnt::traffic::TailRecorder::kDefaultExactCap)));
+  // CONC sweep: in-flight depths per closed-loop slot. Empty disables
+  // the section.
+  const auto inflight_list = parse_int_list(flags.get_string(
+      "inflight_list", quick ? "1,8" : "1,8,64,256"));
+  const auto conc_counters = parse_string_list(flags.get_string(
+      "conc_counters", quick ? "tree,central,diffracting"
+                             : "tree,central,combining,diffracting"));
+  const auto conc_workers =
+      static_cast<std::size_t>(flags.get_int("conc_workers", quick ? 2 : 4));
 
   Table table({"counter", "n", "W", "ops", "inc/s", "p50_us", "p95_us",
                "p99_us", "max_load", "total_msgs"});
@@ -183,6 +207,124 @@ int main(int argc, char** argv) {
     if (row.w_hi <= row.w_lo || row.lo <= 0.0) continue;
     std::cout << "scaling " << counter << ": W=" << row.w_hi << " / W="
               << row.w_lo << " = " << row.hi / row.lo << "x\n";
+  }
+
+  // CONC: the concurrency plane. Each row keeps concurrency * F incs
+  // outstanding, captures the live (invoke, response, value) history,
+  // and runs check_linearizable over it after quiescence. Serializing
+  // counters are *enforced* linearizable at every depth; the
+  // diffracting tree is only quiescently consistent, so its verdict is
+  // reported, not asserted. The final rows run the elastic tree with a
+  // scripted k=2 -> k=3 migration; resz >= 1 is enforced, and the
+  // permutation check inside run_throughput proves the values stayed
+  // exact across the resize.
+  struct ConcRow {
+    ThroughputResult res;
+    std::size_t inflight{0};
+    std::size_t window{0};
+    bool must_linearize{false};
+  };
+  std::vector<ConcRow> conc_rows;
+  if (!inflight_list.empty()) {
+    Table conc_table({"counter", "F", "window", "ops", "inc/s", "p50_us",
+                      "p99_us", "lin", "viol", "resz"});
+    const auto run_conc = [&](std::unique_ptr<CounterProtocol> protocol,
+                              std::size_t inflight, bool must_linearize) {
+      const std::size_t window = concurrency * inflight;
+      ThroughputOptions options;
+      options.workers = conc_workers;
+      // Enough ops that the window is the steady state, not the whole
+      // run (and, for the elastic rows, that the migration threshold is
+      // crossed with room to run in the new epoch).
+      options.ops = std::max<std::size_t>(
+          static_cast<std::size_t>(ops_factor) * protocol->num_processors(),
+          4 * window);
+      options.concurrency = concurrency;
+      options.inflight = inflight;
+      options.initiators = dist;
+      options.zipf_s = zipf_s;
+      options.seed = seed;
+      options.warmup = warmup;
+      const ThroughputResult res = run_throughput(std::move(protocol), options);
+      DCNT_CHECK_MSG(res.lin_checked, "CONC row skipped its history check");
+      if (must_linearize) {
+        DCNT_CHECK_MSG(res.linearizable,
+                       "serializing counter produced a non-linearizable "
+                       "history");
+      }
+      conc_rows.push_back(ConcRow{res, inflight, window, must_linearize});
+      conc_table.row()
+          .add(res.counter)
+          .add(static_cast<std::int64_t>(inflight))
+          .add(static_cast<std::int64_t>(window))
+          .add(static_cast<std::int64_t>(res.ops))
+          .add(res.ops_per_sec, 0)
+          .add(res.p50_us, 1)
+          .add(res.p99_us, 1)
+          .add(res.linearizable ? "y" : "N")
+          .add(res.lin_violations)
+          .add(static_cast<std::int64_t>(res.elastic_resizes));
+    };
+    for (const std::string& name : conc_counters) {
+      const CounterKind kind = counter_kind_from_string(name);
+      for (const std::int64_t f : inflight_list) {
+        auto protocol = make_counter(kind, n);
+        if (conc_workers > 1 && !protocol->shard_safe()) continue;
+        run_conc(std::move(protocol), static_cast<std::size_t>(f),
+                 expected_linearizable(kind));
+      }
+    }
+    for (const std::int64_t f : inflight_list) {
+      concurrent::ElasticTreeParams params;
+      params.initial_k = 2;
+      params.min_k = 2;
+      params.max_k = 3;
+      // Low threshold so a round-robin schedule crosses it early: the
+      // first processor to issue 16 ops into epoch 0 triggers the
+      // scripted step.
+      params.resize_period = 16;
+      params.plan = {concurrent::ElasticStep{3, 0}};
+      auto protocol = std::make_unique<concurrent::ElasticTreeCounter>(params);
+      // The demo needs the migration threshold crossed well before the
+      // run drains: every processor sees resize_period ops after
+      // n * resize_period round-robin issues.
+      const std::size_t floor_ops = 2 * protocol->num_processors() * 16;
+      ThroughputOptions options;
+      options.workers = conc_workers;
+      options.ops = std::max<std::size_t>(4 * concurrency *
+                                              static_cast<std::size_t>(f),
+                                          floor_ops);
+      options.concurrency = concurrency;
+      options.inflight = static_cast<std::size_t>(f);
+      options.initiators = dist;
+      options.zipf_s = zipf_s;
+      options.seed = seed;
+      options.warmup = warmup;
+      const ThroughputResult res = run_throughput(std::move(protocol), options);
+      DCNT_CHECK_MSG(res.lin_checked && res.linearizable,
+                     "elastic tree produced a non-linearizable history");
+      DCNT_CHECK_MSG(res.elastic_resizes >= 1,
+                     "elastic demo row completed no migration");
+      conc_rows.push_back(ConcRow{res, static_cast<std::size_t>(f),
+                                  concurrency * static_cast<std::size_t>(f),
+                                  true});
+      conc_table.row()
+          .add(res.counter)
+          .add(f)
+          .add(static_cast<std::int64_t>(concurrency *
+                                         static_cast<std::size_t>(f)))
+          .add(static_cast<std::int64_t>(res.ops))
+          .add(res.ops_per_sec, 0)
+          .add(res.p50_us, 1)
+          .add(res.p99_us, 1)
+          .add(res.linearizable ? "y" : "N")
+          .add(res.lin_violations)
+          .add(static_cast<std::int64_t>(res.elastic_resizes));
+    }
+    conc_table.print(
+        std::cout,
+        "CONC: overlapping in-flight incs (window = concurrency * F), "
+        "check_linearizable over every measured history");
   }
 
   // Open-loop traffic-engine rows: every (counter, rate, op-budget)
@@ -306,6 +448,33 @@ int main(int argc, char** argv) {
     json.field("hdr_recorder", r.hdr_recorder ? 1 : 0);
     json.field("hdr_overflow", r.hdr_overflow);
     json.field("record_threads", r.record_threads);
+    json.field("total_messages", r.total_messages);
+    json.field("max_load", r.max_load);
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_array("concurrent");
+  for (const ConcRow& row : conc_rows) {
+    const ThroughputResult& r = row.res;
+    json.begin_object();
+    json.field("counter", r.counter);
+    json.field("n", r.n);
+    json.field("workers", r.workers);
+    json.field("inflight", row.inflight);
+    json.field("window", row.window);
+    json.field("ops", r.ops);
+    json.field("wall_seconds", r.wall_seconds, 4);
+    json.field("ops_per_sec", r.ops_per_sec, 1);
+    json.field("mean_us", r.mean_us, 2);
+    json.field("p50_us", r.p50_us, 2);
+    json.field("p99_us", r.p99_us, 2);
+    json.field("p999_us", r.p999_us, 2);
+    json.field("expected_linearizable", row.must_linearize ? 1 : 0);
+    json.field("linearizable", r.linearizable ? 1 : 0);
+    json.field("lin_violations", r.lin_violations);
+    json.field("elastic_resizes", r.elastic_resizes);
+    json.field("elastic_epochs", r.elastic_epochs);
+    json.field("elastic_final_k", r.elastic_final_k);
     json.field("total_messages", r.total_messages);
     json.field("max_load", r.max_load);
     json.end_object();

@@ -1,53 +1,8 @@
 #include "analysis/linearizability.hpp"
 
-#include <algorithm>
-
 #include "support/check.hpp"
 
 namespace dcnt {
-
-LinearizabilityReport check_linearizable(
-    std::vector<CounterOpRecord> history) {
-  LinearizabilityReport report;
-  if (history.empty()) return report;
-
-  // Sweep invocations in time order; maintain the maximum value among
-  // operations that had already responded strictly earlier. A violation
-  // is an invocation whose (eventual) value undercuts that maximum.
-  std::vector<CounterOpRecord> by_inv = history;
-  std::sort(by_inv.begin(), by_inv.end(),
-            [](const CounterOpRecord& a, const CounterOpRecord& b) {
-              return a.invoked < b.invoked;
-            });
-  std::vector<CounterOpRecord> by_resp = history;
-  std::sort(by_resp.begin(), by_resp.end(),
-            [](const CounterOpRecord& a, const CounterOpRecord& b) {
-              return a.responded < b.responded;
-            });
-
-  std::size_t resp_idx = 0;
-  Value max_completed_value = -1;
-  OpId max_completed_op = kNoOp;
-  for (const CounterOpRecord& b : by_inv) {
-    while (resp_idx < by_resp.size() &&
-           by_resp[resp_idx].responded < b.invoked) {
-      if (by_resp[resp_idx].value > max_completed_value) {
-        max_completed_value = by_resp[resp_idx].value;
-        max_completed_op = by_resp[resp_idx].op;
-      }
-      ++resp_idx;
-    }
-    if (max_completed_value > b.value) {
-      ++report.violations;
-      if (report.linearizable) {
-        report.linearizable = false;
-        report.first_a = max_completed_op;
-        report.first_b = b.op;
-      }
-    }
-  }
-  return report;
-}
 
 std::vector<CounterOpRecord> counter_history(const Simulator& sim) {
   std::vector<CounterOpRecord> history;

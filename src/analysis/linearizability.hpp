@@ -1,48 +1,20 @@
-// Linearizability of concurrent counting histories, after the
-// distinction drawn in Herlihy, Shavit & Waarts, "Linearizable counting
-// networks" [HSW96] (cited by the paper): counting networks are
-// correct *quiescently* but hand out values that can invert real-time
-// order, while serializing structures (a central counter, a combining
-// tree, the paper's tree) are linearizable.
+// Linearizability of concurrent counting histories — analysis-side
+// entry point.
 //
-// For a counter handing out distinct values 0..m-1, a history is
-// linearizable iff no operation A that *responded* before operation B
-// was *invoked* received a larger value:
-//
-//     resp(A) < inv(B)  =>  val(A) < val(B).
-//
-// (Sufficiency: order ops by value; the condition makes that total
-// order consistent with real time, and by construction each op returns
-// its predecessor count — a legal sequential counter execution.)
+// The record type, the checker itself and the lock-free capture buffer
+// live in src/concurrent/history.hpp (the concurrency plane, below the
+// harness layer, so real runtime and cluster histories can be checked
+// where they are produced); this header re-exports them and adds the
+// simulator extraction helper.
 #pragma once
 
-#include <cstdint>
 #include <vector>
 
+#include "concurrent/history.hpp"
 #include "sim/simulator.hpp"
 #include "sim/types.hpp"
 
 namespace dcnt {
-
-struct CounterOpRecord {
-  OpId op{kNoOp};
-  SimTime invoked{0};
-  SimTime responded{0};
-  Value value{0};
-};
-
-struct LinearizabilityReport {
-  bool linearizable{true};
-  std::int64_t violations{0};
-  /// First violating pair: a responded before b invoked, yet
-  /// val(a) > val(b).
-  OpId first_a{kNoOp};
-  OpId first_b{kNoOp};
-};
-
-/// Checks a history of counter operations (values must be distinct).
-/// O(m log m).
-LinearizabilityReport check_linearizable(std::vector<CounterOpRecord> history);
 
 /// Extracts the history of all completed ops from a simulator.
 std::vector<CounterOpRecord> counter_history(const Simulator& sim);

@@ -1,5 +1,6 @@
 #include "baselines/combining_tree.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/check.hpp"
@@ -72,7 +73,13 @@ void CombiningTreeCounter::on_message(Context& ctx, const Message& msg) {
     case kTagReq: {
       const auto node_idx = static_cast<std::size_t>(msg.args.at(0));
       Node& node = nodes_[node_idx];
-      Share share{msg.args.at(1) != 0, msg.args.at(2), msg.args.at(3)};
+      // A leaf request arrives under its op's attribution (start_inc's
+      // send inherits the Start context); remember the op so the grant
+      // coming back down can name it. Node requests carry many ops and
+      // stay anonymous — an inner node has at most one request in
+      // flight, so its grants cannot race each other.
+      Share share{msg.args.at(1) != 0, msg.args.at(2), msg.args.at(3),
+                  msg.args.at(1) != 0 ? msg.op : kNoOp};
       if (node.parent < 0) {
         // The root serves immediately: no combining needed at the source
         // of values.
@@ -124,10 +131,11 @@ void CombiningTreeCounter::on_message(Context& ctx, const Message& msg) {
     }
     case kTagLeafGrant: {
       Leaf& leaf = leaves_[static_cast<std::size_t>(msg.dst)];
-      DCNT_CHECK_MSG(!leaf.pending.empty(), "grant for an idle leaf");
-      const OpId op = leaf.pending.front();
-      leaf.pending.pop_front();
-      ctx.complete(op, msg.args.at(0));
+      const auto it =
+          std::find(leaf.pending.begin(), leaf.pending.end(), msg.op);
+      DCNT_CHECK_MSG(it != leaf.pending.end(), "grant for an unknown op");
+      leaf.pending.erase(it);
+      ctx.complete(msg.op, msg.args.at(0));
       return;
     }
     default:
@@ -159,6 +167,7 @@ void CombiningTreeCounter::distribute(Context& ctx, std::size_t node_idx,
       m.src = node.pid;
       m.dst = static_cast<ProcessorId>(share.from_id);
       m.tag = kTagLeafGrant;
+      m.op = share.op;  // name the op — leaf matching must not assume FIFO
       m.args = {base};
       ctx.send(std::move(m));
     } else {

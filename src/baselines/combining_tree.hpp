@@ -49,7 +49,12 @@ class CombiningTreeCounter final : public CounterProtocol {
   static constexpr std::int32_t kTagReq = 1;
   /// [target_node, base] — response for the node's in-flight request
   static constexpr std::int32_t kTagGrant = 2;
-  /// [base] — value for a leaf's oldest pending inc
+  /// [base] — value for one of the leaf's pending incs; the grant's
+  /// msg.op names which one. Matching by op (not queue order) matters:
+  /// over a lossy transport retransmission reorders delivery, and two
+  /// grants racing to the same leaf would otherwise swap values between
+  /// ops — invisible to a quiescent observer (the permutation survives)
+  /// but a real-time linearizability violation.
   static constexpr std::int32_t kTagLeafGrant = 3;
   /// local timer: [target_node, epoch] — combining window expired
   static constexpr std::int32_t kTagWindow = 4;
@@ -88,6 +93,7 @@ class CombiningTreeCounter final : public CounterProtocol {
     bool from_leaf{false};
     std::int64_t from_id{0};
     std::int64_t count{0};
+    OpId op{kNoOp};  ///< the inc a leaf share stands for; kNoOp for nodes
   };
   struct Node {
     ProcessorId pid{kNoProcessor};

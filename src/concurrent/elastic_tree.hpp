@@ -1,0 +1,214 @@
+// ElasticTreeCounter: the paper's §4 tree with *online* reconfiguration
+// of its two tuning knobs — fan-out k and retirement age T — driven by
+// measured load (DESIGN.md §15).
+//
+// The rigid geometry of TreeLayout (n = k^(k+1) leaves, disjoint
+// replacement pools) is what the Bottleneck Theorem's O(k) accounting
+// rests on, so the tree itself is never mutated in place. Instead the
+// counter runs a sequence of *epochs*: epoch e is an unmodified
+// TreeCounter with parameters (k_e, T_e) over leaves_e = k_e^(k_e+1)
+// processors, plus a base value B_e. An operation issued in epoch e
+// completes with B_e + (its value within epoch e's tree); since
+// B_{e+1} = B_e + I_e with I_e the number of ops issued into epoch e,
+// the epochs hand out disjoint value ranges and the union is exactly
+// 0..m-1 — the counter contract survives any number of resizes.
+//
+// Migration protocol (coordinator = processor 0):
+//   1. A processor that has issued `resize_period` ops into the current
+//      epoch sends ResizeReq to the coordinator (once per epoch). The
+//      coordinator picks (k', T') — from a scripted plan, or from the
+//      measured global backlog per leaf — and, if they differ from the
+//      current epoch's, broadcasts Close(e).
+//   2. Close at p: mark the epoch closed locally and reply
+//      CloseAck(e, issued_p). Ops starting at a closed processor are
+//      stashed. In-flight epoch-e ops are NOT drained — their values
+//      B_e..B_e+I_e-1 are already reserved (issued_p counts them), so
+//      they may complete arbitrarily late without colliding with the
+//      next epoch.
+//   3. When all n acks are in, the coordinator computes
+//      B_{e+1} = B_e + sum(issued_p) and broadcasts
+//      Open(e+1, k', T', B_{e+1}). Open at p: adopt the new epoch,
+//      replay the op stash into it, and re-dispatch any control or
+//      epoch-routed messages that arrived ahead of the Open (delivery
+//      is not FIFO).
+//
+// Linearizability is preserved across the switch: for A issued in epoch
+// e+1 and B issued in epoch e, inv(B) precedes B's CloseAck, which
+// precedes the Open, which precedes inv(A) — so resp(A) < inv(B) is
+// impossible and val(A) > val(B) can never invert real-time order.
+//
+// The processor set is sized for the largest allowed fan-out
+// (n = max_k^(max_k+1)); epochs with fewer leaves serve processors
+// p >= leaves_e through a one-hop relay to leaf p mod leaves_e (the
+// extra message is counted — elasticity's honest price).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tree_counter.hpp"
+#include "sim/protocol.hpp"
+#include "support/relaxed.hpp"
+
+namespace dcnt::concurrent {
+
+/// One scripted resize: the parameters the next migration switches to.
+struct ElasticStep {
+  int k{2};
+  /// 0 selects the default 4k.
+  std::int64_t age_threshold{0};
+};
+
+struct ElasticTreeParams {
+  /// Epoch-0 tree parameters.
+  int initial_k{2};
+  std::int64_t initial_age_threshold{0};  ///< 0 = 4 * initial_k
+  /// Fan-out bounds for reconfiguration. The processor set is sized for
+  /// max_k (n = max_k^(max_k+1)) and never changes.
+  int min_k{2};
+  int max_k{3};
+  /// A processor requests a resize evaluation after issuing this many
+  /// ops into the current epoch (once per epoch). 0 disables
+  /// reconfiguration entirely (the counter degenerates to epoch 0's
+  /// plain tree).
+  std::int64_t resize_period{512};
+  /// Scripted resizes, applied in order (the last step repeats).
+  /// Empty = the load policy below decides.
+  std::vector<ElasticStep> plan;
+  /// Load policy (plan empty): grow k when the global backlog
+  /// (started - completed) per leaf reaches `grow_backlog_per_leaf`,
+  /// shrink when it is at or under `shrink_backlog_per_leaf`.
+  std::int64_t grow_backlog_per_leaf{4};
+  std::int64_t shrink_backlog_per_leaf{0};
+};
+
+class ElasticTreeCounter final : public CounterProtocol {
+ public:
+  /// Epochs are slots in a fixed array so concurrent readers never see
+  /// a reallocation; 32 resizes is far beyond any bench's appetite (the
+  /// coordinator simply stops evaluating when they are exhausted).
+  static constexpr std::uint32_t kMaxEpochs = 32;
+
+  // Control tags (>= 100; tags below that are epoch-routed inner tree
+  // messages whose args[0] is the epoch).
+  static constexpr std::int32_t kTagClose = 100;      ///< [epoch]
+  static constexpr std::int32_t kTagCloseAck = 101;   ///< [epoch, issued_p]
+  static constexpr std::int32_t kTagOpen = 102;       ///< [epoch, k, T, base]
+  static constexpr std::int32_t kTagResizeReq = 103;  ///< [epoch, backlog]
+  static constexpr std::int32_t kTagRelay = 104;      ///< [epoch]; msg.op = op
+  /// Self-send used by open_at to re-inject a stashed op with its own
+  /// op id as the handler context (an inline replay would run under the
+  /// Open message's op attribution and mislabel the tree's sends).
+  static constexpr std::int32_t kTagReplay = 105;     ///< [epoch]; msg.op = op
+
+  explicit ElasticTreeCounter(ElasticTreeParams params);
+  ElasticTreeCounter(const ElasticTreeCounter& other);
+  ElasticTreeCounter& operator=(const ElasticTreeCounter&) = delete;
+
+  // CounterProtocol:
+  std::size_t num_processors() const override;
+  void start_inc(Context& ctx, ProcessorId origin, OpId op) override;
+  void on_message(Context& ctx, const Message& msg) override;
+  std::unique_ptr<CounterProtocol> clone_counter() const override;
+  std::string name() const override;
+  /// Per-epoch ProcStates, the coordinator block and the epoch slots
+  /// are all single-writer (their owning processor's handlers); epoch
+  /// publication is an acquire/release CAS; global tallies are
+  /// RelaxedCounters; the inner TreeCounter is itself shard-safe.
+  bool shard_safe() const override { return true; }
+  void on_shard_start(std::size_t workers) override;
+  void check_quiescent(std::size_t ops_completed) const override;
+
+  // Introspection (quiescence required, like TreeCounter::value()).
+  Value value() const;
+  /// Epochs opened so far (>= 1; epoch 0 opens at construction).
+  std::uint32_t epochs_used() const;
+  /// Completed migrations.
+  std::size_t resizes() const;
+  int current_k() const;
+  std::int64_t current_age_threshold() const;
+  const ElasticTreeParams& params() const { return params_; }
+
+ private:
+  /// One epoch slot. `live` is the publication point: the winner of the
+  /// creation race stores the metadata (relaxed) *before* the release
+  /// CAS of `live`, so any reader that acquires a non-null tree pointer
+  /// reads consistent parameters. Losing candidates are discarded;
+  /// `owner` (the winner's) holds lifetime.
+  struct Epoch {
+    std::atomic<TreeCounter*> live{nullptr};
+    std::unique_ptr<TreeCounter> owner;
+    std::atomic<Value> base{0};
+    std::atomic<std::int64_t> k{0};
+    std::atomic<std::int64_t> leaves{0};
+    std::atomic<std::int64_t> age_threshold{0};
+  };
+
+  /// Per-processor migration state; written only by handlers running at
+  /// that processor.
+  struct ProcState {
+    std::uint32_t epoch{0};
+    bool closed{false};
+    /// Ops this processor issued into its current epoch.
+    std::int64_t issued{0};
+    bool resize_requested{false};
+    /// Ops that arrived while closed; replayed into the next epoch.
+    std::vector<OpId> op_stash;
+    /// Messages that outran the Open they depend on (non-FIFO
+    /// delivery); re-dispatched when their epoch opens here.
+    std::vector<Message> msg_stash;
+  };
+
+  /// Coordinator bookkeeping; written only by processor-0 handlers.
+  struct Coordinator {
+    bool migrating{false};
+    std::uint32_t closing_epoch{0};
+    std::size_t acks_pending{0};
+    std::int64_t issued_sum{0};
+    /// Highest epoch already evaluated (one evaluation per epoch).
+    std::int64_t last_evaluated{-1};
+    int next_k{0};
+    std::int64_t next_age_threshold{0};
+    std::size_t resizes_done{0};
+  };
+
+  const Epoch& slot(std::uint32_t epoch) const;
+  Epoch& slot(std::uint32_t epoch);
+  /// Idempotent epoch creation (first caller wins the CAS).
+  void publish_epoch(std::uint32_t epoch, int k, std::int64_t age_threshold,
+                     Value base);
+  /// Issue `op` at `p`: stash if closed, else count it into the current
+  /// epoch and start it (directly, or via relay when p >= leaves).
+  void issue_op(Context& ctx, ProcessorId p, OpId op);
+  void maybe_request_resize(Context& ctx, ProcessorId p);
+  /// Coordinator: decide (k', T') for epoch `e` and start the migration
+  /// if they differ from the current parameters.
+  void evaluate_resize(Context& ctx, std::uint32_t e);
+  void ack_close(Context& ctx, std::int64_t issued);
+  void finish_migration(Context& ctx);
+  /// Close the current epoch at p (ack to the coordinator is the
+  /// caller's job for processor 0, a message for everyone else).
+  void close_at(Context& ctx, ProcessorId p, std::uint32_t e);
+  /// Adopt epoch `e` at p, replay the op stash, re-dispatch stashed
+  /// messages that were waiting for this epoch.
+  void open_at(Context& ctx, ProcessorId p, std::uint32_t e);
+  void handle_close(Context& ctx, const Message& msg);
+  void handle_close_ack(Context& ctx, const Message& msg);
+  void handle_open(Context& ctx, const Message& msg);
+  void handle_resize_req(Context& ctx, const Message& msg);
+  void handle_relay(Context& ctx, const Message& msg);
+  void route_inner(Context& ctx, const Message& msg);
+
+  ElasticTreeParams params_;
+  std::int64_t n_;  ///< max_k^(max_k+1), fixed for the protocol's life
+  std::vector<ProcState> procs_;
+  Coordinator coord_;
+  std::vector<Epoch> epochs_;  ///< kMaxEpochs slots, fixed size
+  RelaxedCounter started_{0};
+  RelaxedCounter completed_{0};
+  std::size_t shard_workers_{0};
+};
+
+}  // namespace dcnt::concurrent

@@ -1,0 +1,99 @@
+#include "concurrent/history.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dcnt {
+
+LinearizabilityReport check_linearizable(
+    std::vector<CounterOpRecord> history) {
+  LinearizabilityReport report;
+  if (history.empty()) return report;
+
+  // A counter hands out distinct values; two ops returning the same
+  // value cannot both be legal in any sequential witness, so duplicates
+  // are violations in their own right (and would confuse the sweep's
+  // max-value bookkeeping below, so they are rejected up front).
+  {
+    std::vector<CounterOpRecord> by_value = history;
+    std::sort(by_value.begin(), by_value.end(),
+              [](const CounterOpRecord& a, const CounterOpRecord& b) {
+                return a.value < b.value;
+              });
+    for (std::size_t i = 1; i < by_value.size(); ++i) {
+      if (by_value[i].value == by_value[i - 1].value) {
+        ++report.duplicate_values;
+        ++report.violations;
+        if (report.linearizable) {
+          report.linearizable = false;
+          report.first_a = by_value[i - 1].op;
+          report.first_b = by_value[i].op;
+        }
+      }
+    }
+    if (!report.linearizable) return report;
+  }
+
+  // Sweep invocations in time order; maintain the maximum value among
+  // operations that had already responded strictly earlier. A violation
+  // is an invocation whose (eventual) value undercuts that maximum.
+  std::vector<CounterOpRecord> by_inv = history;
+  std::sort(by_inv.begin(), by_inv.end(),
+            [](const CounterOpRecord& a, const CounterOpRecord& b) {
+              return a.invoked < b.invoked;
+            });
+  std::vector<CounterOpRecord> by_resp = history;
+  std::sort(by_resp.begin(), by_resp.end(),
+            [](const CounterOpRecord& a, const CounterOpRecord& b) {
+              return a.responded < b.responded;
+            });
+
+  std::size_t resp_idx = 0;
+  Value max_completed_value = -1;
+  OpId max_completed_op = kNoOp;
+  for (const CounterOpRecord& b : by_inv) {
+    while (resp_idx < by_resp.size() &&
+           by_resp[resp_idx].responded < b.invoked) {
+      if (by_resp[resp_idx].value > max_completed_value) {
+        max_completed_value = by_resp[resp_idx].value;
+        max_completed_op = by_resp[resp_idx].op;
+      }
+      ++resp_idx;
+    }
+    if (max_completed_value > b.value) {
+      ++report.violations;
+      if (report.linearizable) {
+        report.linearizable = false;
+        report.first_a = max_completed_op;
+        report.first_b = b.op;
+      }
+    }
+  }
+  return report;
+}
+
+namespace concurrent {
+
+std::vector<CounterOpRecord> HistoryBuffer::snapshot(
+    std::size_t first_op) const {
+  std::vector<CounterOpRecord> out;
+  out.reserve(slots_.size() > first_op ? slots_.size() - first_op : 0);
+  for (std::size_t i = first_op; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    const std::int64_t resp = s.responded.load(std::memory_order_acquire);
+    if (resp == 0) continue;  // never completed (or never issued)
+    const std::int64_t inv = s.invoked.load(std::memory_order_acquire);
+    DCNT_CHECK_MSG(inv != 0, "history slot completed but never invoked");
+    CounterOpRecord rec;
+    rec.op = static_cast<OpId>(i);
+    rec.invoked = inv;
+    rec.responded = resp;
+    rec.value = s.value.load(std::memory_order_relaxed);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace concurrent
+}  // namespace dcnt

@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "concurrent/history.hpp"
 #include "harness/factory.hpp"
 #include "harness/schedule.hpp"
 #include "net/event_loop.hpp"
@@ -94,8 +95,10 @@ class Controller {
   enum class Phase { kHello, kReady, kRun, kQuiesce, kKeyedStats, kShutdown };
 
   /// Ops kept outstanding per closed-loop slot; quiesce_between_ops
-  /// already forces a window of 1 at the call sites.
+  /// already forces a window of 1 at the call sites. `inflight` is the
+  /// concurrency-plane alias and supersedes `pipeline` when set.
   std::size_t pipeline_depth() const {
+    if (opt_.inflight > 0) return opt_.inflight;
     return opt_.pipeline > 0 ? opt_.pipeline : 1;
   }
 
@@ -172,6 +175,14 @@ class Controller {
   std::vector<Value> values_;
   std::vector<bool> value_seen_;
   std::unique_ptr<TailRecorder> recorder_;
+  /// Measured-op counting history for the post-run linearizability
+  /// check (options.lin_check, single-key mode only). Warmup slots stay
+  /// empty; snapshot(warmup_) skips them.
+  std::unique_ptr<concurrent::HistoryBuffer> history_;
+  /// Open-loop burst runs: the measured phase's shape, kept so each
+  /// op's scheduled arrival can be classified high/low for the
+  /// phase-split SLO (null otherwise).
+  std::unique_ptr<traffic::RateShape> measured_shape_;
   std::int64_t t_first_issue_ns_{0};
   std::int64_t t_last_complete_ns_{0};
   std::int64_t open_t0_ns_{0};
@@ -232,7 +243,19 @@ void Controller::issue_next(std::int64_t sched_ns) {
   const auto stamp = [&](OpId op) {
     if (static_cast<std::size_t>(op) >= warmup_) {
       if (t_first_issue_ns_ == 0) t_first_issue_ns_ = t;
-      recorder_->on_issue(op, sched_ns >= 0 ? sched_ns : t);
+      const std::int64_t sched = sched_ns >= 0 ? sched_ns : t;
+      if (measured_shape_) {
+        recorder_->on_issue(
+            op, sched,
+            measured_shape_->high_at(
+                static_cast<double>(sched - open_t0_ns_) / 1e9));
+      } else {
+        recorder_->on_issue(op, sched);
+      }
+      // The history's invoke stamp is the *actual* send time even in
+      // the open loop: a backdated scheduled stamp would tighten
+      // resp < inv intervals and could fabricate a violation.
+      if (history_) history_->on_invoke(op, t);
     }
   };
   if (count == 1) {
@@ -286,9 +309,15 @@ void Controller::begin_measured_phase() {
                          : now + budget_ns_;
   if (opt_.open_rate > 0.0) {
     open_t0_ns_ = now;
-    timeline_ = std::make_unique<traffic::ArrivalTimeline>(
-        traffic::make_shape(opt_.shape, opt_.open_rate, opt_.period_s,
-                            opt_.amplitude, opt_.duty));
+    const traffic::RateShape shape = traffic::make_shape(
+        opt_.shape, opt_.open_rate, opt_.period_s, opt_.amplitude, opt_.duty);
+    if (shape.kind == traffic::RateShape::Kind::kBurst) {
+      // Burst runs split SLO attainment per load phase; no measured op
+      // has been stamped yet (warmup never touches the recorder).
+      recorder_->enable_phases();
+      measured_shape_ = std::make_unique<traffic::RateShape>(shape);
+    }
+    timeline_ = std::make_unique<traffic::ArrivalTimeline>(shape);
     next_arrival_off_ = timeline_->next_ns();
     return;
   }
@@ -514,6 +543,7 @@ void Controller::on_complete(OpId op, Value value) {
   if (idx >= warmup_) {
     const std::int64_t t = TailRecorder::now_ns();
     recorder_->on_complete(op, t);
+    if (history_) history_->on_response(op, t, value);
     t_last_complete_ns_ = t;
   }
   ++completed_;
@@ -633,6 +663,9 @@ ClusterResult Controller::run() {
   // Sized by op id; the warmup slots simply stay empty.
   recorder_ = std::make_unique<TailRecorder>(
       total_, static_cast<std::int64_t>(opt_.slo_us * 1e3), opt_.exact_cap);
+  if (opt_.lin_check && !keyed()) {
+    history_ = std::make_unique<concurrent::HistoryBuffer>(total_);
+  }
   conn_of_node_.assign(opt_.nodes, -1);
   hellos_.assign(opt_.nodes, std::nullopt);
 
@@ -827,6 +860,22 @@ ClusterResult Controller::run() {
   out.slo_attainment = lat.slo_attainment;
   out.hdr_recorder = !lat.exact;
   out.hdr_overflow = lat.hdr_overflow;
+  if (lat.phases) {
+    out.slo_phases = true;
+    out.slo_high_den = lat.high_count;
+    out.slo_high_ok = lat.high_slo_ok;
+    out.slo_high_attainment = lat.high_attainment;
+    out.slo_low_den = lat.low_count;
+    out.slo_low_ok = lat.low_slo_ok;
+    out.slo_low_attainment = lat.low_attainment;
+  }
+  if (history_) {
+    const LinearizabilityReport report =
+        check_linearizable(history_->snapshot(warmup_));
+    out.lin_checked = true;
+    out.linearizable = report.linearizable;
+    out.lin_violations = report.violations;
+  }
   return out;
 }
 

@@ -75,6 +75,11 @@ struct ClusterOptions {
   /// enough even for chains: the next Start would race leftover
   /// maintenance messages across nodes.
   bool quiesce_between_ops{false};
+  /// Concurrency-plane alias for `pipeline`: when > 0 it supersedes it
+  /// (window = concurrency * inflight), so the TCP benches sweep the
+  /// same --inflight knob as the in-process ones. 0 defers to
+  /// `pipeline`.
+  std::size_t inflight{0};
   /// If > 0: open-loop issuance at this mean rate (ops/second) on a
   /// deterministic arrival timeline; latency is measured from each op's
   /// scheduled arrival (coordinated-omission-free, DESIGN.md §14).
@@ -138,6 +143,12 @@ struct ClusterOptions {
   /// drain round regardless. 1 = unbatched keyed Starts; forced to 1
   /// under quiesce_between_ops and open-loop issuance.
   std::size_t batch{1};
+  /// Capture every measured op's (invoke, response, value) at the
+  /// controller and run check_linearizable over the real TCP/UDP
+  /// history after the run (ClusterResult::linearizable). Skipped in
+  /// multi-key mode, where per-key value spaces make a global counter
+  /// history meaningless.
+  bool lin_check{true};
 };
 
 struct ClusterResult {
@@ -171,6 +182,19 @@ struct ClusterResult {
   /// hdr_overflow counts samples that saturated its top bucket.
   bool hdr_recorder{false};
   std::int64_t hdr_overflow{0};
+  /// Linearizability over the measured history (options.lin_check; see
+  /// concurrent/history.hpp). lin_checked says the check ran.
+  bool lin_checked{false};
+  bool linearizable{false};
+  std::int64_t lin_violations{0};
+  /// Phase-split SLO attainment (open-loop burst runs only).
+  bool slo_phases{false};
+  std::int64_t slo_high_den{0};
+  std::int64_t slo_high_ok{0};
+  double slo_high_attainment{0.0};
+  std::int64_t slo_low_den{0};
+  std::int64_t slo_low_ok{0};
+  double slo_low_attainment{0.0};
 
   /// Protocol-level message accounting, merged across nodes — the same
   /// m_p the simulator and threaded runtime report.

@@ -21,9 +21,13 @@ enum class CounterKind {
   kDiffracting,      ///< diffracting tree [SZ94]
   kQuorumMajority,   ///< quorum counter over rotating majorities
   kQuorumGrid,       ///< quorum counter over a Maekawa-style grid
+  kElastic,          ///< epoch-migrating tree with online k/T resizes
 };
 
-/// All kinds, in presentation order.
+/// All kinds, in presentation order. Deliberately excludes kElastic:
+/// the all-kinds sweeps (and their pinned message counts) predate it,
+/// and its load-driven resizes would make those tables nondeterministic
+/// across hosts. Ask for "elastic" by name.
 std::vector<CounterKind> all_counter_kinds();
 
 /// Short identifier ("tree", "central", ...), also accepted by
@@ -35,6 +39,15 @@ CounterKind counter_kind_from_string(const std::string& text);
 /// operations? (The quorum counter is sequential-model only; see
 /// quorum_counter.hpp.)
 bool supports_concurrency(CounterKind kind);
+
+/// Is this implementation expected to produce *linearizable* histories
+/// under concurrent operations? Serializing structures — the central
+/// counter, the trees, the quorum counters — are; the balancer-based
+/// ones (counting networks, diffracting tree) are only quiescently
+/// consistent [HSW96]: values can invert real-time order even though
+/// every quiescent state is exact. check_linearizable must report zero
+/// violations whenever this returns true (concurrent/history.hpp).
+bool expected_linearizable(CounterKind kind);
 
 /// Builds a counter for >= `min_processors` processors. Tree counters
 /// round n up to the next k^(k+1) (the paper does the same: "simply

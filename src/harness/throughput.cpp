@@ -1,9 +1,12 @@
 #include "harness/throughput.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 
+#include "concurrent/elastic_tree.hpp"
+#include "concurrent/history.hpp"
 #include "harness/schedule.hpp"
 #include "runtime/threaded_runtime.hpp"
 #include "runtime/workload.hpp"
@@ -26,6 +29,7 @@ bool is_permutation_of_iota(std::vector<Value> values) {
 WorkloadOptions make_workload_options(const ThroughputOptions& options) {
   WorkloadOptions wl;
   wl.concurrency = options.concurrency;
+  wl.inflight = options.inflight;
   if (options.open_rate > 0.0) {
     wl.shape = traffic::make_shape(options.shape, options.open_rate,
                                    options.period_s, options.amplitude,
@@ -57,6 +61,13 @@ void fill_latency(ThroughputResult& out, const WorkloadResult& run) {
   out.hdr_recorder = !t.exact;
   out.hdr_overflow = t.hdr_overflow;
   out.record_threads = t.record_threads;
+  out.slo_phases = t.phases;
+  out.slo_high_den = t.high_count;
+  out.slo_high_ok = t.high_slo_ok;
+  out.slo_high_attainment = t.high_attainment;
+  out.slo_low_den = t.low_count;
+  out.slo_low_ok = t.low_slo_ok;
+  out.slo_low_attainment = t.low_attainment;
 }
 
 }  // namespace
@@ -86,7 +97,13 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   const auto initiators =
       make_initiators(options.initiators, options.zipf_s, n,
                       static_cast<std::int64_t>(ops), options.seed);
-  const WorkloadOptions wl = make_workload_options(options);
+  WorkloadOptions wl = make_workload_options(options);
+  std::unique_ptr<concurrent::HistoryBuffer> history;
+  if (options.lin_check) {
+    history =
+        std::make_unique<concurrent::HistoryBuffer>(options.warmup + ops);
+    wl.history = history.get();
+  }
   const WorkloadResult run = run_workload(rt, initiators, wl);
 
   // Warmup ops take part in the permutation too (they consumed counter
@@ -103,8 +120,24 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   out.values_ok = is_permutation_of_iota(values);
   DCNT_CHECK_MSG(out.values_ok, "values are not a permutation of 0..m-1");
   rt.protocol().check_quiescent(total);
+  if (const auto* elastic = dynamic_cast<const concurrent::ElasticTreeCounter*>(
+          &rt.protocol())) {
+    out.elastic_resizes = elastic->resizes();
+    out.elastic_epochs = elastic->epochs_used();
+    out.elastic_final_k = elastic->current_k();
+  }
 
   fill_latency(out, run);
+
+  if (history) {
+    // Measured ops only: warmup slots never completed in the buffer and
+    // are skipped by the snapshot.
+    const auto report =
+        check_linearizable(history->snapshot(options.warmup));
+    out.lin_checked = true;
+    out.linearizable = report.linearizable;
+    out.lin_violations = report.violations;
+  }
 
   const Metrics metrics = rt.merged_metrics();
   out.total_messages = metrics.total_messages();

@@ -34,6 +34,10 @@ struct ThroughputOptions {
   std::size_t ops{0};
   /// Closed-loop clients (ignored when open_rate > 0).
   std::size_t concurrency{16};
+  /// Ops each closed-loop client keeps outstanding (window =
+  /// concurrency * inflight); 1 = the classic closed loop. See
+  /// WorkloadOptions::inflight.
+  std::size_t inflight{1};
   /// > 0: open-loop issuance at this mean rate (ops/sec), latency
   /// measured from scheduled arrival time (coordinated-omission-free).
   double open_rate{0.0};
@@ -65,6 +69,13 @@ struct ThroughputOptions {
   std::size_t active_shards{0};
   /// Passed through to RuntimeConfig::flush_batch.
   std::size_t flush_batch{64};
+  /// Capture every measured op's (invoke, response, value) interval in
+  /// a concurrent::HistoryBuffer and run check_linearizable on the real
+  /// history after the run. Costs three stores per op; results land in
+  /// ThroughputResult::linearizable / lin_violations. Keyed runs ignore
+  /// it (per-key value spaces make a global counter history
+  /// meaningless).
+  bool lin_check{true};
 };
 
 struct ThroughputResult {
@@ -96,6 +107,29 @@ struct ThroughputResult {
   std::int64_t hdr_overflow{0};
   /// Distinct threads that completed measured ops.
   std::size_t record_threads{0};
+  /// Linearizability over the measured history (options.lin_check):
+  /// lin_checked says the check ran; linearizable is the verdict;
+  /// lin_violations counts offending pairs (a serializing counter must
+  /// report 0 at any inflight depth; a quiescently-consistent one —
+  /// diffracting tree, counting network — may not).
+  bool lin_checked{false};
+  bool linearizable{false};
+  std::int64_t lin_violations{0};
+  /// Phase-split SLO attainment (open-loop burst runs only;
+  /// slo_phases says the split was recorded).
+  bool slo_phases{false};
+  std::int64_t slo_high_den{0};
+  std::int64_t slo_high_ok{0};
+  double slo_high_attainment{0.0};
+  std::int64_t slo_low_den{0};
+  std::int64_t slo_low_ok{0};
+  double slo_low_attainment{0.0};
+  /// Elastic tree only (concurrent::ElasticTreeCounter; zeros for every
+  /// other protocol): completed online migrations, epochs opened, and
+  /// the final epoch's fan-out — the bench row's resize evidence.
+  std::size_t elastic_resizes{0};
+  std::uint32_t elastic_epochs{0};
+  int elastic_final_k{0};
   std::int64_t total_messages{0};
   std::int64_t max_load{0};
   ProcessorId bottleneck{kNoProcessor};

@@ -57,9 +57,12 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
         wcv.notify_all();
       }
     });
-    const std::size_t clients = std::min(
-        warmup,
-        options.concurrency == 0 ? std::size_t{1} : options.concurrency);
+    // Warmup uses the measured phase's full window so steady-state
+    // buffer sizes match what the run will actually need.
+    const std::size_t wwindow =
+        (options.concurrency == 0 ? std::size_t{1} : options.concurrency) *
+        (options.inflight == 0 ? std::size_t{1} : options.inflight);
+    const std::size_t clients = std::min(warmup, wwindow);
     for (std::size_t c = 0; c < clients; ++c) wissue();
     {
       std::unique_lock<std::mutex> lock(wmu);
@@ -84,11 +87,20 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
       options.duration_s > 0.0
           ? static_cast<std::int64_t>(options.duration_s * 1e9)
           : std::numeric_limits<std::int64_t>::max();
+  concurrent::HistoryBuffer* const history = options.history;
+  DCNT_CHECK_MSG(history == nullptr ||
+                     history->capacity() >= options.warmup + ops,
+                 "history buffer smaller than the op-id space");
 
   // Measured ops occupy ids warmup..warmup+issued-1; recorder slots for
   // the warmup range simply stay empty.
   TailRecorder recorder(options.warmup + ops, options.slo_ns,
                         options.exact_cap);
+  // Burst runs report SLO attainment split by the scheduled arrival's
+  // duty phase.
+  const bool split_phases =
+      open_loop && shape.kind == traffic::RateShape::Kind::kBurst;
+  if (split_phases) recorder.enable_phases();
   // Coordination atomics deliberately use the default (seq_cst) order:
   // the finish condition below leans on the single total order across
   // `no_more`, `issued` and `done`.
@@ -128,15 +140,17 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
     const std::int64_t t0 = TailRecorder::now_ns();
     const OpId op = begin_entry(i);
     recorder.on_issue(op, t0);
+    if (history) history->on_invoke(op, t0);
   };
 
   // Finish when nothing more will be issued and every issued op is
   // done. Reissues happen before done++ in the callback, so done ==
   // issued implies no reissue is mid-flight: any callback that has not
   // yet bumped `done` has its op still counted in issued - done.
-  rt.set_completion([&](OpId op, Value /*value*/) {
+  rt.set_completion([&](OpId op, Value value) {
     const std::int64_t t = TailRecorder::now_ns();
     recorder.on_complete(op, t);
+    if (history) history->on_response(op, t, value);
     // Closed loop: this client immediately issues its next operation.
     if (!open_loop) issue_next();
     const std::size_t d = done.fetch_add(1) + 1;
@@ -158,12 +172,31 @@ WorkloadResult run_workload(ThreadedRuntime& rt,
       if (offset >= budget_ns) break;
       std::this_thread::sleep_until(epoch + std::chrono::nanoseconds(offset));
       issued.fetch_add(1);
+      // The latency stamp is the scheduled arrival (coordinated-
+      // omission-free); the history stamp is the actual send time —
+      // linearizability needs the real interval, and a backdated invoke
+      // would tighten it unsoundly.
+      const std::int64_t t0 = TailRecorder::now_ns();
       const OpId op = begin_entry(n);
-      recorder.on_issue(op, epoch_ns + offset);
+      if (split_phases) {
+        recorder.on_issue(op, epoch_ns + offset,
+                          shape.high_at(static_cast<double>(offset) / 1e9));
+      } else {
+        recorder.on_issue(op, epoch_ns + offset);
+      }
+      if (history) history->on_invoke(op, t0);
     }
   } else {
-    const std::size_t clients = std::min(
-        ops, options.concurrency == 0 ? std::size_t{1} : options.concurrency);
+    // The closed-loop window: concurrency clients, each holding
+    // `inflight` ops in the air. Seeding window-many ops and reissuing
+    // exactly one per completion keeps the window at its seed size for
+    // the whole run (until the schedule tail drains it).
+    const std::size_t per_client =
+        options.inflight == 0 ? std::size_t{1} : options.inflight;
+    const std::size_t window =
+        (options.concurrency == 0 ? std::size_t{1} : options.concurrency) *
+        per_client;
+    const std::size_t clients = std::min(ops, window);
     for (std::size_t c = 0; c < clients; ++c) issue_next();
   }
 

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "concurrent/history.hpp"
 #include "runtime/threaded_runtime.hpp"
 #include "sim/types.hpp"
 #include "traffic/recorder.hpp"
@@ -40,6 +41,13 @@ namespace dcnt {
 struct WorkloadOptions {
   /// Closed-loop clients; used when no open-loop rate is set.
   std::size_t concurrency{8};
+  /// Operations each closed-loop client keeps outstanding: the issue
+  /// window is concurrency * inflight ops wide (each completion still
+  /// triggers exactly one reissue, so the window never grows past its
+  /// seed). 1 reproduces the classic one-op-per-client closed loop
+  /// byte-for-byte. Ignored in open loop, where the backlog is whatever
+  /// the arrival timeline has scheduled past the system's service rate.
+  std::size_t inflight{1};
   /// Legacy shorthand: if > 0 (and shape.rate == 0), open-loop issuance
   /// at this constant rate (ops/second).
   double open_rate{0.0};
@@ -71,6 +79,14 @@ struct WorkloadOptions {
   /// service/MultiCounter. Warmup cycles through the keys exactly as it
   /// cycles through the initiators.
   std::vector<KeyId> keys;
+  /// When set, every measured op's invoke time, response time and
+  /// returned value land in this buffer (capacity must cover
+  /// warmup + initiator count), ready for check_linearizable after the
+  /// run. Invoke is stamped just before begin_* and response inside the
+  /// completion callback — both conservative widenings of the true
+  /// interval, so the checker can miss a borderline violation but never
+  /// fabricate one. Warmup ops are not recorded.
+  concurrent::HistoryBuffer* history{nullptr};
 };
 
 struct WorkloadResult {

@@ -39,11 +39,27 @@ std::int64_t TailRecorder::now_ns() {
       .count();
 }
 
+void TailRecorder::enable_phases() {
+  DCNT_CHECK_MSG(recorded_.load(std::memory_order_relaxed) == 0,
+                 "enable_phases must precede recording");
+  phase_.assign(issue_ns_.size(), 0);
+}
+
 void TailRecorder::on_issue(OpId op, std::int64_t scheduled_ns) {
   DCNT_CHECK(op >= 0 && static_cast<std::size_t>(op) < issue_ns_.size());
   DCNT_CHECK(scheduled_ns != 0);  // 0 is the "not yet stored" sentinel
   issue_ns_[static_cast<std::size_t>(op)].store(scheduled_ns,
                                                 std::memory_order_release);
+}
+
+void TailRecorder::on_issue(OpId op, std::int64_t scheduled_ns,
+                            bool high_phase) {
+  DCNT_CHECK(op >= 0 && static_cast<std::size_t>(op) < issue_ns_.size());
+  DCNT_CHECK(!phase_.empty());
+  // The phase byte must be visible to whoever observes the issue stamp:
+  // plain store here, then the release-store below publishes it.
+  phase_[static_cast<std::size_t>(op)] = high_phase ? 1 : 0;
+  on_issue(op, scheduled_ns);
 }
 
 void TailRecorder::on_complete(OpId op, std::int64_t t_ns) {
@@ -60,6 +76,13 @@ void TailRecorder::on_complete(OpId op, std::int64_t t_ns) {
     latency_ns_[static_cast<std::size_t>(op)] = latency;
   } else {
     hist_->record(latency);
+  }
+  if (!phase_.empty()) {
+    const std::size_t ph = phase_[static_cast<std::size_t>(op)] ? 1 : 0;
+    phase_count_[ph].fetch_add(1, std::memory_order_relaxed);
+    if (slo_ns_ <= 0 || latency <= slo_ns_) {
+      phase_ok_[ph].fetch_add(1, std::memory_order_relaxed);
+    }
   }
   tally(latency);
 }
@@ -96,6 +119,21 @@ TrafficStats TailRecorder::stats() const {
   out.slo_ok = slo_ok_.load(std::memory_order_relaxed);
   for (const PaddedCount& c : per_thread_) {
     if (c.v.load(std::memory_order_relaxed) > 0) ++out.record_threads;
+  }
+  if (!phase_.empty()) {
+    out.phases = true;
+    out.low_count = phase_count_[0].load(std::memory_order_relaxed);
+    out.low_slo_ok = phase_ok_[0].load(std::memory_order_relaxed);
+    out.high_count = phase_count_[1].load(std::memory_order_relaxed);
+    out.high_slo_ok = phase_ok_[1].load(std::memory_order_relaxed);
+    if (out.low_count > 0) {
+      out.low_attainment = static_cast<double>(out.low_slo_ok) /
+                           static_cast<double>(out.low_count);
+    }
+    if (out.high_count > 0) {
+      out.high_attainment = static_cast<double>(out.high_slo_ok) /
+                            static_cast<double>(out.high_count);
+    }
   }
   if (out.count == 0) return out;
   out.slo_attainment =

@@ -68,6 +68,18 @@ struct TrafficStats {
   std::size_t record_threads{0};
   /// True when the run used exact per-op storage.
   bool exact{true};
+  /// Phase-split SLO accounting — populated only when the recorder ran
+  /// with enable_phases() (open-loop burst runs). Each completed op is
+  /// charged to the phase of its *scheduled* arrival (RateShape::
+  /// high_at), so a backlog spilling out of the high window still
+  /// counts against the burst that caused it.
+  bool phases{false};
+  std::int64_t high_count{0};
+  std::int64_t high_slo_ok{0};
+  double high_attainment{0.0};
+  std::int64_t low_count{0};
+  std::int64_t low_slo_ok{0};
+  double low_attainment{0.0};
 };
 
 class TailRecorder {
@@ -87,11 +99,24 @@ class TailRecorder {
   bool exact_mode() const { return hist_ == nullptr; }
   std::int64_t slo_ns() const { return slo_ns_; }
 
+  /// Opt into per-phase SLO accounting: allocates one phase byte per op
+  /// slot (nothing is spent otherwise) and makes stats() report the
+  /// high/low split. Call before the first on_issue, then use the
+  /// 3-argument on_issue overload.
+  void enable_phases();
+  bool phases_enabled() const { return !phase_.empty(); }
+
   /// Called by the issuer with the op's scheduled time, immediately
   /// after begin_* returned `op`. The slot is atomic because the
   /// completion can race this store (the op may finish on a worker
   /// before the issuer gets back from begin_*).
   void on_issue(OpId op, std::int64_t scheduled_ns);
+
+  /// Phase-aware variant: also tags the op with the load phase of its
+  /// scheduled arrival (true = high). The phase byte is written before
+  /// the release-store of the schedule stamp, so on_complete's acquire
+  /// spin on the stamp orders the read.
+  void on_issue(OpId op, std::int64_t scheduled_ns, bool high_phase);
 
   /// Called from the completion callback; spins out the tiny
   /// issue-store race if needed, then records t_ns - scheduled.
@@ -116,6 +141,10 @@ class TailRecorder {
   void tally(std::int64_t latency_ns);
 
   std::vector<std::atomic<std::int64_t>> issue_ns_;  ///< 0 = not issued
+  /// enable_phases() only: scheduled-arrival phase per op (1 = high).
+  /// Written before the issue stamp's release-store, read after its
+  /// acquire-load, so plain bytes suffice.
+  std::vector<std::uint8_t> phase_;
   /// Exact mode: latency slot per op, -1 = not completed. Empty in HDR
   /// mode.
   std::vector<std::int64_t> latency_ns_;
@@ -124,6 +153,9 @@ class TailRecorder {
   std::int64_t slo_ns_;
   std::atomic<std::int64_t> slo_ok_{0};
   std::atomic<std::int64_t> recorded_{0};
+  /// Phase accounting, indexed [low=0, high=1].
+  std::array<std::atomic<std::int64_t>, 2> phase_count_{};
+  std::array<std::atomic<std::int64_t>, 2> phase_ok_{};
 
   struct alignas(64) PaddedCount {
     std::atomic<std::int64_t> v{0};

@@ -37,6 +37,20 @@ double RateShape::rate_at(double t_s) const {
   return std::max(r, rate * kRateFloorFraction);
 }
 
+bool RateShape::high_at(double t_s) const {
+  switch (kind) {
+    case Kind::kConstant:
+      return true;
+    case Kind::kBurst: {
+      const double phase = t_s / period_s - std::floor(t_s / period_s);
+      return phase < duty;
+    }
+    case Kind::kDiurnal:
+      return std::sin(2.0 * M_PI * t_s / period_s) >= 0.0;
+  }
+  return true;
+}
+
 std::string RateShape::describe() const {
   char buf[128];
   switch (kind) {

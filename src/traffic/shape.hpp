@@ -46,6 +46,13 @@ struct RateShape {
   /// arrival at infinity — so the floor is a small fraction of `rate`.
   double rate_at(double t_s) const;
 
+  /// True when time t falls in the shape's high-load phase: the burst
+  /// square wave's high window (the first duty*period of each cycle —
+  /// the same classification rate_at uses), the diurnal sinusoid's
+  /// above-mean half. Constant shapes are all high phase. Drives the
+  /// per-phase SLO split in TailRecorder.
+  bool high_at(double t_s) const;
+
   /// "constant" / "burst" / "diurnal" with the parameters, for tables
   /// and BENCH JSONs.
   std::string describe() const;
