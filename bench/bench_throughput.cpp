@@ -60,6 +60,24 @@
 //        --shape=constant --period=1 --amplitude=0.5 --duty=0.5
 //        --duration=0 --slo_us=0 --exact_cap=65536
 //        --quick (tiny closed+open sweep for the ctest smoke)
+//
+// SHM re-ranking rows (--shm_threads_list non-empty, the default): the
+// silicon side of the same question. The shared-memory counters
+// (src/shm/: shm-atomic, shm-flat, shm-funnel, shm-sharded) sweep
+// threads x F x placement next to the message-passing protocols
+// (--shm_msg_counters) at the SAME F, closed and open loop, pinned
+// (--placement compact) and unpinned — the EXPERIMENTS.md SHM table.
+// Every shm row's live history is checked (ticket criterion, or the
+// inc/read criterion for shm-sharded) and ENFORCED linearizable; a
+// placement that cannot pin on this host reports pin=0 rather than
+// failing. --counters also accepts shm-* names directly (closed sweep,
+// placement from --placement/--pin), e.g.
+//   bench_throughput --counters=shm-atomic,shm-flat --pin
+// Flags: --shm_counters=shm-atomic,shm-flat,shm-funnel,shm-sharded
+//        --shm_threads_list=1,2,4 --shm_inflight_list=1,64
+//        --shm_placements=none,compact --shm_msg_counters=tree,central,
+//        combining --shm_ops=32768 --shm_rate=200000
+//        --placement=none|compact|scatter|tree --pin (= compact)
 #include <iostream>
 #include <map>
 #include <string>
@@ -71,6 +89,7 @@
 #include "concurrent/elastic_tree.hpp"
 #include "harness/factory.hpp"
 #include "harness/throughput.hpp"
+#include "shm/shm_harness.hpp"
 #include "support/check.hpp"
 #include "support/flags.hpp"
 #include "support/table.hpp"
@@ -85,8 +104,11 @@ int main(int argc, char** argv) {
       {"amplitude", "conc_counters", "conc_workers", "concurrency",
        "counters", "dist", "duration", "duty", "exact_cap", "inflight_list",
        "n", "open_counters", "open_ops_list", "open_rate", "open_workers",
-       "ops_factor", "out", "period", "quick", "rates", "seed", "shape",
-       "slo_us", "threads", "warmup", "workers_list", "zipf_s"});
+       "ops_factor", "out", "period", "pin", "placement", "quick", "rates",
+       "seed", "shape", "shm_counters", "shm_inflight_list",
+       "shm_msg_counters", "shm_ops", "shm_placements", "shm_rate",
+       "shm_threads_list", "slo_us", "threads", "warmup", "workers_list",
+       "zipf_s"});
   const bool quick = flags.get_bool("quick", false);
   const auto counters = parse_string_list(flags.get_string(
       "counters", quick ? "tree,central" : "tree,central,combining,diffracting"));
@@ -139,11 +161,60 @@ int main(int argc, char** argv) {
                              : "tree,central,combining,diffracting"));
   const auto conc_workers =
       static_cast<std::size_t>(flags.get_int("conc_workers", quick ? 2 : 4));
+  // SHM re-ranking sweep: --pin is shorthand for --placement compact;
+  // an explicit --placement wins.
+  const Placement placement = placement_from_string(flags.get_string(
+      "placement", flags.get_bool("pin", false) ? "compact" : "none"));
+  const auto shm_counters = parse_string_list(flags.get_string(
+      "shm_counters", "shm-atomic,shm-flat,shm-funnel,shm-sharded"));
+  const auto shm_threads_list = parse_int_list(
+      flags.get_string("shm_threads_list", quick ? "1,2" : "1,2,4"));
+  const auto shm_inflight_list =
+      parse_int_list(flags.get_string("shm_inflight_list", "1,64"));
+  const auto shm_placements = parse_string_list(
+      flags.get_string("shm_placements", "none,compact"));
+  const auto shm_msg_counters = parse_string_list(flags.get_string(
+      "shm_msg_counters", quick ? "tree,central" : "tree,central,combining"));
+  const auto shm_ops = static_cast<std::size_t>(
+      flags.get_int("shm_ops", quick ? 2048 : 32768));
+  const double shm_rate =
+      flags.get_double("shm_rate", quick ? 20000.0 : 200000.0);
 
   Table table({"counter", "n", "W", "ops", "inc/s", "p50_us", "p95_us",
                "p99_us", "max_load", "total_msgs"});
   std::vector<ThroughputResult> results;
   for (const std::string& name : counters) {
+    if (shm::is_shm_counter_name(name)) {
+      // Shared-memory counters ride the same closed sweep: W means
+      // driving threads, coherence messages are invisible to Metrics so
+      // max_load/total_msgs report 0.
+      const shm::ShmKind kind = shm::shm_kind_from_string(name);
+      for (const std::int64_t w : workers_list) {
+        shm::ShmOptions options;
+        options.threads =
+            w == 0 ? threads_from_flags(flags) : static_cast<std::size_t>(w);
+        options.ops = shm_ops;
+        options.warmup = warmup;
+        options.seed = seed;
+        options.placement = placement;
+        const ThroughputResult res = run_shm_throughput(kind, options);
+        DCNT_CHECK_MSG(res.lin_checked && res.linearizable,
+                       "shm counter produced a non-linearizable history");
+        results.push_back(res);
+        table.row()
+            .add(res.counter)
+            .add(static_cast<std::int64_t>(res.n))
+            .add(static_cast<std::int64_t>(res.workers))
+            .add(static_cast<std::int64_t>(res.ops))
+            .add(res.ops_per_sec, 0)
+            .add(res.p50_us, 1)
+            .add(res.p95_us, 1)
+            .add(res.p99_us, 1)
+            .add(res.max_load)
+            .add(res.total_messages);
+      }
+      continue;
+    }
     const CounterKind kind = counter_kind_from_string(name);
     for (const std::int64_t w : workers_list) {
       // 0 = the shared process-wide knob (--threads / DCNT_THREADS).
@@ -327,6 +398,131 @@ int main(int argc, char** argv) {
         "check_linearizable over every measured history");
   }
 
+  // SHM: the silicon re-ranking table. Shared-memory counters sweep
+  // threads x F x placement; the message-passing protocols run at the
+  // SAME F (and placements) through the threaded runtime, so one table
+  // ranks a contended fetch_add against the paper's tree on the same
+  // host. Closed-loop rows first, then one open-loop row per shm
+  // counter at --shm_rate. Every shm row's live history is enforced
+  // linearizable — the ticket criterion for the value-returning
+  // counters, the inc/read criterion for shm-sharded (the paper's
+  // theorem: exact sharding is only possible because incs return no
+  // ticket).
+  struct ShmRow {
+    ThroughputResult res;
+    std::string mode;  ///< "shm" or "msg"
+    std::string loop;  ///< "closed" or "open"
+    std::size_t inflight{0};
+    double rate{0.0};
+  };
+  std::vector<ShmRow> shm_rows;
+  if (!shm_threads_list.empty()) {
+    Table shm_table({"counter", "mode", "loop", "T", "F", "place", "pin",
+                     "ops", "inc/s", "p50_us", "p99_us", "lin", "viol"});
+    const auto add_shm_row = [&](const ThroughputResult& res,
+                                 const std::string& mode,
+                                 const std::string& loop, std::size_t inflight,
+                                 double rate) {
+      shm_rows.push_back(ShmRow{res, mode, loop, inflight, rate});
+      shm_table.row()
+          .add(res.counter)
+          .add(mode)
+          .add(loop)
+          .add(static_cast<std::int64_t>(res.workers))
+          .add(static_cast<std::int64_t>(inflight))
+          .add(res.placement)
+          .add(static_cast<std::int64_t>(res.pinned_workers))
+          .add(static_cast<std::int64_t>(res.ops))
+          .add(res.ops_per_sec, 0)
+          .add(res.p50_us, 1)
+          .add(res.p99_us, 1)
+          .add(res.linearizable ? "y" : "N")
+          .add(res.lin_violations);
+    };
+    for (const std::string& name : shm_counters) {
+      const shm::ShmKind kind = shm::shm_kind_from_string(name);
+      for (const std::string& place : shm_placements) {
+        const Placement policy = placement_from_string(place);
+        for (const std::int64_t t : shm_threads_list) {
+          for (const std::int64_t f : shm_inflight_list) {
+            shm::ShmOptions options;
+            options.threads = static_cast<std::size_t>(t);
+            options.ops = shm_ops;
+            options.inflight = static_cast<std::size_t>(f);
+            options.warmup = warmup;
+            options.seed = seed;
+            options.placement = policy;
+            const ThroughputResult res = run_shm_throughput(kind, options);
+            DCNT_CHECK_MSG(
+                res.lin_checked && res.linearizable,
+                "shm counter produced a non-linearizable history");
+            add_shm_row(res, "shm", "closed",
+                        static_cast<std::size_t>(f), 0.0);
+          }
+        }
+        // One open-loop row per (counter, placement) at the sweep's
+        // largest thread count: does the ranking hold under scheduled
+        // arrivals too?
+        if (shm_rate > 0.0 && !shm_threads_list.empty()) {
+          shm::ShmOptions options;
+          options.threads =
+              static_cast<std::size_t>(shm_threads_list.back());
+          options.ops = std::min<std::size_t>(shm_ops, quick ? 1024 : 16384);
+          options.open_rate = shm_rate;
+          options.warmup = warmup;
+          options.seed = seed;
+          options.placement = policy;
+          const ThroughputResult res = run_shm_throughput(kind, options);
+          DCNT_CHECK_MSG(res.lin_checked && res.linearizable,
+                         "shm counter produced a non-linearizable history");
+          add_shm_row(res, "shm", "open", 1, shm_rate);
+        }
+      }
+    }
+    // The message-passing side of the ranking: same F, same placements,
+    // driven through the threaded runtime. Serializing protocols are
+    // enforced linearizable exactly as in CONC.
+    for (const std::string& name : shm_msg_counters) {
+      const CounterKind kind = counter_kind_from_string(name);
+      for (const std::string& place : shm_placements) {
+        for (const std::int64_t f : shm_inflight_list) {
+          auto protocol = make_counter(kind, n);
+          if (conc_workers > 1 && !protocol->shard_safe()) continue;
+          const std::size_t window =
+              concurrency * static_cast<std::size_t>(f);
+          ThroughputOptions options;
+          options.workers = conc_workers;
+          options.ops = std::max<std::size_t>(
+              static_cast<std::size_t>(ops_factor) *
+                  protocol->num_processors(),
+              4 * window);
+          options.concurrency = concurrency;
+          options.inflight = static_cast<std::size_t>(f);
+          options.initiators = dist;
+          options.zipf_s = zipf_s;
+          options.seed = seed;
+          options.warmup = warmup;
+          options.placement = placement_from_string(place);
+          const ThroughputResult res =
+              run_throughput(std::move(protocol), options);
+          DCNT_CHECK_MSG(res.lin_checked, "SHM msg row skipped its check");
+          if (expected_linearizable(kind)) {
+            DCNT_CHECK_MSG(res.linearizable,
+                           "serializing counter produced a non-linearizable "
+                           "history");
+          }
+          add_shm_row(res, "msg", "closed", static_cast<std::size_t>(f),
+                      0.0);
+        }
+      }
+    }
+    shm_table.print(
+        std::cout,
+        "SHM: silicon re-ranking — shared-memory counters vs "
+        "message-passing protocols, pinned and unpinned (every shm row's "
+        "history enforced linearizable)");
+  }
+
   // Open-loop traffic-engine rows: every (counter, rate, op-budget)
   // triple runs the scheduled-arrival generator; --quick adds a burst
   // row so both modulated shapes stay exercised in the smoke.
@@ -477,6 +673,31 @@ int main(int argc, char** argv) {
     json.field("elastic_final_k", r.elastic_final_k);
     json.field("total_messages", r.total_messages);
     json.field("max_load", r.max_load);
+    json.end_object();
+  }
+  json.end_array();
+  json.begin_array("shm");
+  for (const ShmRow& row : shm_rows) {
+    const ThroughputResult& r = row.res;
+    json.begin_object();
+    json.field("counter", r.counter);
+    json.field("mode", row.mode);
+    json.field("loop", row.loop);
+    json.field("threads", r.workers);
+    json.field("inflight", row.inflight);
+    json.field("placement", r.placement);
+    json.field("pinned_workers", r.pinned_workers);
+    json.field("placement_supported", r.placement_supported ? 1 : 0);
+    json.field("rate", row.rate, 1);
+    json.field("ops", r.ops);
+    json.field("wall_seconds", r.wall_seconds, 4);
+    json.field("ops_per_sec", r.ops_per_sec, 1);
+    json.field("mean_us", r.mean_us, 2);
+    json.field("p50_us", r.p50_us, 2);
+    json.field("p99_us", r.p99_us, 2);
+    json.field("linearizable", r.linearizable ? 1 : 0);
+    json.field("lin_violations", r.lin_violations);
+    json.field("record_threads", r.record_threads);
     json.end_object();
   }
   json.end_array();

@@ -73,6 +73,80 @@ LinearizabilityReport check_linearizable(
   return report;
 }
 
+LinearizabilityReport check_inc_read_linearizable(
+    const std::vector<CounterOpRecord>& incs,
+    const std::vector<CounterOpRecord>& reads) {
+  LinearizabilityReport report;
+  if (reads.empty()) return report;
+
+  // Sorted event times of the incs: lower bound for a read is how many
+  // inc responses precede its invocation, upper bound how many inc
+  // invocations precede its response. Binary searches over these give
+  // both in O(log m) per read.
+  std::vector<SimTime> inc_inv(incs.size());
+  std::vector<SimTime> inc_resp(incs.size());
+  for (std::size_t i = 0; i < incs.size(); ++i) {
+    inc_inv[i] = incs[i].invoked;
+    inc_resp[i] = incs[i].responded;
+  }
+  std::sort(inc_inv.begin(), inc_inv.end());
+  std::sort(inc_resp.begin(), inc_resp.end());
+
+  for (const CounterOpRecord& r : reads) {
+    const auto lower = static_cast<Value>(
+        std::lower_bound(inc_resp.begin(), inc_resp.end(), r.invoked) -
+        inc_resp.begin());
+    const auto upper = static_cast<Value>(
+        std::lower_bound(inc_inv.begin(), inc_inv.end(), r.responded) -
+        inc_inv.begin());
+    if (r.value < lower || r.value > upper) {
+      ++report.violations;
+      if (report.linearizable) {
+        report.linearizable = false;
+        report.first_a = r.op;
+        report.first_b = r.op;
+      }
+    }
+  }
+
+  // Read monotonicity: sweep reads by invocation time, carrying the
+  // maximum value among reads that responded strictly earlier — the
+  // same sweep check_linearizable runs, with <= instead of < (two
+  // reads may legally observe the same count).
+  std::vector<CounterOpRecord> by_inv = reads;
+  std::sort(by_inv.begin(), by_inv.end(),
+            [](const CounterOpRecord& a, const CounterOpRecord& b) {
+              return a.invoked < b.invoked;
+            });
+  std::vector<CounterOpRecord> by_resp = reads;
+  std::sort(by_resp.begin(), by_resp.end(),
+            [](const CounterOpRecord& a, const CounterOpRecord& b) {
+              return a.responded < b.responded;
+            });
+  std::size_t resp_idx = 0;
+  Value max_read = -1;
+  OpId max_read_op = kNoOp;
+  for (const CounterOpRecord& b : by_inv) {
+    while (resp_idx < by_resp.size() &&
+           by_resp[resp_idx].responded < b.invoked) {
+      if (by_resp[resp_idx].value > max_read) {
+        max_read = by_resp[resp_idx].value;
+        max_read_op = by_resp[resp_idx].op;
+      }
+      ++resp_idx;
+    }
+    if (max_read > b.value) {
+      ++report.violations;
+      if (report.linearizable) {
+        report.linearizable = false;
+        report.first_a = max_read_op;
+        report.first_b = b.op;
+      }
+    }
+  }
+  return report;
+}
+
 namespace concurrent {
 
 std::vector<CounterOpRecord> HistoryBuffer::snapshot(

@@ -65,6 +65,30 @@ struct LinearizabilityReport {
 /// O(m log m).
 LinearizabilityReport check_linearizable(std::vector<CounterOpRecord> history);
 
+/// Linearizability for an inc/read counter — the contract of counters
+/// whose increments return no ticket (the shm sharded counter: a
+/// fetch_add into a per-core cell plus an exact read-side reduction).
+/// This is the paper's distinction made executable: fetch-and-inc
+/// forces a total order on every increment (check_linearizable above),
+/// while inc/read only constrains what READS may observe. A history of
+/// incs (values ignored) and reads (value = observed count) is
+/// linearizable iff every read r satisfies the interval bound
+///
+///     #{incs responded before inv(r)}  <=  val(r)
+///                                      <=  #{incs invoked before resp(r)}
+///
+/// (an inc that finished before r started must be counted; an inc that
+/// started after r finished must not be) and reads are monotone in
+/// real time: resp(r1) < inv(r2) => val(r1) <= val(r2). Sufficiency:
+/// place each read at a point where exactly val(r) incs precede it —
+/// the bounds guarantee such a point exists inside r's interval, and
+/// monotonicity lets all reads take such points in a consistent order.
+/// Violations land in the same report shape (first_a/first_b name the
+/// offending read and, for bound violations, the read itself).
+LinearizabilityReport check_inc_read_linearizable(
+    const std::vector<CounterOpRecord>& incs,
+    const std::vector<CounterOpRecord>& reads);
+
 namespace concurrent {
 
 /// Lock-free per-op capture of a concurrent run's counting history.

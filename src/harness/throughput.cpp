@@ -91,8 +91,10 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   config.max_ops = options.warmup + ops;
   config.active_shards = options.active_shards;
   config.flush_batch = options.flush_batch;
+  config.placement = options.placement;
   ThreadedRuntime rt(std::move(protocol), config);
   out.workers = rt.workers();
+  out.placement = to_string(options.placement);
 
   const auto initiators =
       make_initiators(options.initiators, options.zipf_s, n,
@@ -145,6 +147,8 @@ ThroughputResult run_throughput(std::unique_ptr<CounterProtocol> protocol,
   out.bottleneck = metrics.bottleneck();
   out.mean_load = 2.0 * static_cast<double>(metrics.total_messages()) /
                   static_cast<double>(n);
+  out.pinned_workers = rt.pinned_workers();
+  out.placement_supported = rt.placement_supported();
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/placement.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
 #include "sim/types.hpp"
@@ -76,6 +77,11 @@ struct ThroughputOptions {
   /// it (per-key value spaces make a global counter history
   /// meaningless).
   bool lin_check{true};
+  /// Core placement for the runtime workers (runtime/placement.hpp);
+  /// kNone leaves scheduling to the kernel. Results report what
+  /// actually applied (pinned_workers / placement_supported) — an
+  /// unsupported host runs unpinned and says so rather than failing.
+  Placement placement{Placement::kNone};
 };
 
 struct ThroughputResult {
@@ -135,6 +141,12 @@ struct ThroughputResult {
   ProcessorId bottleneck{kNoProcessor};
   double mean_load{0.0};
   bool values_ok{false};
+  /// Placement outcome: the policy asked for, how many workers actually
+  /// pinned, and whether pinning was possible at all on this host (the
+  /// "--pin applies or cleanly reports unsupported" contract).
+  std::string placement{"none"};
+  std::size_t pinned_workers{0};
+  bool placement_supported{true};
 };
 
 /// Runs the workload, verifies the value permutation (aborts on

@@ -195,7 +195,14 @@ class MailboxT {
   std::vector<T> items_;
   /// items_.size(), maintained under mu_ but readable lock-free by the
   /// owner's spin loop and fast-path drain check.
-  std::atomic<std::size_t> pending_{0};
+  ///
+  /// alignas: the owner's wait() pause-loop reads pending_ back to back
+  /// while producers are mutating mu_/items_ right next to it — on a
+  /// shared line every producer lock/push would invalidate the owner's
+  /// spin read (the mailbox-head false sharing this isolates). Padded
+  /// onto its own line with owner_waiting_, whose producer-side reads
+  /// happen under mu_ anyway.
+  alignas(64) std::atomic<std::size_t> pending_{0};
   /// True only while the owner is parked (or committing to park) inside
   /// wait(); guarded by mu_. Senders notify only when it is set.
   bool owner_waiting_{false};

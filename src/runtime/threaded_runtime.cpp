@@ -45,15 +45,24 @@ struct ThreadedRuntime::Shard {
   /// Monotone count of events this shard has handled. Relaxed bumps by
   /// the owner; exact for readers ordered after it through the
   /// in-flight acq_rel chain (see ThreadedRuntime::events_processed).
-  std::atomic<std::int64_t> events_processed{0};
+  ///
+  /// alignas: bumped by the owner once per event, so it must not share
+  /// a line with the tail of `mailbox` (whose pending_/owner_waiting_
+  /// producers hammer from other threads) — one line for the pair
+  /// owner-written gauges, separate from producer-written mailbox
+  /// state. timers_armed rides along deliberately: same writer (the
+  /// owner), so sharing ITS line costs nothing.
+  alignas(64) std::atomic<std::int64_t> events_processed{0};
   /// Armed wall-clock timers on this shard (wall_timers mode). The fire
   /// path bumps in_flight_ BEFORE decrementing this, so an observer
   /// that reads it between two in_flight()==0 observations cannot miss
   /// a concurrent fire.
   std::atomic<std::int64_t> timers_armed{0};
 
-  // Owner-thread-only state below.
-  std::vector<RuntimeEvent> batch;  ///< drain target, reused
+  // Owner-thread-only state below. alignas: `batch` starts a fresh
+  // line so the owner's hottest private state (drain target, ready
+  // queue) never shares a line with the observer-read gauges above.
+  alignas(64) std::vector<RuntimeEvent> batch;  ///< drain target, reused
   std::vector<RuntimeEvent> ready;  ///< runnable events, appended mid-run
   std::size_t ready_head{0};
   /// Cross-shard events staged per destination, flushed by flush_shard
@@ -249,9 +258,17 @@ ThreadedRuntime::ThreadedRuntime(std::unique_ptr<CounterProtocol> protocol,
     shards_.push_back(
         std::make_unique<Shard>(i, num_processors_, w, base.fork(i + 1)));
   }
+  placement_plan_ = plan_placement(config_.placement, w);
+  placement_supported_ =
+      config_.placement == Placement::kNone || placement_plan_.supported;
   if (config_.inline_drive) {
     DCNT_CHECK_MSG(w == 1, "inline_drive hosts exactly one shard");
     inline_ctx_ = std::make_unique<WorkerCtx>(this, shards_[0].get());
+    // The embedding thread IS the shard; pin it here if asked, since
+    // there is no worker_main to do it.
+    if (pin_thread_to_cpu(placement_plan_.cpu_for(0))) {
+      pinned_workers_.fetch_add(1, std::memory_order_acq_rel);
+    }
     return;  // no threads: the embedding thread calls drive()
   }
   threads_.reserve(w);
@@ -492,6 +509,11 @@ bool ThreadedRuntime::run_shard_pass(Shard& shard, WorkerCtx& ctx) {
 void ThreadedRuntime::worker_main(std::size_t worker) {
   tl_worker_runtime = this;
   tl_worker_index = worker;
+  // Placement applies before the first event: a handler's very first
+  // cache misses should already land on the planned core.
+  if (pin_thread_to_cpu(placement_plan_.cpu_for(worker))) {
+    pinned_workers_.fetch_add(1, std::memory_order_acq_rel);
+  }
   Shard& shard = *shards_[worker];
   WorkerCtx ctx(this, &shard);
   const bool wall = config_.wall_timers;

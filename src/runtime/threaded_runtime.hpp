@@ -65,6 +65,7 @@
 #include <vector>
 
 #include "runtime/mailbox.hpp"
+#include "runtime/placement.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
 #include "sim/types.hpp"
@@ -133,6 +134,14 @@ struct RuntimeConfig {
   /// per node buys no parallelism, only scheduler latency on every
   /// loop<->worker hand-off (a single-core box most of all).
   bool inline_drive{false};
+  /// Core placement for the worker threads (runtime/placement.hpp):
+  /// kNone leaves scheduling to the kernel; the other policies pin each
+  /// worker to a topology-chosen CPU at thread start, with kTree
+  /// co-locating consecutive shards (which shard_of makes tree-adjacent
+  /// for the BFS-laid-out TreeCounter) on neighbouring physical cores.
+  /// Gracefully a no-op where affinity is unsupported — see
+  /// pinned_workers()/placement_supported() for what actually applied.
+  Placement placement{Placement::kNone};
 };
 
 class ThreadedRuntime {
@@ -207,6 +216,17 @@ class ThreadedRuntime {
   std::int64_t in_flight() const {
     return in_flight_.load(std::memory_order_acquire);
   }
+
+  /// Workers whose affinity call succeeded (== workers() when a
+  /// supported placement applied cleanly; 0 under kNone or where
+  /// pinning is unsupported). Exact once the workers have started;
+  /// tests read it after the first quiescence.
+  std::size_t pinned_workers() const {
+    return pinned_workers_.load(std::memory_order_acquire);
+  }
+  /// Whether the configured placement could pin at all on this host
+  /// (true for kNone vacuously — nothing was requested).
+  bool placement_supported() const { return placement_supported_; }
 
   /// Starts an operation at `origin`'s worker. Callable from any thread,
   /// including from inside a completion callback — the start always runs
@@ -326,15 +346,27 @@ class ThreadedRuntime {
   RemoteSinkFn remote_sink_;
   /// Wall-timer epoch: timer deadlines are microseconds since this.
   std::chrono::steady_clock::time_point t0_;
+  /// Worker -> CPU assignment (config_.placement); workers pin
+  /// themselves on startup and count successes into pinned_workers_.
+  PlacementPlan placement_plan_;
+  bool placement_supported_{true};
+  std::atomic<std::size_t> pinned_workers_{0};
 
   /// Events queued + timers pending + handlers running. Updated in
   /// batches per drain cycle (see flush_shard); single-event updates
   /// only happen for pushes from non-worker threads.
-  std::atomic<std::int64_t> in_flight_{0};
-  std::atomic<bool> stop_{false};
+  ///
+  /// alignas: in_flight_ is RMWed by every worker once per flush while
+  /// stop_ is polled by every worker once per loop pass — sharing a
+  /// line would make the ledger's write traffic invalidate every
+  /// worker's stop poll. next_op_ (issuing threads) and completed_
+  /// (completing workers) have disjoint writer sets, so they get their
+  /// own lines too rather than bouncing each other.
+  alignas(64) std::atomic<std::int64_t> in_flight_{0};
+  alignas(64) std::atomic<bool> stop_{false};
 
-  std::atomic<std::size_t> next_op_{0};
-  std::atomic<std::size_t> completed_{0};
+  alignas(64) std::atomic<std::size_t> next_op_{0};
+  alignas(64) std::atomic<std::size_t> completed_{0};
   /// Slot per op, pre-sized to max_ops: distinct ops never contend.
   std::vector<Value> results_;
   std::vector<std::atomic<std::uint8_t>> done_;

@@ -1,0 +1,46 @@
+// shm-atomic: one contended fetch_add — the hardware central counter.
+//
+// Every inc_batch is a single RMW on the one hot line. Under T threads
+// the coherence fabric serializes those RMWs by bouncing line ownership
+// between cores: each inc costs a request/response pair with the
+// current owner, which is exactly the central counter's m_p = Θ(total)
+// bottleneck priced in coherence transfers instead of messages. This is
+// the baseline the paper's protocols must beat on silicon — and the
+// --inflight F batch (fetch_add(F)) is the one mitigation the atomic
+// itself offers, amortizing one transfer over F tickets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "shm/shm_counter.hpp"
+
+namespace dcnt::shm {
+
+class AtomicCounter final : public ShmCounter {
+ public:
+  std::string name() const override { return "shm-atomic"; }
+
+  void on_threads(std::size_t /*threads*/) override {}
+
+  std::uint64_t inc_batch(std::size_t /*thread*/,
+                          std::uint64_t count) override {
+    // acq_rel: a thread that observes a later ticket also observes
+    // everything the earlier ticket holders published before their
+    // fetch_add — the same hand-off a mailbox push provides.
+    return value_.fetch_add(count, std::memory_order_acq_rel);
+  }
+
+  std::uint64_t read() const override {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// alignas: the entire point of this counter is that this ONE line is
+  /// contended; the padding just keeps neighbouring allocations (or the
+  /// vtable pointer's line) from being dragged into the fight.
+  alignas(64) std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace dcnt::shm

@@ -1,0 +1,135 @@
+// shm-flat: a flat-combining counter (Hendler, Incze, Shavit, Tzafrir
+// style) — one combiner drains a publication list.
+//
+// Each thread owns a cache-padded publication slot. To increment, a
+// thread publishes its request (the batch size) into its slot, then
+// loops: try to become the combiner (one try-lock, never a blocking
+// acquire); on success, walk EVERY slot and serve all pending requests
+// from the sequential counter — thread-local reads of remote slots,
+// zero contention on the counter word itself — then release; otherwise
+// spin on the own slot until some combiner has served it.
+//
+// Why this beats the atomic under contention: T threads hammering one
+// fetch_add line pay ~T coherence transfers for T incs; here one
+// combiner pays ~T slot-line reads for the same T incs while everyone
+// else spins on a line they own in their local cache. It is the
+// combining tree's economics — one processor fronts the batch — with
+// the tree flattened to depth 1.
+//
+// The combiner-handoff edge case (the one the tests force): a combiner
+// can release the lock while the publication list is NON-empty — a
+// request published after the combiner's scan already passed that slot
+// is missed, not served. The requester's loop handles it: spinning on
+// its slot, it keeps retrying the try-lock, so once the old combiner
+// leaves, the abandoned requester elects itself and self-serves.
+// Liveness never depends on any particular combiner seeing any
+// particular slot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "shm/shm_counter.hpp"
+
+namespace dcnt::shm {
+
+class FlatCombiningCounter final : public ShmCounter {
+ public:
+  std::string name() const override { return "shm-flat"; }
+
+  void on_threads(std::size_t threads) override {
+    num_slots_ = threads > 0 ? threads : 1;
+    slots_ = std::make_unique<Slot[]>(num_slots_);
+  }
+
+  std::uint64_t inc_batch(std::size_t thread, std::uint64_t count) override {
+    Slot& s = slots_[thread % num_slots_];
+    // Publish: nonzero req = pending. The base slot is written by the
+    // combiner before it clears req (release), so the req==0 acquire
+    // below is the only synchronization the requester needs.
+    s.req.store(count, std::memory_order_release);
+    int spins = 0;
+    for (;;) {
+      if (!lock_.exchange(true, std::memory_order_acquire)) {
+        combine();
+        lock_.store(false, std::memory_order_release);
+      }
+      if (s.req.load(std::memory_order_acquire) == 0) {
+        return s.base.load(std::memory_order_relaxed);
+      }
+      // Still pending: a combiner is either about to reach our slot or
+      // exited without seeing it — the next loop iteration retries the
+      // lock, so we can always self-serve. Back off politely first
+      // (matters on hosts with fewer cores than threads).
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+
+  std::uint64_t read() const override {
+    return counter_.load(std::memory_order_acquire);
+  }
+
+  /// Test hooks for the combiner-handoff edge case: hold the combiner
+  /// lock WITHOUT draining the publication list, so a concurrent
+  /// inc_batch is provably abandoned mid-publication, then release and
+  /// assert the requester self-serves. Not part of the counter API.
+  bool try_lock_combiner_for_test() {
+    return !lock_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock_combiner_for_test() {
+    lock_.store(false, std::memory_order_release);
+  }
+  /// Pending publication records (test introspection; exact only while
+  /// the caller holds the combiner lock).
+  std::size_t pending_publications_for_test() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < num_slots_; ++i) {
+      if (slots_[i].req.load(std::memory_order_acquire) != 0) ++n;
+    }
+    return n;
+  }
+
+ private:
+  /// One pass over the publication list, serving every pending request
+  /// from the sequential counter. Caller holds lock_.
+  void combine() {
+    std::uint64_t value = counter_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < num_slots_; ++i) {
+      Slot& s = slots_[i];
+      const std::uint64_t want = s.req.load(std::memory_order_acquire);
+      if (want == 0) continue;
+      s.base.store(value, std::memory_order_relaxed);
+      value += want;
+      // release: publishes base (and the counter state behind it) to
+      // the requester's req==0 acquire.
+      s.req.store(0, std::memory_order_release);
+    }
+    // release: the NEXT combiner acquires the lock (acquire RMW) and
+    // must see this count; concurrent read() callers get a monotone
+    // committed value.
+    counter_.store(value, std::memory_order_release);
+  }
+
+  /// alignas: one publication slot per line — a slot is spun on by its
+  /// owner while the combiner writes it; two requesters sharing a line
+  /// would invalidate each other's spins on every combiner pass.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> req{0};   ///< pending batch size, 0 = none
+    std::atomic<std::uint64_t> base{0};  ///< first ticket, valid at req==0
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t num_slots_{0};
+  /// alignas: the combiner lock is try-locked by every waiting thread;
+  /// keeping it off the counter's line means those failed exchanges
+  /// never steal the line the combiner is accumulating into.
+  alignas(64) std::atomic<bool> lock_{false};
+  /// Only the lock holder writes; atomic so concurrent read() is a
+  /// legal monotone load rather than a data race.
+  alignas(64) std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace dcnt::shm

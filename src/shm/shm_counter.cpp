@@ -1,0 +1,59 @@
+#include "shm/shm_counter.hpp"
+
+#include "shm/atomic_counter.hpp"
+#include "shm/flat_combining.hpp"
+#include "shm/funnel.hpp"
+#include "shm/sharded_counter.hpp"
+#include "support/check.hpp"
+
+namespace dcnt::shm {
+
+std::string to_string(ShmKind kind) {
+  switch (kind) {
+    case ShmKind::kAtomic:
+      return "shm-atomic";
+    case ShmKind::kFlat:
+      return "shm-flat";
+    case ShmKind::kFunnel:
+      return "shm-funnel";
+    case ShmKind::kSharded:
+      return "shm-sharded";
+  }
+  return "shm-atomic";
+}
+
+ShmKind shm_kind_from_string(const std::string& name) {
+  if (name == "shm-atomic" || name == "atomic") return ShmKind::kAtomic;
+  if (name == "shm-flat" || name == "flat") return ShmKind::kFlat;
+  if (name == "shm-funnel" || name == "funnel") return ShmKind::kFunnel;
+  if (name == "shm-sharded" || name == "sharded") return ShmKind::kSharded;
+  DCNT_CHECK_MSG(false,
+                 "unknown shm counter (expected shm-atomic, shm-flat, "
+                 "shm-funnel or shm-sharded)");
+  return ShmKind::kAtomic;
+}
+
+bool is_shm_counter_name(const std::string& name) {
+  return name.rfind("shm-", 0) == 0;
+}
+
+std::vector<ShmKind> all_shm_kinds() {
+  return {ShmKind::kAtomic, ShmKind::kFlat, ShmKind::kFunnel,
+          ShmKind::kSharded};
+}
+
+std::unique_ptr<ShmCounter> make_shm_counter(ShmKind kind) {
+  switch (kind) {
+    case ShmKind::kAtomic:
+      return std::make_unique<AtomicCounter>();
+    case ShmKind::kFlat:
+      return std::make_unique<FlatCombiningCounter>();
+    case ShmKind::kFunnel:
+      return std::make_unique<FunnelCounter>();
+    case ShmKind::kSharded:
+      return std::make_unique<ShardedCounter>();
+  }
+  return nullptr;
+}
+
+}  // namespace dcnt::shm

@@ -1,0 +1,105 @@
+// Shared-memory counter baselines (DESIGN.md §16).
+//
+// The paper prices counting in messages; silicon prices it in cache
+// coherence, and a contended fetch_add IS a message protocol — the
+// coherence fabric runs it: every RMW on a contended line is a
+// request/response pair with whichever core owns the line, so the one
+// hot line is the central counter's bottleneck processor in hardware
+// form. These baselines make that correspondence measurable on the
+// same host as the message-passing protocols:
+//
+//   shm-atomic   one contended std::atomic<uint64_t>::fetch_add — the
+//                hardware central counter (every inc crosses to the
+//                line owner; the coherence analogue of m_p = Θ(total)).
+//   shm-flat     flat combining: threads publish requests into padded
+//                per-thread slots; whoever wins a try-lock becomes the
+//                combiner and serves the whole publication list with
+//                thread-local accesses — the combining tree's "one
+//                processor pays for the batch" idea, depth 1.
+//   shm-funnel   an MCS-style combining funnel: arrivals enqueue on a
+//                lock queue; the head serves its successors' requests
+//                while they spin locally on their own nodes — combining
+//                along the queue instead of a tree, with a bounded
+//                budget before the lock is handed on.
+//   shm-sharded  cache-padded per-thread cells, inc = a fetch_add on
+//                your OWN line, read = an exact reduction over all
+//                cells. Scales because it answers a weaker question:
+//                incs return no ticket. That is the paper's theorem in
+//                shared memory — a linearizable fetch-and-inc cannot
+//                shed its bottleneck, an inc/read counter can — and the
+//                harness checks it against the inc/read criterion
+//                (check_inc_read_linearizable), not the ticket one.
+//
+// The --inflight F knob maps to a per-thread batch: inc_batch(t, F)
+// reserves F tickets in one shot (atomic: fetch_add(F); flat/funnel:
+// one publication record carrying F; sharded: one cell bump by F). All
+// F ops are invoked before the batch is submitted and respond after it
+// returns, so the batch linearizes at a single point and the history
+// stays honest — and F amortizes coherence transfers exactly as
+// message-side combining amortizes RTTs, which is the re-ranking the
+// EXPERIMENTS.md SHM table measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcnt::shm {
+
+/// A shared-memory counter driven synchronously by harness threads —
+/// the silicon-side counterpart of CounterProtocol. Lifecycle:
+/// on_threads(T) once before any thread runs, then threads 0..T-1 call
+/// inc_batch concurrently; read() is always safe concurrently and is
+/// exact at quiescence.
+class ShmCounter {
+ public:
+  virtual ~ShmCounter() = default;
+
+  /// Table/JSON name ("shm-atomic", ...).
+  virtual std::string name() const = 0;
+
+  /// Sizes per-thread state (publication slots, queue nodes, cells).
+  /// Called exactly once, before any inc_batch.
+  virtual void on_threads(std::size_t threads) = 0;
+
+  /// Reserves `count` consecutive tickets and returns the first:
+  /// the calling thread's ops take values base..base+count-1. Counters
+  /// with returns_value() == false just add `count` (return value
+  /// meaningless, by contract 0). `thread` < the on_threads count;
+  /// each thread has at most one call in flight.
+  virtual std::uint64_t inc_batch(std::size_t thread,
+                                  std::uint64_t count) = 0;
+
+  /// Whether inc_batch hands out globally-ordered tickets. The sharded
+  /// counter says no — its increments are fire-and-forget and its
+  /// correctness contract is the inc/read criterion over read().
+  virtual bool returns_value() const { return true; }
+
+  /// The current count. Safe to call concurrently with incs (the
+  /// sharded counter's exact read-side reduction; a plain load for the
+  /// rest); exact — equal to the number of incs — once all incs have
+  /// returned.
+  virtual std::uint64_t read() const = 0;
+};
+
+enum class ShmKind {
+  kAtomic,
+  kFlat,
+  kFunnel,
+  kSharded,
+};
+
+std::string to_string(ShmKind kind);
+/// "shm-atomic" / "shm-flat" / "shm-funnel" / "shm-sharded" (the bare
+/// suffixes are accepted too); anything else aborts with the
+/// vocabulary.
+ShmKind shm_kind_from_string(const std::string& name);
+/// True when `name` names an shm counter — lets the bench route mixed
+/// counter lists between the shm and message-passing harnesses.
+bool is_shm_counter_name(const std::string& name);
+std::vector<ShmKind> all_shm_kinds();
+
+std::unique_ptr<ShmCounter> make_shm_counter(ShmKind kind);
+
+}  // namespace dcnt::shm

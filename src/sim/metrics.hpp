@@ -4,6 +4,16 @@
 // of messages processor p sends or receives over an operation sequence
 // (§3, "Definitions"). The simulator updates these counters on every
 // non-local message; protocols cannot forget to count.
+//
+// Cache-line audit (DESIGN.md §16): the counters here are plain int64
+// vectors, not atomics, on purpose — every Metrics instance has exactly
+// one writer (the simulator's single thread, or the one runtime shard
+// that owns it; see ThreadedRuntime::Shard), and cross-shard totals are
+// produced by merge_from AFTER quiescence. No two threads ever touch
+// one instance concurrently, so there is no hot atomic pair to pad;
+// adding alignas here would spend memory on a hazard the ownership
+// model already rules out. Counters that genuinely cross shard
+// boundaries inside protocols use support/relaxed.hpp instead.
 #pragma once
 
 #include <cstdint>

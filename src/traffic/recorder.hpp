@@ -151,7 +151,16 @@ class TailRecorder {
   std::atomic<std::size_t> cursor_{0};  ///< exact-mode record() appends
   std::unique_ptr<LogHistogram> hist_;  ///< HDR mode only
   std::int64_t slo_ns_;
-  std::atomic<std::int64_t> slo_ok_{0};
+  /// alignas: slo_ok_/recorded_ (and the phase tallies) are bumped by
+  /// every completing thread, while the vector headers above —
+  /// issue_ns_'s data pointer most of all — are READ on every
+  /// on_issue/on_complete to reach the slot array. On one line each
+  /// completion's tally write would invalidate the header line every
+  /// issuer dereferences; the tallies start their own line instead.
+  /// They stay together with the phase arrays deliberately: one
+  /// completion writes several of them back to back (same writer set),
+  /// so splitting those would only multiply bounced lines.
+  alignas(64) std::atomic<std::int64_t> slo_ok_{0};
   std::atomic<std::int64_t> recorded_{0};
   /// Phase accounting, indexed [low=0, high=1].
   std::array<std::atomic<std::int64_t>, 2> phase_count_{};

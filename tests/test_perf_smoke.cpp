@@ -15,6 +15,7 @@
 #include "harness/factory.hpp"
 #include "harness/throughput.hpp"
 #include "service/multi_counter.hpp"
+#include "shm/shm_harness.hpp"
 #include "traffic/shape.hpp"
 
 namespace dcnt {
@@ -316,6 +317,63 @@ TEST(PerfSmoke, ThroughputOpenLoopTrafficFieldsPinned) {
     EXPECT_EQ(res.max_load, 480) << "cap=" << exact_cap;
     EXPECT_GT(res.p99_us, 0.0);
     EXPECT_GE(res.max_us, res.p99_us);
+  }
+}
+
+// The SHM harness' deterministic fields at the BENCH_throughput.json
+// shm-row shape. A single driving thread makes every non-timing field
+// exact: the run completing at all proves the DCNT_CHECKed final value
+// (read() == warmup + ops) and the ticket permutation; the assertions
+// below pin what lands in the JSON. Multi-thread runs can't pin
+// record_threads (a 1-core host may let one thread drain the whole
+// cursor), so T=1 is the deterministic configuration on every box.
+TEST(PerfSmoke, ShmHarnessFieldsPinnedAtSingleThread) {
+  for (const std::size_t inflight : {std::size_t{1}, std::size_t{64}}) {
+    shm::ShmOptions options;
+    options.threads = 1;
+    options.ops = 2048;
+    options.inflight = inflight;
+    options.warmup = 64;
+    options.seed = 7;
+    const ThroughputResult res =
+        shm::run_shm_throughput(shm::ShmKind::kAtomic, options);
+    ASSERT_TRUE(res.values_ok) << "F=" << inflight;
+    EXPECT_EQ(res.counter, "shm-atomic");
+    EXPECT_EQ(res.n, 1u);
+    EXPECT_EQ(res.workers, 1u);
+    EXPECT_EQ(res.ops, 2048u) << "F=" << inflight;
+    EXPECT_EQ(res.warmup, 64u);
+    EXPECT_EQ(res.record_threads, 1u) << "F=" << inflight;
+    ASSERT_TRUE(res.lin_checked);
+    EXPECT_TRUE(res.linearizable) << "F=" << inflight;
+    EXPECT_EQ(res.lin_violations, 0);
+    // Coherence traffic is invisible to Metrics: the message-currency
+    // fields are structurally zero for every shm row.
+    EXPECT_EQ(res.total_messages, 0);
+    EXPECT_EQ(res.max_load, 0);
+    EXPECT_EQ(res.placement, "none");
+    EXPECT_EQ(res.pinned_workers, 0u);
+    EXPECT_TRUE(res.placement_supported);
+    EXPECT_GT(res.ops_per_sec, 0.0);
+  }
+}
+
+// Placement outcome fields are consistent on ANY host: compact either
+// pins every worker (supported) or none (clean no-op), never a partial
+// count at this scale.
+TEST(PerfSmoke, ShmPlacementFieldsConsistent) {
+  shm::ShmOptions options;
+  options.threads = 2;
+  options.ops = 512;
+  options.placement = Placement::kCompact;
+  const ThroughputResult res =
+      shm::run_shm_throughput(shm::ShmKind::kSharded, options);
+  ASSERT_TRUE(res.values_ok);
+  EXPECT_EQ(res.placement, "compact");
+  if (res.placement_supported) {
+    EXPECT_EQ(res.pinned_workers, 2u);
+  } else {
+    EXPECT_EQ(res.pinned_workers, 0u);
   }
 }
 
